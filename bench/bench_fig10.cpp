@@ -1,0 +1,63 @@
+// Reproduces Figure 10, the "succeed-or-crash" micro-benchmark: the
+// OrbitDB-5 scenario is explored without the 10 K termination threshold but
+// under a fixed resource budget (the DMCK server's tracking memory). Each
+// mode runs five times; a run either reproduces the bug before exhausting
+// the budget (success) or crashes.
+//
+// ER-pi's pruned space keeps its footprint small, so it reproduces the bug
+// every run; DFS and Rand track the full n! universe and mostly exhaust the
+// budget first. (Run-to-run variance comes from the exploration seeds: the
+// Rand shuffle seed and DFS's arbitrary child ordering.)
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "bugs/registry.hpp"
+
+using namespace erpi;
+
+namespace {
+
+const char* outcome(const core::ReplayReport& report) {
+  if (report.reproduced) return "reproduced";
+  if (report.crashed) return "CRASHED (resources exhausted)";
+  return "exhausted/capped";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t budget = 128 * 1024;  // bytes of tracking state
+  if (argc > 2 && std::string(argv[1]) == "--budget") budget = std::stoull(argv[2]);
+
+  std::printf("=== Figure 10: succeed-or-crash micro-benchmark (OrbitDB-5) ===\n");
+  std::printf("(no interleaving cap; resource budget %" PRIu64 " bytes; 5 runs per mode)\n\n",
+              budget);
+
+  const auto& bug = bugs::find_bug("OrbitDB-5");
+  const uint64_t seeds[5] = {11, 22, 33, 44, 55};
+
+  for (const auto mode : {core::ExplorationMode::ErPi, core::ExplorationMode::Dfs,
+                          core::ExplorationMode::Rand}) {
+    int successes = 0;
+    std::printf("%-6s:", core::exploration_mode_name(mode));
+    for (const uint64_t seed : seeds) {
+      const auto result = bugs::run_bug(bug, mode, /*max_interleavings=*/UINT64_MAX / 2,
+                                        seed, budget, /*dfs_branch_seed=*/seed);
+      const bool ok = result.report.reproduced;
+      successes += ok ? 1 : 0;
+      std::printf("  %s", ok ? "v" : "x");
+      (void)outcome(result.report);
+    }
+    std::printf("   (%d/5 runs reproduced the bug)\n", successes);
+  }
+
+  std::printf(
+      "\npaper: ER-pi 5/5, DFS 1/5, Rand 0/5. Non-reproducing runs crash on\n"
+      "resource exhaustion before finding the bug. Which *baseline* run gets\n"
+      "lucky is seed-dependent here exactly as the paper observes for its own\n"
+      "single DFS success (\"inherently setup-specific\"); the stable shape is\n"
+      "that ER-pi always reproduces within budget and the baselines almost\n"
+      "never do.\n");
+  return 0;
+}

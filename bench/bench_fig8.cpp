@@ -1,0 +1,74 @@
+// Reproduces Figure 8 (a: interleavings to reproduce each bug; b: time to
+// reproduce) for all 12 Table-1 bugs under the three exploration modes
+// (ER-pi, DFS, Rand), with the paper's 10 K-interleaving cap.
+//
+// Usage: bench_fig8 [--cap N] [--seed S] [--bug NAME]
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bugs/registry.hpp"
+
+using namespace erpi;
+
+namespace {
+
+struct ModeOutcome {
+  bool reproduced = false;
+  uint64_t interleavings = 0;  // to first violation, or explored at stop
+  double seconds = 0;
+  bool hit_cap = false;
+};
+
+ModeOutcome run(const bugs::BugScenario& bug, core::ExplorationMode mode, uint64_t cap,
+                uint64_t seed) {
+  const auto result = bugs::run_bug(bug, mode, cap, seed);
+  ModeOutcome out;
+  out.reproduced = result.report.reproduced;
+  out.interleavings =
+      result.report.reproduced ? result.report.first_violation_index : result.report.explored;
+  out.seconds = result.report.elapsed_seconds;
+  out.hit_cap = result.report.hit_cap || (!result.report.reproduced);
+  return out;
+}
+
+void print_outcome(const char* label, const ModeOutcome& o) {
+  if (o.reproduced) {
+    std::printf("  %-6s reproduced at %8" PRIu64 " interleavings (log10=%.2f)  in %9.3fs\n",
+                label, o.interleavings, std::log10(static_cast<double>(o.interleavings)),
+                o.seconds);
+  } else {
+    std::printf("  %-6s NOT reproduced after %8" PRIu64 " interleavings (cap)   in %9.3fs\n",
+                label, o.interleavings, o.seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t cap = 10'000;
+  uint64_t seed = 42;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cap") == 0 && i + 1 < argc) cap = std::stoull(argv[++i]);
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) seed = std::stoull(argv[++i]);
+    if (std::strcmp(argv[i], "--bug") == 0 && i + 1 < argc) only = argv[++i];
+  }
+
+  std::printf("=== Figure 8 reproduction: interleavings and time to reproduce each bug ===\n");
+  std::printf("(cap %" PRIu64 " interleavings per mode, Rand seed %" PRIu64 ")\n\n", cap,
+              seed);
+
+  for (const auto& bug : bugs::all_bugs()) {
+    if (!only.empty() && bug.name != only) continue;
+    std::printf("%s (issue #%d, %d events, %s, %s)\n", bug.name.c_str(), bug.issue_number,
+                bug.event_count, bug.status.c_str(), bug.reason.c_str());
+    print_outcome("ER-pi", run(bug, core::ExplorationMode::ErPi, cap, seed));
+    print_outcome("DFS", run(bug, core::ExplorationMode::Dfs, cap, seed));
+    print_outcome("Rand", run(bug, core::ExplorationMode::Rand, cap, seed));
+    std::printf("\n");
+  }
+  return 0;
+}

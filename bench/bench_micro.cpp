@@ -1,0 +1,209 @@
+// Micro-benchmarks (google-benchmark) for the middleware's moving parts:
+// enumerator throughput, pruning-pipeline throughput, the Datalog engine,
+// the mini-Redis command path and distributed lock, and end-to-end replay.
+// Includes the DESIGN.md ablation: group-aware generation vs post-hoc
+// filtering of raw permutations.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/pruning.hpp"
+#include "core/replay.hpp"
+#include "core/session.hpp"
+#include "datalog/evaluator.hpp"
+#include "datalog/parser.hpp"
+#include "kvstore/lock.hpp"
+#include "subjects/town.hpp"
+
+using namespace erpi;
+using namespace erpi::core;
+
+namespace {
+
+std::vector<int> iota_ids(int n) {
+  std::vector<int> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+proxy::EventSet make_synthetic_events(int replicas, int n) {
+  proxy::EventSet events;
+  for (int i = 0; i < n; ++i) {
+    proxy::Event e;
+    e.id = i;
+    if (i % 4 == 2) {
+      e.kind = proxy::EventKind::SyncReq;
+      e.from = (i / 4) % replicas;
+      e.to = (e.from + 1) % replicas;
+      e.replica = e.from;
+    } else if (i % 4 == 3) {
+      e.kind = proxy::EventKind::ExecSync;
+      e.from = (i / 4) % replicas;
+      e.to = (e.from + 1) % replicas;
+      e.replica = e.to;
+    } else {
+      e.kind = proxy::EventKind::Update;
+      e.replica = i % replicas;
+      e.op = "op" + std::to_string(i);
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void BM_DfsEnumerator(benchmark::State& state) {
+  for (auto _ : state) {
+    DfsEnumerator dfs(iota_ids(static_cast<int>(state.range(0))));
+    uint64_t count = 0;
+    while (count < 10'000 && dfs.next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_DfsEnumerator)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_RandomEnumerator(benchmark::State& state) {
+  for (auto _ : state) {
+    RandomEnumerator rand(iota_ids(static_cast<int>(state.range(0))), 42);
+    uint64_t count = 0;
+    while (count < 10'000 && rand.next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RandomEnumerator)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_GroupedShuffled(benchmark::State& state) {
+  const auto events = make_synthetic_events(3, static_cast<int>(state.range(0)));
+  const auto units = build_units(events);
+  for (auto _ : state) {
+    GroupedEnumerator grouped(units, GroupedEnumerator::Order::Shuffled, 42);
+    uint64_t count = 0;
+    while (count < 10'000 && grouped.next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_GroupedShuffled)->Arg(8)->Arg(12)->Arg(16);
+
+// Ablation: generating over units directly vs generating raw permutations
+// and canonicalizing them through the GroupPruner.
+void BM_Ablation_GroupAwareGeneration(benchmark::State& state) {
+  const auto events = make_synthetic_events(3, 8);
+  const auto units = build_units(events);
+  for (auto _ : state) {
+    GroupedEnumerator grouped(units);
+    uint64_t admitted = 0;
+    while (grouped.next()) ++admitted;
+    benchmark::DoNotOptimize(admitted);
+  }
+}
+BENCHMARK(BM_Ablation_GroupAwareGeneration);
+
+void BM_Ablation_PostHocGroupFiltering(benchmark::State& state) {
+  const auto events = make_synthetic_events(3, 8);
+  const auto units = build_units(events);
+  for (auto _ : state) {
+    DfsEnumerator raw(iota_ids(8));
+    PruningPipeline pipeline;
+    pipeline.add(std::make_unique<GroupPruner>(units));
+    uint64_t admitted = 0;
+    while (auto il = raw.next()) {
+      if (pipeline.admit(*il)) ++admitted;
+    }
+    benchmark::DoNotOptimize(admitted);
+  }
+}
+BENCHMARK(BM_Ablation_PostHocGroupFiltering);
+
+void BM_PruningPipelineAdmit(benchmark::State& state) {
+  const auto events = make_synthetic_events(3, 12);
+  const auto units = build_units(events);
+  ReplicaSpecificPruner::Options rs;
+  rs.replica = 0;
+  PruningPipeline pipeline;
+  pipeline.add(std::make_unique<ReplicaSpecificPruner>(events, rs));
+  GroupedEnumerator grouped(units, GroupedEnumerator::Order::Shuffled, 7);
+  std::vector<Interleaving> sample;
+  for (int i = 0; i < 512; ++i) {
+    auto il = grouped.next();
+    if (!il) break;
+    sample.push_back(*il);
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.admit(sample[cursor]));
+    cursor = (cursor + 1) % sample.size();
+  }
+}
+BENCHMARK(BM_PruningPipelineAdmit);
+
+void BM_DatalogTransitiveClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    datalog::Database db;
+    for (int i = 0; i + 1 < n; ++i) {
+      db.insert_fact("edge", {datalog::Database::num(i), datalog::Database::num(i + 1)});
+    }
+    auto program = datalog::parse_program(
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Z) :- edge(X, Y), path(Y, Z).\n",
+        db.symbols());
+    const auto stats = datalog::evaluate(db, program.value());
+    benchmark::DoNotOptimize(stats.derived_tuples);
+  }
+}
+BENCHMARK(BM_DatalogTransitiveClosure)->Arg(32)->Arg(128);
+
+void BM_KvServerRoundtrip(benchmark::State& state) {
+  kv::Server server;
+  kv::Client client(server);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    client.set("k" + std::to_string(i % 64), "v");
+    benchmark::DoNotOptimize(client.get("k" + std::to_string(i % 64)));
+    ++i;
+  }
+}
+BENCHMARK(BM_KvServerRoundtrip);
+
+void BM_DistributedLockCycle(benchmark::State& state) {
+  kv::Server server;
+  kv::DistributedMutex mutex(server, "bench-lock");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mutex.lock());
+    benchmark::DoNotOptimize(mutex.unlock());
+  }
+}
+BENCHMARK(BM_DistributedLockCycle);
+
+void BM_ReplayTownInterleaving(benchmark::State& state) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  proxy.start_capture();
+  proxy.update(0, "report", [] {
+    util::Json j = util::Json::object();
+    j["problem"] = "otb";
+    return j;
+  }());
+  proxy.sync(0, 1);
+  proxy.update(1, "report", [] {
+    util::Json j = util::Json::object();
+    j["problem"] = "ph";
+    return j;
+  }());
+  proxy.sync(1, 0);
+  proxy.query(0, "transmit");
+  const auto events = proxy.end_capture();
+  Interleaving identity;
+  identity.order = iota_ids(static_cast<int>(events.size()));
+
+  for (auto _ : state) {
+    town.reset();
+    for (const int id : identity.order) {
+      benchmark::DoNotOptimize(proxy.invoke(events[static_cast<size_t>(id)]));
+    }
+  }
+}
+BENCHMARK(BM_ReplayTownInterleaving);
+
+}  // namespace
+
+BENCHMARK_MAIN();

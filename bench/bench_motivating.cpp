@@ -1,0 +1,101 @@
+// Reproduces the motivating-example numbers of §2.3/§3.1:
+//
+//   7 paper-level events  -> 5040 raw interleavings
+//   Event Grouping        ->   24 (4 units)
+//   Replica-Specific      ->   19 (paper-conservative merge of the
+//                                  "transmit first" class), or 17 with the
+//                                  full dependency-closure merge
+//
+// and then replays the surviving interleavings against the town-reporting
+// app, checking the invariant "only the pothole is transmitted".
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "subjects/town.hpp"
+
+using namespace erpi;
+
+namespace {
+
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+// The paper's seven events. Our sync is two middleware events (send +
+// execute), so each paper-level sync(ev) is declared as a developer group
+// together with its update — giving exactly the paper's four units.
+void workload(proxy::RdlProxy& p) {
+  p.update(A, "report", problem("otb"));   // e0  ev_I: overturned trash bin
+  p.sync_req(A, B);                        // e1  sync(ev_I)
+  p.exec_sync(A, B);                       // e2
+  p.update(B, "report", problem("ph"));    // e3  ev_II: pothole
+  p.sync_req(B, A);                        // e4  sync(ev_II)
+  p.exec_sync(B, A);                       // e5
+  p.update(B, "resolve", problem("otb"));  // e6  ev_III: trash bin fixed
+  p.sync_req(B, A);                        // e7  sync(ev_III)
+  p.exec_sync(B, A);                       // e8
+  p.query(A, "transmit", util::Json::object(), "to-municipality");  // e9  ev_IV
+}
+
+core::Session::Config base_config(bool conservative) {
+  core::Session::Config config;
+  config.mode = core::ExplorationMode::ErPi;
+  config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+  config.spec_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  core::ReplicaSpecificPruner::Options rs;
+  rs.replica = A;
+  rs.observation_event = 9;
+  rs.conservative = conservative;
+  config.replica_specific = rs;
+  config.replay.max_interleavings = 100'000;
+  config.replay.stop_on_violation = false;  // exhaustive sweep
+  return config;
+}
+
+uint64_t run(bool conservative, uint64_t* violations) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  core::Session session(proxy, base_config(conservative));
+  session.start();
+  workload(proxy);
+  util::Json expected = util::Json::array();
+  expected.push_back("ph");
+  const auto report = session.end({core::query_result_equals(9, expected)});
+  if (violations != nullptr) *violations = report.violations;
+  return report.explored;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Motivating example (paper §2.3 / §3.1) ===\n\n");
+  std::printf("paper-level events: 7 -> raw interleavings 7! = %" PRIu64 "\n",
+              core::factorial_saturated(7));
+  std::printf("after Event Grouping: 4 units -> 4! = %" PRIu64 " interleavings\n\n",
+              core::factorial_saturated(4));
+
+  uint64_t violations = 0;
+  const uint64_t conservative = run(true, &violations);
+  std::printf("ER-pi (paper-conservative Replica-Specific): %" PRIu64
+              " interleavings replayed (paper: 19)\n",
+              conservative);
+  std::printf("  invariant 'only the pothole is transmitted' violated in %" PRIu64
+              " of them\n",
+              violations);
+
+  const uint64_t closure = run(false, &violations);
+  std::printf("ER-pi (dependency-closure Replica-Specific):  %" PRIu64
+              " interleavings replayed (ablation)\n",
+              closure);
+  std::printf("  invariant violated in %" PRIu64 " of them\n\n", violations);
+
+  std::printf("problem-space reduction vs raw events: %" PRIu64 "x (paper: 265x)\n",
+              core::factorial_saturated(7) / conservative);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: integration-testing a replicated set with ER-pi.
+//
+// The pattern is always the same:
+//   1. wrap your replicated-data library (anything implementing proxy::Rdl)
+//      in an RdlProxy,
+//   2. bracket the workload with Session::start() / Session::end(...),
+//   3. hand end() the invariants to check after every interleaving.
+//
+// ER-pi captures the RDL calls as events, generates the possible
+// interleavings (pruned by its four algorithms), replays each one from a
+// fresh state, and reports the first invariant violation.
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "subjects/crdt_collection.hpp"
+
+using namespace erpi;
+
+namespace {
+util::Json arg(const char* key, util::Json value) {
+  util::Json j = util::Json::object();
+  j[key] = std::move(value);
+  return j;
+}
+}  // namespace
+
+int main() {
+  // Two replicas of a small CRDT library (an OR-Set among other structures).
+  subjects::CrdtCollection library(2);
+  proxy::RdlProxy proxy(library);
+
+  core::Session::Config config;
+  config.replay.max_interleavings = 1000;
+  core::Session session(proxy, config);
+
+  // --- the workload under test -------------------------------------------
+  session.start();
+  proxy.update(0, "set_add", arg("element", "apple"));
+  proxy.update(1, "set_add", arg("element", "banana"));
+  proxy.sync(0, 1);  // replica 0 ships its updates; replica 1 applies them
+  proxy.sync(1, 0);
+  proxy.update(1, "set_remove", arg("element", "apple"));
+  proxy.sync(1, 0);
+  // -------------------------------------------------------------------------
+
+  const auto report = session.end({
+      // replicas that saw the same operations must agree on the set
+      core::converge_if_same_witness({0, 1}, {"seen"}, {"set"}),
+  });
+
+  std::printf("explored %llu interleavings (universe: %llu unit orderings)\n",
+              static_cast<unsigned long long>(report.explored),
+              static_cast<unsigned long long>(session.pruning_report().unit_universe));
+  if (report.reproduced) {
+    std::printf("invariant violated at interleaving #%llu:\n  %s\n",
+                static_cast<unsigned long long>(report.first_violation_index),
+                report.messages.front().c_str());
+  } else {
+    std::printf("no violation found — the OR-Set integration held up under every "
+                "explored interleaving.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The paper's motivating example (§2.3) as a runnable walkthrough: a town
+// issue-reporting app on a replicated OR-Set. Resident A reports an
+// overturned trash bin, Resident B reports a pothole and later removes the
+// (fixed) trash-bin report; Resident A finally transmits the set of open
+// problems to the municipality.
+//
+// The app developer assumed eventual consistency makes coordination before
+// transmission unnecessary — ER-pi finds the interleavings in which the
+// municipality receives stale data.
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "subjects/town.hpp"
+
+using namespace erpi;
+
+namespace {
+constexpr net::ReplicaId kResidentA = 0;
+constexpr net::ReplicaId kResidentB = 1;
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+}  // namespace
+
+int main() {
+  subjects::TownApp app(2);
+  proxy::RdlProxy proxy(app);
+
+  core::Session::Config config;
+  // reproduce the paper's exhaustive counting exactly: deterministic sweep,
+  // sync events grouped with their updates, replica-specific pruning around
+  // the transmission (§3.1)
+  config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+  config.spec_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  core::ReplicaSpecificPruner::Options rs;
+  rs.replica = kResidentA;
+  rs.observation_event = 9;  // the transmission
+  rs.conservative = true;    // the paper's merge (24 -> 19)
+  config.replica_specific = rs;
+  config.replay.max_interleavings = 10'000;
+  config.replay.stop_on_violation = false;  // find every bad interleaving
+
+  core::Session session(proxy, config);
+  session.start();
+  proxy.update(kResidentA, "report", problem("otb"), "overturned trash bin");  // ev_I
+  proxy.sync_req(kResidentA, kResidentB);                                      // sync(ev_I)
+  proxy.exec_sync(kResidentA, kResidentB);
+  proxy.update(kResidentB, "report", problem("ph"), "pothole");                // ev_II
+  proxy.sync_req(kResidentB, kResidentA);                                      // sync(ev_II)
+  proxy.exec_sync(kResidentB, kResidentA);
+  proxy.update(kResidentB, "resolve", problem("otb"), "trash bin fixed");      // ev_III
+  proxy.sync_req(kResidentB, kResidentA);                                      // sync(ev_III)
+  proxy.exec_sync(kResidentB, kResidentA);
+  proxy.query(kResidentA, "transmit", util::Json::object(), "to municipality");  // ev_IV
+
+  util::Json expected = util::Json::array();
+  expected.push_back("ph");
+  const auto report = session.end({core::query_result_equals(9, expected)});
+  const auto pruning = session.pruning_report();
+
+  std::printf("Town issue-reporting app — exhaustive integration test\n");
+  std::printf("------------------------------------------------------\n");
+  std::printf("captured events:          %llu (paper-level: 7)\n",
+              static_cast<unsigned long long>(pruning.event_count));
+  std::printf("raw interleavings (7!):   5040\n");
+  std::printf("after Event Grouping:     %llu units -> %llu interleavings\n",
+              static_cast<unsigned long long>(pruning.unit_count),
+              static_cast<unsigned long long>(pruning.unit_universe));
+  std::printf("after Replica-Specific:   %llu interleavings replayed (paper: 19)\n\n",
+              static_cast<unsigned long long>(report.explored));
+
+  std::printf("invariant: the municipality receives exactly {pothole}\n");
+  std::printf("violated in %llu of %llu interleavings, first at #%llu\n",
+              static_cast<unsigned long long>(report.violations),
+              static_cast<unsigned long long>(report.explored),
+              static_cast<unsigned long long>(report.first_violation_index));
+  if (!report.messages.empty()) {
+    std::printf("example violation: %s\n", report.messages.front().c_str());
+  }
+  std::printf("\nlesson: eventual consistency does not make coordination before an\n"
+              "observable action (here: transmitting the data) unnecessary.\n");
+  return 0;
+}

@@ -1,0 +1,418 @@
+#include "bugs/misconceptions.hpp"
+
+#include "bugs/scenarios.hpp"
+#include "subjects/crdt_collection.hpp"
+#include "subjects/orbitdb.hpp"
+#include "subjects/replicadb.hpp"
+#include "subjects/roshi.hpp"
+#include "subjects/yorkie.hpp"
+
+namespace erpi::bugs {
+
+namespace {
+
+using detail::jobj;
+
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+
+MisconceptionScenario cell(std::string subject, int id, BugScenario scenario) {
+  MisconceptionScenario out;
+  out.subject = std::move(subject);
+  out.misconception = id;
+  out.scenario = std::move(scenario);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Roshi
+// ---------------------------------------------------------------------------
+
+BugScenario roshi_m1() {
+  BugScenario s;
+  s.name = "Roshi-m1";
+  s.make_subject = [] {
+    // Seed #1: conflict resolution disabled — same-timestamp operations
+    // apply in arrival order, as if the network's delivery order were
+    // trusted to be causal.
+    subjects::Roshi::Flags flags;
+    flags.lww_tiebreak_fixed = false;
+    return std::make_unique<subjects::Roshi>(2, flags);
+  };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "insert", jobj({{"key", "k"}, {"member", "x"}, {"ts", 5.0}}));
+    p.update(B, "delete", jobj({{"key", "k"}, {"member", "x"}, {"ts", 5.0}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{
+        core::consistent_across_interleavings_if_same_witness(B, {"history"}, {}),
+        core::converge_if_same_witness({A, B}, {"history"}, {})};
+  };
+  return s;
+}
+
+BugScenario roshi_m2() {
+  BugScenario s;
+  s.name = "Roshi-m2";
+  s.make_subject = [] {
+    subjects::Roshi::Flags flags;
+    flags.stable_select_order = false;  // Go-map iteration order
+    return std::make_unique<subjects::Roshi>(2, flags);
+  };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "insert", jobj({{"key", "k1"}, {"member", "a"}, {"ts", 1.0}}));
+    p.update(B, "insert", jobj({{"key", "k2"}, {"member", "b"}, {"ts", 2.0}}));
+    p.sync(A, B);
+    p.sync(B, A);
+    p.update(A, "insert", jobj({{"key", "k3"}, {"member", "c"}, {"ts", 3.0}}));
+    p.sync(A, B);
+    p.query(A, "select_all", util::Json::object());  // event 9
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::query_stable_given_witness(9, A, {"history"})};
+  };
+  return s;
+}
+
+BugScenario roshi_m3() {
+  BugScenario s;
+  s.name = "Roshi-m3";
+  s.make_subject = [] { return std::make_unique<subjects::Roshi>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    // item "m" lives in stream k1; both residents concurrently "move" it
+    // (delete + re-insert) to different streams
+    p.update(A, "insert", jobj({{"key", "k1"}, {"member", "m"}, {"ts", 1.0}}));
+    p.sync(A, B);
+    p.update(A, "delete", jobj({{"key", "k1"}, {"member", "m"}, {"ts", 2.0}}));
+    p.update(A, "insert", jobj({{"key", "k2"}, {"member", "m"}, {"ts", 3.0}}));
+    p.update(B, "delete", jobj({{"key", "k1"}, {"member", "m"}, {"ts", 2.5}}));
+    p.update(B, "insert", jobj({{"key", "k3"}, {"member", "m"}, {"ts", 3.5}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::custom("no_cross_stream_duplication",
+                                            [](const core::TestContext& ctx) {
+      for (const net::ReplicaId replica : {A, B}) {
+        const util::Json state = ctx.rdl.replica_state(replica);
+        int live_streams = 0;
+        for (const auto& [key, entry] : state.as_object()) {
+          if (key == "history" || key == "order") continue;
+          const util::Json& adds = entry["adds"];
+          const util::Json& dels = entry["dels"];
+          const bool live = adds.contains("m") &&
+                            (!dels.contains("m") ||
+                             adds["m"].as_double() >= dels["m"].as_double());
+          if (live) ++live_streams;
+        }
+        if (live_streams > 1) {
+          return util::Status::fail("item 'm' duplicated across " +
+                                    std::to_string(live_streams) + " streams at replica " +
+                                    std::to_string(replica));
+        }
+      }
+      return util::Status::ok();
+    })};
+  };
+  return s;
+}
+
+BugScenario roshi_m5() {
+  BugScenario s;
+  s.name = "Roshi-m5";
+  s.make_subject = [] { return std::make_unique<subjects::Roshi>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    // Seed #5: coordination stops after one round; the transmitted state
+    // then depends on the interleaving.
+    p.update(A, "insert", jobj({{"key", "k"}, {"member", "otb"}, {"ts", 1.0}}));
+    p.sync(A, B);
+    p.update(B, "delete", jobj({{"key", "k"}, {"member", "otb"}, {"ts", 2.0}}));
+    p.sync(B, A);
+    p.query(A, "select", jobj({{"key", "k"}}));
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::state_consistent_across_interleavings(A)};
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// OrbitDB
+// ---------------------------------------------------------------------------
+
+BugScenario orbitdb_m1() {
+  BugScenario s;
+  s.name = "OrbitDB-m1";
+  s.make_subject = [] {
+    subjects::OrbitDb::Flags flags;
+    flags.log_flags.identity_tiebreak = false;  // arrival-ordered ties
+    return std::make_unique<subjects::OrbitDb>(2, flags);
+  };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "add", jobj({{"payload", "p"}}));
+    p.update(B, "add", jobj({{"payload", "q"}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{
+        core::converge_if_same_witness({A, B}, {"seen"}, {"log"}),
+        core::consistent_across_interleavings_if_same_witness(A, {"seen"}, {"log"})};
+  };
+  return s;
+}
+
+BugScenario orbitdb_m5() {
+  BugScenario s;
+  s.name = "OrbitDB-m5";
+  s.make_subject = [] { return std::make_unique<subjects::OrbitDb>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "add", jobj({{"payload", "p1"}}));
+    p.update(B, "add", jobj({{"payload", "q1"}}));
+    p.sync_req(A, B);
+    p.exec_sync(A, B);
+    p.update(A, "add", jobj({{"payload", "p2"}}));
+    // coordination stops here: B never ships its state back, and A's p2
+    // never leaves A — B's view now depends on when the one sync ran
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::state_consistent_across_interleavings(B)};
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaDB
+// ---------------------------------------------------------------------------
+
+BugScenario replicadb_m1() {
+  BugScenario s;
+  s.name = "ReplicaDB-m1";
+  s.make_subject = [] {
+    subjects::ReplicaDb::Flags flags;
+    flags.version_resolution = false;  // arrival order decides
+    return std::make_unique<subjects::ReplicaDb>(2, flags);
+  };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "insert_source", jobj({{"id", "r"}, {"value", "va"}, {"ts", 1}}));
+    p.update(B, "insert_source", jobj({{"id", "r"}, {"value", "vb"}, {"ts", 2}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{
+        core::converge_if_same_witness({A, B}, {"history"}, {"source"}),
+        core::consistent_across_interleavings_if_same_witness(A, {"history"}, {"source"})};
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Yorkie
+// ---------------------------------------------------------------------------
+
+BugScenario yorkie_m1() {
+  BugScenario s;
+  s.name = "Yorkie-m1";
+  s.make_subject = [] {
+    subjects::Yorkie::Flags flags;
+    flags.move_after_fixed = false;  // arrival-ordered concurrent moves
+    return std::make_unique<subjects::Yorkie>(2, flags);
+  };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "list_push", jobj({{"key", "l"}, {"value", "a"}}));
+    p.update(A, "list_push", jobj({{"key", "l"}, {"value", "b"}}));
+    p.update(A, "list_push", jobj({{"key", "l"}, {"value", "c"}}));
+    p.sync(A, B);
+    p.update(A, "move_after", jobj({{"key", "l"}, {"from", 0}, {"to", 2}}));
+    p.update(B, "move_after", jobj({{"key", "l"}, {"from", 0}, {"to", 1}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::converge_if_same_witness({A, B}, {"seen"}, {"doc"})};
+  };
+  return s;
+}
+
+BugScenario yorkie_m5() {
+  BugScenario s;
+  s.name = "Yorkie-m5";
+  s.make_subject = [] { return std::make_unique<subjects::Yorkie>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "set", jobj({{"key", "title"}, {"value", "draft-A"}}));
+    p.update(B, "set", jobj({{"key", "title"}, {"value", "draft-B"}}));
+    p.sync_req(A, B);
+    p.exec_sync(A, B);
+    p.update(A, "set", jobj({{"key", "title"}, {"value", "final-A"}}));
+    // no further coordination: B's title depends on the interleaving
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::state_consistent_across_interleavings(B)};
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// CRDTs collection
+// ---------------------------------------------------------------------------
+
+BugScenario crdts_m1() {
+  BugScenario s;
+  s.name = "CRDTs-m1";
+  s.make_subject = [] { return std::make_unique<subjects::CrdtCollection>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    // the naive (resolution-free) list applies updates in arrival order
+    p.update(A, "naive_append", jobj({{"value", "a"}}));
+    p.update(B, "naive_append", jobj({{"value", "b"}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{
+        core::consistent_across_interleavings_if_same_witness(A, {"seen"},
+                                                              {"naive_list"})};
+  };
+  return s;
+}
+
+BugScenario crdts_m2() {
+  BugScenario s;
+  s.name = "CRDTs-m2";
+  s.make_subject = [] { return std::make_unique<subjects::CrdtCollection>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "naive_append", jobj({{"value", "x"}}));
+    p.update(B, "naive_append", jobj({{"value", "y"}}));
+    p.update(A, "naive_append", jobj({{"value", "z"}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::list_order_consistent({A, B}, {"naive_list"})};
+  };
+  return s;
+}
+
+BugScenario crdts_m3() {
+  BugScenario s;
+  s.name = "CRDTs-m3";
+  s.make_subject = [] { return std::make_unique<subjects::CrdtCollection>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "list_insert", jobj({{"index", 0}, {"value", "a"}}));
+    p.update(A, "list_insert", jobj({{"index", 1}, {"value", "b"}}));
+    p.update(A, "list_insert", jobj({{"index", 2}, {"value", "c"}}));
+    p.sync(A, B);
+    // both replicas naive-move "a" (delete + insert) concurrently
+    p.update(A, "list_naive_move", jobj({{"from", 0}, {"to", 2}}));
+    p.update(B, "list_naive_move", jobj({{"from", 0}, {"to", 1}}));
+    p.sync(A, B);
+    p.sync(B, A);
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::no_duplicates({A, B}, {"list"})};
+  };
+  return s;
+}
+
+BugScenario crdts_m4() {
+  BugScenario s;
+  s.name = "CRDTs-m4";
+  s.make_subject = [] {
+    subjects::CrdtCollection::Flags flags;
+    flags.random_todo_ids = false;  // sequential max+1 minting
+    return std::make_unique<subjects::CrdtCollection>(2, flags);
+  };
+  s.workload = [](proxy::RdlProxy& p) {
+    p.update(A, "todo_create", jobj({{"text", "buy milk"}}));
+    p.sync(A, B);
+    p.update(B, "todo_create", jobj({{"text", "walk dog"}}));
+    p.sync(B, A);
+    p.update(A, "todo_create", jobj({{"text", "write tests"}}));
+    p.sync(A, B);
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::custom("todo_ids_do_not_clash",
+                                            [](const core::TestContext& ctx) {
+      // a clash = the same id bound to different texts on different replicas
+      const util::Json sa = ctx.rdl.replica_state(A);
+      const util::Json sb = ctx.rdl.replica_state(B);
+      const util::Json& ta = core::json_at(sa, {"todos"});
+      const util::Json& tb = core::json_at(sb, {"todos"});
+      if (!ta.is_object() || !tb.is_object()) return util::Status::ok();
+      for (const auto& [id, text] : ta.as_object()) {
+        if (tb.contains(id) && !(tb[id] == text)) {
+          return util::Status::fail("to-do id " + id + " clashes: \"" +
+                                    text.as_string() + "\" vs \"" +
+                                    tb[id].as_string() + "\"");
+        }
+      }
+      return util::Status::ok();
+    })};
+  };
+  return s;
+}
+
+BugScenario crdts_m5() {
+  BugScenario s;
+  s.name = "CRDTs-m5";
+  s.make_subject = [] { return std::make_unique<subjects::CrdtCollection>(2); };
+  s.workload = [](proxy::RdlProxy& p) {
+    // the motivating example's shape on the OR-set: report, report, resolve,
+    // and a transmission whose content depends on coordination timing
+    p.update(A, "set_add", jobj({{"element", "otb"}}));
+    p.sync(A, B);
+    p.update(B, "set_add", jobj({{"element", "ph"}}));
+    p.sync(B, A);
+    p.update(B, "set_remove", jobj({{"element", "otb"}}));
+    p.sync(B, A);
+    // A transmits (observed via final state); no further coordination
+  };
+  s.assertions = [] {
+    return core::AssertionList{core::state_consistent_across_interleavings(A)};
+  };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<MisconceptionScenario>& all_misconceptions() {
+  static const std::vector<MisconceptionScenario> cells = [] {
+    std::vector<MisconceptionScenario> out;
+    out.push_back(cell("Roshi", 1, roshi_m1()));
+    out.push_back(cell("Roshi", 2, roshi_m2()));
+    out.push_back(cell("Roshi", 3, roshi_m3()));
+    out.push_back(cell("Roshi", 5, roshi_m5()));
+    out.push_back(cell("OrbitDB", 1, orbitdb_m1()));
+    out.push_back(cell("OrbitDB", 5, orbitdb_m5()));
+    out.push_back(cell("ReplicaDB", 1, replicadb_m1()));
+    out.push_back(cell("Yorkie", 1, yorkie_m1()));
+    out.push_back(cell("Yorkie", 5, yorkie_m5()));
+    out.push_back(cell("CRDTs", 1, crdts_m1()));
+    out.push_back(cell("CRDTs", 2, crdts_m2()));
+    out.push_back(cell("CRDTs", 3, crdts_m3()));
+    out.push_back(cell("CRDTs", 4, crdts_m4()));
+    out.push_back(cell("CRDTs", 5, crdts_m5()));
+    return out;
+  }();
+  return cells;
+}
+
+bool detect_misconception(const MisconceptionScenario& cell, uint64_t max_interleavings) {
+  auto subject = cell.scenario.make_subject();
+  proxy::RdlProxy proxy(*subject);
+  core::Session::Config config;
+  config.mode = core::ExplorationMode::ErPi;
+  config.replay.max_interleavings = max_interleavings;
+  config.replay.stop_on_violation = true;
+  if (cell.scenario.configure) cell.scenario.configure(config);
+
+  core::Session session(proxy, config);
+  session.start();
+  cell.scenario.workload(proxy);
+  const auto report = session.end(cell.scenario.assertions());
+  return report.reproduced;
+}
+
+}  // namespace erpi::bugs

@@ -1,0 +1,38 @@
+// Misconception seeding and detection (paper §6.2, Table 2).
+//
+// Five common misconceptions about RDL integration:
+//   #1 The underlying network ensures causal delivery.
+//   #2 The order of List elements is always consistent.
+//   #3 Moving items in a List doesn't cause duplication.
+//   #4 Sequential IDs are always suitable for creating new to-do items.
+//   #5 Multiple replicas in different regions mathematically resolve to the
+//      same state without coordination.
+//
+// Each (subject, misconception) cell the paper marks as detected is encoded
+// as a seeded scenario: the misconception is planted (per the seeding
+// strategy of §6.2), and ER-pi's exhaustive replay detects it when some
+// interleaving violates the scenario's assertion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hpp"
+
+namespace erpi::bugs {
+
+struct MisconceptionScenario {
+  std::string subject;     // "Roshi", "OrbitDB", "ReplicaDB", "Yorkie", "CRDTs"
+  int misconception = 0;   // 1..5
+  BugScenario scenario;    // seeded workload + detector (Table-1 metadata unused)
+};
+
+/// All detected cells of Table 2, row-major.
+const std::vector<MisconceptionScenario>& all_misconceptions();
+
+/// Run one cell; returns true when the misconception was recognized (some
+/// interleaving violated the detector).
+bool detect_misconception(const MisconceptionScenario& cell,
+                          uint64_t max_interleavings = 10'000);
+
+}  // namespace erpi::bugs

@@ -1,0 +1,60 @@
+#include "bugs/registry.hpp"
+
+#include <stdexcept>
+
+#include "bugs/scenarios.hpp"
+
+namespace erpi::bugs {
+
+const std::vector<BugScenario>& all_bugs() {
+  static const std::vector<BugScenario> bugs = [] {
+    std::vector<BugScenario> out;
+    for (auto&& bug : detail::roshi_bugs()) out.push_back(std::move(bug));
+    for (auto&& bug : detail::orbitdb_bugs()) out.push_back(std::move(bug));
+    for (auto&& bug : detail::replicadb_bugs()) out.push_back(std::move(bug));
+    for (auto&& bug : detail::yorkie_bugs()) out.push_back(std::move(bug));
+    return out;
+  }();
+  return bugs;
+}
+
+const BugScenario& find_bug(const std::string& name) {
+  for (const auto& bug : all_bugs()) {
+    if (bug.name == name) return bug;
+  }
+  throw std::invalid_argument("unknown bug scenario: " + name);
+}
+
+BugRunResult run_bug(const BugScenario& bug, core::ExplorationMode mode,
+                     uint64_t max_interleavings, uint64_t random_seed,
+                     uint64_t resource_budget_bytes, uint64_t dfs_branch_seed) {
+  auto subject = bug.make_subject();
+  proxy::RdlProxy proxy(*subject);
+
+  core::Session::Config config;
+  config.mode = mode;
+  config.replay.max_interleavings = max_interleavings;
+  config.replay.stop_on_violation = true;
+  config.replay.resource_budget_bytes = resource_budget_bytes;
+  config.random_seed = random_seed;
+  config.dfs_branch_seed = dfs_branch_seed;
+  if (bug.configure) bug.configure(config);
+  if (mode != core::ExplorationMode::ErPi) {
+    // Baselines explore the raw n! universe with no pruning (paper §6.3).
+    config.replica_specific.reset();
+    config.independence.clear();
+    config.failed_ops.clear();
+    config.spec_groups.clear();
+  }
+
+  core::Session session(proxy, config);
+  session.start();
+  bug.workload(proxy);
+
+  BugRunResult result;
+  result.report = session.end(bug.assertions());
+  result.pruning = session.pruning_report();
+  return result;
+}
+
+}  // namespace erpi::bugs

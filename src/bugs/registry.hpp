@@ -1,0 +1,59 @@
+// The bug benchmark registry (paper Table 1).
+//
+// Each scenario re-creates one previously reported RDL-integration bug: it
+// instantiates the subject with the historical defect re-seeded behind a
+// flag, drives the workload that captures the scenario's events through the
+// proxy, and supplies the invariant whose violation constitutes "bug
+// reproduced". The #Events column of Table 1 is matched exactly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assertions.hpp"
+#include "core/session.hpp"
+#include "proxy/proxy.hpp"
+
+namespace erpi::bugs {
+
+struct BugScenario {
+  // ---- Table 1 metadata ----
+  std::string name;        // e.g. "Roshi-1"
+  int issue_number = 0;    // upstream issue id
+  int event_count = 0;     // "#Events" column
+  std::string status;      // "closed" / "open"
+  std::string reason;      // "misconception" / "RDL issue" / "misuse" / "-"
+
+  /// Construct the subject with the bug seeded.
+  std::function<std::unique_ptr<proxy::Rdl>()> make_subject;
+  /// Run the workload through the proxy (capturing the scenario's events).
+  std::function<void(proxy::RdlProxy&)> workload;
+  /// Invariants violated exactly when the bug manifests.
+  std::function<core::AssertionList()> assertions;
+  /// Session tweaks ER-pi mode uses for this scenario: explored replica for
+  /// Replica-Specific pruning, plus any independence/failed-ops constraints
+  /// the paper's developer would supply.
+  std::function<void(core::Session::Config&)> configure;
+};
+
+/// All 12 scenarios, in Table 1 order.
+const std::vector<BugScenario>& all_bugs();
+
+/// Lookup by name ("Roshi-1" ... "Yorkie-2"); throws if unknown.
+const BugScenario& find_bug(const std::string& name);
+
+/// Run one scenario end-to-end in the given exploration mode. Returns the
+/// replay report plus the session (for pruning stats) via out-params.
+struct BugRunResult {
+  core::ReplayReport report;
+  core::Session::PruningReport pruning;
+  uint64_t rand_shuffles = 0;  // populated in Rand mode
+};
+BugRunResult run_bug(const BugScenario& bug, core::ExplorationMode mode,
+                     uint64_t max_interleavings = 10'000, uint64_t random_seed = 42,
+                     uint64_t resource_budget_bytes = UINT64_MAX,
+                     uint64_t dfs_branch_seed = 0);
+
+}  // namespace erpi::bugs

@@ -1,0 +1,29 @@
+// Internal helpers shared by the per-subject bug-scenario definitions.
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+
+#include "bugs/registry.hpp"
+
+namespace erpi::bugs::detail {
+
+/// Terse JSON object builder for workload arguments.
+inline util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json out = util::Json::object();
+  for (const auto& [key, value] : kv) out[key] = value;
+  return out;
+}
+
+inline util::Json jarr(std::initializer_list<util::Json> items) {
+  util::Json out = util::Json::array();
+  for (const auto& item : items) out.push_back(item);
+  return out;
+}
+
+std::vector<BugScenario> roshi_bugs();
+std::vector<BugScenario> orbitdb_bugs();
+std::vector<BugScenario> replicadb_bugs();
+std::vector<BugScenario> yorkie_bugs();
+
+}  // namespace erpi::bugs::detail

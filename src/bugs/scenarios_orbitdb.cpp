@@ -1,0 +1,340 @@
+// OrbitDB bug benchmarks (Table 1: OrbitDB-1/#513, -2/#512, -3/#1153,
+// -4/#583, -5/#557).
+#include "subjects/orbitdb.hpp"
+
+#include "bugs/scenarios.hpp"
+
+namespace erpi::bugs::detail {
+
+namespace {
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+
+util::Json heads_mode() { return jobj({{"mode", "heads"}}); }
+util::Json entries_mode() { return jobj({{"mode", "entries"}}); }
+}  // namespace
+
+std::vector<BugScenario> orbitdb_bugs() {
+  std::vector<BugScenario> out;
+
+  // -------------------------------------------------------------------------
+  // OrbitDB-1 (issue #513): "Ordering tie breaker can cause undefined
+  // ordering" — 12 events. Without the identity tie-break, entries appended
+  // concurrently at equal Lamport clocks order by arrival and the replicas'
+  // logs diverge.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "OrbitDB-1";
+    bug.issue_number = 513;
+    bug.event_count = 12;
+    bug.status = "open";
+    bug.reason = "-";
+    bug.make_subject = [] {
+      subjects::OrbitDb::Flags flags;
+      flags.log_flags.identity_tiebreak = false;
+      return std::make_unique<subjects::OrbitDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "add", jobj({{"payload", "p1"}}));  // e0
+      p.sync_req(A, B);                               // e1
+      p.exec_sync(A, B);                              // e2
+      p.update(B, "add", jobj({{"payload", "q1"}}));  // e3
+      p.sync_req(B, A);                               // e4
+      p.exec_sync(B, A);                              // e5
+      p.update(A, "add", jobj({{"payload", "p2"}}));  // e6
+      p.sync_req(A, B);                               // e7
+      p.exec_sync(A, B);                              // e8
+      p.update(B, "add", jobj({{"payload", "q2"}}));  // e9
+      p.sync_req(B, A);                               // e10
+      p.exec_sync(B, A);                              // e11
+    };
+    bug.assertions = [] {
+      return core::AssertionList{
+          core::converge_if_same_witness({A, B}, {"seen"}, {"log"}),
+          core::consistent_across_interleavings_if_same_witness(A, {"seen"}, {"log"}),
+          core::consistent_across_interleavings_if_same_witness(B, {"seen"}, {"log"})};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = A;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // OrbitDB-2 (issue #512): "Lamport clock can be set far into future making
+  // db progress halt" — 8 events. A poisoned far-future clock is rejected by
+  // the receiver's drift validation, wedging replication — but only in
+  // interleavings where the poisoned append slips in front of the sync.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "OrbitDB-2";
+    bug.issue_number = 512;
+    bug.event_count = 8;
+    bug.status = "open";
+    bug.reason = "-";
+    bug.make_subject = [] {
+      subjects::OrbitDb::Flags flags;
+      flags.log_flags.reject_future_clocks = true;
+      flags.log_flags.max_clock_drift = 1000;
+      return std::make_unique<subjects::OrbitDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "add", jobj({{"payload", "x"}}));                                  // e0
+      p.sync_req(A, B);                                                              // e1
+      p.exec_sync(A, B);                                                             // e2
+      p.update(A, "add_with_clock",
+               jobj({{"payload", "poison"}, {"clock", int64_t{1'000'000'000}}}));    // e3
+      p.update(B, "add", jobj({{"payload", "y"}}));                                  // e4
+      p.sync_req(B, A);                                                              // e5
+      p.exec_sync(B, A);                                                             // e6
+      p.query(A, "get", jobj({{"key", "unused"}}));                                  // e7
+    };
+    bug.assertions = [] {
+      return core::AssertionList{core::no_failure_matching("too far ahead")};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = B;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // OrbitDB-3 (issue #1153): "Could not append entry: although write access
+  // is granted" — 15 events. Entries from a newly granted writer are
+  // rejected at replicas that have not yet executed the grant locally.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "OrbitDB-3";
+    bug.issue_number = 1153;
+    bug.event_count = 15;
+    bug.status = "closed";
+    bug.reason = "misuse";
+    bug.make_subject = [] {
+      subjects::OrbitDb::Flags flags;
+      flags.buffer_unauthorized = false;
+      return std::make_unique<subjects::OrbitDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      const std::string idA = subjects::OrbitDb::identity_of(A);
+      const std::string idB = subjects::OrbitDb::identity_of(B);
+      p.update(A, "grant", jobj({{"identity", idA}}));  // e0
+      p.update(B, "grant", jobj({{"identity", idA}}));  // e1
+      p.update(A, "add", jobj({{"payload", "p1"}}));    // e2
+      p.sync_req(A, B);                                 // e3
+      p.exec_sync(A, B);                                // e4
+      p.update(A, "add", jobj({{"payload", "p2"}}));    // e5
+      p.sync_req(A, B);                                 // e6
+      p.exec_sync(A, B);                                // e7
+      p.update(A, "grant", jobj({{"identity", idB}}));  // e8
+      p.update(B, "grant", jobj({{"identity", idB}}));  // e9
+      p.update(B, "add", jobj({{"payload", "q1"}}));    // e10
+      p.sync_req(B, A);                                 // e11
+      p.exec_sync(B, A);                                // e12
+      p.query(A, "verify", util::Json::object());       // e13
+      p.query(B, "verify", util::Json::object());       // e14
+    };
+    bug.assertions = [] {
+      return core::AssertionList{core::custom(
+          "granted_writer_can_append", [](const core::TestContext& ctx) {
+            // the report is about a *replicating* database denying a granted
+            // writer: require A's entries to have reached B
+            const util::Json state = ctx.rdl.replica_state(B);
+            const util::Json& log = core::json_at(state, {"log"});
+            bool has_p1 = false;
+            bool has_p2 = false;
+            if (log.is_array()) {
+              for (const auto& payload : log.as_array()) {
+                if (payload.as_string().find("p1") != std::string::npos) has_p1 = true;
+                if (payload.as_string().find("p2") != std::string::npos) has_p2 = true;
+              }
+            }
+            if (!has_p1 || !has_p2) return util::Status::ok();
+            for (size_t pos = 0; pos < ctx.results.size(); ++pos) {
+              if (ctx.results[pos]) continue;
+              const std::string& message = ctx.results[pos].error().message;
+              if (message.find("write access denied for id1") != std::string::npos) {
+                return util::Status::fail(message);
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = B;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // OrbitDB-4 (issue #583): "Head hash didn't match the contents" — 18
+  // events, three replicas. Head announcements and entry shipment travel as
+  // separate messages on the C -> A hop; when an append at C slips between
+  // the entry snapshot and the head announcement, A ends up holding a head
+  // hash that resolves to nothing. The symptom only counts once the ring
+  // (A -> B -> C) has actually replicated the upstream entries — matching
+  // the reported scenario of an otherwise-healthy database.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "OrbitDB-4";
+    bug.issue_number = 583;
+    bug.event_count = 18;
+    bug.status = "closed";
+    bug.reason = "misconception";
+    bug.make_subject = [] {
+      return std::make_unique<subjects::OrbitDb>(3, subjects::OrbitDb::Flags());
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      constexpr net::ReplicaId C = 2;
+      p.update(A, "add", jobj({{"payload", "x1"}}));  // e0
+      p.sync_req(A, B);                               // e1
+      p.exec_sync(A, B);                              // e2
+      p.update(A, "add", jobj({{"payload", "x2"}}));  // e3
+      p.sync_req(A, B);                               // e4
+      p.exec_sync(A, B);                              // e5
+      p.update(C, "add", jobj({{"payload", "z1"}}));  // e6
+      p.update(C, "add", jobj({{"payload", "z2"}}));  // e7
+      p.update(B, "add", jobj({{"payload", "y1"}}));  // e8
+      p.update(B, "add", jobj({{"payload", "y2"}}));  // e9
+      p.sync_req(B, C);                               // e10  ring: B -> C
+      p.exec_sync(B, C);                              // e11
+      p.sync_req(C, A, heads_mode());                 // e12
+      p.sync_req(C, A, entries_mode());               // e13
+      p.exec_sync(C, A);                              // e14
+      p.exec_sync(C, A);                              // e15
+      p.query(A, "check_head", jobj({{"peer", int64_t{2}}}));  // e16
+      p.query(C, "verify", util::Json::object());     // e17
+    };
+    bug.assertions = [] {
+      return core::AssertionList{core::custom(
+          "head_resolves_on_healthy_db", [](const core::TestContext& ctx) {
+            // The reported failure is a *persistent* mismatch on a database
+            // that had been replicating normally: at the end of the
+            // execution, every head a peer announced to A must resolve to an
+            // entry A actually holds. (A transient miss that later entries
+            // repair is not the bug.)
+            const util::Json state = ctx.rdl.replica_state(A);
+            const util::Json& log = core::json_at(state, {"log"});
+            if (!log.is_array() || log.size() < 5) return util::Status::ok();
+            const util::Json& hashes = core::json_at(state, {"hashes"});
+            const util::Json& announced = core::json_at(state, {"announced"});
+            if (!announced.is_object()) return util::Status::ok();
+            for (const auto& [peer, heads] : announced.as_object()) {
+              for (const auto& head : heads.as_array()) {
+                bool found = false;
+                for (const auto& hash : hashes.as_array()) {
+                  if (hash == head) {
+                    found = true;
+                    break;
+                  }
+                }
+                if (!found) {
+                  return util::Status::fail(
+                      "head hash " + head.as_string().substr(0, 8) +
+                      " announced by replica " + peer +
+                      " didn't match the contents (entry missing)");
+                }
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = A;
+      rs.observation_event = 14;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // OrbitDB-5 (issue #557): "repo folder keeps getting locked" — 24 events.
+  // Replication that repeatedly delivers fresh entries while the db is open
+  // makes the close path leak the repo lock; a later open then fails on the
+  // stale lock file. Counting only fully synchronized executions mirrors
+  // the reports (databases that replicated normally yet stayed locked).
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "OrbitDB-5";
+    bug.issue_number = 557;
+    bug.event_count = 24;
+    bug.status = "closed";
+    bug.reason = "misconception";
+    bug.make_subject = [] {
+      subjects::OrbitDb::Flags flags;
+      flags.release_lock_on_sync_fixed = false;
+      return std::make_unique<subjects::OrbitDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "add", jobj({{"payload", "a1"}}));  // e0
+      p.update(A, "add", jobj({{"payload", "a2"}}));  // e1
+      p.update(A, "add", jobj({{"payload", "a3"}}));  // e2
+      p.sync_req(A, B);                               // e3
+      p.exec_sync(A, B);                              // e4
+      p.update(B, "add", jobj({{"payload", "b1"}}));  // e5
+      p.sync_req(A, B);                               // e6   (no fresh news)
+      p.exec_sync(A, B);                              // e7
+      p.update(B, "open", util::Json::object());      // e8
+      p.update(B, "add", jobj({{"payload", "b2"}}));  // e9
+      p.update(B, "close", util::Json::object());     // e10
+      p.update(A, "add", jobj({{"payload", "a4"}}));  // e11
+      p.sync_req(A, B);                               // e12  (carries a4)
+      p.exec_sync(A, B);                              // e13
+      p.update(B, "add", jobj({{"payload", "b3"}}));  // e14
+      p.update(B, "add", jobj({{"payload", "b4"}}));  // e15
+      p.sync_req(B, A);                               // e16
+      p.exec_sync(B, A);                              // e17
+      p.update(A, "add", jobj({{"payload", "a5"}}));  // e18
+      p.sync_req(A, B);                               // e19
+      p.exec_sync(A, B);                              // e20
+      p.sync_req(B, A);                               // e21
+      p.exec_sync(B, A);                              // e22
+      p.update(B, "open", util::Json::object());      // e23  fails if leaked
+    };
+    bug.assertions = [] {
+      return core::AssertionList{core::custom(
+          "open_succeeds_after_replication", [](const core::TestContext& ctx) {
+            // count the stale-lock symptom only on executions that ended
+            // fully replicated, like the user reports
+            const util::Json sa = ctx.rdl.replica_state(A);
+            const util::Json sb = ctx.rdl.replica_state(B);
+            if (!(core::json_at(sa, {"seen"}) == core::json_at(sb, {"seen"}))) {
+              return util::Status::ok();
+            }
+            for (size_t pos = 0; pos < ctx.results.size(); ++pos) {
+              if (ctx.results[pos]) continue;
+              const std::string& message = ctx.results[pos].error().message;
+              if (message.find("stale lock file") != std::string::npos) {
+                return util::Status::fail(message);
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = B;
+      rs.observation_event = 23;
+      config.replica_specific = rs;
+      // A's initial appends commute w.r.t. the lock-leak detector
+      config.independence.push_back({{0, 1, 2}, {}});
+      config.independence.push_back({{14, 15}, {}});
+    };
+    out.push_back(std::move(bug));
+  }
+
+  return out;
+}
+
+}  // namespace erpi::bugs::detail

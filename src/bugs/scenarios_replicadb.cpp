@@ -1,0 +1,156 @@
+// ReplicaDB bug benchmarks (Table 1: ReplicaDB-1/#79, ReplicaDB-2/#23).
+#include "subjects/replicadb.hpp"
+
+#include "bugs/scenarios.hpp"
+
+namespace erpi::bugs::detail {
+
+namespace {
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+}  // namespace
+
+std::vector<BugScenario> replicadb_bugs() {
+  std::vector<BugScenario> out;
+
+  // -------------------------------------------------------------------------
+  // ReplicaDB-1 (issue #79): "Out of memory error" — 10 events. The buggy
+  // transfer buffers the whole result set; when enough inserts interleave in
+  // front of the transfer, it blows the memory budget.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "ReplicaDB-1";
+    bug.issue_number = 79;
+    bug.event_count = 10;
+    bug.status = "closed";
+    bug.reason = "misuse";
+    bug.make_subject = [] {
+      subjects::ReplicaDb::Flags flags;
+      flags.streaming_fetch_fixed = false;
+      flags.memory_budget_rows = 4;
+      return std::make_unique<subjects::ReplicaDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      const auto ins = [&](net::ReplicaId r, const char* id, int64_t ts) {
+        p.update(r, "insert_source", jobj({{"id", id}, {"value", id}, {"ts", ts}}));
+      };
+      ins(A, "r1", 1);                                                   // e0
+      ins(A, "r2", 2);                                                   // e1
+      ins(A, "r3", 3);                                                   // e2
+      p.update(A, "transfer", jobj({{"mode", "complete"}}));             // e3
+      ins(A, "r4", 4);                                                   // e4
+      ins(A, "r5", 5);                                                   // e5
+      p.sync_req(A, B);                                                  // e6
+      p.exec_sync(A, B);                                                 // e7
+      p.query(A, "sink_count", util::Json::object());                    // e8
+      ins(A, "r6", 6);                                                   // e9
+    };
+    bug.assertions = [] {
+      return core::AssertionList{core::custom(
+          "transfer_within_memory", [](const core::TestContext& ctx) {
+            // the reported OOM happened on a normally replicating deployment:
+            // only count executions where B received A's source rows
+            const util::Json sa = ctx.rdl.replica_state(A);
+            const util::Json sb = ctx.rdl.replica_state(B);
+            if (!(core::json_at(sa, {"seen"}) == core::json_at(sb, {"seen"}))) {
+              return util::Status::ok();
+            }
+            for (size_t pos = 0; pos < ctx.results.size(); ++pos) {
+              if (ctx.results[pos]) continue;
+              const std::string& message = ctx.results[pos].error().message;
+              if (message.find("OutOfMemoryError") != std::string::npos) {
+                return util::Status::fail(message);
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = A;
+      rs.observation_event = 8;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // ReplicaDB-2 (issue #23): "deleted records aren't getting deleted from
+  // the sink tables" — 14 events. The buggy incremental transfer skips
+  // tombstones; a delete that slips in front of a later incremental transfer
+  // leaves the deleted row in the sink forever.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "ReplicaDB-2";
+    bug.issue_number = 23;
+    bug.event_count = 14;
+    bug.status = "closed";
+    bug.reason = "misconception";
+    bug.make_subject = [] {
+      subjects::ReplicaDb::Flags flags;
+      flags.incremental_deletes_fixed = false;
+      return std::make_unique<subjects::ReplicaDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      const auto ins = [&](net::ReplicaId r, const char* id, int64_t ts) {
+        p.update(r, "insert_source", jobj({{"id", id}, {"value", id}, {"ts", ts}}));
+      };
+      ins(A, "r1", 1);                                              // e0
+      ins(A, "r2", 2);                                              // e1
+      p.update(A, "transfer", jobj({{"mode", "incremental"}}));     // e2
+      ins(A, "r3", 3);                                              // e3
+      p.sync_req(A, B);                                             // e4
+      p.exec_sync(A, B);                                            // e5
+      ins(B, "r4", 4);                                              // e6
+      p.update(A, "transfer", jobj({{"mode", "incremental"}}));     // e7
+      p.sync_req(B, A);                                             // e8
+      p.exec_sync(B, A);                                            // e9
+      p.update(A, "transfer", jobj({{"mode", "incremental"}}));     // e10
+      p.update(A, "delete_source", jobj({{"id", "r1"}, {"ts", 9}}));  // e11
+      p.query(A, "sink_count", util::Json::object());               // e12
+      p.query(B, "sink_count", util::Json::object());               // e13
+    };
+    bug.assertions = [] {
+      // A row tombstoned at or below the transferred version must be gone
+      // from the sink.
+      return core::AssertionList{core::custom(
+          "sink_respects_deletes", [](const core::TestContext& ctx) {
+            for (const net::ReplicaId replica : {A, B}) {
+              const util::Json state = ctx.rdl.replica_state(replica);
+              const util::Json& seen = core::json_at(state, {"seen"});
+              const util::Json& sink = core::json_at(state, {"sink"});
+              const util::Json& last = core::json_at(state, {"last_transfer"});
+              if (!seen.is_object() || !sink.is_object() || !last.is_int()) continue;
+              for (const auto& [id, version] : seen.as_object()) {
+                const std::string& v = version.as_string();
+                const auto bar = v.find("|del");
+                if (bar == std::string::npos) continue;  // live row
+                const int64_t deleted_at = std::stoll(v.substr(0, bar));
+                // a tombstone already covered by a transfer must be gone
+                if (deleted_at <= last.as_int() && sink.contains(id)) {
+                  return util::Status::fail("replica " + std::to_string(replica) +
+                                            " sink still holds deleted row " + id +
+                                            " (deleted at v" + std::to_string(deleted_at) +
+                                            ", transferred through v" +
+                                            std::to_string(last.as_int()) + ")");
+                }
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = A;
+      rs.observation_event = 12;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  return out;
+}
+
+}  // namespace erpi::bugs::detail

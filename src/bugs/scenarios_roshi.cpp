@@ -1,0 +1,186 @@
+// Roshi bug benchmarks (Table 1: Roshi-1/#18, Roshi-2/#11, Roshi-3/#40).
+#include "subjects/roshi.hpp"
+
+#include "bugs/scenarios.hpp"
+
+namespace erpi::bugs::detail {
+
+namespace {
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+}  // namespace
+
+std::vector<BugScenario> roshi_bugs() {
+  std::vector<BugScenario> out;
+
+  // -------------------------------------------------------------------------
+  // Roshi-1 (issue #18): "Incorrect deleted field in response" — 9 events.
+  // A reports an issue, B deletes it; if the deletion synchronizes into A
+  // before A's select, the buggy select still reports the member as live.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "Roshi-1";
+    bug.issue_number = 18;
+    bug.event_count = 9;
+    bug.status = "closed";
+    bug.reason = "misconception";
+    bug.make_subject = [] {
+      subjects::Roshi::Flags flags;
+      flags.deleted_field_fixed = false;
+      return std::make_unique<subjects::Roshi>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "insert", jobj({{"key", "issues"}, {"member", "x"}, {"ts", 1.0}}));  // e0
+      p.sync_req(A, B);                                                                // e1
+      p.exec_sync(A, B);                                                               // e2
+      p.update(B, "delete", jobj({{"key", "issues"}, {"member", "x"}, {"ts", 2.0}}));  // e3
+      p.sync_req(B, A);                                                                // e4
+      p.query(A, "select", jobj({{"key", "issues"}}));                                 // e5
+      p.exec_sync(B, A);                                                               // e6
+      p.update(A, "insert", jobj({{"key", "issues"}, {"member", "y"}, {"ts", 3.0}}));  // e7
+      p.sync_req(A, B);                                                                // e8
+    };
+    bug.assertions = [] {
+      return core::AssertionList{core::custom(
+          "select_deleted_field_correct", [](const core::TestContext& ctx) {
+            // If the delete (e6) executed at A before the select (e5), then
+            // the select response must not list "x" as live.
+            const auto exec_pos = ctx.interleaving.position_of(6);
+            const auto sel_pos = ctx.interleaving.position_of(5);
+            if (!exec_pos || !sel_pos || *exec_pos > *sel_pos) return util::Status::ok();
+            const auto& result = ctx.results[*sel_pos];
+            if (!result) return util::Status::ok();  // select itself failed
+            for (const auto& row : result.value().as_array()) {
+              if (row["member"].as_string() == "x" && !row["deleted"].as_bool()) {
+                return util::Status::fail(
+                    "select reported deleted member 'x' as live (deleted=false)");
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = A;
+      rs.observation_event = 5;  // the select
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // Roshi-2 (issue #11): "CRDT semantics violated if same timestamp?" —
+  // 10 events. Equal-timestamp insert/delete resolve by arrival order, so
+  // the same delivered operations can leave a replica in different states
+  // depending on the interleaving.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "Roshi-2";
+    bug.issue_number = 11;
+    bug.event_count = 10;
+    bug.status = "closed";
+    bug.reason = "RDL issue";
+    bug.make_subject = [] {
+      subjects::Roshi::Flags flags;
+      flags.lww_tiebreak_fixed = false;
+      return std::make_unique<subjects::Roshi>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "insert", jobj({{"key", "s"}, {"member", "x"}, {"ts", 5.0}}));  // e0
+      p.sync_req(A, B);                                                           // e1
+      p.exec_sync(A, B);                                                          // e2
+      p.update(B, "delete", jobj({{"key", "s"}, {"member", "x"}, {"ts", 5.0}}));  // e3
+      p.sync_req(B, A);                                                           // e4
+      p.exec_sync(B, A);                                                          // e5
+      p.update(A, "insert", jobj({{"key", "s"}, {"member", "z"}, {"ts", 7.0}}));  // e6
+      p.sync_req(A, B);                                                           // e7
+      p.exec_sync(A, B);                                                          // e8
+      p.query(B, "select", jobj({{"key", "s"}}));                                 // e9
+    };
+    bug.assertions = [] {
+      return core::AssertionList{
+          core::consistent_across_interleavings_if_same_witness(B, {"history"}, {}),
+          core::consistent_across_interleavings_if_same_witness(A, {"history"}, {}),
+          core::converge_if_same_witness({A, B}, {"history"}, {})};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = B;
+      rs.observation_event = 9;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // Roshi-3 (issue #40): "roshi-server golang app select and map order?" —
+  // 21 events, three replicas synchronized in a ring (A -> B -> C -> A).
+  // The buggy select_all assembles its response in a Go-map-like order that
+  // is sensitive to each replica's arrival history: a key first written
+  // locally *after* a remote merge hashes into a different bucket region.
+  // Two replicas holding identical data can therefore report different
+  // stream orders — but only in interleavings where a local insert slips
+  // between two legs of the ring, which additionally requires the whole
+  // ring chain to have functioned (so the data actually matches).
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "Roshi-3";
+    bug.issue_number = 40;
+    bug.event_count = 21;
+    bug.status = "closed";
+    bug.reason = "misconception";
+    bug.make_subject = [] {
+      subjects::Roshi::Flags flags;
+      flags.stable_select_order = false;
+      return std::make_unique<subjects::Roshi>(3, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      constexpr net::ReplicaId C = 2;
+      const auto ins = [&](net::ReplicaId r, const char* key, double ts) {
+        p.update(r, "insert", jobj({{"key", key}, {"member", "v"}, {"ts", ts}}));
+      };
+      ins(A, "a1", 1.0);   // e0
+      ins(A, "a2", 2.0);   // e1
+      ins(A, "a3", 3.0);   // e2
+      ins(A, "a4", 4.0);   // e3
+      ins(A, "a5", 5.0);   // e4
+      ins(B, "b1", 6.0);   // e5
+      ins(B, "b2", 7.0);   // e6
+      ins(B, "b3", 8.0);   // e7
+      ins(B, "b4", 9.0);   // e8
+      ins(C, "c1", 10.0);  // e9
+      ins(C, "c2", 11.0);  // e10
+      ins(C, "c3", 12.0);  // e11
+      ins(C, "c4", 13.0);  // e12
+      p.sync_req(A, B);    // e13  ring: A -> B
+      p.exec_sync(A, B);   // e14
+      p.sync_req(B, C);    // e15  ring: B -> C (carries A's keys too)
+      p.exec_sync(B, C);   // e16
+      p.sync_req(C, A);    // e17  ring: C -> A (carries everyone's keys)
+      p.exec_sync(C, A);   // e18
+      p.query(A, "select_all", util::Json::object());  // e19
+      p.query(C, "select_all", util::Json::object());  // e20
+    };
+    bug.assertions = [] {
+      // When A and C hold the same data (the ring delivered everything),
+      // their ordered reports must match.
+      constexpr net::ReplicaId C = 2;
+      return core::AssertionList{
+          core::converge_if_same_witness({A, C}, {"history"}, {"order"})};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = A;
+      rs.observation_event = 19;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  return out;
+}
+
+}  // namespace erpi::bugs::detail

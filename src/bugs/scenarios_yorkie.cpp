@@ -1,0 +1,183 @@
+// Yorkie bug benchmarks (Table 1: Yorkie-1/#676, Yorkie-2/#663).
+#include "subjects/yorkie.hpp"
+
+#include "bugs/scenarios.hpp"
+
+namespace erpi::bugs::detail {
+
+namespace {
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+}  // namespace
+
+std::vector<BugScenario> yorkie_bugs() {
+  std::vector<BugScenario> out;
+
+  // -------------------------------------------------------------------------
+  // Yorkie-1 (issue #676): "Document doesn't converge when using
+  // Array.MoveAfter" — 17 events. Concurrent MoveAfter ops on the same
+  // element resolve by arrival order instead of LWW, so the replicas' lists
+  // end up in different orders despite having applied the same operations.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "Yorkie-1";
+    bug.issue_number = 676;
+    bug.event_count = 17;
+    bug.status = "open";
+    bug.reason = "-";
+    bug.make_subject = [] {
+      subjects::Yorkie::Flags flags;
+      flags.move_after_fixed = false;
+      return std::make_unique<subjects::Yorkie>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      const auto push = [&](net::ReplicaId r, const char* v) {
+        p.update(r, "list_push", jobj({{"key", "items"}, {"value", v}}));
+      };
+      push(A, "a");       // e0
+      push(A, "b");       // e1
+      push(A, "c");       // e2
+      push(A, "d");       // e3
+      p.sync_req(A, B);   // e4
+      p.exec_sync(A, B);  // e5
+      push(A, "e");       // e6
+      p.sync_req(A, B);   // e7
+      p.exec_sync(A, B);  // e8
+      p.query(A, "snapshot", util::Json::object());  // e9
+      p.update(A, "move_after",
+               jobj({{"key", "items"}, {"from", 0}, {"to", 2}}));  // e10
+      p.sync_req(A, B);                                            // e11
+      p.exec_sync(A, B);                                           // e12
+      p.update(B, "move_after",
+               jobj({{"key", "items"}, {"from", 0}, {"to", 3}}));  // e13
+      p.sync_req(B, A);                                            // e14
+      p.exec_sync(B, A);                                           // e15
+      p.query(B, "snapshot", util::Json::object());                // e16
+    };
+    bug.assertions = [] {
+      return core::AssertionList{
+          core::converge_if_same_witness({A, B}, {"seen"}, {"doc"}),
+          core::consistent_across_interleavings_if_same_witness(B, {"seen"}, {"doc"})};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = B;
+      rs.observation_event = 16;
+      config.replica_specific = rs;
+    };
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // Yorkie-2 (issue #663): "Modify the set operation to handle nested object
+  // values" — 22 events. A remote Set whose value is an object *merges* into
+  // an existing object instead of replacing it; a read that lands inside the
+  // window between the merge and the next overwrite observes a document
+  // state that no correct LWW execution could produce (keys from both
+  // writers combined).
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "Yorkie-2";
+    bug.issue_number = 663;
+    bug.event_count = 22;
+    bug.status = "closed";
+    bug.reason = "misconception";
+    bug.make_subject = [] {
+      subjects::Yorkie::Flags flags;
+      flags.nested_set_fixed = false;
+      return std::make_unique<subjects::Yorkie>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      util::Json objY = util::Json::object();
+      objY["y"] = 2;
+      util::Json objX = util::Json::object();
+      objX["x"] = 1;
+      const auto noise = [&](net::ReplicaId r, const char* key, int v) {
+        p.update(r, "set", jobj({{"key", key}, {"value", v}}));
+      };
+      p.update(B, "set", jobj({{"key", "k"}, {"value", objY}}));       // e0
+      p.sync_req(B, A);                                                // e1
+      p.exec_sync(B, A);                                               // e2
+      p.update(A, "set", jobj({{"key", "other"}, {"value", "pad"}}));  // e3
+      p.update(A, "set", jobj({{"key", "k"}, {"value", objX}}));       // e4
+      noise(B, "n1", 1);                                               // e5
+      noise(B, "n2", 2);                                               // e6
+      noise(B, "n3", 3);                                               // e7
+      noise(A, "n4", 4);                                               // e8
+      noise(A, "n5", 5);                                               // e9
+      noise(B, "n6", 6);                                               // e10
+      noise(A, "n7", 7);                                               // e11
+      noise(B, "n8", 8);                                               // e12
+      p.sync_req(A, B);                                                // e13
+      p.exec_sync(A, B);  // e14: B merges {x:1} into {y:2} (the bug)
+      // the app settles "k" through a short sequence of rewrites; a read
+      // only observes the merge if it lands before all of them
+      p.update(B, "set", jobj({{"key", "k"}, {"value", "settle1"}}));  // e15
+      p.update(B, "set", jobj({{"key", "k"}, {"value", "settle2"}}));  // e16
+      p.update(B, "set", jobj({{"key", "k"}, {"value", "settled"}}));  // e17
+      p.sync_req(B, A);                                                // e18
+      p.exec_sync(B, A);                                               // e19
+      p.query(A, "get", jobj({{"key", "k"}}));                         // e20
+      p.query(B, "get", jobj({{"key", "k"}}));                         // e21
+    };
+    bug.assertions = [] {
+      // The reported symptom: a fully synchronized document in which a read
+      // observed a "k" combining both writers' keys — a state no correct
+      // LWW-replace execution can produce.
+      return core::AssertionList{core::custom(
+          "nested_set_replaces", [](const core::TestContext& ctx) {
+            // only consider executions that ended fully delivered, like the
+            // user's report (both replicas saw every operation)
+            const util::Json sa = ctx.rdl.replica_state(A);
+            const util::Json sb = ctx.rdl.replica_state(B);
+            if (!(core::json_at(sa, {"seen"}) == core::json_at(sb, {"seen"}))) {
+              return util::Status::ok();
+            }
+            const auto check = [](const util::Json& k,
+                                  const std::string& where) -> util::Status {
+              if (!k.is_object()) return util::Status::ok();
+              if (k.contains("x") && k.contains("y")) {
+                return util::Status::fail("nested Set merged instead of replacing at " +
+                                          where + ": " + k.dump());
+              }
+              return util::Status::ok();
+            };
+            for (const int query_event : {20, 21}) {
+              const auto pos = ctx.interleaving.position_of(query_event);
+              if (!pos || !ctx.results[*pos]) continue;
+              if (auto st = check(ctx.results[*pos].value(),
+                                  "query ev" + std::to_string(query_event));
+                  !st) {
+                return st;
+              }
+            }
+            for (const net::ReplicaId replica : {A, B}) {
+              const util::Json state = ctx.rdl.replica_state(replica);
+              if (auto st = check(core::json_at(state, {"doc", "k"}),
+                                  "replica " + std::to_string(replica));
+                  !st) {
+                return st;
+              }
+            }
+            return util::Status::ok();
+          })};
+    };
+    bug.configure = [](core::Session::Config& config) {
+      core::ReplicaSpecificPruner::Options rs;
+      rs.replica = B;
+      rs.observation_event = 21;
+      config.replica_specific = rs;
+      // the noise writes touch distinct keys and commute
+      config.independence.push_back({{5, 6, 7}, {}});
+      config.independence.push_back({{8, 9}, {}});
+      config.independence.push_back({{10, 11, 12}, {}});
+    };
+    out.push_back(std::move(bug));
+  }
+
+  return out;
+}
+
+}  // namespace erpi::bugs::detail

@@ -1,0 +1,389 @@
+#include "core/assertions.hpp"
+
+#include <set>
+
+namespace erpi::core {
+
+namespace {
+const util::Json kNull{};
+}
+
+const util::Json& json_at(const util::Json& root, const std::vector<std::string>& path) {
+  const util::Json* node = &root;
+  for (const auto& key : path) {
+    if (!node->is_object() || !node->contains(key)) return kNull;
+    node = &(*node)[key];
+  }
+  return *node;
+}
+
+namespace {
+
+class FnAssertion : public Assertion {
+ public:
+  FnAssertion(std::string name, std::function<util::Status(const TestContext&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  util::Status check(const TestContext& ctx) override { return fn_(ctx); }
+
+ private:
+  std::string name_;
+  std::function<util::Status(const TestContext&)> fn_;
+};
+
+class ConvergenceAssertion : public Assertion {
+ public:
+  explicit ConvergenceAssertion(std::vector<net::ReplicaId> replicas)
+      : replicas_(std::move(replicas)) {}
+  std::string name() const override { return "replicas_converge"; }
+  util::Status check(const TestContext& ctx) override {
+    if (replicas_.size() < 2) return util::Status::ok();
+    const util::Json first = ctx.rdl.replica_state(replicas_.front());
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      const util::Json other = ctx.rdl.replica_state(replicas_[i]);
+      if (!(other == first)) {
+        return util::Status::fail(
+            "replica " + std::to_string(replicas_[i]) + " state " + other.dump() +
+            " != replica " + std::to_string(replicas_.front()) + " state " + first.dump());
+      }
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  std::vector<net::ReplicaId> replicas_;
+};
+
+class CrossInterleavingAssertion : public Assertion {
+ public:
+  explicit CrossInterleavingAssertion(net::ReplicaId replica) : replica_(replica) {}
+  std::string name() const override { return "state_consistent_across_interleavings"; }
+  void on_run_start() override { baseline_.reset(); }
+  util::Status check(const TestContext& ctx) override {
+    util::Json state = ctx.rdl.replica_state(replica_);
+    if (!baseline_) {
+      baseline_ = std::move(state);
+      return util::Status::ok();
+    }
+    if (!(state == *baseline_)) {
+      return util::Status::fail("replica " + std::to_string(replica_) +
+                                " state diverges across interleavings: " + state.dump() +
+                                " vs baseline " + baseline_->dump());
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  net::ReplicaId replica_;
+  std::optional<util::Json> baseline_;
+};
+
+class WitnessConvergenceAssertion : public Assertion {
+ public:
+  WitnessConvergenceAssertion(std::vector<net::ReplicaId> replicas,
+                              std::vector<std::string> witness_path,
+                              std::vector<std::string> compare_path)
+      : replicas_(std::move(replicas)),
+        witness_path_(std::move(witness_path)),
+        compare_path_(std::move(compare_path)) {}
+  std::string name() const override { return "converge_if_same_witness"; }
+  util::Status check(const TestContext& ctx) override {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      const util::Json state_i = ctx.rdl.replica_state(replicas_[i]);
+      for (size_t j = i + 1; j < replicas_.size(); ++j) {
+        const util::Json state_j = ctx.rdl.replica_state(replicas_[j]);
+        if (!(json_at(state_i, witness_path_) == json_at(state_j, witness_path_))) {
+          continue;  // different causal histories — nothing to compare
+        }
+        const util::Json& a = json_at(state_i, compare_path_);
+        const util::Json& b = json_at(state_j, compare_path_);
+        if (!(a == b)) {
+          return util::Status::fail(
+              "replicas " + std::to_string(replicas_[i]) + " and " +
+              std::to_string(replicas_[j]) + " saw the same operations but diverge: " +
+              a.dump() + " vs " + b.dump());
+        }
+      }
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  std::vector<net::ReplicaId> replicas_;
+  std::vector<std::string> witness_path_;
+  std::vector<std::string> compare_path_;
+};
+
+class WitnessCrossInterleavingAssertion : public Assertion {
+ public:
+  WitnessCrossInterleavingAssertion(net::ReplicaId replica,
+                                    std::vector<std::string> witness_path,
+                                    std::vector<std::string> compare_path)
+      : replica_(replica),
+        witness_path_(std::move(witness_path)),
+        compare_path_(std::move(compare_path)) {}
+  std::string name() const override {
+    return "consistent_across_interleavings_if_same_witness";
+  }
+  void on_run_start() override { baselines_.clear(); }
+  util::Status check(const TestContext& ctx) override {
+    const util::Json state = ctx.rdl.replica_state(replica_);
+    const std::string witness = json_at(state, witness_path_).dump();
+    const std::string compared = json_at(state, compare_path_).dump();
+    const auto [it, inserted] = baselines_.emplace(witness, compared);
+    if (!inserted && it->second != compared) {
+      return util::Status::fail("replica " + std::to_string(replica_) +
+                                " reached two different states from the same delivered "
+                                "operations across interleavings: " +
+                                compared + " vs " + it->second);
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  net::ReplicaId replica_;
+  std::vector<std::string> witness_path_;
+  std::vector<std::string> compare_path_;
+  std::map<std::string, std::string> baselines_;
+};
+
+class ListOrderAssertion : public Assertion {
+ public:
+  ListOrderAssertion(std::vector<net::ReplicaId> replicas, std::vector<std::string> path)
+      : replicas_(std::move(replicas)), path_(std::move(path)) {}
+  std::string name() const override { return "list_order_consistent"; }
+  util::Status check(const TestContext& ctx) override {
+    if (replicas_.size() < 2) return util::Status::ok();
+    const util::Json first = json_at(ctx.rdl.replica_state(replicas_.front()), path_);
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      const util::Json other = json_at(ctx.rdl.replica_state(replicas_[i]), path_);
+      if (!(other == first)) {
+        return util::Status::fail("list order differs: replica " +
+                                  std::to_string(replicas_.front()) + " has " + first.dump() +
+                                  ", replica " + std::to_string(replicas_[i]) + " has " +
+                                  other.dump());
+      }
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  std::vector<net::ReplicaId> replicas_;
+  std::vector<std::string> path_;
+};
+
+class NoDuplicatesAssertion : public Assertion {
+ public:
+  NoDuplicatesAssertion(std::vector<net::ReplicaId> replicas, std::vector<std::string> path)
+      : replicas_(std::move(replicas)), path_(std::move(path)) {}
+  std::string name() const override { return "no_duplicates"; }
+  util::Status check(const TestContext& ctx) override {
+    for (const auto replica : replicas_) {
+      const util::Json state = ctx.rdl.replica_state(replica);
+      const util::Json& list = json_at(state, path_);
+      if (!list.is_array()) continue;
+      std::set<std::string> seen;
+      for (const auto& item : list.as_array()) {
+        if (!seen.insert(item.dump()).second) {
+          return util::Status::fail("replica " + std::to_string(replica) +
+                                    " has duplicated element " + item.dump() + " in " +
+                                    list.dump());
+        }
+      }
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  std::vector<net::ReplicaId> replicas_;
+  std::vector<std::string> path_;
+};
+
+class UniqueIdsAssertion : public Assertion {
+ public:
+  UniqueIdsAssertion(std::vector<net::ReplicaId> replicas, std::vector<std::string> path)
+      : replicas_(std::move(replicas)), path_(std::move(path)) {}
+  std::string name() const override { return "ids_unique_across_replicas"; }
+  util::Status check(const TestContext& ctx) override {
+    std::map<std::string, net::ReplicaId> owner;
+    for (const auto replica : replicas_) {
+      const util::Json state = ctx.rdl.replica_state(replica);
+      const util::Json& ids = json_at(state, path_);
+      if (!ids.is_array()) continue;
+      for (const auto& id : ids.as_array()) {
+        const auto [it, inserted] = owner.emplace(id.dump(), replica);
+        if (!inserted && it->second != replica) {
+          return util::Status::fail("id " + id.dump() + " minted by both replica " +
+                                    std::to_string(it->second) + " and replica " +
+                                    std::to_string(replica));
+        }
+      }
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  std::vector<net::ReplicaId> replicas_;
+  std::vector<std::string> path_;
+};
+
+class QueryResultAssertion : public Assertion {
+ public:
+  QueryResultAssertion(int query_event, util::Json expected)
+      : query_event_(query_event), expected_(std::move(expected)) {}
+  std::string name() const override { return "query_result_equals"; }
+  util::Status check(const TestContext& ctx) override {
+    const auto pos = ctx.interleaving.position_of(query_event_);
+    if (!pos) return util::Status::fail("query event not present in interleaving");
+    const auto& result = ctx.results[*pos];
+    if (!result) {
+      return util::Status::fail("query failed: " + result.error().message);
+    }
+    if (!(result.value() == expected_)) {
+      return util::Status::fail("query returned " + result.value().dump() + ", expected " +
+                                expected_.dump());
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  int query_event_;
+  util::Json expected_;
+};
+
+class QueryStableAssertion : public Assertion {
+ public:
+  QueryStableAssertion(int query_event, net::ReplicaId replica,
+                       std::vector<std::string> witness_path)
+      : query_event_(query_event), replica_(replica), witness_path_(std::move(witness_path)) {}
+  std::string name() const override { return "query_stable_given_witness"; }
+  void on_run_start() override { baselines_.clear(); }
+  util::Status check(const TestContext& ctx) override {
+    const auto pos = ctx.interleaving.position_of(query_event_);
+    if (!pos) return util::Status::ok();
+    const auto& result = ctx.results[*pos];
+    if (!result || !result.value().is_array()) return util::Status::ok();
+    // Key the baseline on the *content* of the report, order-insensitively:
+    // two interleavings in which the query saw the same data must render it
+    // in the same order. (The content itself captures the replica's
+    // knowledge at query time, so undelivered updates never misfire.)
+    std::vector<std::string> rows;
+    for (const auto& row : result.value().as_array()) rows.push_back(row.dump());
+    std::sort(rows.begin(), rows.end());
+    std::string canonical;
+    for (const auto& row : rows) canonical += row + "\n";
+    const std::string report = result.value().dump();
+    const auto [it, inserted] = baselines_.emplace(canonical, report);
+    if (!inserted && it->second != report) {
+      return util::Status::fail("query rendered the same data in different orders across "
+                                "interleavings: " +
+                                report + " vs " + it->second);
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  int query_event_;
+  net::ReplicaId replica_;
+  std::vector<std::string> witness_path_;
+  std::map<std::string, std::string> baselines_;
+};
+
+class AllOpsSucceedAssertion : public Assertion {
+ public:
+  std::string name() const override { return "all_ops_succeed"; }
+  util::Status check(const TestContext& ctx) override {
+    for (size_t pos = 0; pos < ctx.results.size(); ++pos) {
+      if (!ctx.results[pos]) {
+        const Event& event = ctx.events[static_cast<size_t>(ctx.interleaving.order[pos])];
+        return util::Status::fail("op failed at position " + std::to_string(pos) + " (" +
+                                  event.describe() + "): " + ctx.results[pos].error().message);
+      }
+    }
+    return util::Status::ok();
+  }
+};
+
+class NoFailureMatchingAssertion : public Assertion {
+ public:
+  explicit NoFailureMatchingAssertion(std::string needle) : needle_(std::move(needle)) {}
+  std::string name() const override { return "no_failure_matching(" + needle_ + ")"; }
+  util::Status check(const TestContext& ctx) override {
+    for (size_t pos = 0; pos < ctx.results.size(); ++pos) {
+      if (ctx.results[pos]) continue;
+      const std::string& message = ctx.results[pos].error().message;
+      if (message.find(needle_) != std::string::npos) {
+        const Event& event = ctx.events[static_cast<size_t>(ctx.interleaving.order[pos])];
+        return util::Status::fail("op " + event.describe() + " failed: " + message);
+      }
+    }
+    return util::Status::ok();
+  }
+
+ private:
+  std::string needle_;
+};
+
+}  // namespace
+
+std::shared_ptr<Assertion> no_failure_matching(std::string needle) {
+  return std::make_shared<NoFailureMatchingAssertion>(std::move(needle));
+}
+
+std::shared_ptr<Assertion> replicas_converge(std::vector<net::ReplicaId> replicas) {
+  return std::make_shared<ConvergenceAssertion>(std::move(replicas));
+}
+
+std::shared_ptr<Assertion> state_consistent_across_interleavings(net::ReplicaId replica) {
+  return std::make_shared<CrossInterleavingAssertion>(replica);
+}
+
+std::shared_ptr<Assertion> converge_if_same_witness(std::vector<net::ReplicaId> replicas,
+                                                    std::vector<std::string> witness_path,
+                                                    std::vector<std::string> compare_path) {
+  return std::make_shared<WitnessConvergenceAssertion>(
+      std::move(replicas), std::move(witness_path), std::move(compare_path));
+}
+
+std::shared_ptr<Assertion> consistent_across_interleavings_if_same_witness(
+    net::ReplicaId replica, std::vector<std::string> witness_path,
+    std::vector<std::string> compare_path) {
+  return std::make_shared<WitnessCrossInterleavingAssertion>(
+      replica, std::move(witness_path), std::move(compare_path));
+}
+
+std::shared_ptr<Assertion> list_order_consistent(std::vector<net::ReplicaId> replicas,
+                                                 std::vector<std::string> path) {
+  return std::make_shared<ListOrderAssertion>(std::move(replicas), std::move(path));
+}
+
+std::shared_ptr<Assertion> no_duplicates(std::vector<net::ReplicaId> replicas,
+                                         std::vector<std::string> path) {
+  return std::make_shared<NoDuplicatesAssertion>(std::move(replicas), std::move(path));
+}
+
+std::shared_ptr<Assertion> ids_unique_across_replicas(std::vector<net::ReplicaId> replicas,
+                                                      std::vector<std::string> path) {
+  return std::make_shared<UniqueIdsAssertion>(std::move(replicas), std::move(path));
+}
+
+std::shared_ptr<Assertion> query_result_equals(int query_event, util::Json expected) {
+  return std::make_shared<QueryResultAssertion>(query_event, std::move(expected));
+}
+
+std::shared_ptr<Assertion> query_stable_given_witness(int query_event, net::ReplicaId replica,
+                                                      std::vector<std::string> witness_path) {
+  return std::make_shared<QueryStableAssertion>(query_event, replica,
+                                                std::move(witness_path));
+}
+
+std::shared_ptr<Assertion> all_ops_succeed() {
+  return std::make_shared<AllOpsSucceedAssertion>();
+}
+
+std::shared_ptr<Assertion> custom(std::string name,
+                                  std::function<util::Status(const TestContext&)> fn) {
+  return std::make_shared<FnAssertion>(std::move(name), std::move(fn));
+}
+
+}  // namespace erpi::core

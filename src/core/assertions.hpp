@@ -1,0 +1,124 @@
+// Test-function library (paper §4.4, §6.2).
+//
+// Assertions run after each replayed interleaving. The built-ins encode the
+// five common RDL misconceptions the paper catalogues, plus generic
+// invariants; custom assertions wrap arbitrary callables, mirroring
+// ER-pi.End(assertCustom(...)).
+//
+// Some checks are inherently *cross-interleaving* (misconceptions #1/#5
+// manifest as state divergence between interleavings), so an Assertion is an
+// object with per-run state, reset at the start of every replay run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/interleaving.hpp"
+#include "proxy/rdl.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace erpi::core {
+
+/// Everything an assertion may inspect after one interleaving executed.
+struct TestContext {
+  proxy::Rdl& rdl;
+  const Interleaving& interleaving;
+  const EventSet& events;
+  /// Invocation result per position (failed ops carry their error).
+  const std::vector<util::Result<util::Json>>& results;
+};
+
+class Assertion {
+ public:
+  virtual ~Assertion() = default;
+
+  virtual std::string name() const = 0;
+  /// Called once before a replay run begins.
+  virtual void on_run_start() {}
+  /// Check after one interleaving. A failed Status = invariant violation.
+  virtual util::Status check(const TestContext& ctx) = 0;
+};
+
+using AssertionList = std::vector<std::shared_ptr<Assertion>>;
+
+// ---- helpers --------------------------------------------------------------
+
+/// Walk `path` of object keys into a JSON state snapshot.
+const util::Json& json_at(const util::Json& root, const std::vector<std::string>& path);
+
+// ---- built-in assertion factories -----------------------------------------
+
+/// All replicas expose an identical state snapshot at the end of the
+/// interleaving. (Core convergence check; detects misconceptions #1/#5 when
+/// seeded workloads skip conflict resolution or coordination.)
+std::shared_ptr<Assertion> replicas_converge(std::vector<net::ReplicaId> replicas);
+
+/// A designated replica's final state is identical across every interleaving
+/// of the run (the paper's detector for misconceptions #1 and #5: "the
+/// replica's state diverges from one interleaving to another").
+std::shared_ptr<Assertion> state_consistent_across_interleavings(net::ReplicaId replica);
+
+/// Strong-eventual-consistency check: whenever two replicas expose the same
+/// causal-history *witness* (json path `witness_path`, e.g. the "seen" op-set
+/// each subject publishes), the compared portion of their states (json path
+/// `compare_path`; empty = whole state) must be identical. Unlike the plain
+/// convergence check this never misfires on interleavings that legitimately
+/// leave some updates undelivered.
+std::shared_ptr<Assertion> converge_if_same_witness(std::vector<net::ReplicaId> replicas,
+                                                    std::vector<std::string> witness_path,
+                                                    std::vector<std::string> compare_path);
+
+/// Cross-interleaving variant: a replica that ends two interleavings with the
+/// same witness must end them with the same compared state.
+std::shared_ptr<Assertion> consistent_across_interleavings_if_same_witness(
+    net::ReplicaId replica, std::vector<std::string> witness_path,
+    std::vector<std::string> compare_path);
+
+/// The list under `path` has the same element order on every listed replica
+/// (misconception #2).
+std::shared_ptr<Assertion> list_order_consistent(std::vector<net::ReplicaId> replicas,
+                                                 std::vector<std::string> path);
+
+/// The list under `path` contains no duplicated element on any replica
+/// (misconception #3: moving items must not duplicate them).
+std::shared_ptr<Assertion> no_duplicates(std::vector<net::ReplicaId> replicas,
+                                         std::vector<std::string> path);
+
+/// Values under `path` (an array of ids per replica) never clash across
+/// replicas (misconception #4: sequential IDs collide when minted
+/// concurrently).
+std::shared_ptr<Assertion> ids_unique_across_replicas(std::vector<net::ReplicaId> replicas,
+                                                      std::vector<std::string> path);
+
+/// The result of the query event with id `query_event` equals `expected`.
+/// (The motivating example: "only the pothole issue is transmitted".)
+std::shared_ptr<Assertion> query_result_equals(int query_event, util::Json expected);
+
+/// The result of query event `query_event` must be a pure function of the
+/// queried replica's witness: across interleavings, equal witnesses must
+/// yield byte-identical query results. Detects order-dependent reports such
+/// as Roshi's Go-map-ordered select_all (issue #40).
+std::shared_ptr<Assertion> query_stable_given_witness(int query_event,
+                                                      net::ReplicaId replica,
+                                                      std::vector<std::string> witness_path);
+
+/// Every invocation in the interleaving succeeded (detects wedged appends,
+/// lock failures, access-control rejections — e.g. OrbitDB #512/#557/#1153).
+std::shared_ptr<Assertion> all_ops_succeed();
+
+/// No invocation failed with an error message containing `needle`. Use this
+/// instead of all_ops_succeed when exploring raw-event interleavings, where
+/// structurally impossible orders (an exec_sync before its sync_req) produce
+/// benign "no pending sync request" failures that are not the bug.
+std::shared_ptr<Assertion> no_failure_matching(std::string needle);
+
+/// Wrap an arbitrary predicate.
+std::shared_ptr<Assertion> custom(std::string name,
+                                  std::function<util::Status(const TestContext&)> fn);
+
+}  // namespace erpi::core

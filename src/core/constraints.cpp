@@ -1,0 +1,113 @@
+#include "core/constraints.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace erpi::core {
+
+namespace fs = std::filesystem;
+
+void Constraints::merge(Constraints other) {
+  groups.insert(groups.end(), other.groups.begin(), other.groups.end());
+  independence.insert(independence.end(), other.independence.begin(),
+                      other.independence.end());
+  failed_ops.insert(failed_ops.end(), other.failed_ops.begin(), other.failed_ops.end());
+}
+
+util::Result<Constraints> parse_constraints(const util::Json& doc) {
+  if (!doc.is_object()) return util::Error{"constraints document must be an object"};
+  Constraints out;
+
+  const auto read_int_array = [](const util::Json& arr,
+                                 std::vector<int>& into) -> util::Status {
+    if (!arr.is_array()) return util::Status::fail("expected array of event ids");
+    for (const auto& item : arr.as_array()) {
+      if (!item.is_int()) return util::Status::fail("event ids must be integers");
+      into.push_back(static_cast<int>(item.as_int()));
+    }
+    return util::Status::ok();
+  };
+
+  if (doc.contains("groups")) {
+    if (!doc["groups"].is_array()) return util::Error{"'groups' must be an array"};
+    for (const auto& group : doc["groups"].as_array()) {
+      std::vector<int> members;
+      if (auto st = read_int_array(group, members); !st) return util::Error{st.error()};
+      if (members.size() < 2) return util::Error{"a group needs at least two events"};
+      out.groups.push_back(std::move(members));
+    }
+  }
+  if (doc.contains("independent_events")) {
+    IndependencePruner::Spec spec;
+    if (auto st = read_int_array(doc["independent_events"], spec.independent_events); !st) {
+      return util::Error{st.error()};
+    }
+    if (doc.contains("neutral_events")) {
+      std::vector<int> neutral;
+      if (auto st = read_int_array(doc["neutral_events"], neutral); !st) {
+        return util::Error{st.error()};
+      }
+      spec.neutral_events.insert(neutral.begin(), neutral.end());
+    }
+    if (spec.independent_events.size() >= 2) out.independence.push_back(std::move(spec));
+  }
+  if (doc.contains("failed_ops")) {
+    const auto& fo = doc["failed_ops"];
+    if (!fo.is_object()) return util::Error{"'failed_ops' must be an object"};
+    FailedOpsPruner::Spec spec;
+    if (fo.contains("predecessors")) {
+      if (auto st = read_int_array(fo["predecessors"], spec.predecessor_events); !st) {
+        return util::Error{st.error()};
+      }
+    }
+    if (fo.contains("successors")) {
+      if (auto st = read_int_array(fo["successors"], spec.successor_events); !st) {
+        return util::Error{st.error()};
+      }
+    }
+    if (!spec.predecessor_events.empty() && spec.successor_events.size() >= 2) {
+      out.failed_ops.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+ConstraintWatcher::ConstraintWatcher(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Constraints ConstraintWatcher::poll() {
+  Constraints merged;
+  std::error_code ec;
+  if (directory_.empty() || !fs::is_directory(directory_, ec)) return merged;
+
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+    const std::string key =
+        entry.path().string() + ":" + std::to_string(entry.file_size(ec));
+    if (!consumed_.insert(key).second) continue;
+
+    std::ifstream in(entry.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto doc = util::Json::parse(buffer.str());
+    if (!doc) {
+      ERPI_WARN("constraints") << "skipping malformed " << entry.path().string() << ": "
+                               << doc.error().message;
+      continue;
+    }
+    auto parsed = parse_constraints(doc.value());
+    if (!parsed) {
+      ERPI_WARN("constraints") << "skipping invalid " << entry.path().string() << ": "
+                               << parsed.error().message;
+      continue;
+    }
+    merged.merge(std::move(parsed).take());
+  }
+  return merged;
+}
+
+}  // namespace erpi::core

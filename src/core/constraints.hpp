@@ -1,0 +1,55 @@
+// Runtime-constraint intake (paper §5.2): "ER-pi periodically checks for the
+// presence of JSON files in the constraints directory. If found, ER-pi then
+// consults the files for the new constraints to apply."
+//
+// Constraint file schema (all keys optional):
+// {
+//   "groups":             [[2, 3], [6, 7]],
+//   "independent_events": [4, 5, 9],
+//   "neutral_events":     [1],
+//   "failed_ops":         { "predecessors": [0, 2], "successors": [5, 6] }
+// }
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pruning.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace erpi::core {
+
+struct Constraints {
+  SpecGroups groups;
+  std::vector<IndependencePruner::Spec> independence;
+  std::vector<FailedOpsPruner::Spec> failed_ops;
+
+  bool empty() const {
+    return groups.empty() && independence.empty() && failed_ops.empty();
+  }
+  void merge(Constraints other);
+};
+
+/// Parse one constraints document.
+util::Result<Constraints> parse_constraints(const util::Json& doc);
+
+/// Watches a directory for *.json constraint files; each file is consumed
+/// once (tracked by path + size so an appended file is re-read).
+class ConstraintWatcher {
+ public:
+  explicit ConstraintWatcher(std::string directory);
+
+  /// Scan for unconsumed files; returns the merged new constraints (empty
+  /// Constraints if nothing new). Malformed files are skipped with a log.
+  Constraints poll();
+
+  const std::string& directory() const noexcept { return directory_; }
+
+ private:
+  std::string directory_;
+  std::set<std::string> consumed_;  // "path:size" keys
+};
+
+}  // namespace erpi::core

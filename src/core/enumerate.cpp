@@ -1,0 +1,192 @@
+#include "core/enumerate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace erpi::core {
+
+// ---------------------------------------------------------------------------
+// GroupedEnumerator
+// ---------------------------------------------------------------------------
+
+GroupedEnumerator::GroupedEnumerator(std::vector<EventUnit> units, Order order,
+                                     uint64_t seed)
+    : units_(std::move(units)), emit_order_(order), seed_(seed), rng_(seed) {
+  reset();
+}
+
+void GroupedEnumerator::reset() {
+  order_.resize(units_.size());
+  std::iota(order_.begin(), order_.end(), size_t{0});
+  rng_.reseed(seed_);
+  seen_.clear();
+  exhausted_ = units_.empty();
+  first_ = true;
+  emitted_ = 0;
+}
+
+uint64_t GroupedEnumerator::universe_size() const {
+  return factorial_saturated(units_.size());
+}
+
+std::optional<Interleaving> GroupedEnumerator::next() {
+  if (exhausted_) return std::nullopt;
+  auto result = emit_order_ == Order::Lexicographic ? next_lexicographic() : next_shuffled();
+  if (result) ++emitted_;
+  return result;
+}
+
+std::optional<Interleaving> GroupedEnumerator::next_lexicographic() {
+  if (!first_) {
+    if (!std::next_permutation(order_.begin(), order_.end())) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+  }
+  first_ = false;
+  return flatten(units_, order_);
+}
+
+std::optional<Interleaving> GroupedEnumerator::next_shuffled() {
+  // Emit the identity (captured) order first — the baseline the developer
+  // actually ran — then seeded random permutations with dedup.
+  if (first_) {
+    first_ = false;
+    Interleaving il = flatten(units_, order_);
+    seen_.insert(il.key());
+    return il;
+  }
+  if (seen_.size() >= universe_size()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  const uint64_t dup_limit = 64 * std::max<uint64_t>(1, units_.size());
+  uint64_t duplicates = 0;
+  while (true) {
+    rng_.shuffle(order_);
+    Interleaving il = flatten(units_, order_);
+    if (seen_.insert(il.key()).second) return il;
+    if (++duplicates >= dup_limit) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DfsEnumerator
+// ---------------------------------------------------------------------------
+
+DfsEnumerator::DfsEnumerator(std::vector<int> event_ids, uint64_t branch_seed)
+    : event_ids_(std::move(event_ids)) {
+  if (branch_seed != 0) {
+    util::Rng rng(branch_seed);
+    rng.shuffle(event_ids_);
+  }
+  reset();
+}
+
+void DfsEnumerator::reset() {
+  stack_.clear();
+  path_.clear();
+  used_.assign(event_ids_.size(), false);
+  stack_.push_back(Frame{});  // root
+  exhausted_ = event_ids_.empty();
+  nodes_expanded_ = 0;
+  emitted_ = 0;
+}
+
+uint64_t DfsEnumerator::universe_size() const {
+  return factorial_saturated(event_ids_.size());
+}
+
+std::optional<Interleaving> DfsEnumerator::next() {
+  if (exhausted_) return std::nullopt;
+  const size_t n = event_ids_.size();
+  // Expand depth-first until a leaf (complete permutation) is reached.
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    // find the next unused event to branch into from this node
+    size_t choice = frame.next_choice;
+    while (choice < n && used_[choice]) ++choice;
+    if (choice >= n) {
+      // no more children: backtrack
+      stack_.pop_back();
+      if (!path_.empty()) {
+        // un-choose the event taken to get here
+        const int last = path_.back();
+        path_.pop_back();
+        const auto it = std::find(event_ids_.begin(), event_ids_.end(), last);
+        used_[static_cast<size_t>(it - event_ids_.begin())] = false;
+      }
+      continue;
+    }
+    frame.next_choice = choice + 1;
+    used_[choice] = true;
+    path_.push_back(event_ids_[choice]);
+    ++nodes_expanded_;
+    if (path_.size() == n) {
+      // leaf: emit, then immediately backtrack this choice
+      Interleaving il;
+      il.order = path_;
+      path_.pop_back();
+      used_[choice] = false;
+      ++emitted_;
+      return il;
+    }
+    stack_.push_back(Frame{});
+  }
+  exhausted_ = true;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// RandomEnumerator
+// ---------------------------------------------------------------------------
+
+RandomEnumerator::RandomEnumerator(std::vector<int> event_ids, uint64_t seed)
+    : event_ids_(std::move(event_ids)),
+      seed_(seed),
+      rng_(seed),
+      dup_limit_(64 * std::max<uint64_t>(1, event_ids_.size())) {}
+
+void RandomEnumerator::reset() {
+  rng_.reseed(seed_);
+  seen_.clear();
+  shuffles_ = 0;
+  exhausted_ = event_ids_.empty();
+  emitted_ = 0;
+}
+
+uint64_t RandomEnumerator::universe_size() const {
+  return factorial_saturated(event_ids_.size());
+}
+
+uint64_t RandomEnumerator::cache_bytes() const noexcept {
+  // each cached key is roughly 3 bytes per event id plus set overhead
+  return seen_.size() * (event_ids_.size() * 3 + 48);
+}
+
+std::optional<Interleaving> RandomEnumerator::next() {
+  if (exhausted_ || event_ids_.empty()) return std::nullopt;
+  if (seen_.size() >= universe_size()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  Interleaving il;
+  il.order = event_ids_;
+  uint64_t consecutive_duplicates = 0;
+  while (true) {
+    rng_.shuffle(il.order);
+    ++shuffles_;
+    if (seen_.insert(il.key()).second) break;
+    if (++consecutive_duplicates >= dup_limit_) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+  }
+  ++emitted_;
+  return il;
+}
+
+}  // namespace erpi::core

@@ -1,0 +1,142 @@
+// Interleaving enumerators — the three exploration modes of the paper's
+// evaluation (§6.3):
+//
+//  * GroupedEnumerator — ER-pi's generator: lexicographic permutations of
+//    event *units* (so Event Grouping pruning is already applied at the
+//    source). Downstream pruners filter further (see pruning.hpp).
+//  * DfsEnumerator — the baseline tree search: an explicit DFS over the
+//    permutation tree of raw events ("starts at an empty root node and
+//    recursively explores each event ... by backtracking and expanding").
+//  * RandomEnumerator — the baseline random search: shuffles raw events,
+//    re-shuffling until an unexplored permutation is found; the growing
+//    dedup cache is what makes Rand's per-interleaving cost climb.
+//
+// All enumerators are lazy: next() yields one interleaving at a time, so
+// factorial universes never have to be materialized.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/interleaving.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::core {
+
+class Enumerator {
+ public:
+  virtual ~Enumerator() = default;
+
+  /// The next unexplored interleaving, or nullopt when exhausted.
+  virtual std::optional<Interleaving> next() = 0;
+
+  /// Size of the full universe this enumerator draws from (saturated).
+  virtual uint64_t universe_size() const = 0;
+
+  /// Restart from the beginning.
+  virtual void reset() = 0;
+
+  /// Interleavings handed out so far.
+  uint64_t emitted() const noexcept { return emitted_; }
+
+ protected:
+  uint64_t emitted_ = 0;
+};
+
+/// Permutations of units (ER-pi generation). Two emission orders:
+///  * Lexicographic — deterministic std::next_permutation sweep; used where
+///    exact enumeration order matters (e.g. counting the motivating
+///    example's 19 interleavings).
+///  * Shuffled — seeded random unit permutations with a dedup cache, which
+///    is how the replay engine walks the pruned space in the experiments:
+///    unlike a lexicographic sweep it reaches reorderings of *early* units
+///    long before exhausting the tail. Detects exhaustion exactly (the
+///    cache covers the whole universe) for small unit counts.
+class GroupedEnumerator : public Enumerator {
+ public:
+  enum class Order { Lexicographic, Shuffled };
+
+  explicit GroupedEnumerator(std::vector<EventUnit> units,
+                             Order order = Order::Lexicographic, uint64_t seed = 42);
+
+  std::optional<Interleaving> next() override;
+  uint64_t universe_size() const override;
+  void reset() override;
+
+  const std::vector<EventUnit>& units() const noexcept { return units_; }
+
+ private:
+  std::optional<Interleaving> next_lexicographic();
+  std::optional<Interleaving> next_shuffled();
+
+  std::vector<EventUnit> units_;
+  Order emit_order_;
+  uint64_t seed_;
+  util::Rng rng_;
+  std::vector<size_t> order_;
+  std::unordered_set<std::string> seen_;  // Shuffled mode dedup
+  bool exhausted_ = false;
+  bool first_ = true;
+};
+
+/// Explicit DFS over the permutation tree of raw event ids.
+class DfsEnumerator : public Enumerator {
+ public:
+  /// `branch_seed` shuffles the (otherwise arbitrary) order in which the
+  /// tree's children are tried — 0 keeps ascending id order. Used by the
+  /// Fig. 10 succeed-or-crash experiment to model run-to-run variance.
+  explicit DfsEnumerator(std::vector<int> event_ids, uint64_t branch_seed = 0);
+
+  std::optional<Interleaving> next() override;
+  uint64_t universe_size() const override;
+  void reset() override;
+
+  /// Tree nodes expanded so far (a cost proxy for the baseline's bookkeeping).
+  uint64_t nodes_expanded() const noexcept { return nodes_expanded_; }
+
+ private:
+  struct Frame {
+    size_t next_choice = 0;  // next unused-event index to try at this depth
+  };
+
+  std::vector<int> event_ids_;
+  std::vector<Frame> stack_;
+  std::vector<int> path_;          // chosen event ids, by depth
+  std::vector<bool> used_;
+  bool exhausted_ = false;
+  uint64_t nodes_expanded_ = 0;
+};
+
+/// Random shuffling with a seen-cache ("caching the composed interleavings to
+/// avoid repetition").
+class RandomEnumerator : public Enumerator {
+ public:
+  RandomEnumerator(std::vector<int> event_ids, uint64_t seed = 0xabcd);
+
+  std::optional<Interleaving> next() override;
+  uint64_t universe_size() const override;
+  void reset() override;
+
+  /// Total shuffle attempts, including rejected duplicates — the source of
+  /// Rand's time blow-up in Fig. 8b.
+  uint64_t shuffles() const noexcept { return shuffles_; }
+  /// Approximate bytes held by the dedup cache (Fig. 10 resource accounting).
+  uint64_t cache_bytes() const noexcept;
+
+  /// Give up after this many consecutive duplicate shuffles (treat the
+  /// universe as exhausted). Default: 64 * n.
+  void set_max_consecutive_duplicates(uint64_t limit) noexcept { dup_limit_ = limit; }
+
+ private:
+  std::vector<int> event_ids_;
+  uint64_t seed_;
+  util::Rng rng_;
+  std::unordered_set<std::string> seen_;
+  uint64_t shuffles_ = 0;
+  uint64_t dup_limit_;
+  bool exhausted_ = false;
+};
+
+}  // namespace erpi::core

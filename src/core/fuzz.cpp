@@ -1,0 +1,155 @@
+#include "core/fuzz.hpp"
+
+namespace erpi::core {
+
+namespace {
+util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json out = util::Json::object();
+  for (const auto& [k, v] : kv) out[k] = std::move(const_cast<util::Json&>(v));
+  return out;
+}
+}  // namespace
+
+WorkloadFuzzer::WorkloadFuzzer(std::function<std::unique_ptr<proxy::Rdl>()> make_subject,
+                               std::vector<FuzzOp> schema,
+                               std::function<AssertionList()> make_assertions,
+                               FuzzConfig config)
+    : make_subject_(std::move(make_subject)),
+      schema_(std::move(schema)),
+      make_assertions_(std::move(make_assertions)),
+      config_(std::move(config)) {
+  for (const auto& op : schema_) total_weight_ += op.weight;
+}
+
+const FuzzOp& WorkloadFuzzer::pick(util::Rng& rng) const {
+  double roll = rng.uniform01() * total_weight_;
+  for (const auto& op : schema_) {
+    roll -= op.weight;
+    if (roll <= 0) return op;
+  }
+  return schema_.back();
+}
+
+FuzzReport WorkloadFuzzer::run() {
+  FuzzReport report;
+  for (int index = 0; index < config_.workloads; ++index) {
+    const uint64_t workload_seed = config_.seed + static_cast<uint64_t>(index) * 0x9e37;
+    util::Rng rng(workload_seed);
+    auto subject = make_subject_();
+    const int replicas = subject->replica_count();
+    proxy::RdlProxy proxy(*subject);
+
+    Session::Config session_config = config_.session;
+    session_config.replay.max_interleavings = config_.max_interleavings;
+    session_config.replay.stop_on_violation = true;
+    Session session(proxy, session_config);
+    session.start();
+
+    std::vector<std::string> trace;
+    const int ops = static_cast<int>(
+        rng.range(config_.min_ops, std::max(config_.min_ops, config_.max_ops)));
+    for (int step = 0; step < ops; ++step) {
+      const auto replica = static_cast<net::ReplicaId>(rng.below(replicas));
+      const FuzzOp& op = pick(rng);
+      util::Json args = op.make_args(rng, step);
+      trace.push_back("r" + std::to_string(replica) + ":" + op.op + args.dump());
+      (void)proxy.update(replica, op.op, std::move(args));
+      if (rng.chance(config_.sync_probability) && replicas > 1) {
+        const auto from = static_cast<net::ReplicaId>(rng.below(replicas));
+        auto to = static_cast<net::ReplicaId>(rng.below(replicas));
+        if (to == from) to = static_cast<net::ReplicaId>((to + 1) % replicas);
+        trace.push_back("sync " + std::to_string(from) + "->" + std::to_string(to));
+        (void)proxy.sync(from, to);
+      }
+    }
+    // settle: one final all-pairs round so convergence invariants have a
+    // chance to hold on the captured order
+    for (int from = 0; from < replicas; ++from) {
+      for (int to = 0; to < replicas; ++to) {
+        if (from != to) (void)proxy.sync(from, to);
+      }
+    }
+
+    const auto run_report = session.end(make_assertions_());
+    ++report.workloads_run;
+    report.interleavings_replayed += run_report.explored;
+    if (run_report.reproduced) {
+      FuzzFinding finding;
+      finding.workload_seed = workload_seed;
+      finding.workload_index = index;
+      finding.workload = trace;
+      finding.interleaving = *run_report.first_violation;
+      finding.message =
+          run_report.messages.empty() ? "(no message)" : run_report.messages.front();
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return report;
+}
+
+std::vector<FuzzOp> WorkloadFuzzer::crdt_collection_schema() {
+  std::vector<FuzzOp> schema;
+  const char* elements[] = {"apple", "pear", "plum", "fig"};
+
+  schema.push_back({"set_add",
+                    [elements](util::Rng& rng, int) {
+                      return jobj({{"element", elements[rng.below(4)]}});
+                    },
+                    2.0});
+  schema.push_back({"set_remove",
+                    [elements](util::Rng& rng, int) {
+                      return jobj({{"element", elements[rng.below(4)]}});
+                    },
+                    1.0});
+  schema.push_back({"twopset_add",
+                    [elements](util::Rng& rng, int) {
+                      return jobj({{"element", elements[rng.below(4)]}});
+                    },
+                    1.0});
+  schema.push_back({"twopset_remove",
+                    [elements](util::Rng& rng, int) {
+                      return jobj({{"element", elements[rng.below(4)]}});
+                    },
+                    0.5});
+  schema.push_back({"counter_inc",
+                    [](util::Rng& rng, int) {
+                      return jobj({{"by", static_cast<int64_t>(rng.below(5)) + 1}});
+                    },
+                    1.0});
+  schema.push_back({"counter_dec",
+                    [](util::Rng& rng, int) {
+                      return jobj({{"by", static_cast<int64_t>(rng.below(3)) + 1}});
+                    },
+                    0.5});
+  schema.push_back({"list_insert",
+                    [](util::Rng& rng, int step) {
+                      return jobj({{"index", static_cast<int64_t>(rng.below(3))},
+                                   {"value", "v" + std::to_string(step)}});
+                    },
+                    1.5});
+  schema.push_back({"list_naive_move",
+                    [](util::Rng& rng, int) {
+                      return jobj({{"from", static_cast<int64_t>(rng.below(3))},
+                                   {"to", static_cast<int64_t>(rng.below(3))}});
+                    },
+                    0.75});
+  schema.push_back({"reg_set",
+                    [](util::Rng& rng, int step) {
+                      return jobj({{"value", "r" + std::to_string(step)},
+                                   {"ts", static_cast<int64_t>(rng.below(4)) + 1}});
+                    },
+                    1.0});
+  schema.push_back({"mv_set",
+                    [](util::Rng&, int step) {
+                      return jobj({{"value", "m" + std::to_string(step)}});
+                    },
+                    0.5});
+  schema.push_back({"todo_create",
+                    [](util::Rng&, int step) {
+                      return jobj({{"text", "task " + std::to_string(step)}});
+                    },
+                    1.0});
+  return schema;
+}
+
+}  // namespace erpi::core

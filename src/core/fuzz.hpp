@@ -1,0 +1,83 @@
+// Workload fuzzing (paper §8 future work: "extend the applicability and
+// usefulness of ER-pi for tasks such as resource profiling and fuzzing").
+//
+// Instead of replaying one hand-written workload, the fuzzer synthesizes
+// many random workloads from a per-subject operation schema, runs each one
+// through a full ER-pi session (capture -> group -> prune -> replay), and
+// accumulates every invariant violation together with its minimized
+// reproduction recipe (workload seed + violating interleaving).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::core {
+
+/// One operation template the fuzzer can emit.
+struct FuzzOp {
+  std::string op;                                     // RDL function name
+  /// Build randomized arguments. `rng` is the fuzzer's deterministic stream;
+  /// `step` is the workload position (handy for unique values/timestamps).
+  std::function<util::Json(util::Rng& rng, int step)> make_args;
+  double weight = 1.0;
+};
+
+struct FuzzConfig {
+  int workloads = 25;              // how many random workloads to synthesize
+  int min_ops = 4;                 // update-op count per workload (excl. syncs)
+  int max_ops = 10;
+  double sync_probability = 0.35;  // chance of a sync round after each op
+  uint64_t seed = 0xf002;
+  /// Per-workload exploration budget.
+  uint64_t max_interleavings = 300;
+  /// Session template applied to every workload (mode, pruning, etc.).
+  Session::Config session;
+};
+
+struct FuzzFinding {
+  uint64_t workload_seed = 0;          // reseed the fuzzer to regenerate
+  int workload_index = -1;
+  std::vector<std::string> workload;   // human-readable op trace
+  Interleaving interleaving;           // the violating order
+  std::string message;                 // the failed assertion
+};
+
+struct FuzzReport {
+  int workloads_run = 0;
+  uint64_t interleavings_replayed = 0;
+  std::vector<FuzzFinding> findings;
+
+  bool clean() const noexcept { return findings.empty(); }
+};
+
+class WorkloadFuzzer {
+ public:
+  /// `make_subject` builds a fresh system under test per workload;
+  /// `make_assertions` supplies the invariants to check (rebuilt per
+  /// workload because assertions carry cross-interleaving state).
+  WorkloadFuzzer(std::function<std::unique_ptr<proxy::Rdl>()> make_subject,
+                 std::vector<FuzzOp> schema,
+                 std::function<AssertionList()> make_assertions, FuzzConfig config);
+
+  FuzzReport run();
+
+  /// The op-schema the CrdtCollection subject exercises out of the box —
+  /// sets, counters, lists (CRDT and naive moves), registers, to-dos.
+  static std::vector<FuzzOp> crdt_collection_schema();
+
+ private:
+  const FuzzOp& pick(util::Rng& rng) const;
+
+  std::function<std::unique_ptr<proxy::Rdl>()> make_subject_;
+  std::vector<FuzzOp> schema_;
+  std::function<AssertionList()> make_assertions_;
+  FuzzConfig config_;
+  double total_weight_ = 0;
+};
+
+}  // namespace erpi::core

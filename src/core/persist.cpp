@@ -1,0 +1,128 @@
+#include "core/persist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erpi::core {
+
+namespace {
+constexpr const char* kEventRel = "event";
+constexpr const char* kIlRel = "interleaving";
+constexpr const char* kGroupRel = "group";
+constexpr const char* kPrecedesRel = "precedes";
+}  // namespace
+
+InterleavingStore::InterleavingStore(datalog::Database& db) : db_(&db) {
+  db_->relation(kEventRel, 6);
+  db_->relation(kIlRel, 3);
+  db_->relation(kGroupRel, 2);
+}
+
+void InterleavingStore::persist_events(const EventSet& events) {
+  for (const auto& event : events) {
+    db_->insert_fact(kEventRel,
+                     {datalog::Database::num(event.id),
+                      db_->sym(proxy::event_kind_name(event.kind)),
+                      datalog::Database::num(event.replica),
+                      datalog::Database::num(event.from),
+                      datalog::Database::num(event.to), db_->sym(event.op)});
+  }
+}
+
+void InterleavingStore::persist_units(const std::vector<EventUnit>& units) {
+  for (const auto& unit : units) {
+    for (size_t i = 1; i < unit.events.size(); ++i) {
+      db_->insert_fact(kGroupRel, {datalog::Database::num(unit.leader()),
+                                   datalog::Database::num(unit.events[i])});
+    }
+  }
+}
+
+int64_t InterleavingStore::persist(const Interleaving& il) {
+  const int64_t id = next_il_id_++;
+  for (size_t pos = 0; pos < il.size(); ++pos) {
+    db_->insert_fact(kIlRel,
+                     {datalog::Database::num(id),
+                      datalog::Database::num(static_cast<int64_t>(pos)),
+                      datalog::Database::num(il.order[pos])});
+  }
+  return id;
+}
+
+Interleaving InterleavingStore::load(int64_t il_id) const {
+  const datalog::Relation* rel = db_->find(kIlRel);
+  if (rel == nullptr) throw std::logic_error("no interleaving relation");
+  std::vector<std::pair<int64_t, int>> positions;
+  for (const size_t row :
+       rel->rows_with(0, datalog::Value::integer(il_id))) {
+    const auto& tuple = rel->tuples()[row];
+    positions.emplace_back(tuple[1].payload, static_cast<int>(tuple[2].payload));
+  }
+  std::sort(positions.begin(), positions.end());
+  Interleaving il;
+  il.order.reserve(positions.size());
+  for (const auto& [pos, event] : positions) il.order.push_back(event);
+  return il;
+}
+
+std::vector<Interleaving> InterleavingStore::load_all() const {
+  std::vector<Interleaving> out;
+  out.reserve(static_cast<size_t>(next_il_id_));
+  for (int64_t id = 0; id < next_il_id_; ++id) out.push_back(load(id));
+  return out;
+}
+
+datalog::EvalStats InterleavingStore::derive_precedes() {
+  using namespace datalog;
+  Program program;
+  Rule rule;
+  rule.head = Atom{kPrecedesRel, {Term::var("Il"), Term::var("E1"), Term::var("E2")}};
+  rule.body.push_back(Atom{kIlRel, {Term::var("Il"), Term::var("P1"), Term::var("E1")}});
+  rule.body.push_back(Atom{kIlRel, {Term::var("Il"), Term::var("P2"), Term::var("E2")}});
+  Constraint lt;
+  lt.op = Constraint::Op::Lt;
+  lt.lhs = Term::var("P1");
+  lt.rhs = Term::var("P2");
+  rule.constraints.push_back(lt);
+  program.rules.push_back(std::move(rule));
+  return evaluate(*db_, program);
+}
+
+std::vector<int64_t> InterleavingStore::interleavings_where_not_precedes(int e1, int e2) {
+  using namespace datalog;
+  Program program;
+  Rule rule;
+  rule.head =
+      Atom{"not_precedes", {Term::var("Il"), Term::var("E1"), Term::var("E2")}};
+  rule.body.push_back(Atom{kIlRel, {Term::var("Il"), Term::var("P1"), Term::var("E1")}});
+  rule.body.push_back(Atom{kIlRel, {Term::var("Il"), Term::var("P2"), Term::var("E2")}});
+  rule.negated_body.push_back(
+      Atom{kPrecedesRel, {Term::var("Il"), Term::var("E1"), Term::var("E2")}});
+  program.rules.push_back(std::move(rule));
+  evaluate(*db_, program);
+
+  Atom pattern{"not_precedes",
+               {Term::var("Il"), Term::constant_int(e1), Term::constant_int(e2)}};
+  std::vector<int64_t> out;
+  for (const auto& binding : query(*db_, pattern)) {
+    out.push_back(binding.at("Il").payload);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int64_t> InterleavingStore::interleavings_where_precedes(int e1, int e2) const {
+  using namespace datalog;
+  Atom pattern{kPrecedesRel,
+               {Term::var("Il"), Term::constant_int(e1), Term::constant_int(e2)}};
+  std::vector<int64_t> out;
+  for (const auto& binding : query(*db_, pattern)) {
+    out.push_back(binding.at("Il").payload);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace erpi::core

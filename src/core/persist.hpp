@@ -1,0 +1,58 @@
+// Persistence of events and interleavings into the Datalog store
+// (paper §5.1: "ER-pi initially stores the exhaustive set of interleavings in
+// Datalog's deductive database, using logic queries to perform the applicable
+// pruning").
+//
+// Facts written:
+//   event(Id, Kind, Replica, From, To, Op)
+//   interleaving(IlId, Pos, EventId)
+//   group(Leader, Member)
+// and a derived happens-before relation is installed:
+//   precedes(Il, E1, E2) :- interleaving(Il,P1,E1), interleaving(Il,P2,E2), P1 < P2.
+#pragma once
+
+#include <vector>
+
+#include "core/interleaving.hpp"
+#include "datalog/database.hpp"
+#include "datalog/evaluator.hpp"
+
+namespace erpi::core {
+
+class InterleavingStore {
+ public:
+  explicit InterleavingStore(datalog::Database& db);
+
+  void persist_events(const EventSet& events);
+  void persist_units(const std::vector<EventUnit>& units);
+
+  /// Persist one interleaving; returns its id.
+  int64_t persist(const Interleaving& il);
+
+  uint64_t interleaving_count() const noexcept { return next_il_id_; }
+
+  /// Load a persisted interleaving back (by id).
+  Interleaving load(int64_t il_id) const;
+  std::vector<Interleaving> load_all() const;
+
+  /// Derive the precedes/3 relation for all persisted interleavings.
+  datalog::EvalStats derive_precedes();
+
+  /// Ids of interleavings where event e1 executes before e2 (requires
+  /// derive_precedes). Used by tests to cross-check the native pruners.
+  std::vector<int64_t> interleavings_where_precedes(int e1, int e2) const;
+
+  /// Ids of interleavings where e1 does NOT execute before e2 — derived with
+  /// a stratified-negation rule over precedes/3:
+  ///   not_precedes(Il, E1, E2) :- interleaving(Il, _, E1),
+  ///                               interleaving(Il, _, E2), !precedes(Il, E1, E2).
+  std::vector<int64_t> interleavings_where_not_precedes(int e1, int e2);
+
+  datalog::Database& database() noexcept { return *db_; }
+
+ private:
+  datalog::Database* db_;
+  int64_t next_il_id_ = 0;
+};
+
+}  // namespace erpi::core

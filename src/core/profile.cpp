@@ -1,0 +1,54 @@
+#include "core/profile.hpp"
+
+namespace erpi::core {
+
+void ResourceProfiler::on_run_start() { profiles_.clear(); }
+
+util::Status ResourceProfiler::check(const TestContext& ctx) {
+  InterleavingProfile profile;
+  profile.interleaving = ctx.interleaving;
+  profile.ops_attempted = ctx.results.size();
+  for (const auto& result : ctx.results) {
+    if (!result) ++profile.ops_failed;
+  }
+  if (network_ != nullptr) {
+    const auto stats = network_->stats();
+    profile.messages_sent = stats.sent;
+    profile.messages_delivered = stats.delivered;
+    profile.messages_dropped = stats.dropped;
+  }
+  for (int replica = 0; replica < ctx.rdl.replica_count(); ++replica) {
+    profile.state_bytes += ctx.rdl.replica_state(replica).dump().size();
+  }
+  profiles_.push_back(std::move(profile));
+  return util::Status::ok();
+}
+
+ProfileSummary ResourceProfiler::summary() const {
+  ProfileSummary out;
+  out.interleavings = profiles_.size();
+  if (profiles_.empty()) return out;
+  double state_sum = 0;
+  double message_sum = 0;
+  for (const auto& profile : profiles_) {
+    out.total_ops += profile.ops_attempted;
+    out.total_failed_ops += profile.ops_failed;
+    state_sum += static_cast<double>(profile.state_bytes);
+    message_sum += static_cast<double>(profile.messages_sent);
+    if (profile.state_bytes < out.min_state_bytes) out.min_state_bytes = profile.state_bytes;
+    if (profile.state_bytes > out.max_state_bytes) {
+      out.max_state_bytes = profile.state_bytes;
+      out.heaviest_state = profile;
+    }
+    if (profile.messages_sent < out.min_messages) out.min_messages = profile.messages_sent;
+    if (profile.messages_sent > out.max_messages) {
+      out.max_messages = profile.messages_sent;
+      out.heaviest_traffic = profile;
+    }
+  }
+  out.mean_state_bytes = state_sum / static_cast<double>(profiles_.size());
+  out.mean_messages = message_sum / static_cast<double>(profiles_.size());
+  return out;
+}
+
+}  // namespace erpi::core

@@ -1,0 +1,72 @@
+// Resource profiling across interleavings (paper §8 future work).
+//
+// The profiler rides along a replay run and measures, for every explored
+// interleaving, what the execution *cost*: operations attempted and failed,
+// network messages and payload bytes, and the size of each replica's final
+// state. Aggregates expose which interleavings are resource outliers — e.g.
+// orderings that double sync payloads or balloon tombstone counts — the
+// profiling use-case the paper sketches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/replay.hpp"
+#include "net/network.hpp"
+
+namespace erpi::core {
+
+struct InterleavingProfile {
+  Interleaving interleaving;
+  uint64_t ops_attempted = 0;
+  uint64_t ops_failed = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t state_bytes = 0;  // total serialized replica-state size
+};
+
+struct ProfileSummary {
+  uint64_t interleavings = 0;
+  uint64_t total_ops = 0;
+  uint64_t total_failed_ops = 0;
+
+  uint64_t min_state_bytes = std::numeric_limits<uint64_t>::max();
+  uint64_t max_state_bytes = 0;
+  double mean_state_bytes = 0;
+
+  uint64_t min_messages = std::numeric_limits<uint64_t>::max();
+  uint64_t max_messages = 0;
+  double mean_messages = 0;
+
+  /// Resource outliers: the interleavings with the largest final state and
+  /// the most network traffic.
+  std::optional<InterleavingProfile> heaviest_state;
+  std::optional<InterleavingProfile> heaviest_traffic;
+};
+
+/// An Assertion-shaped observer: never fails, only measures. Attach it to a
+/// replay run's assertion list (it runs after each interleaving, exactly
+/// when the paper's test functions do). Pass the subject's SimNetwork to
+/// include traffic statistics (they are reset with the subject before each
+/// interleaving, so a post-interleaving read is the per-interleaving cost).
+class ResourceProfiler : public Assertion {
+ public:
+  explicit ResourceProfiler(net::SimNetwork* network = nullptr) : network_(network) {}
+
+  std::string name() const override { return "resource_profiler"; }
+  void on_run_start() override;
+  util::Status check(const TestContext& ctx) override;
+
+  const std::vector<InterleavingProfile>& profiles() const noexcept { return profiles_; }
+  ProfileSummary summary() const;
+
+ private:
+  net::SimNetwork* network_;
+  std::vector<InterleavingProfile> profiles_;
+};
+
+}  // namespace erpi::core

@@ -1,0 +1,173 @@
+// ER-pi's four pruning algorithms (paper §3).
+//
+// Each pruner is a *canonicalization*: it maps an interleaving to the
+// representative of its equivalence class (interleavings that provably lead
+// to the same assertion outcomes). The pipeline deduplicates canonical forms,
+// so the first member of each class is replayed and the rest are pruned.
+//
+//  1. Event Grouping (Alg. 1) acts at generation time — the GroupedEnumerator
+//     permutes units instead of events — and is also available as a
+//     canonicalizer (GroupPruner) so the reduction can be measured against
+//     the raw-event universe (Fig. 9).
+//  2. Replica-Specific (Alg. 2, ReplicaSpecificPruner): when a specific
+//     replica is explored, events outside the causal past of that replica's
+//     observation can be permuted freely.
+//  3. Event-Independence (Alg. 3, IndependencePruner): developer-declared
+//     mutually independent events may be reordered when nothing that affects
+//     them interleaves between them.
+//  4. Failed-Ops (Alg. 4, FailedOpsPruner): operations doomed to fail after
+//     certain predecessor operations may be reordered among themselves.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/enumerate.hpp"
+#include "core/interleaving.hpp"
+
+namespace erpi::core {
+
+class Pruner {
+ public:
+  virtual ~Pruner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Rewrite `il` into its class representative. Returns true if changed.
+  virtual bool canonicalize(Interleaving& il) const = 0;
+};
+
+/// Event Grouping as a canonicalizer over the raw-event universe: each
+/// group's followers are moved to sit immediately after their leader.
+class GroupPruner : public Pruner {
+ public:
+  explicit GroupPruner(const std::vector<EventUnit>& units);
+
+  std::string name() const override { return "event_grouping"; }
+  bool canonicalize(Interleaving& il) const override;
+
+ private:
+  std::unordered_map<int, std::vector<int>> followers_;  // leader -> followers
+  std::unordered_set<int> follower_ids_;
+};
+
+/// Replica-Specific pruning (Algorithm 2).
+class ReplicaSpecificPruner : public Pruner {
+ public:
+  struct Options {
+    net::ReplicaId replica = 0;
+    /// Event whose outcome the test observes. -1 = the last captured event
+    /// executing at `replica`.
+    int observation_event = -1;
+    /// Paper-faithful conservative mode: merge a class only when the
+    /// observation event has an empty causal past (it comes first), exactly
+    /// the merge of the paper's §3.1 (24 -> 19 in the motivating example).
+    /// The default dependency-closure mode merges every class whose causal
+    /// past matches and prunes harder.
+    bool conservative = false;
+  };
+
+  ReplicaSpecificPruner(const EventSet& events, Options options);
+
+  std::string name() const override { return "replica_specific"; }
+  bool canonicalize(Interleaving& il) const override;
+
+  /// Positions (into `il`) of the causal past of the observation event —
+  /// exposed for tests and for the Datalog cross-check.
+  std::vector<size_t> impacting_positions(const Interleaving& il) const;
+
+ private:
+  const EventSet* events_;
+  Options options_;
+};
+
+/// Event-Independence pruning (Algorithm 3).
+class IndependencePruner : public Pruner {
+ public:
+  struct Spec {
+    std::vector<int> independent_events;
+    /// Events known not to affect the independent ones; any *other* event
+    /// interleaved between the independent events blocks the merge (this is
+    /// the R(ev, iev) impact check of the pseudo-code).
+    std::set<int> neutral_events;
+  };
+
+  explicit IndependencePruner(Spec spec);
+
+  std::string name() const override { return "event_independence"; }
+  bool canonicalize(Interleaving& il) const override;
+
+ private:
+  Spec spec_;
+  std::set<int> independent_set_;
+};
+
+/// Failed-Ops pruning (Algorithm 4).
+class FailedOpsPruner : public Pruner {
+ public:
+  struct Spec {
+    std::vector<int> predecessor_events;  // ops that succeed and doom the rest
+    std::vector<int> successor_events;    // ops that fail once preceded
+  };
+
+  explicit FailedOpsPruner(Spec spec);
+
+  std::string name() const override { return "failed_ops"; }
+  bool canonicalize(Interleaving& il) const override;
+
+ private:
+  Spec spec_;
+};
+
+/// Ordered pruner chain with canonical-form deduplication and per-algorithm
+/// accounting (Fig. 9 reproduces from these stats).
+class PruningPipeline {
+ public:
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t pruned = 0;
+    /// interleavings pruned with this algorithm contributing (an interleaving
+    /// rewritten by several pruners counts towards each).
+    std::unordered_map<std::string, uint64_t> pruned_by;
+  };
+
+  void add(std::unique_ptr<Pruner> pruner);
+  size_t pruner_count() const noexcept { return pruners_.size(); }
+
+  /// True if `il` is its class representative (first seen); false = prune it.
+  bool admit(const Interleaving& il);
+
+  const Stats& stats() const noexcept { return stats_; }
+  /// Approximate bytes held by the dedup set (Fig. 10 resource accounting).
+  uint64_t cache_bytes() const noexcept;
+  void reset();
+
+ private:
+  std::vector<std::unique_ptr<Pruner>> pruners_;
+  std::unordered_set<std::string> seen_;
+  Stats stats_;
+};
+
+/// Lazy enumerator = inner enumerator + pruning pipeline.
+class PrunedEnumerator : public Enumerator {
+ public:
+  PrunedEnumerator(std::unique_ptr<Enumerator> inner, PruningPipeline pipeline);
+
+  std::optional<Interleaving> next() override;
+  uint64_t universe_size() const override { return inner_->universe_size(); }
+  void reset() override;
+
+  PruningPipeline& pipeline() noexcept { return pipeline_; }
+  Enumerator& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Enumerator> inner_;
+  PruningPipeline pipeline_;
+};
+
+}  // namespace erpi::core

@@ -1,0 +1,162 @@
+#include "core/replay.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "kvstore/lock.hpp"
+#include "util/log.hpp"
+
+namespace erpi::core {
+
+util::Json ReplayReport::to_json() const {
+  util::Json j = util::Json::object();
+  j["explored"] = static_cast<int64_t>(explored);
+  j["violations"] = static_cast<int64_t>(violations);
+  j["reproduced"] = reproduced;
+  j["first_violation_index"] = static_cast<int64_t>(first_violation_index);
+  j["first_violation_assertion"] = first_violation_assertion;
+  if (first_violation) j["first_violation"] = first_violation->key();
+  j["exhausted"] = exhausted;
+  j["hit_cap"] = hit_cap;
+  j["crashed"] = crashed;
+  j["elapsed_seconds"] = elapsed_seconds;
+  util::Json msgs = util::Json::array();
+  for (const auto& message : messages) msgs.push_back(message);
+  j["messages"] = std::move(msgs);
+  return j;
+}
+
+ReplayEngine::ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options)
+    : proxy_(&proxy), options_(std::move(options)) {
+  if (options_.threaded && options_.lock_server == nullptr) {
+    throw std::invalid_argument("threaded replay requires a lock_server");
+  }
+}
+
+void ReplayEngine::execute_fast(const Interleaving& il, const EventSet& events,
+                                std::vector<util::Result<util::Json>>& results) {
+  for (size_t pos = 0; pos < il.size(); ++pos) {
+    const Event& event = events.at(static_cast<size_t>(il.order[pos]));
+    results.emplace_back(proxy_->invoke(event));
+  }
+}
+
+void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& events,
+                                    std::vector<util::Result<util::Json>>& results) {
+  // Pre-size results; each worker writes only its own positions, and the
+  // turn counter guarantees mutual exclusion between writers.
+  results.assign(il.size(), util::Result<util::Json>(util::Json()));
+
+  // Collect the replicas that participate and each one's positions in order.
+  std::map<net::ReplicaId, std::vector<size_t>> positions_by_replica;
+  for (size_t pos = 0; pos < il.size(); ++pos) {
+    const Event& event = events.at(static_cast<size_t>(il.order[pos]));
+    positions_by_replica[event.replica].push_back(pos);
+  }
+
+  kv::Client control(*options_.lock_server);
+  const std::string turn_key = "erpi:turn";
+  control.set(turn_key, "0");
+
+  std::vector<std::thread> workers;
+  workers.reserve(positions_by_replica.size());
+  for (const auto& [replica, positions] : positions_by_replica) {
+    workers.emplace_back([&, replica = replica, positions = positions] {
+      kv::DistributedMutex mutex(*options_.lock_server, "erpi:replay-lock",
+                                 kv::DistributedMutex::Options{},
+                                 0x9e3779b9u ^ static_cast<uint64_t>(replica));
+      kv::Client client(*options_.lock_server);
+      for (const size_t pos : positions) {
+        // Wait for our turn under the distributed lock — the same shared-key
+        // mutex discipline the paper uses across machines.
+        while (true) {
+          if (!mutex.lock()) {
+            ERPI_ERROR("replay") << "lock acquisition timed out (replica " << replica << ")";
+            return;
+          }
+          const auto turn = client.get(turn_key);
+          const bool ours = turn && std::stoull(*turn) == pos;
+          if (ours) {
+            const Event& event = events.at(static_cast<size_t>(il.order[pos]));
+            results[pos] = proxy_->invoke(event);
+            client.set(turn_key, std::to_string(pos + 1));
+            mutex.unlock();
+            break;
+          }
+          mutex.unlock();
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
+                               const AssertionList& assertions) {
+  ReplayReport report;
+  util::Stopwatch watch;
+  explored_log_bytes_ = 0;
+
+  for (const auto& assertion : assertions) assertion->on_run_start();
+
+  while (report.explored < options_.max_interleavings) {
+    // Resource check first — the explored-interleaving log plus any
+    // enumerator/pruner caches must fit the configured budget.
+    uint64_t bytes = explored_log_bytes_;
+    if (options_.extra_cache_bytes) bytes += options_.extra_cache_bytes();
+    if (bytes > options_.resource_budget_bytes) {
+      report.crashed = true;
+      break;
+    }
+
+    const auto il = enumerator.next();
+    if (!il) {
+      report.exhausted = true;
+      break;
+    }
+    ++report.explored;
+    // the tracked log entry: one key string per explored interleaving
+    explored_log_bytes_ += il->order.size() * 3 + 48;
+
+    // Checkpoint/reset: every interleaving starts from the initial state.
+    proxy_->target().reset();
+
+    std::vector<util::Result<util::Json>> results;
+    results.reserve(il->size());
+    if (options_.threaded) {
+      execute_threaded(*il, events, results);
+    } else {
+      execute_fast(*il, events, results);
+    }
+
+    const TestContext ctx{proxy_->target(), *il, events, results};
+    bool violated = false;
+    for (const auto& assertion : assertions) {
+      const auto status = assertion->check(ctx);
+      if (!status.is_ok()) {
+        violated = true;
+        ++report.violations;
+        if (report.messages.size() < 16) {
+          report.messages.push_back(assertion->name() + ": " + status.error().message +
+                                    " [interleaving " + il->key() + "]");
+        }
+        if (!report.reproduced) {
+          report.reproduced = true;
+          report.first_violation_index = report.explored;
+          report.first_violation_assertion = assertion->name();
+          report.first_violation = *il;
+        }
+      }
+    }
+
+    if (options_.on_interleaving_done) options_.on_interleaving_done(report.explored, *il);
+    if (violated && options_.stop_on_violation) break;
+  }
+
+  report.hit_cap = report.explored >= options_.max_interleavings;
+  report.elapsed_seconds = watch.elapsed_seconds();
+  return report;
+}
+
+}  // namespace erpi::core

@@ -1,0 +1,91 @@
+// Replay engine (paper §4.3).
+//
+// Pulls interleavings from an enumerator and, for each one: resets the system
+// under test to its initial state, executes the events in the interleaving's
+// order through the RDL proxy, then runs the configured assertions. Two
+// execution modes:
+//
+//  * fast (default) — events are invoked in order on the calling thread; the
+//    order is trivially enforced. This is what the benchmarks use.
+//  * threaded — one worker thread per replica, with the global event order
+//    enforced through a Redlock-style distributed mutex plus a turn counter
+//    in the mini-Redis server, mirroring the paper's deployment across
+//    machines. Used by tests/examples to validate the lock protocol.
+//
+// The engine also models the paper's resource accounting: like the DMCK
+// "server [that] keeps track of which interleavings have been explored", it
+// records every explored interleaving; when the configured budget is
+// exceeded the run "crashes" (Fig. 10's succeed-or-crash experiment).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/assertions.hpp"
+#include "core/enumerate.hpp"
+#include "kvstore/server.hpp"
+#include "proxy/proxy.hpp"
+#include "util/stopwatch.hpp"
+
+namespace erpi::core {
+
+struct ReplayOptions {
+  /// Stop after this many interleavings (the paper's 10 K experiment cap).
+  uint64_t max_interleavings = 10'000;
+  /// Stop at the first assertion violation (bug reproduced).
+  bool stop_on_violation = true;
+  /// Execute through per-replica worker threads + distributed lock.
+  bool threaded = false;
+  /// KV server hosting the distributed lock (required when threaded).
+  kv::Server* lock_server = nullptr;
+  /// Simulated memory budget in bytes; exceeding it aborts the run with
+  /// crashed=true (Fig. 10). Counts the explored-interleaving log plus any
+  /// extra cache reported by `extra_cache_bytes`.
+  uint64_t resource_budget_bytes = UINT64_MAX;
+  /// Extra memory to charge against the budget (e.g. the Random enumerator's
+  /// dedup cache, the pruning pipeline's canonical-form set).
+  std::function<uint64_t()> extra_cache_bytes;
+  /// Invoked after each interleaving with its 1-based index and the
+  /// interleaving itself (the Session uses this to poll the constraints
+  /// directory and to persist replayed interleavings).
+  std::function<void(uint64_t, const Interleaving&)> on_interleaving_done;
+};
+
+struct ReplayReport {
+  uint64_t explored = 0;
+  uint64_t violations = 0;
+  bool reproduced = false;  // at least one assertion violation observed
+  /// 1-based count of interleavings explored when the first violation fired.
+  uint64_t first_violation_index = 0;
+  std::string first_violation_assertion;
+  std::optional<Interleaving> first_violation;
+  bool exhausted = false;  // enumerator ran dry
+  bool hit_cap = false;    // max_interleavings reached
+  bool crashed = false;    // resource budget exceeded
+  double elapsed_seconds = 0.0;
+  /// First few violation messages, for reports.
+  std::vector<std::string> messages;
+
+  /// Serializable form (EXPERIMENTS tooling, CI artifacts).
+  util::Json to_json() const;
+};
+
+class ReplayEngine {
+ public:
+  ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options);
+
+  ReplayReport run(Enumerator& enumerator, const EventSet& events,
+                   const AssertionList& assertions);
+
+ private:
+  void execute_fast(const Interleaving& il, const EventSet& events,
+                    std::vector<util::Result<util::Json>>& results);
+  void execute_threaded(const Interleaving& il, const EventSet& events,
+                        std::vector<util::Result<util::Json>>& results);
+
+  proxy::RdlProxy* proxy_;
+  ReplayOptions options_;
+  uint64_t explored_log_bytes_ = 0;
+};
+
+}  // namespace erpi::core

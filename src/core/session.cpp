@@ -1,0 +1,138 @@
+#include "core/session.hpp"
+
+#include <numeric>
+
+#include "util/log.hpp"
+
+namespace erpi::core {
+
+const char* exploration_mode_name(ExplorationMode mode) noexcept {
+  switch (mode) {
+    case ExplorationMode::ErPi: return "er-pi";
+    case ExplorationMode::Dfs: return "dfs";
+    case ExplorationMode::Rand: return "rand";
+  }
+  return "?";
+}
+
+Session::Session(proxy::RdlProxy& proxy, Config config)
+    : proxy_(&proxy),
+      config_(std::move(config)),
+      store_(db_),
+      watcher_(config_.constraints_dir) {}
+
+void Session::start() { proxy_->start_capture(); }
+
+PruningPipeline Session::build_pipeline() const {
+  PruningPipeline pipeline;
+  if (config_.replica_specific) {
+    pipeline.add(
+        std::make_unique<ReplicaSpecificPruner>(events_, *config_.replica_specific));
+  }
+  for (const auto& spec : config_.independence) {
+    pipeline.add(std::make_unique<IndependencePruner>(spec));
+  }
+  for (const auto& spec : config_.failed_ops) {
+    pipeline.add(std::make_unique<FailedOpsPruner>(spec));
+  }
+  return pipeline;
+}
+
+std::unique_ptr<Enumerator> Session::make_enumerator() {
+  switch (config_.mode) {
+    case ExplorationMode::ErPi: {
+      auto inner = std::make_unique<GroupedEnumerator>(units_, config_.generation_order,
+                                                       config_.random_seed);
+      auto pruned =
+          std::make_unique<PrunedEnumerator>(std::move(inner), build_pipeline());
+      return pruned;
+    }
+    case ExplorationMode::Dfs: {
+      std::vector<int> ids(events_.size());
+      std::iota(ids.begin(), ids.end(), 0);
+      return std::make_unique<DfsEnumerator>(std::move(ids), config_.dfs_branch_seed);
+    }
+    case ExplorationMode::Rand: {
+      std::vector<int> ids(events_.size());
+      std::iota(ids.begin(), ids.end(), 0);
+      return std::make_unique<RandomEnumerator>(std::move(ids), config_.random_seed);
+    }
+  }
+  return nullptr;
+}
+
+ReplayReport Session::end(const AssertionList& assertions) {
+  events_ = proxy_->end_capture();
+
+  // State 1-2: extract events, apply grouping (plus any groups already
+  // waiting in the constraints directory) and generate interleavings.
+  SpecGroups groups = config_.spec_groups;
+  Constraints initial = watcher_.poll();
+  groups.insert(groups.end(), initial.groups.begin(), initial.groups.end());
+  config_.independence.insert(config_.independence.end(), initial.independence.begin(),
+                              initial.independence.end());
+  config_.failed_ops.insert(config_.failed_ops.end(), initial.failed_ops.begin(),
+                            initial.failed_ops.end());
+  units_ = build_units(events_, groups);
+
+  if (config_.persist) {
+    store_.persist_events(events_);
+    store_.persist_units(units_);
+  }
+
+  auto enumerator = make_enumerator();
+  auto* pruned = dynamic_cast<PrunedEnumerator*>(enumerator.get());
+  active_pruned_ = pruned;
+
+  // State 3-4: replay one by one; between interleavings, poll the
+  // constraints directory and extend the pruning pipeline dynamically.
+  ReplayOptions replay_options = config_.replay;
+  auto user_hook = replay_options.on_interleaving_done;
+  replay_options.on_interleaving_done = [this, pruned, user_hook](uint64_t index,
+                                                                  const Interleaving& il) {
+    if (config_.persist) store_.persist(il);
+    if (pruned != nullptr && !config_.constraints_dir.empty()) {
+      Constraints fresh = watcher_.poll();
+      if (!fresh.empty()) {
+        ERPI_INFO("session") << "applying runtime constraints after interleaving " << index;
+        for (const auto& spec : fresh.independence) {
+          pruned->pipeline().add(std::make_unique<IndependencePruner>(spec));
+        }
+        for (const auto& spec : fresh.failed_ops) {
+          pruned->pipeline().add(std::make_unique<FailedOpsPruner>(spec));
+        }
+      }
+    }
+    if (user_hook) user_hook(index, il);
+  };
+  if (!replay_options.extra_cache_bytes) {
+    if (pruned != nullptr) {
+      replay_options.extra_cache_bytes = [pruned] {
+        return pruned->pipeline().cache_bytes();
+      };
+    } else if (auto* random = dynamic_cast<RandomEnumerator*>(enumerator.get());
+               random != nullptr) {
+      // Rand's dedup cache is its dominant memory cost (Fig. 10).
+      replay_options.extra_cache_bytes = [random] { return random->cache_bytes(); };
+    }
+  }
+
+  ReplayEngine engine(*proxy_, replay_options);
+  ReplayReport report = engine.run(*enumerator, events_, assertions);
+
+  if (pruned != nullptr) last_stats_ = pruned->pipeline().stats();
+  active_pruned_ = nullptr;
+  return report;
+}
+
+Session::PruningReport Session::pruning_report() const {
+  PruningReport out;
+  out.event_count = events_.size();
+  out.unit_count = units_.size();
+  out.event_universe = factorial_saturated(events_.size());
+  out.unit_universe = factorial_saturated(units_.size());
+  out.pipeline = last_stats_;
+  return out;
+}
+
+}  // namespace erpi::core

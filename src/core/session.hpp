@@ -1,0 +1,100 @@
+// The ER-pi developer-facing API (paper §4, §5.2): the higher-order
+// Start()/End() pair that brackets the application-logic segment under test.
+//
+//   erpi::core::Session session(proxy, config);
+//   session.start();
+//   ... application workload calling the RDL through `proxy` ...
+//   auto report = session.end({assertion, ...});
+//
+// end() runs the full workflow of Procedure "Workflow": extract the captured
+// events, build units (Event Grouping + spec groups), generate interleavings
+// in the configured exploration mode, prune (Replica-Specific up front;
+// Event-Independence / Failed-Ops from config and from runtime constraint
+// files), persist to the Datalog store, replay every surviving interleaving,
+// and evaluate the test assertions after each one.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/constraints.hpp"
+#include "core/persist.hpp"
+#include "core/pruning.hpp"
+#include "core/replay.hpp"
+
+namespace erpi::core {
+
+/// Exploration modes of the evaluation (§6.3).
+enum class ExplorationMode { ErPi, Dfs, Rand };
+
+const char* exploration_mode_name(ExplorationMode mode) noexcept;
+
+class Session {
+ public:
+  struct Config {
+    ExplorationMode mode = ExplorationMode::ErPi;
+    /// Enables Replica-Specific pruning for these options (ER-pi mode only).
+    std::optional<ReplicaSpecificPruner::Options> replica_specific;
+    /// Developer-specified event groups (Algorithm 1's spec_group input).
+    SpecGroups spec_groups;
+    /// Statically known independence / failed-ops constraints.
+    std::vector<IndependencePruner::Spec> independence;
+    std::vector<FailedOpsPruner::Spec> failed_ops;
+    /// Directory polled for runtime constraint JSON files ("" = disabled).
+    std::string constraints_dir;
+    ReplayOptions replay;
+    uint64_t random_seed = 42;  // Rand-mode and shuffled-ER-pi seeding
+    /// DFS child-order seed (0 = ascending event ids); see DfsEnumerator.
+    uint64_t dfs_branch_seed = 0;
+    /// ER-pi generation order (see GroupedEnumerator::Order). Shuffled is the
+    /// experimental default; Lexicographic gives deterministic exhaustive
+    /// sweeps for counting.
+    GroupedEnumerator::Order generation_order = GroupedEnumerator::Order::Shuffled;
+    /// Persist events/units and every replayed interleaving into Datalog.
+    bool persist = false;
+  };
+
+  Session(proxy::RdlProxy& proxy, Config config);
+
+  /// Begin capturing RDL calls.
+  void start();
+
+  /// Stop capturing, generate + prune + replay, check assertions.
+  ReplayReport end(const AssertionList& assertions);
+
+  // ---- post-run introspection ----
+  const EventSet& events() const noexcept { return events_; }
+  const std::vector<EventUnit>& units() const noexcept { return units_; }
+
+  struct PruningReport {
+    uint64_t event_count = 0;
+    uint64_t unit_count = 0;
+    uint64_t event_universe = 0;  // event_count! (saturated)
+    uint64_t unit_universe = 0;   // unit_count!  (saturated)
+    PruningPipeline::Stats pipeline;
+  };
+  PruningReport pruning_report() const;
+
+  /// The Datalog store (populated when config.persist is set).
+  InterleavingStore& store() noexcept { return store_; }
+
+  /// Build a fresh enumerator for the configured mode over the captured
+  /// events — exposed so benchmarks can drive exploration directly.
+  std::unique_ptr<Enumerator> make_enumerator();
+
+ private:
+  PruningPipeline build_pipeline() const;
+
+  proxy::RdlProxy* proxy_;
+  Config config_;
+  EventSet events_;
+  std::vector<EventUnit> units_;
+  datalog::Database db_;
+  InterleavingStore store_;
+  ConstraintWatcher watcher_;
+  PrunedEnumerator* active_pruned_ = nullptr;  // live during end()
+  PruningPipeline::Stats last_stats_;
+};
+
+}  // namespace erpi::core

@@ -1,0 +1,63 @@
+#include "crdt/counters.hpp"
+
+#include <stdexcept>
+
+namespace erpi::crdt {
+
+void GCounter::increment(ReplicaId replica, int64_t by) {
+  if (by < 0) throw std::invalid_argument("GCounter cannot decrease");
+  components_[replica] += by;
+}
+
+int64_t GCounter::value() const {
+  int64_t total = 0;
+  for (const auto& [replica, count] : components_) total += count;
+  return total;
+}
+
+void GCounter::merge(const GCounter& other) {
+  for (const auto& [replica, count] : other.components_) {
+    auto& mine = components_[replica];
+    if (count > mine) mine = count;
+  }
+}
+
+util::Json GCounter::to_json() const {
+  util::Json j = util::Json::object();
+  for (const auto& [replica, count] : components_) j[std::to_string(replica)] = count;
+  return j;
+}
+
+GCounter GCounter::from_json(const util::Json& j) {
+  GCounter c;
+  for (const auto& [key, value] : j.as_object()) {
+    c.components_[static_cast<ReplicaId>(std::stoi(key))] = value.as_int();
+  }
+  return c;
+}
+
+void PNCounter::increment(ReplicaId replica, int64_t by) { increments_.increment(replica, by); }
+void PNCounter::decrement(ReplicaId replica, int64_t by) { decrements_.increment(replica, by); }
+
+int64_t PNCounter::value() const { return increments_.value() - decrements_.value(); }
+
+void PNCounter::merge(const PNCounter& other) {
+  increments_.merge(other.increments_);
+  decrements_.merge(other.decrements_);
+}
+
+util::Json PNCounter::to_json() const {
+  util::Json j = util::Json::object();
+  j["inc"] = increments_.to_json();
+  j["dec"] = decrements_.to_json();
+  return j;
+}
+
+PNCounter PNCounter::from_json(const util::Json& j) {
+  PNCounter c;
+  c.increments_ = GCounter::from_json(j["inc"]);
+  c.decrements_ = GCounter::from_json(j["dec"]);
+  return c;
+}
+
+}  // namespace erpi::crdt

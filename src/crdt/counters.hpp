@@ -1,0 +1,46 @@
+// State-based counter CRDTs: G-Counter (grow-only) and PN-Counter
+// (increment/decrement as two G-Counters).
+#pragma once
+
+#include <map>
+
+#include "crdt/common.hpp"
+#include "util/json.hpp"
+
+namespace erpi::crdt {
+
+/// Grow-only counter: per-replica monotone components, merge = pointwise max.
+class GCounter {
+ public:
+  void increment(ReplicaId replica, int64_t by = 1);
+  int64_t value() const;
+  void merge(const GCounter& other);
+
+  bool operator==(const GCounter&) const = default;
+
+  util::Json to_json() const;
+  static GCounter from_json(const util::Json& j);
+
+ private:
+  std::map<ReplicaId, int64_t> components_;
+};
+
+/// Increment/decrement counter: value = inc.value() - dec.value().
+class PNCounter {
+ public:
+  void increment(ReplicaId replica, int64_t by = 1);
+  void decrement(ReplicaId replica, int64_t by = 1);
+  int64_t value() const;
+  void merge(const PNCounter& other);
+
+  bool operator==(const PNCounter&) const = default;
+
+  util::Json to_json() const;
+  static PNCounter from_json(const util::Json& j);
+
+ private:
+  GCounter increments_;
+  GCounter decrements_;
+};
+
+}  // namespace erpi::crdt

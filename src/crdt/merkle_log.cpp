@@ -1,0 +1,158 @@
+#include "crdt/merkle_log.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace erpi::crdt {
+
+util::Json LogEntry::to_json() const {
+  util::Json j = util::Json::object();
+  j["hash"] = hash;
+  j["clock"] = clock;
+  j["id"] = identity;
+  j["payload"] = payload;
+  util::Json parents_json = util::Json::array();
+  for (const auto& p : parents) parents_json.push_back(p);
+  j["parents"] = std::move(parents_json);
+  return j;
+}
+
+MerkleLog::MerkleLog(std::string identity, Flags flags)
+    : identity_(std::move(identity)), flags_(flags) {}
+
+void MerkleLog::grant(const std::string& identity) { grants_.insert(identity); }
+void MerkleLog::revoke(const std::string& identity) { grants_.erase(identity); }
+
+bool MerkleLog::can_write(const std::string& identity) const {
+  return grants_.empty() || grants_.count(identity) > 0;
+}
+
+std::string MerkleLog::compute_hash(const LogEntry& entry) const {
+  std::string material = std::to_string(entry.clock) + "|" + entry.identity + "|" +
+                         entry.payload;
+  if (flags_.hash_includes_parents) {
+    for (const auto& parent : entry.parents) material += "|" + parent;
+  }
+  return util::Sha1::hex(material);
+}
+
+util::Result<LogEntry> MerkleLog::append(std::string payload) {
+  return append_internal(std::move(payload), clock_ + 1);
+}
+
+util::Result<LogEntry> MerkleLog::append_with_clock(std::string payload, int64_t clock) {
+  return append_internal(std::move(payload), clock);
+}
+
+util::Result<LogEntry> MerkleLog::append_internal(std::string payload, int64_t clock) {
+  if (!can_write(identity_)) {
+    return util::Error{"could not append entry: write access denied for " + identity_};
+  }
+  LogEntry entry;
+  entry.clock = clock;
+  entry.identity = identity_;
+  entry.payload = std::move(payload);
+  entry.parents = heads();
+  entry.hash = compute_hash(entry);
+  if (clock > clock_) clock_ = clock;
+  if (entries_.emplace(entry.hash, entry).second) arrival_order_.push_back(entry.hash);
+  return entry;
+}
+
+util::Status MerkleLog::apply(const LogEntry& entry) {
+  if (entries_.count(entry.hash) > 0) return util::Status::ok();  // idempotent
+  if (!can_write(entry.identity)) {
+    return util::Status::fail("could not append entry: write access denied for " +
+                              entry.identity);
+  }
+  if (flags_.reject_future_clocks && entry.clock > clock_ + flags_.max_clock_drift) {
+    // Issue #512 behaviour: refusing drifted clocks wedges replication.
+    return util::Status::fail("entry clock " + std::to_string(entry.clock) +
+                              " too far ahead of local clock " + std::to_string(clock_));
+  }
+  entries_.emplace(entry.hash, entry);
+  arrival_order_.push_back(entry.hash);
+  if (entry.clock > clock_) clock_ = entry.clock;
+  return util::Status::ok();
+}
+
+util::Status MerkleLog::join(const MerkleLog& other) {
+  // deterministic apply order: the other log's total order
+  std::string first_error;
+  for (const auto& entry : other.traverse()) {
+    if (const auto st = apply(entry); !st && first_error.empty()) {
+      first_error = st.error().message;
+    }
+  }
+  if (!first_error.empty()) return util::Status::fail(first_error);
+  return util::Status::ok();
+}
+
+std::vector<LogEntry> MerkleLog::traverse() const {
+  std::vector<LogEntry> out;
+  out.reserve(entries_.size());
+  if (flags_.identity_tiebreak) {
+    for (const auto& [hash, entry] : entries_) out.push_back(entry);
+    std::sort(out.begin(), out.end(), [](const LogEntry& a, const LogEntry& b) {
+      if (a.clock != b.clock) return a.clock < b.clock;
+      if (a.identity != b.identity) return a.identity < b.identity;
+      return a.hash < b.hash;
+    });
+  } else {
+    // Issue #513 behaviour: ties keep arrival order, which differs per replica.
+    std::vector<std::pair<size_t, const LogEntry*>> staged;
+    staged.reserve(arrival_order_.size());
+    for (size_t i = 0; i < arrival_order_.size(); ++i) {
+      const auto it = entries_.find(arrival_order_[i]);
+      if (it != entries_.end()) staged.emplace_back(i, &it->second);
+    }
+    std::stable_sort(staged.begin(), staged.end(), [](const auto& a, const auto& b) {
+      return a.second->clock < b.second->clock;
+    });
+    for (const auto& [pos, entry] : staged) out.push_back(*entry);
+  }
+  return out;
+}
+
+std::vector<std::string> MerkleLog::payloads() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : traverse()) out.push_back(entry.payload);
+  return out;
+}
+
+std::vector<std::string> MerkleLog::heads() const {
+  std::set<std::string> referenced;
+  for (const auto& [hash, entry] : entries_) {
+    for (const auto& parent : entry.parents) referenced.insert(parent);
+  }
+  std::vector<std::string> out;
+  for (const auto& [hash, entry] : entries_) {
+    if (referenced.count(hash) == 0) out.push_back(hash);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MerkleLog::verify() const {
+  // Always verify against the full-content hash: with hash_includes_parents
+  // disabled the stored hashes were minted from partial content, and two
+  // entries at different DAG positions can collide — exactly the corruption
+  // reported as "head hash didn't match the contents".
+  for (const auto& [hash, entry] : entries_) {
+    std::string material =
+        std::to_string(entry.clock) + "|" + entry.identity + "|" + entry.payload;
+    for (const auto& parent : entry.parents) material += "|" + parent;
+    if (util::Sha1::hex(material) != hash) return false;
+  }
+  return true;
+}
+
+util::Json MerkleLog::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const auto& entry : traverse()) arr.push_back(entry.to_json());
+  return arr;
+}
+
+}  // namespace erpi::crdt

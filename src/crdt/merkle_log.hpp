@@ -1,0 +1,100 @@
+// Merkle-DAG append-only log, the CRDT underlying the OrbitDB subject
+// (Merkle-CRDTs: content-addressed entries; each append references the
+// current heads; join = DAG union; total order by Lamport clock).
+//
+// Three historical OrbitDB defects are reproducible behind flags:
+//  * identity_tiebreak = false  — entries with equal Lamport clocks order by
+//    arrival, so replicas disagree (issue #513: "ordering tie breaker can
+//    cause undefined ordering with the same identity").
+//  * reject_future_clocks = true — joins reject entries whose clock is more
+//    than max_clock_drift ahead of the local clock, so one poisoned clock
+//    halts progress (issue #512: "Lamport clock can be set far into future
+//    making db progress halt"). The shipped fix is clamping, not rejecting.
+//  * hash_includes_parents = false — the entry hash omits the parent links,
+//    so two different DAG positions can carry the same hash and verification
+//    fails (issue #583: "Head hash didn't match the contents").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace erpi::crdt {
+
+struct LogEntry {
+  std::string hash;
+  int64_t clock = 0;
+  std::string identity;
+  std::string payload;
+  std::vector<std::string> parents;
+
+  util::Json to_json() const;
+};
+
+class MerkleLog {
+ public:
+  struct Flags {
+    bool identity_tiebreak = true;
+    bool reject_future_clocks = false;
+    int64_t max_clock_drift = 1000;
+    bool hash_includes_parents = true;
+  };
+
+  explicit MerkleLog(std::string identity) : MerkleLog(std::move(identity), Flags()) {}
+  MerkleLog(std::string identity, Flags flags);
+
+  const std::string& identity() const noexcept { return identity_; }
+  const Flags& flags() const noexcept { return flags_; }
+
+  // ---- access control (replicated by the subject layer as grant events) ----
+  /// With no grants recorded, the log is open to all writers.
+  void grant(const std::string& identity);
+  void revoke(const std::string& identity);
+  bool can_write(const std::string& identity) const;
+
+  // ---- writes ----
+  util::Result<LogEntry> append(std::string payload);
+  /// Append with an explicit clock value (used to model the poisoned-clock
+  /// scenario of issue #512). The local clock still ratchets to max.
+  util::Result<LogEntry> append_with_clock(std::string payload, int64_t clock);
+
+  /// Apply a single remote entry (op-based sync). Fails when access control
+  /// or clock validation rejects it.
+  util::Status apply(const LogEntry& entry);
+
+  /// State-based merge of another log's DAG.
+  util::Status join(const MerkleLog& other);
+
+  // ---- queries ----
+  /// Entries in the log's total order (clock, then tie-break).
+  std::vector<LogEntry> traverse() const;
+  std::vector<std::string> payloads() const;
+  /// Hashes never referenced as a parent — the DAG frontier.
+  std::vector<std::string> heads() const;
+  size_t length() const noexcept { return entries_.size(); }
+  int64_t clock() const noexcept { return clock_; }
+
+  /// Recompute every entry's hash from its contents; false = corruption
+  /// (reproduces the detection side of issue #583).
+  bool verify() const;
+
+  util::Json to_json() const;
+
+ private:
+  std::string compute_hash(const LogEntry& entry) const;
+  util::Result<LogEntry> append_internal(std::string payload, int64_t clock);
+
+  std::string identity_;
+  Flags flags_;
+  int64_t clock_ = 0;
+  std::map<std::string, LogEntry> entries_;   // hash -> entry
+  std::vector<std::string> arrival_order_;    // used when tie-break is off
+  std::set<std::string> grants_;              // empty = open access
+};
+
+}  // namespace erpi::crdt

@@ -1,0 +1,93 @@
+#include "crdt/registers.hpp"
+
+#include <algorithm>
+
+namespace erpi::crdt {
+
+bool LwwRegister::wins(Timestamp incoming) const noexcept {
+  if (strict_tiebreak_) return incoming > timestamp_;
+  // Buggy semantics: equal timestamps always overwrite, so the outcome
+  // depends on arrival order (Roshi #11).
+  return incoming.time >= timestamp_.time;
+}
+
+void LwwRegister::set(std::string value, Timestamp at) {
+  if (empty() || wins(at)) {
+    value_ = std::move(value);
+    timestamp_ = at;
+  }
+}
+
+void LwwRegister::merge(const LwwRegister& other) {
+  if (other.empty()) return;
+  set(other.value_, other.timestamp_);
+}
+
+util::Json LwwRegister::to_json() const {
+  util::Json j = util::Json::object();
+  j["v"] = value_;
+  j["ts"] = timestamp_.to_json();
+  return j;
+}
+
+LwwRegister LwwRegister::from_json(const util::Json& j, bool strict_tiebreak) {
+  LwwRegister r(strict_tiebreak);
+  r.value_ = j["v"].as_string();
+  r.timestamp_ = Timestamp::from_json(j["ts"]);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// MvRegister
+// ---------------------------------------------------------------------------
+
+VectorClock MvRegister::set(ReplicaId replica, std::string value) {
+  Entry entry;
+  entry.clock = observed_;
+  entry.clock.tick(replica);
+  entry.value = std::move(value);
+  VectorClock clock = entry.clock;
+  // a local write subsumes every current entry
+  entries_.clear();
+  insert_entry(std::move(entry));
+  return clock;
+}
+
+void MvRegister::apply_remote(const std::string& value, const VectorClock& clock) {
+  insert_entry(Entry{value, clock});
+}
+
+void MvRegister::insert_entry(Entry incoming) {
+  // drop existing entries dominated by the incoming clock; skip the incoming
+  // entry if it is dominated by (or equal to) an existing one
+  for (const auto& e : entries_) {
+    if (incoming.clock.before(e.clock) || incoming.clock == e.clock) {
+      observed_.merge(incoming.clock);
+      return;
+    }
+  }
+  std::erase_if(entries_, [&](const Entry& e) { return e.clock.before(incoming.clock); });
+  observed_.merge(incoming.clock);
+  entries_.push_back(std::move(incoming));
+}
+
+std::vector<std::string> MvRegister::values() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MvRegister::merge(const MvRegister& other) {
+  for (const auto& e : other.entries_) insert_entry(e);
+  observed_.merge(other.observed_);
+}
+
+util::Json MvRegister::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const auto& v : values()) arr.push_back(v);
+  return arr;
+}
+
+}  // namespace erpi::crdt

@@ -1,0 +1,77 @@
+// Register CRDTs: LWW-Register (last-writer-wins with replica tie-break) and
+// MV-Register (multi-value, keeps all concurrent writes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crdt/common.hpp"
+#include "util/json.hpp"
+
+namespace erpi::crdt {
+
+/// Last-writer-wins register over string values.
+///
+/// `strict_tiebreak` reproduces the class of bug behind Roshi issue #11
+/// ("CRDT semantics violated if same timestamp"): when false, a write with a
+/// timestamp *equal* to the current one wins unconditionally, making merge
+/// order-dependent for equal timestamps — replicas can disagree. When true
+/// (the fix), ties are broken by replica id, restoring a total order.
+class LwwRegister {
+ public:
+  explicit LwwRegister(bool strict_tiebreak = true) : strict_tiebreak_(strict_tiebreak) {}
+
+  void set(std::string value, Timestamp at);
+  const std::string& value() const noexcept { return value_; }
+  Timestamp timestamp() const noexcept { return timestamp_; }
+  bool empty() const noexcept { return timestamp_ == Timestamp{}; }
+
+  void merge(const LwwRegister& other);
+
+  bool operator==(const LwwRegister& other) const {
+    return value_ == other.value_ && timestamp_ == other.timestamp_;
+  }
+
+  util::Json to_json() const;
+  static LwwRegister from_json(const util::Json& j, bool strict_tiebreak = true);
+
+ private:
+  bool wins(Timestamp incoming) const noexcept;
+
+  bool strict_tiebreak_;
+  std::string value_;
+  Timestamp timestamp_;
+};
+
+/// Multi-value register: concurrent writes are all retained until a later
+/// write (in vector-clock order) subsumes them.
+class MvRegister {
+ public:
+  struct Entry {
+    std::string value;
+    VectorClock clock;
+  };
+
+  /// Write from `replica`: advances the writer's clock past everything seen.
+  /// Returns the entry's vector clock (ship it with op-based sync).
+  VectorClock set(ReplicaId replica, std::string value);
+
+  /// Downstream application of a replicated write with its original clock.
+  void apply_remote(const std::string& value, const VectorClock& clock);
+
+  /// All currently concurrent values (deterministically sorted).
+  std::vector<std::string> values() const;
+  size_t conflict_count() const noexcept { return entries_.size(); }
+
+  void merge(const MvRegister& other);
+
+  util::Json to_json() const;
+
+ private:
+  void insert_entry(Entry incoming);
+
+  std::vector<Entry> entries_;
+  VectorClock observed_;  // union of all clocks ever seen here
+};
+
+}  // namespace erpi::crdt

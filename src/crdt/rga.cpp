@@ -1,0 +1,205 @@
+#include "crdt/rga.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erpi::crdt {
+
+namespace {
+/// Priority order for the RGA skip rule: a "newer" id (higher counter, then
+/// higher replica) takes the earlier position among concurrent inserts at
+/// the same anchor.
+bool id_priority_less(const Rga::Id& a, const Rga::Id& b) {
+  if (a.counter != b.counter) return a.counter < b.counter;
+  return a.replica < b.replica;
+}
+}  // namespace
+
+Rga::Id Rga::fresh_id(ReplicaId replica) { return Id{replica, ++clock_}; }
+
+const Rga::Node* Rga::find(Id id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Rga::Node* Rga::find(Id id) {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+size_t Rga::sequence_index(Id id) const {
+  const auto it = std::find(sequence_.begin(), sequence_.end(), id);
+  return static_cast<size_t>(it - sequence_.begin());
+}
+
+void Rga::place_after(Id anchor, Id id, bool skip_rule) {
+  // Start just after the anchor (or at the head). For inserts, skip over any
+  // element whose id outranks ours — the classic RGA rule that makes
+  // concurrent inserts at the same anchor converge. Moves place directly:
+  // their convergence comes from the LWW move stamp instead.
+  size_t pos = 0;
+  if (anchor != kHead) {
+    const size_t anchor_pos = sequence_index(anchor);
+    pos = anchor_pos >= sequence_.size() ? sequence_.size() : anchor_pos + 1;
+  }
+  if (skip_rule) {
+    while (pos < sequence_.size() && id_priority_less(id, sequence_[pos])) ++pos;
+  }
+  sequence_.insert(sequence_.begin() + static_cast<std::ptrdiff_t>(pos), id);
+}
+
+void Rga::detach(Id id) {
+  const auto it = std::find(sequence_.begin(), sequence_.end(), id);
+  if (it != sequence_.end()) sequence_.erase(it);
+}
+
+std::vector<const Rga::Node*> Rga::visible() const {
+  std::vector<const Node*> out;
+  out.reserve(sequence_.size());
+  for (const Id id : sequence_) {
+    const Node* node = find(id);
+    if (node != nullptr && !node->tombstone) out.push_back(node);
+  }
+  return out;
+}
+
+Rga::InsertOp Rga::insert_at(ReplicaId replica, size_t index, std::string value) {
+  const auto vis = visible();
+  if (index > vis.size()) throw std::out_of_range("Rga::insert_at index out of range");
+  const Id anchor = index == 0 ? kHead : vis[index - 1]->id;
+  InsertOp op{fresh_id(replica), anchor, std::move(value)};
+  apply(op);
+  return op;
+}
+
+std::optional<Rga::RemoveOp> Rga::remove_at(size_t index) {
+  const auto vis = visible();
+  if (index >= vis.size()) return std::nullopt;
+  RemoveOp op{vis[index]->id};
+  apply(op);
+  return op;
+}
+
+std::optional<Rga::MoveOp> Rga::move(ReplicaId replica, size_t from, size_t to) {
+  auto vis = visible();
+  if (from >= vis.size()) return std::nullopt;
+  const Id target = vis[from]->id;
+  vis.erase(vis.begin() + static_cast<std::ptrdiff_t>(from));
+  if (to > vis.size()) to = vis.size();
+  const Id anchor = to == 0 ? kHead : vis[to - 1]->id;
+  MoveOp op{target, anchor, Timestamp{++clock_, replica}};
+  apply(op);
+  return op;
+}
+
+std::optional<std::pair<Rga::RemoveOp, Rga::InsertOp>> Rga::naive_move(ReplicaId replica,
+                                                                       size_t from, size_t to) {
+  const auto vis = visible();
+  if (from >= vis.size()) return std::nullopt;
+  const std::string value = vis[from]->value;
+  auto removed = remove_at(from);
+  if (!removed) return std::nullopt;
+  // indices shift after the removal
+  if (to > from) --to;
+  InsertOp inserted = insert_at(replica, std::min(to, size()), value);
+  return std::make_pair(*removed, inserted);
+}
+
+void Rga::apply(const InsertOp& op) {
+  if (op.id.counter > clock_) clock_ = op.id.counter;
+  if (nodes_.count(op.id) > 0) return;  // duplicate delivery
+  Node node;
+  node.id = op.id;
+  node.value = op.value;
+  node.anchor = op.after;
+  nodes_.emplace(op.id, node);
+  place_after(op.after, op.id);
+}
+
+void Rga::apply(const RemoveOp& op) {
+  Node* node = find(op.target);
+  if (node != nullptr) node->tombstone = true;
+}
+
+void Rga::apply(const MoveOp& op) {
+  if (op.stamp.time > clock_) clock_ = op.stamp.time;
+  Node* node = find(op.target);
+  if (node == nullptr) return;
+  if (op.target == op.after) return;  // degenerate self-move
+  if (lww_moves_ && !(op.stamp > node->move_stamp)) return;  // later move wins
+  detach(op.target);
+  node->anchor = op.after;
+  node->move_stamp = op.stamp;
+  place_after(op.after, op.target, /*skip_rule=*/false);
+}
+
+void Rga::merge(const Rga& other) {
+  if (other.clock_ > clock_) clock_ = other.clock_;
+  // Insert unknown nodes in the other's sequence order so anchors are
+  // already present when their dependants arrive.
+  for (const Id id : other.sequence_) {
+    const Node* theirs = other.find(id);
+    if (theirs == nullptr || nodes_.count(id) > 0) continue;
+    Node copy = *theirs;
+    nodes_.emplace(id, copy);
+    place_after(nodes_.count(copy.anchor) > 0 || copy.anchor == kHead ? copy.anchor : kHead,
+                id, copy.move_stamp == Timestamp{});
+  }
+  // Reconcile nodes known to both sides: tombstones are permanent and the
+  // higher move stamp (or, in the divergent arrival-order mode, any
+  // differing stamp) decides the position.
+  for (const auto& [id, theirs] : other.nodes_) {
+    Node* mine = find(id);
+    if (mine == nullptr) continue;
+    if (theirs.tombstone) mine->tombstone = true;
+    const bool reposition = lww_moves_ ? theirs.move_stamp > mine->move_stamp
+                                       : theirs.move_stamp != mine->move_stamp;
+    if (reposition) {
+      detach(id);
+      mine->anchor = theirs.anchor;
+      mine->move_stamp = theirs.move_stamp;
+      place_after(nodes_.count(mine->anchor) > 0 || mine->anchor == kHead ? mine->anchor
+                                                                          : kHead,
+                  id, /*skip_rule=*/false);
+    }
+  }
+}
+
+std::vector<std::string> Rga::values() const {
+  std::vector<std::string> out;
+  for (const Node* n : visible()) out.push_back(n->value);
+  return out;
+}
+
+size_t Rga::size() const { return visible().size(); }
+
+std::optional<Rga::Id> Rga::id_at(size_t index) const {
+  const auto vis = visible();
+  if (index >= vis.size()) return std::nullopt;
+  return vis[index]->id;
+}
+
+std::optional<std::string> Rga::value_of(Id id) const {
+  const Node* node = find(id);
+  if (node == nullptr || node->tombstone) return std::nullopt;
+  return node->value;
+}
+
+util::Json Rga::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const auto& v : values()) arr.push_back(v);
+  return arr;
+}
+
+void NaiveList::remove_value(const std::string& value) {
+  const auto it = std::find(items_.begin(), items_.end(), value);
+  if (it != items_.end()) items_.erase(it);
+}
+
+util::Json NaiveList::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const auto& v : items_) arr.push_back(v);
+  return arr;
+}
+
+}  // namespace erpi::crdt

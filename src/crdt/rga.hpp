@@ -1,0 +1,123 @@
+// RGA (Replicated Growable Array) — the list CRDT used by the collaborative
+// list/document subjects.
+//
+// Elements carry unique ids (timestamp, replica); insertion is anchored
+// "after" an existing element (or the head), and siblings order by id
+// descending, which makes concurrent inserts at the same anchor converge.
+// Removal tombstones the node.
+//
+// Moves are modelled two ways, reflecting the paper's misconception #3:
+//  * naive_move — delete + re-insert, as an application developer would write
+//    it. Concurrent naive moves of the same element DUPLICATE it (each side
+//    mints a new insert id). This is also the root cause of the class of bug
+//    behind Yorkie #676 (Array.MoveAfter divergence).
+//  * MoveOp — a proper CRDT move: a per-element LWW "position register" whose
+//    highest-timestamp destination wins (Kleppmann, "Moving Elements in List
+//    CRDTs").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/common.hpp"
+#include "util/json.hpp"
+
+namespace erpi::crdt {
+
+class Rga {
+ public:
+  /// Node id: (logical time, replica). Head anchor is the zero id.
+  using Id = Dot;  // reuse Dot{replica, counter}; ordering (replica, counter)
+
+  struct InsertOp {
+    Id id;
+    Id after;  // zero id = head
+    std::string value;
+  };
+  struct RemoveOp {
+    Id target;
+  };
+  struct MoveOp {
+    Id target;
+    Id after;          // new anchor
+    Timestamp stamp;   // LWW arbitration between concurrent moves
+  };
+
+  // ---- local operations (return the op to broadcast) ----
+  InsertOp insert_at(ReplicaId replica, size_t index, std::string value);
+  std::optional<RemoveOp> remove_at(size_t index);
+  /// CRDT move of the element at `from` so it lands at visible index `to`.
+  std::optional<MoveOp> move(ReplicaId replica, size_t from, size_t to);
+  /// Application-style move: remove + fresh insert. Returns both ops.
+  std::optional<std::pair<RemoveOp, InsertOp>> naive_move(ReplicaId replica, size_t from,
+                                                          size_t to);
+
+  // ---- op application (local ops are already applied) ----
+  void apply(const InsertOp& op);
+  void apply(const RemoveOp& op);
+  void apply(const MoveOp& op);
+
+  /// When disabled, apply(MoveOp) skips the LWW stamp comparison and always
+  /// repositions — concurrent moves then resolve by arrival order and
+  /// replicas diverge. This reproduces the class of bug behind Yorkie #676.
+  void set_lww_moves(bool enabled) noexcept { lww_moves_ = enabled; }
+  bool lww_moves() const noexcept { return lww_moves_; }
+
+  /// State-based merge: union nodes and tombstones; for nodes present on
+  /// both sides the higher move stamp decides the anchor (or arrival order
+  /// when LWW moves are disabled — the divergent mode).
+  void merge(const Rga& other);
+
+  // ---- queries ----
+  std::vector<std::string> values() const;
+  size_t size() const;
+  std::optional<Id> id_at(size_t index) const;
+  std::optional<std::string> value_of(Id id) const;
+
+  util::Json to_json() const;
+
+ private:
+  struct Node {
+    Id id;
+    std::string value;
+    bool tombstone = false;
+    Id anchor;               // current effective anchor
+    Timestamp move_stamp;    // LWW stamp of the winning position
+  };
+
+  static constexpr Id kHead{0, 0};
+
+  /// Insert `id` after `anchor` in the flat sequence, applying the RGA skip
+  /// rule so concurrent same-anchor inserts converge.
+  void place_after(Id anchor, Id id, bool skip_rule = true);
+  void detach(Id id);
+  size_t sequence_index(Id id) const;
+  const Node* find(Id id) const;
+  Node* find(Id id);
+  std::vector<const Node*> visible() const;
+  Id fresh_id(ReplicaId replica);
+
+  std::map<Id, Node> nodes_;
+  std::vector<Id> sequence_;  // flat linearization (tombstones included)
+  int64_t clock_ = 0;  // per-object Lamport time for id minting
+  bool lww_moves_ = true;
+};
+
+/// A deliberately non-convergent list: appends in arrival order with no ids
+/// or merge function. Used to *seed* misconception #2 ("the order of List
+/// elements is always consistent") — replicas that apply the same updates in
+/// different orders end up with different sequences.
+class NaiveList {
+ public:
+  void append(std::string value) { items_.push_back(std::move(value)); }
+  void remove_value(const std::string& value);
+  const std::vector<std::string>& values() const noexcept { return items_; }
+  util::Json to_json() const;
+
+ private:
+  std::vector<std::string> items_;
+};
+
+}  // namespace erpi::crdt

@@ -1,0 +1,118 @@
+// Datalog abstract syntax: values, terms, atoms, rules, programs.
+//
+// ER-pi persists the interleaving universe as Datalog facts (paper §5.1 uses
+// the Souffle dialect) and expresses pruning-support queries as rules. This
+// engine substitutes for Souffle: positive Datalog with built-in comparison
+// constraints, evaluated bottom-up semi-naively (see evaluator.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace erpi::datalog {
+
+/// Interns strings so facts are tuples of fixed-width ids — cheap to hash,
+/// compare, and index. Symbol 0 is reserved and never handed out.
+class SymbolTable {
+ public:
+  SymbolTable() { names_.emplace_back(""); }
+
+  int64_t intern(const std::string& name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const int64_t id = static_cast<int64_t>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  const std::string& name(int64_t id) const { return names_.at(static_cast<size_t>(id)); }
+  bool contains(const std::string& name) const { return ids_.count(name) > 0; }
+  size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+/// A ground value: either a signed integer or an interned symbol.
+struct Value {
+  enum class Kind : uint8_t { Int, Symbol };
+
+  Kind kind = Kind::Int;
+  int64_t payload = 0;
+
+  static Value integer(int64_t v) { return Value{Kind::Int, v}; }
+  static Value symbol(int64_t id) { return Value{Kind::Symbol, id}; }
+
+  bool operator==(const Value&) const = default;
+  auto operator<=>(const Value&) const = default;
+};
+
+/// A term in an atom: a ground value or a named variable.
+struct Term {
+  enum class Kind : uint8_t { Constant, Variable };
+
+  Kind kind = Kind::Constant;
+  Value constant;      // when kind == Constant
+  std::string variable;  // when kind == Variable
+
+  static Term constant_int(int64_t v) { return Term{Kind::Constant, Value::integer(v), {}}; }
+  static Term constant_sym(int64_t id) { return Term{Kind::Constant, Value::symbol(id), {}}; }
+  static Term var(std::string name) { return Term{Kind::Variable, {}, std::move(name)}; }
+
+  bool is_variable() const noexcept { return kind == Kind::Variable; }
+};
+
+/// predicate(t1, ..., tn)
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  size_t arity() const noexcept { return terms.size(); }
+};
+
+/// Built-in constraint between two terms: X < Y, X != c, ...
+struct Constraint {
+  enum class Op : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+  Op op = Op::Eq;
+  Term lhs;
+  Term rhs;
+
+  static bool eval(Op op, const Value& a, const Value& b) noexcept {
+    switch (op) {
+      case Op::Eq: return a == b;
+      case Op::Ne: return a != b;
+      case Op::Lt: return a < b;
+      case Op::Le: return a <= b;
+      case Op::Gt: return a > b;
+      case Op::Ge: return a >= b;
+    }
+    return false;
+  }
+};
+
+/// head :- body_1, ..., body_n, !neg_1, ..., constraint_1, ...
+/// A rule with an empty body is a fact declaration. Negated atoms are
+/// evaluated under stratified negation: the negated predicate must be fully
+/// computed in a strictly lower stratum, and every variable of a negated
+/// atom must be bound by the positive body (safety).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Atom> negated_body;
+  std::vector<Constraint> constraints;
+
+  bool is_fact() const noexcept {
+    return body.empty() && negated_body.empty() && constraints.empty();
+  }
+};
+
+struct Program {
+  std::vector<Rule> rules;
+};
+
+}  // namespace erpi::datalog

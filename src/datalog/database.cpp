@@ -1,0 +1,90 @@
+#include "datalog/database.hpp"
+
+#include <stdexcept>
+
+namespace erpi::datalog {
+
+const std::vector<size_t> Relation::kEmptyRows{};
+
+bool Relation::insert(Tuple t) {
+  if (t.size() != arity_) {
+    throw std::invalid_argument("tuple arity " + std::to_string(t.size()) +
+                                " does not match relation arity " + std::to_string(arity_));
+  }
+  if (!set_.insert(t).second) return false;
+  const size_t row = tuples_.size();
+  tuples_.push_back(std::move(t));
+  // extend any already-built column indexes
+  for (size_t col = 0; col < index_built_.size(); ++col) {
+    if (index_built_[col]) {
+      const Value& v = tuples_.back()[col];
+      indexes_[col][ValueKey{v.kind, v.payload}].push_back(row);
+    }
+  }
+  return true;
+}
+
+const std::vector<size_t>& Relation::rows_with(size_t col, const Value& v) const {
+  if (col >= arity_) throw std::out_of_range("column out of range");
+  if (indexes_.size() < arity_) {
+    indexes_.resize(arity_);
+    index_built_.resize(arity_, false);
+  }
+  if (!index_built_[col]) {
+    for (size_t row = 0; row < tuples_.size(); ++row) {
+      const Value& cell = tuples_[row][col];
+      indexes_[col][ValueKey{cell.kind, cell.payload}].push_back(row);
+    }
+    index_built_[col] = true;
+  }
+  const auto it = indexes_[col].find(ValueKey{v.kind, v.payload});
+  return it == indexes_[col].end() ? kEmptyRows : it->second;
+}
+
+Relation& Database::relation(const std::string& predicate, size_t arity) {
+  const auto it = relations_.find(predicate);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      throw std::invalid_argument("predicate '" + predicate + "' redeclared with arity " +
+                                  std::to_string(arity) + " (was " +
+                                  std::to_string(it->second.arity()) + ")");
+    }
+    return it->second;
+  }
+  order_.push_back(predicate);
+  return relations_.emplace(predicate, Relation(arity)).first->second;
+}
+
+const Relation* Database::find(const std::string& predicate) const {
+  const auto it = relations_.find(predicate);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+bool Database::insert_fact(const std::string& predicate, Tuple t) {
+  return relation(predicate, t.size()).insert(std::move(t));
+}
+
+std::vector<std::string> Database::predicates() const { return order_; }
+
+size_t Database::total_facts() const noexcept {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+std::string Database::render(const Value& v) const {
+  if (v.kind == Value::Kind::Int) return std::to_string(v.payload);
+  return symbols_.name(v.payload);
+}
+
+std::string Database::render(const Tuple& t) const {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += render(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace erpi::datalog

@@ -1,0 +1,102 @@
+// Fact database: relations of ground tuples with hash-based dedup and
+// first-column indexes for join acceleration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/ast.hpp"
+
+namespace erpi::datalog {
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const noexcept {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& v : t) {
+      h ^= static_cast<uint64_t>(v.kind) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(v.payload) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One relation: a deduplicated set of same-arity tuples, with insertion
+/// order preserved (so query output is deterministic) and an index keyed on
+/// each column to make selective scans cheap.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const noexcept { return arity_; }
+  size_t size() const noexcept { return tuples_.size(); }
+  bool empty() const noexcept { return tuples_.empty(); }
+
+  /// Returns true if the tuple was newly inserted.
+  bool insert(Tuple t);
+  bool contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+  const std::vector<Tuple>& tuples() const noexcept { return tuples_; }
+
+  /// Row indices whose column `col` equals `v`. Builds the column index lazily.
+  const std::vector<size_t>& rows_with(size_t col, const Value& v) const;
+
+ private:
+  struct ValueKey {
+    Value::Kind kind;
+    int64_t payload;
+    bool operator==(const ValueKey&) const = default;
+  };
+  struct ValueKeyHash {
+    size_t operator()(const ValueKey& k) const noexcept {
+      return std::hash<int64_t>()(k.payload * 2 + static_cast<int64_t>(k.kind));
+    }
+  };
+
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  // per-column value -> row ids; built on first use, extended on insert
+  mutable std::vector<std::unordered_map<ValueKey, std::vector<size_t>, ValueKeyHash>> indexes_;
+  mutable std::vector<bool> index_built_;
+  static const std::vector<size_t> kEmptyRows;
+};
+
+/// Named relations plus the shared symbol table.
+class Database {
+ public:
+  SymbolTable& symbols() noexcept { return symbols_; }
+  const SymbolTable& symbols() const noexcept { return symbols_; }
+
+  /// Get or create a relation. Throws std::invalid_argument on arity clash.
+  Relation& relation(const std::string& predicate, size_t arity);
+  const Relation* find(const std::string& predicate) const;
+
+  bool insert_fact(const std::string& predicate, Tuple t);
+
+  /// All relation names in creation order.
+  std::vector<std::string> predicates() const;
+
+  size_t total_facts() const noexcept;
+
+  /// Convenience builders for mixed int/string facts.
+  Value sym(const std::string& name) { return Value::symbol(symbols_.intern(name)); }
+  static Value num(int64_t v) { return Value::integer(v); }
+
+  /// Render a value for reports/tests.
+  std::string render(const Value& v) const;
+  std::string render(const Tuple& t) const;
+
+ private:
+  SymbolTable symbols_;
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace erpi::datalog

@@ -1,0 +1,380 @@
+#include "datalog/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erpi::datalog {
+
+Evaluator::Evaluator(Database& db, const Program& program) : db_(db) {
+  for (const auto& rule : program.rules) {
+    if (rule.is_fact()) {
+      Tuple t;
+      t.reserve(rule.head.terms.size());
+      for (const auto& term : rule.head.terms) {
+        if (term.is_variable()) {
+          throw std::invalid_argument("fact '" + rule.head.predicate +
+                                      "' contains variable " + term.variable);
+        }
+        t.push_back(term.constant);
+      }
+      db_.insert_fact(rule.head.predicate, std::move(t));
+      continue;
+    }
+    idb_.insert(rule.head.predicate);
+    rules_.push_back(compile(rule));
+  }
+  // Ensure head relations exist even if no tuple is ever derived.
+  for (const auto& rule : rules_) {
+    db_.relation(rule.head.predicate, rule.head.terms.size());
+  }
+}
+
+Evaluator::CompiledRule Evaluator::compile(const Rule& rule) const {
+  CompiledRule out;
+  std::unordered_map<std::string, int> slots;
+
+  const auto compile_term = [&](const Term& term, bool binding_context) {
+    CompiledTerm ct;
+    if (!term.is_variable()) {
+      ct.is_constant = true;
+      ct.constant = term.constant;
+      return ct;
+    }
+    const auto it = slots.find(term.variable);
+    if (it != slots.end()) {
+      ct.slot = it->second;
+      return ct;
+    }
+    if (!binding_context) {
+      throw std::invalid_argument("variable " + term.variable +
+                                  " is unbound where a bound term is required");
+    }
+    ct.slot = static_cast<int>(slots.size());
+    ct.first_binding = true;
+    slots.emplace(term.variable, ct.slot);
+    return ct;
+  };
+
+  for (const auto& atom : rule.body) {
+    CompiledAtom ca;
+    ca.predicate = atom.predicate;
+    for (const auto& term : atom.terms) ca.terms.push_back(compile_term(term, true));
+    // prefer probing on a constant column; else on an already-bound variable
+    for (size_t col = 0; col < ca.terms.size(); ++col) {
+      if (ca.terms[col].is_constant) {
+        ca.probe_column = static_cast<int>(col);
+        break;
+      }
+      if (!ca.terms[col].first_binding && ca.probe_column < 0) {
+        ca.probe_column = static_cast<int>(col);
+      }
+    }
+    out.body.push_back(std::move(ca));
+  }
+
+  // Constraints must reference only variables bound by the body.
+  for (const auto& c : rule.constraints) {
+    CompiledConstraint cc;
+    cc.op = c.op;
+    cc.lhs = compile_term(c.lhs, false);
+    cc.rhs = compile_term(c.rhs, false);
+    // find the earliest body prefix after which both sides are bound
+    cc.earliest_atom = 0;
+    const auto slot_bound_at = [&](const CompiledTerm& t) -> int {
+      if (t.is_constant) return -1;
+      for (size_t i = 0; i < out.body.size(); ++i) {
+        for (const auto& bt : out.body[i].terms) {
+          if (bt.first_binding && bt.slot == t.slot) return static_cast<int>(i);
+        }
+      }
+      return static_cast<int>(out.body.size()) - 1;
+    };
+    cc.earliest_atom = std::max(slot_bound_at(cc.lhs), slot_bound_at(cc.rhs));
+    out.constraints.push_back(cc);
+  }
+
+  // Negated atoms: every variable must already be bound by the positive
+  // body (safety), so compile in non-binding context.
+  for (const auto& atom : rule.negated_body) {
+    CompiledAtom ca;
+    ca.predicate = atom.predicate;
+    for (const auto& term : atom.terms) ca.terms.push_back(compile_term(term, false));
+    out.negated.push_back(std::move(ca));
+  }
+
+  out.head.predicate = rule.head.predicate;
+  for (const auto& term : rule.head.terms) {
+    // head variables must be bound by body (range restriction)
+    out.head.terms.push_back(compile_term(term, false));
+  }
+  out.slot_count = static_cast<int>(slots.size());
+  return out;
+}
+
+bool Evaluator::negations_satisfied(const CompiledRule& rule,
+                                    const std::vector<Value>& slots) const {
+  for (const auto& atom : rule.negated) {
+    const Relation* rel = db_.find(atom.predicate);
+    if (rel == nullptr) continue;  // empty relation: negation holds
+    Tuple probe;
+    probe.reserve(atom.terms.size());
+    for (const auto& term : atom.terms) {
+      probe.push_back(term.is_constant ? term.constant
+                                       : slots[static_cast<size_t>(term.slot)]);
+    }
+    if (rel->contains(probe)) return false;
+  }
+  return true;
+}
+
+bool Evaluator::match_atom(const CompiledAtom& atom, const Tuple& tuple,
+                           std::vector<Value>& slots, std::vector<bool>& bound,
+                           std::vector<int>& newly_bound) {
+  ++stats_.join_probes;
+  for (size_t col = 0; col < atom.terms.size(); ++col) {
+    const CompiledTerm& t = atom.terms[col];
+    if (t.is_constant) {
+      if (tuple[col] != t.constant) return false;
+      continue;
+    }
+    if (bound[static_cast<size_t>(t.slot)]) {
+      if (slots[static_cast<size_t>(t.slot)] != tuple[col]) return false;
+    } else {
+      slots[static_cast<size_t>(t.slot)] = tuple[col];
+      bound[static_cast<size_t>(t.slot)] = true;
+      newly_bound.push_back(t.slot);
+    }
+  }
+  return true;
+}
+
+bool Evaluator::constraints_satisfied(const CompiledRule& rule, size_t after_atom,
+                                      const std::vector<Value>& slots,
+                                      const std::vector<bool>& bound) const {
+  for (const auto& c : rule.constraints) {
+    if (static_cast<size_t>(c.earliest_atom) != after_atom) continue;
+    const auto value_of = [&](const CompiledTerm& t) -> const Value& {
+      return t.is_constant ? t.constant : slots[static_cast<size_t>(t.slot)];
+    };
+    if (!c.lhs.is_constant && !bound[static_cast<size_t>(c.lhs.slot)]) continue;
+    if (!c.rhs.is_constant && !bound[static_cast<size_t>(c.rhs.slot)]) continue;
+    if (!Constraint::eval(c.op, value_of(c.lhs), value_of(c.rhs))) return false;
+  }
+  return true;
+}
+
+void Evaluator::join_from(const CompiledRule& rule, size_t atom_index, int delta_position,
+                          const std::unordered_map<std::string, Relation>& delta,
+                          std::vector<Value>& slots, std::vector<bool>& bound,
+                          std::vector<Tuple>& out) {
+  if (atom_index == rule.body.size()) {
+    if (!negations_satisfied(rule, slots)) return;
+    Tuple head;
+    head.reserve(rule.head.terms.size());
+    for (const auto& t : rule.head.terms) {
+      head.push_back(t.is_constant ? t.constant : slots[static_cast<size_t>(t.slot)]);
+    }
+    out.push_back(std::move(head));
+    return;
+  }
+
+  const CompiledAtom& atom = rule.body[atom_index];
+  const Relation* rel = nullptr;
+  if (static_cast<int>(atom_index) == delta_position) {
+    const auto it = delta.find(atom.predicate);
+    if (it == delta.end()) return;
+    rel = &it->second;
+  } else {
+    rel = db_.find(atom.predicate);
+    if (rel == nullptr) return;
+  }
+
+  const auto try_tuple = [&](const Tuple& tuple) {
+    std::vector<int> newly_bound;
+    if (match_atom(atom, tuple, slots, bound, newly_bound)) {
+      if (constraints_satisfied(rule, atom_index, slots, bound)) {
+        join_from(rule, atom_index + 1, delta_position, delta, slots, bound, out);
+      }
+    }
+    for (const int s : newly_bound) bound[static_cast<size_t>(s)] = false;
+  };
+
+  // Indexed probe when the chosen column is ground at this point.
+  if (atom.probe_column >= 0) {
+    const CompiledTerm& pt = atom.terms[static_cast<size_t>(atom.probe_column)];
+    const bool ground =
+        pt.is_constant || (pt.slot >= 0 && bound[static_cast<size_t>(pt.slot)]);
+    if (ground) {
+      const Value key = pt.is_constant ? pt.constant : slots[static_cast<size_t>(pt.slot)];
+      for (const size_t row : rel->rows_with(static_cast<size_t>(atom.probe_column), key)) {
+        try_tuple(rel->tuples()[row]);
+      }
+      return;
+    }
+  }
+  for (const auto& tuple : rel->tuples()) try_tuple(tuple);
+}
+
+void Evaluator::evaluate_rule(const CompiledRule& rule, int delta_position,
+                              const std::unordered_map<std::string, Relation>& delta,
+                              std::vector<Tuple>& out) {
+  std::vector<Value> slots(static_cast<size_t>(rule.slot_count));
+  std::vector<bool> bound(static_cast<size_t>(rule.slot_count), false);
+  join_from(rule, 0, delta_position, delta, slots, bound, out);
+}
+
+EvalStats Evaluator::run() {
+  stats_ = EvalStats{};
+
+  // Round 0: naive evaluation of every rule over the full database.
+  std::unordered_map<std::string, Relation> delta;
+  for (const auto& rule : rules_) {
+    std::vector<Tuple> derived;
+    evaluate_rule(rule, -1, delta, derived);
+    for (auto& t : derived) {
+      Tuple copy = t;
+      if (db_.relation(rule.head.predicate, rule.head.terms.size()).insert(std::move(t))) {
+        ++stats_.derived_tuples;
+        delta.try_emplace(rule.head.predicate, rule.head.terms.size());
+        delta.at(rule.head.predicate).insert(std::move(copy));
+      }
+    }
+  }
+  stats_.iterations = 1;
+
+  // Semi-naive rounds: one body atom ranges over the previous delta.
+  while (!delta.empty()) {
+    std::unordered_map<std::string, Relation> next_delta;
+    for (const auto& rule : rules_) {
+      for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+        if (idb_.count(rule.body[pos].predicate) == 0) continue;
+        if (delta.find(rule.body[pos].predicate) == delta.end()) continue;
+        std::vector<Tuple> derived;
+        evaluate_rule(rule, static_cast<int>(pos), delta, derived);
+        for (auto& t : derived) {
+          Tuple copy = t;
+          if (db_.relation(rule.head.predicate, rule.head.terms.size())
+                  .insert(std::move(t))) {
+            ++stats_.derived_tuples;
+            next_delta.try_emplace(rule.head.predicate, rule.head.terms.size());
+            next_delta.at(rule.head.predicate).insert(std::move(copy));
+          }
+        }
+      }
+    }
+    ++stats_.iterations;
+    delta = std::move(next_delta);
+  }
+  return stats_;
+}
+
+std::unordered_map<std::string, int> stratify(const Program& program) {
+  std::unordered_map<std::string, int> stratum;
+  std::unordered_set<std::string> idb;
+  for (const auto& rule : program.rules) {
+    if (!rule.is_fact()) {
+      idb.insert(rule.head.predicate);
+      stratum.emplace(rule.head.predicate, 0);
+    }
+  }
+  const int limit = static_cast<int>(idb.size()) + 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& rule : program.rules) {
+      if (rule.is_fact()) continue;
+      int& head_stratum = stratum[rule.head.predicate];
+      for (const auto& atom : rule.body) {
+        if (idb.count(atom.predicate) == 0) continue;
+        if (stratum[atom.predicate] > head_stratum) {
+          head_stratum = stratum[atom.predicate];
+          changed = true;
+        }
+      }
+      for (const auto& atom : rule.negated_body) {
+        if (idb.count(atom.predicate) == 0) continue;  // EDB: stratum 0
+        if (stratum[atom.predicate] + 1 > head_stratum) {
+          head_stratum = stratum[atom.predicate] + 1;
+          changed = true;
+        }
+      }
+      if (head_stratum > limit) {
+        throw std::invalid_argument("program is not stratifiable (cycle through negation"
+                                    " involving '" + rule.head.predicate + "')");
+      }
+    }
+  }
+  return stratum;
+}
+
+EvalStats evaluate(Database& db, const Program& program) {
+  bool has_negation = false;
+  for (const auto& rule : program.rules) {
+    if (!rule.negated_body.empty()) {
+      has_negation = true;
+      break;
+    }
+  }
+  if (!has_negation) {
+    Evaluator ev(db, program);
+    return ev.run();
+  }
+
+  // Stratified evaluation: facts + stratum-0 rules first, then each higher
+  // stratum over the (now complete) lower ones.
+  const auto strata = stratify(program);
+  int max_stratum = 0;
+  for (const auto& [predicate, level] : strata) max_stratum = std::max(max_stratum, level);
+
+  EvalStats total;
+  for (int level = 0; level <= max_stratum; ++level) {
+    Program slice;
+    for (const auto& rule : program.rules) {
+      if (rule.is_fact()) {
+        if (level == 0) slice.rules.push_back(rule);
+      } else if (strata.at(rule.head.predicate) == level) {
+        slice.rules.push_back(rule);
+      }
+    }
+    if (slice.rules.empty()) continue;
+    Evaluator ev(db, slice);
+    const auto stats = ev.run();
+    total.iterations += stats.iterations;
+    total.derived_tuples += stats.derived_tuples;
+    total.join_probes += stats.join_probes;
+  }
+  return total;
+}
+
+std::vector<std::unordered_map<std::string, Value>> query(const Database& db,
+                                                          const Atom& pattern) {
+  std::vector<std::unordered_map<std::string, Value>> out;
+  const Relation* rel = db.find(pattern.predicate);
+  if (rel == nullptr) return out;
+  if (rel->arity() != pattern.terms.size()) {
+    throw std::invalid_argument("query arity mismatch for '" + pattern.predicate + "'");
+  }
+  for (const auto& tuple : rel->tuples()) {
+    std::unordered_map<std::string, Value> binding;
+    bool ok = true;
+    for (size_t col = 0; col < tuple.size() && ok; ++col) {
+      const Term& t = pattern.terms[col];
+      if (!t.is_variable()) {
+        ok = tuple[col] == t.constant;
+      } else if (t.variable == "_") {
+        // wildcard
+      } else {
+        const auto it = binding.find(t.variable);
+        if (it == binding.end()) {
+          binding.emplace(t.variable, tuple[col]);
+        } else {
+          ok = it->second == tuple[col];
+        }
+      }
+    }
+    if (ok) out.push_back(std::move(binding));
+  }
+  return out;
+}
+
+}  // namespace erpi::datalog

@@ -1,0 +1,108 @@
+// Semi-naive bottom-up Datalog evaluation.
+//
+// Rules are compiled to a left-to-right join plan with variable slots; each
+// fixpoint iteration re-derives only tuples that depend on the previous
+// iteration's delta, which keeps recursive rules (e.g. reachability over the
+// happens-before relation) near-linear in output size.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "datalog/database.hpp"
+
+namespace erpi::datalog {
+
+/// Evaluation statistics, exposed for the micro-benchmarks.
+struct EvalStats {
+  size_t iterations = 0;
+  size_t derived_tuples = 0;
+  size_t join_probes = 0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(Database& db, const Program& program);
+
+  /// Run to fixpoint. Facts in the program (empty-body rules with ground
+  /// heads) are inserted first. Returns statistics of the run.
+  EvalStats run();
+
+ private:
+  struct CompiledTerm {
+    bool is_constant = false;
+    Value constant;
+    int slot = -1;         // variable slot id
+    bool first_binding = false;  // this occurrence binds the slot
+  };
+
+  struct CompiledAtom {
+    std::string predicate;
+    std::vector<CompiledTerm> terms;
+    // column to use for indexed lookup when its variable is already bound,
+    // or the column holding a constant; -1 means full scan.
+    int probe_column = -1;
+  };
+
+  struct CompiledConstraint {
+    Constraint::Op op;
+    CompiledTerm lhs;
+    CompiledTerm rhs;
+    int earliest_atom;  // body position after which both sides are bound
+  };
+
+  struct CompiledRule {
+    CompiledAtom head;
+    std::vector<CompiledAtom> body;
+    std::vector<CompiledAtom> negated;  // checked once the body is matched
+    std::vector<CompiledConstraint> constraints;
+    int slot_count = 0;
+  };
+
+  CompiledRule compile(const Rule& rule) const;
+
+  /// Join the rule body; `delta_position` selects which body atom must range
+  /// over the delta relation (-1 = all-full evaluation for the first round).
+  void evaluate_rule(const CompiledRule& rule, int delta_position,
+                     const std::unordered_map<std::string, Relation>& delta,
+                     std::vector<Tuple>& out);
+
+  void join_from(const CompiledRule& rule, size_t atom_index, int delta_position,
+                 const std::unordered_map<std::string, Relation>& delta,
+                 std::vector<Value>& slots, std::vector<bool>& bound,
+                 std::vector<Tuple>& out);
+
+  bool match_atom(const CompiledAtom& atom, const Tuple& tuple, std::vector<Value>& slots,
+                  std::vector<bool>& bound, std::vector<int>& newly_bound);
+
+  bool constraints_satisfied(const CompiledRule& rule, size_t after_atom,
+                             const std::vector<Value>& slots,
+                             const std::vector<bool>& bound) const;
+
+  bool negations_satisfied(const CompiledRule& rule, const std::vector<Value>& slots) const;
+
+  Database& db_;
+  std::vector<CompiledRule> rules_;
+  std::unordered_set<std::string> idb_;  // predicates appearing in a rule head
+  EvalStats stats_;
+};
+
+/// One-shot convenience: evaluate `program` against `db` to fixpoint.
+/// Programs with negated body atoms are stratified first (each negated
+/// predicate must be fully computable in a strictly lower stratum); a cycle
+/// through negation throws std::invalid_argument.
+EvalStats evaluate(Database& db, const Program& program);
+
+/// Assign a stratum to every IDB predicate of `program` (exposed for tests).
+std::unordered_map<std::string, int> stratify(const Program& program);
+
+/// Match a single (possibly non-ground) atom against the database, returning
+/// one binding row per matching fact. Variables repeat-match (joins within
+/// the atom) as expected.
+std::vector<std::unordered_map<std::string, Value>> query(const Database& db,
+                                                          const Atom& pattern);
+
+}  // namespace erpi::datalog

@@ -1,0 +1,301 @@
+#include "datalog/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace erpi::datalog {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    Ident,    // variable or symbol depending on first char
+    Integer,
+    String,
+    LParen,
+    RParen,
+    Comma,
+    Period,
+    Implies,  // :-
+    Op,       // comparison operator, text in `text`
+    Bang,     // '!' prefixing a negated atom
+    End,
+  };
+  Kind kind = Kind::End;
+  std::string text;
+  int64_t integer = 0;
+  size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  util::Result<Token> next() {
+    skip_trivia();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= src_.size()) return tok;  // End
+
+    const char c = src_[pos_];
+    if (c == '(') { ++pos_; tok.kind = Token::Kind::LParen; return tok; }
+    if (c == ')') { ++pos_; tok.kind = Token::Kind::RParen; return tok; }
+    if (c == ',') { ++pos_; tok.kind = Token::Kind::Comma; return tok; }
+    if (c == '.') { ++pos_; tok.kind = Token::Kind::Period; return tok; }
+    if (c == ':') {
+      if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '-') {
+        pos_ += 2;
+        tok.kind = Token::Kind::Implies;
+        return tok;
+      }
+      return fail("stray ':'");
+    }
+    if (c == '!' || c == '<' || c == '>' || c == '=') {
+      tok.text.push_back(c);
+      ++pos_;
+      if (pos_ < src_.size() && src_[pos_] == '=') {
+        tok.text.push_back('=');
+        ++pos_;
+      }
+      if (tok.text == "!") {
+        tok.kind = Token::Kind::Bang;  // negated body atom follows
+        return tok;
+      }
+      tok.kind = Token::Kind::Op;
+      return tok;
+    }
+    if (c == '"') {
+      ++pos_;
+      tok.kind = Token::Kind::String;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\n') return fail("newline in string literal");
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+        tok.text.push_back(src_[pos_++]);
+      }
+      if (pos_ >= src_.size()) return fail("unterminated string literal");
+      ++pos_;
+      return tok;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = pos_;
+      if (c == '-') ++pos_;
+      if (pos_ >= src_.size() || !std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        return fail("malformed integer");
+      }
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+      tok.kind = Token::Kind::Integer;
+      tok.integer = std::strtoll(std::string(src_.substr(start, pos_ - start)).c_str(),
+                                 nullptr, 10);
+      return tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.kind = Token::Kind::Ident;
+      tok.text = std::string(src_.substr(start, pos_ - start));
+      return tok;
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  size_t line() const noexcept { return line_; }
+
+ private:
+  util::Error fail(const std::string& what) const {
+    return util::Error{"datalog lex error at line " + std::to_string(line_) + ": " + what};
+  }
+
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '%' || (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+class ProgramParser {
+ public:
+  ProgramParser(std::string_view src, SymbolTable& symbols) : lexer_(src), symbols_(symbols) {}
+
+  util::Result<Program> parse() {
+    Program program;
+    if (auto st = advance(); !st) return util::Error{st.error()};
+    while (current_.kind != Token::Kind::End) {
+      Rule rule;
+      if (auto st = parse_rule(rule); !st) return util::Error{st.error()};
+      program.rules.push_back(std::move(rule));
+    }
+    return program;
+  }
+
+  util::Result<Atom> parse_single_atom() {
+    if (auto st = advance(); !st) return util::Error{st.error()};
+    Atom atom;
+    if (auto st = parse_atom_body(atom); !st) return util::Error{st.error()};
+    if (current_.kind != Token::Kind::End) return fail_atom("trailing tokens after atom");
+    return atom;
+  }
+
+ private:
+  util::Status advance() {
+    auto tok = lexer_.next();
+    if (!tok) return util::Status::fail(tok.error().message);
+    current_ = std::move(tok).take();
+    return util::Status::ok();
+  }
+
+  util::Status fail(const std::string& what) const {
+    return util::Status::fail("datalog parse error at line " + std::to_string(current_.line) +
+                              ": " + what);
+  }
+  util::Error fail_atom(const std::string& what) const {
+    return util::Error{"datalog parse error at line " + std::to_string(current_.line) + ": " +
+                       what};
+  }
+
+  util::Status parse_rule(Rule& out) {
+    if (auto st = parse_atom_body(out.head); !st) return st;
+    if (current_.kind == Token::Kind::Period) return advance();
+    if (current_.kind != Token::Kind::Implies) return fail("expected '.' or ':-'");
+    if (auto st = advance(); !st) return st;
+    while (true) {
+      if (current_.kind == Token::Kind::Bang) {
+        if (auto st = advance(); !st) return st;
+        Atom atom;
+        if (auto st = parse_atom_body(atom); !st) return st;
+        out.negated_body.push_back(std::move(atom));
+      } else
+      // lookahead: ident '(' -> atom; otherwise it is a constraint
+      if (current_.kind == Token::Kind::Ident || current_.kind == Token::Kind::Integer ||
+          current_.kind == Token::Kind::String) {
+        Term lhs;
+        std::string maybe_predicate;
+        const bool was_ident = current_.kind == Token::Kind::Ident;
+        if (was_ident) maybe_predicate = current_.text;
+        if (auto st = parse_term(lhs); !st) return st;
+        if (was_ident && current_.kind == Token::Kind::LParen) {
+          Atom atom;
+          atom.predicate = maybe_predicate;
+          if (auto st = parse_term_list(atom); !st) return st;
+          out.body.push_back(std::move(atom));
+        } else if (current_.kind == Token::Kind::Op) {
+          Constraint c;
+          if (auto st = parse_constraint_tail(lhs, c); !st) return st;
+          out.constraints.push_back(std::move(c));
+        } else {
+          return fail("expected '(' (atom) or comparison operator (constraint)");
+        }
+      } else {
+        return fail("expected body atom or constraint");
+      }
+      if (current_.kind == Token::Kind::Comma) {
+        if (auto st = advance(); !st) return st;
+        continue;
+      }
+      if (current_.kind == Token::Kind::Period) return advance();
+      return fail("expected ',' or '.' in rule body");
+    }
+  }
+
+  util::Status parse_atom_body(Atom& out) {
+    if (current_.kind != Token::Kind::Ident) return fail("expected predicate name");
+    out.predicate = current_.text;
+    if (auto st = advance(); !st) return st;
+    if (current_.kind != Token::Kind::LParen) return fail("expected '(' after predicate");
+    return parse_term_list(out);
+  }
+
+  // current_ is '('; consumes through ')'
+  util::Status parse_term_list(Atom& out) {
+    if (auto st = advance(); !st) return st;  // consume '('
+    if (current_.kind == Token::Kind::RParen) return fail("empty term list");
+    while (true) {
+      Term t;
+      if (auto st = parse_term(t); !st) return st;
+      out.terms.push_back(std::move(t));
+      if (current_.kind == Token::Kind::Comma) {
+        if (auto st = advance(); !st) return st;
+        continue;
+      }
+      if (current_.kind == Token::Kind::RParen) return advance();
+      return fail("expected ',' or ')' in term list");
+    }
+  }
+
+  util::Status parse_term(Term& out) {
+    switch (current_.kind) {
+      case Token::Kind::Integer:
+        out = Term::constant_int(current_.integer);
+        return advance();
+      case Token::Kind::String:
+        out = Term::constant_sym(symbols_.intern(current_.text));
+        return advance();
+      case Token::Kind::Ident: {
+        const char first = current_.text[0];
+        if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+          out = Term::var(current_.text);
+        } else {
+          out = Term::constant_sym(symbols_.intern(current_.text));
+        }
+        return advance();
+      }
+      default: return fail("expected term");
+    }
+  }
+
+  util::Status parse_constraint_tail(Term lhs, Constraint& out) {
+    const std::string op = current_.text;
+    if (op == "=") {
+      out.op = Constraint::Op::Eq;
+    } else if (op == "!=") {
+      out.op = Constraint::Op::Ne;
+    } else if (op == "<") {
+      out.op = Constraint::Op::Lt;
+    } else if (op == "<=") {
+      out.op = Constraint::Op::Le;
+    } else if (op == ">") {
+      out.op = Constraint::Op::Gt;
+    } else if (op == ">=") {
+      out.op = Constraint::Op::Ge;
+    } else {
+      return fail("unknown operator '" + op + "'");
+    }
+    if (auto st = advance(); !st) return st;
+    out.lhs = std::move(lhs);
+    return parse_term(out.rhs);
+  }
+
+  Lexer lexer_;
+  SymbolTable& symbols_;
+  Token current_;
+};
+
+}  // namespace
+
+util::Result<Program> parse_program(std::string_view source, SymbolTable& symbols) {
+  ProgramParser p(source, symbols);
+  return p.parse();
+}
+
+util::Result<Atom> parse_atom(std::string_view source, SymbolTable& symbols) {
+  ProgramParser p(source, symbols);
+  return p.parse_single_atom();
+}
+
+}  // namespace erpi::datalog

@@ -1,0 +1,26 @@
+// Parser for a Souffle-flavoured Datalog surface syntax.
+//
+//   edge(1, 2).
+//   path(X, Z) :- edge(X, Y), path(Y, Z), X != Z.
+//   % line comment        // line comment
+//
+// Conventions: UPPERCASE-initial (or '_') identifiers are variables,
+// lowercase-initial identifiers and "quoted strings" are symbol constants,
+// [-]digits are integers. Constraint operators: = != < <= > >=.
+#pragma once
+
+#include <string_view>
+
+#include "datalog/ast.hpp"
+#include "datalog/database.hpp"
+#include "util/result.hpp"
+
+namespace erpi::datalog {
+
+/// Parse a whole program. Symbols are interned into `symbols`.
+util::Result<Program> parse_program(std::string_view source, SymbolTable& symbols);
+
+/// Parse a single atom (handy for queries), e.g. "path(X, 3)".
+util::Result<Atom> parse_atom(std::string_view source, SymbolTable& symbols);
+
+}  // namespace erpi::datalog

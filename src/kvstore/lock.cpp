@@ -1,0 +1,39 @@
+#include "kvstore/lock.hpp"
+
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace erpi::kv {
+
+DistributedMutex::DistributedMutex(Server& server, std::string key, Options options,
+                                   uint64_t token_seed)
+    : client_(server), key_(std::move(key)), options_(options), rng_(token_seed) {}
+
+bool DistributedMutex::try_lock() {
+  if (held_) return true;
+  // Fresh random token per acquisition so unlock can verify ownership.
+  token_ = std::to_string(rng_.next()) + "-" + std::to_string(rng_.next());
+  held_ = client_.set_nx_px(key_, token_, options_.ttl_ms);
+  return held_;
+}
+
+bool DistributedMutex::lock() {
+  if (held_) return true;
+  util::Stopwatch watch;
+  while (!try_lock()) {
+    if (watch.elapsed_seconds() * 1000.0 > static_cast<double>(options_.acquire_timeout_ms)) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.retry_delay_us));
+  }
+  return true;
+}
+
+bool DistributedMutex::unlock() {
+  if (!held_) return false;
+  held_ = false;
+  return client_.compare_and_delete(key_, token_);
+}
+
+}  // namespace erpi::kv

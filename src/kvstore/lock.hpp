@@ -1,0 +1,54 @@
+// Redlock-style distributed mutex over the mini-Redis server.
+//
+// The paper's replay engine enforces each interleaving's event order with "a
+// mutex with a shared key managed by a Redis server" (§4.3). This is that
+// mutex: acquire = SET key <unique-token> NX PX <ttl>; release = atomic
+// compare-and-delete of the token (so an expired holder cannot release a
+// later holder's lock). The TTL guards against a crashed holder wedging the
+// replay forever.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "kvstore/server.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::kv {
+
+class DistributedMutex {
+ public:
+  struct Options {
+    int64_t ttl_ms = 30'000;          // lock lease length
+    int64_t retry_delay_us = 50;      // backoff between acquisition attempts
+    int64_t acquire_timeout_ms = 60'000;  // give up after this long
+  };
+
+  DistributedMutex(Server& server, std::string key)
+      : DistributedMutex(server, std::move(key), Options()) {}
+  DistributedMutex(Server& server, std::string key, Options options,
+                   uint64_t token_seed = 0x10c7Ull);
+
+  /// Non-blocking attempt. Returns true on acquisition.
+  bool try_lock();
+
+  /// Blocking acquisition with retry/backoff. Returns false on timeout.
+  bool lock();
+
+  /// Release if we still hold the lease. Returns true if the key was deleted
+  /// by us (false: lease expired and possibly re-acquired by someone else).
+  bool unlock();
+
+  bool held() const noexcept { return held_; }
+  const std::string& key() const noexcept { return key_; }
+
+ private:
+  Client client_;
+  std::string key_;
+  Options options_;
+  util::Rng rng_;
+  std::string token_;
+  bool held_ = false;
+};
+
+}  // namespace erpi::kv

@@ -1,0 +1,132 @@
+#include "kvstore/server.hpp"
+
+#include <chrono>
+
+namespace erpi::kv {
+
+namespace {
+int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Server::Server(ClockFn clock) {
+  if (!clock) clock = steady_now_ms;
+  store_ = std::make_unique<Store>(std::move(clock));
+  thread_ = std::thread([this] { serve(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  {
+    std::lock_guard lock(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Response Server::call(Request request) {
+  auto pending = std::make_shared<PendingCall>();
+  pending->request = std::move(request);
+  {
+    std::lock_guard lock(queue_mu_);
+    if (stopping_) return Response::err("server stopped");
+    queue_.push_back(pending);
+  }
+  queue_cv_.notify_one();
+  std::unique_lock lock(pending->mu);
+  pending->cv.wait(lock, [&] { return pending->done; });
+  return pending->response;
+}
+
+void Server::serve() {
+  while (true) {
+    std::shared_ptr<PendingCall> pending;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+    }
+    Response response = store_->execute(pending->request);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(pending->mu);
+      pending->response = std::move(response);
+      pending->done = true;
+    }
+    pending->cv.notify_one();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> Client::get(const std::string& key) {
+  const Response r = server_->call({"GET", {key}});
+  if (!r.ok || !r.found) return std::nullopt;
+  return r.value;
+}
+
+void Client::set(const std::string& key, const std::string& value) {
+  server_->call({"SET", {key, value}});
+}
+
+bool Client::set_nx_px(const std::string& key, const std::string& value, int64_t ttl_ms) {
+  const Response r = server_->call({"SET", {key, value, "NX", "PX", std::to_string(ttl_ms)}});
+  return r.ok && r.found;
+}
+
+bool Client::del(const std::string& key) {
+  return server_->call({"DEL", {key}}).integer == 1;
+}
+
+bool Client::compare_and_delete(const std::string& key, const std::string& expected) {
+  return server_->call({"CAD", {key, expected}}).integer == 1;
+}
+
+int64_t Client::incr(const std::string& key) { return server_->call({"INCR", {key}}).integer; }
+
+bool Client::exists(const std::string& key) {
+  return server_->call({"EXISTS", {key}}).integer == 1;
+}
+
+std::vector<std::string> Client::keys_with_prefix(const std::string& prefix) {
+  return server_->call({"KEYS", {prefix}}).values;
+}
+
+bool Client::zadd(const std::string& key, double score, const std::string& member) {
+  return server_->call({"ZADD", {key, std::to_string(score), member}}).integer == 1;
+}
+
+bool Client::zrem(const std::string& key, const std::string& member) {
+  return server_->call({"ZREM", {key, member}}).integer == 1;
+}
+
+std::optional<double> Client::zscore(const std::string& key, const std::string& member) {
+  const Response r = server_->call({"ZSCORE", {key, member}});
+  if (!r.ok || !r.found) return std::nullopt;
+  return std::strtod(r.value.c_str(), nullptr);
+}
+
+std::vector<std::string> Client::zrange(const std::string& key, int64_t start, int64_t stop) {
+  return server_->call({"ZRANGE", {key, std::to_string(start), std::to_string(stop)}}).values;
+}
+
+int64_t Client::zcard(const std::string& key) {
+  return server_->call({"ZCARD", {key}}).integer;
+}
+
+void Client::flush_all() { server_->call({"FLUSHALL", {}}); }
+
+}  // namespace erpi::kv

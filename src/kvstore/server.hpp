@@ -1,0 +1,84 @@
+// Single-threaded command server over a Store, mirroring Redis's execution
+// model: many clients, one command at a time, total order over commands.
+//
+// Clients enqueue requests and block for the response; the server thread
+// drains the queue in FIFO order. This total order is what makes SETNX-based
+// distributed locking sound, so the replay engine's lock (see lock.hpp)
+// inherits the same guarantee as the paper's Redis deployment.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "kvstore/store.hpp"
+
+namespace erpi::kv {
+
+class Server {
+ public:
+  /// Starts the server thread. `clock` defaults to steady_clock milliseconds.
+  explicit Server(ClockFn clock = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Send a request and wait for its response. Thread-safe.
+  Response call(Request request);
+
+  /// Stop accepting requests and join the server thread. Idempotent.
+  void stop();
+
+  /// Commands served so far (for tests/benchmarks).
+  uint64_t commands_served() const noexcept { return served_.load(); }
+
+ private:
+  struct PendingCall {
+    Request request;
+    Response response;
+    bool done = false;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void serve();
+
+  std::unique_ptr<Store> store_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingCall>> queue_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// Typed convenience wrapper over Server::call.
+class Client {
+ public:
+  explicit Client(Server& server) : server_(&server) {}
+
+  std::optional<std::string> get(const std::string& key);
+  void set(const std::string& key, const std::string& value);
+  bool set_nx_px(const std::string& key, const std::string& value, int64_t ttl_ms);
+  bool del(const std::string& key);
+  bool compare_and_delete(const std::string& key, const std::string& expected);
+  int64_t incr(const std::string& key);
+  bool exists(const std::string& key);
+  std::vector<std::string> keys_with_prefix(const std::string& prefix);
+
+  bool zadd(const std::string& key, double score, const std::string& member);
+  bool zrem(const std::string& key, const std::string& member);
+  std::optional<double> zscore(const std::string& key, const std::string& member);
+  std::vector<std::string> zrange(const std::string& key, int64_t start, int64_t stop);
+  int64_t zcard(const std::string& key);
+
+  void flush_all();
+
+ private:
+  Server* server_;
+};
+
+}  // namespace erpi::kv

@@ -1,0 +1,174 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace erpi::net {
+
+SimNetwork::SimNetwork(int replica_count, uint64_t seed)
+    : replica_count_(replica_count), rng_(seed), handlers_(static_cast<size_t>(replica_count)) {
+  if (replica_count <= 0) throw std::invalid_argument("replica_count must be positive");
+}
+
+void SimNetwork::check_replica(ReplicaId id) const {
+  if (id < 0 || id >= replica_count_) {
+    throw std::out_of_range("replica id " + std::to_string(id) + " out of range");
+  }
+}
+
+void SimNetwork::set_faults(Faults faults) {
+  std::lock_guard lock(mu_);
+  faults_ = faults;
+}
+
+void SimNetwork::partition(ReplicaId a, ReplicaId b) {
+  check_replica(a);
+  check_replica(b);
+  std::lock_guard lock(mu_);
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void SimNetwork::heal(ReplicaId a, ReplicaId b) {
+  std::lock_guard lock(mu_);
+  partitions_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void SimNetwork::heal_all() {
+  std::lock_guard lock(mu_);
+  partitions_.clear();
+}
+
+bool SimNetwork::partitioned(ReplicaId a, ReplicaId b) const {
+  std::lock_guard lock(mu_);
+  return partitions_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+std::optional<uint64_t> SimNetwork::send(ReplicaId from, ReplicaId to, std::string topic,
+                                         std::string payload) {
+  check_replica(from);
+  check_replica(to);
+  std::lock_guard lock(mu_);
+  ++stats_.sent;
+  if (partitions_.count({std::min(from, to), std::max(from, to)}) > 0 ||
+      rng_.chance(faults_.drop_probability)) {
+    ++stats_.dropped;
+    return std::nullopt;
+  }
+  Message m{from, to, std::move(topic), std::move(payload), next_seq_++};
+  auto& channel = channels_[{from, to}];
+  channel.push_back(m);
+  if (rng_.chance(faults_.duplicate_probability)) {
+    Message dup = channel.back();
+    dup.seq = next_seq_++;
+    channel.push_back(std::move(dup));
+    ++stats_.duplicated;
+  }
+  return channel.back().seq;
+}
+
+std::optional<Message> SimNetwork::pop_locked(ReplicaId from, ReplicaId to) {
+  const auto it = channels_.find({from, to});
+  if (it == channels_.end() || it->second.empty()) return std::nullopt;
+  Message m = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) channels_.erase(it);
+  ++stats_.delivered;
+  return m;
+}
+
+void SimNetwork::dispatch(const Message& message) {
+  std::function<void(const Message&)> handler;
+  {
+    std::lock_guard lock(mu_);
+    handler = handlers_[static_cast<size_t>(message.to)];
+  }
+  if (handler) handler(message);
+}
+
+std::optional<Message> SimNetwork::deliver_next(ReplicaId from, ReplicaId to) {
+  check_replica(from);
+  check_replica(to);
+  std::optional<Message> m;
+  {
+    std::lock_guard lock(mu_);
+    m = pop_locked(from, to);
+  }
+  if (m) dispatch(*m);
+  return m;
+}
+
+std::optional<Message> SimNetwork::deliver_any(ReplicaId to) {
+  check_replica(to);
+  std::optional<Message> m;
+  {
+    std::lock_guard lock(mu_);
+    // lowest global seq among channels destined to `to`
+    const std::pair<ReplicaId, ReplicaId>* best = nullptr;
+    uint64_t best_seq = 0;
+    for (const auto& [key, queue] : channels_) {
+      if (key.second != to || queue.empty()) continue;
+      if (best == nullptr || queue.front().seq < best_seq) {
+        best = &key;
+        best_seq = queue.front().seq;
+      }
+    }
+    if (best != nullptr) m = pop_locked(best->first, best->second);
+  }
+  if (m) dispatch(*m);
+  return m;
+}
+
+size_t SimNetwork::deliver_all() {
+  size_t count = 0;
+  while (true) {
+    std::optional<Message> m;
+    {
+      std::lock_guard lock(mu_);
+      const std::pair<ReplicaId, ReplicaId>* best = nullptr;
+      uint64_t best_seq = 0;
+      for (const auto& [key, queue] : channels_) {
+        if (queue.empty()) continue;
+        if (best == nullptr || queue.front().seq < best_seq) {
+          best = &key;
+          best_seq = queue.front().seq;
+        }
+      }
+      if (best != nullptr) m = pop_locked(best->first, best->second);
+    }
+    if (!m) return count;
+    dispatch(*m);
+    ++count;
+  }
+}
+
+size_t SimNetwork::pending(ReplicaId from, ReplicaId to) const {
+  std::lock_guard lock(mu_);
+  const auto it = channels_.find({from, to});
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+size_t SimNetwork::total_pending() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, queue] : channels_) n += queue.size();
+  return n;
+}
+
+void SimNetwork::set_handler(ReplicaId replica, std::function<void(const Message&)> handler) {
+  check_replica(replica);
+  std::lock_guard lock(mu_);
+  handlers_[static_cast<size_t>(replica)] = std::move(handler);
+}
+
+NetworkStats SimNetwork::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void SimNetwork::reset() {
+  std::lock_guard lock(mu_);
+  channels_.clear();
+  stats_ = NetworkStats{};
+  next_seq_ = 1;
+}
+
+}  // namespace erpi::net

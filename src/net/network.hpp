@@ -1,0 +1,106 @@
+// Simulated distributed environment.
+//
+// The paper evaluates on three physical replicas; here each replica is a
+// context attached to a SimNetwork. The network holds every sent message in a
+// per-(sender, receiver) FIFO channel and only delivers when told to — which
+// is exactly the control ER-pi's replay engine needs: a sync_req event maps
+// to send(), the paired exec_sync event maps to deliver_next(). Fault
+// injection (drop / duplicate / partition) is available for robustness tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace erpi::net {
+
+using ReplicaId = int32_t;
+
+struct Message {
+  ReplicaId from = -1;
+  ReplicaId to = -1;
+  std::string topic;    // e.g. "sync", "op", subject-specific kinds
+  std::string payload;  // serialized body (JSON or subject-specific)
+  uint64_t seq = 0;     // global send sequence, unique per send
+};
+
+struct NetworkStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+};
+
+class SimNetwork {
+ public:
+  struct Faults {
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+  };
+
+  explicit SimNetwork(int replica_count, uint64_t seed = 0xbeef);
+
+  int replica_count() const noexcept { return replica_count_; }
+
+  void set_faults(Faults faults);
+
+  /// Sever the link between two replicas (both directions). Messages sent
+  /// across a partition are dropped.
+  void partition(ReplicaId a, ReplicaId b);
+  void heal(ReplicaId a, ReplicaId b);
+  void heal_all();
+  bool partitioned(ReplicaId a, ReplicaId b) const;
+
+  /// Queue a message. Returns the send sequence number, or nullopt if the
+  /// message was dropped (fault or partition).
+  std::optional<uint64_t> send(ReplicaId from, ReplicaId to, std::string topic,
+                               std::string payload);
+
+  /// Deliver the oldest message on channel (from -> to), invoking the
+  /// receiver's handler if one is registered. FIFO per channel.
+  std::optional<Message> deliver_next(ReplicaId from, ReplicaId to);
+
+  /// Deliver the oldest message destined to `to` from any sender
+  /// (lowest-seq first, i.e. global send order).
+  std::optional<Message> deliver_any(ReplicaId to);
+
+  /// Deliver everything currently queued (in global send order).
+  size_t deliver_all();
+
+  size_t pending(ReplicaId from, ReplicaId to) const;
+  size_t total_pending() const;
+
+  /// Handler invoked (outside the network lock) when a message is delivered
+  /// to this replica.
+  void set_handler(ReplicaId replica, std::function<void(const Message&)> handler);
+
+  NetworkStats stats() const;
+
+  /// Drop all in-flight messages and reset statistics (between interleavings).
+  void reset();
+
+ private:
+  void check_replica(ReplicaId id) const;
+  std::optional<Message> pop_locked(ReplicaId from, ReplicaId to);
+  void dispatch(const Message& message);
+
+  const int replica_count_;
+  mutable std::mutex mu_;
+  util::Rng rng_;
+  Faults faults_;
+  uint64_t next_seq_ = 1;
+  std::map<std::pair<ReplicaId, ReplicaId>, std::deque<Message>> channels_;
+  std::set<std::pair<ReplicaId, ReplicaId>> partitions_;  // normalized (min,max)
+  std::vector<std::function<void(const Message&)>> handlers_;
+  NetworkStats stats_;
+};
+
+}  // namespace erpi::net

@@ -1,0 +1,63 @@
+#include "proxy/event.hpp"
+
+namespace erpi::proxy {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::Update: return "update";
+    case EventKind::SyncReq: return "sync_req";
+    case EventKind::ExecSync: return "exec_sync";
+    case EventKind::Query: return "query";
+  }
+  return "?";
+}
+
+namespace {
+EventKind kind_from_name(const std::string& name) {
+  if (name == "update") return EventKind::Update;
+  if (name == "sync_req") return EventKind::SyncReq;
+  if (name == "exec_sync") return EventKind::ExecSync;
+  if (name == "query") return EventKind::Query;
+  throw std::invalid_argument("unknown event kind " + name);
+}
+}  // namespace
+
+util::Json Event::to_json() const {
+  util::Json j = util::Json::object();
+  j["id"] = static_cast<int64_t>(id);
+  j["kind"] = event_kind_name(kind);
+  j["replica"] = static_cast<int64_t>(replica);
+  j["from"] = static_cast<int64_t>(from);
+  j["to"] = static_cast<int64_t>(to);
+  j["op"] = op;
+  j["args"] = args;
+  j["label"] = label;
+  return j;
+}
+
+Event Event::from_json(const util::Json& j) {
+  Event e;
+  e.id = static_cast<int>(j["id"].as_int());
+  e.kind = kind_from_name(j["kind"].as_string());
+  e.replica = static_cast<net::ReplicaId>(j["replica"].as_int());
+  e.from = static_cast<net::ReplicaId>(j["from"].as_int());
+  e.to = static_cast<net::ReplicaId>(j["to"].as_int());
+  e.op = j["op"].as_string();
+  e.args = j["args"];
+  e.label = j["label"].as_string();
+  return e;
+}
+
+std::string Event::describe() const {
+  std::string out = "ev" + std::to_string(id) + ":" + event_kind_name(kind);
+  if (kind == EventKind::SyncReq || kind == EventKind::ExecSync) {
+    out += "(" + std::to_string(from) + "->" + std::to_string(to) + ")";
+  } else {
+    out += "@r" + std::to_string(replica);
+  }
+  out += ":" + op;
+  if (!label.empty()) out += "[" + label + "]";
+  return out;
+}
+
+}  // namespace erpi::proxy

@@ -1,0 +1,52 @@
+// The distributed-event model shared by the proxy (which captures events) and
+// the core middleware (which interleaves and replays them).
+//
+// An event is one RDL function invocation observed between ER-pi.Start() and
+// ER-pi.End(): a local update, the sending of a synchronization request, the
+// execution of a received synchronization, or a query/observation. Sync sends
+// and executions carry (from, to) endpoints — Event Grouping pruning pairs
+// them per channel (paper §3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/json.hpp"
+
+namespace erpi::proxy {
+
+enum class EventKind {
+  Update,    // state mutation local to `replica`
+  SyncReq,   // replica `from` sends a sync request to `to` (executes at from)
+  ExecSync,  // replica `to` executes the sync received from `from`
+  Query,     // observation of replica state (e.g. the motivating example's
+             // "transmit the set to the municipality")
+};
+
+const char* event_kind_name(EventKind kind) noexcept;
+
+struct Event {
+  int id = -1;                 // dense index in the captured trace
+  EventKind kind = EventKind::Update;
+  net::ReplicaId replica = -1;  // executing replica
+  net::ReplicaId from = -1;     // sync endpoints (from/to); -1 otherwise
+  net::ReplicaId to = -1;
+  std::string op;              // RDL function name the proxy intercepted
+  util::Json args;             // arguments to re-invoke with during replay
+  std::string label;           // human-readable, for reports
+
+  bool is_sync_req() const noexcept { return kind == EventKind::SyncReq; }
+  bool is_exec_sync() const noexcept { return kind == EventKind::ExecSync; }
+
+  util::Json to_json() const;
+  static Event from_json(const util::Json& j);
+
+  /// Display string such as "ev3:Update@r0:add(otb)".
+  std::string describe() const;
+};
+
+/// The immutable set of captured events a replay session works over.
+using EventSet = std::vector<Event>;
+
+}  // namespace erpi::proxy

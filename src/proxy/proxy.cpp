@@ -1,0 +1,81 @@
+#include "proxy/proxy.hpp"
+
+namespace erpi::proxy {
+
+void RdlProxy::start_capture() {
+  events_.clear();
+  capturing_ = true;
+}
+
+EventSet RdlProxy::end_capture() {
+  capturing_ = false;
+  return std::move(events_);
+}
+
+util::Result<util::Json> RdlProxy::record_and_forward(Event event) {
+  if (capturing_) {
+    event.id = static_cast<int>(events_.size());
+    events_.push_back(event);
+  }
+  return target_->invoke(event.replica, event.op, event.args);
+}
+
+util::Result<util::Json> RdlProxy::update(net::ReplicaId replica, const std::string& op,
+                                          util::Json args, std::string label) {
+  Event event;
+  event.kind = EventKind::Update;
+  event.replica = replica;
+  event.op = op;
+  event.args = std::move(args);
+  event.label = std::move(label);
+  return record_and_forward(std::move(event));
+}
+
+util::Result<util::Json> RdlProxy::sync_req(net::ReplicaId from, net::ReplicaId to,
+                                            util::Json args) {
+  Event event;
+  event.kind = EventKind::SyncReq;
+  event.replica = from;  // sending executes at the sender
+  event.from = from;
+  event.to = to;
+  event.op = kSyncReqOp;
+  args["peer"] = static_cast<int64_t>(to);
+  event.args = std::move(args);
+  return record_and_forward(std::move(event));
+}
+
+util::Result<util::Json> RdlProxy::exec_sync(net::ReplicaId from, net::ReplicaId to,
+                                             util::Json args) {
+  Event event;
+  event.kind = EventKind::ExecSync;
+  event.replica = to;  // executing the sync happens at the receiver
+  event.from = from;
+  event.to = to;
+  event.op = kExecSyncOp;
+  args["peer"] = static_cast<int64_t>(from);
+  event.args = std::move(args);
+  return record_and_forward(std::move(event));
+}
+
+util::Result<util::Json> RdlProxy::sync(net::ReplicaId from, net::ReplicaId to) {
+  auto sent = sync_req(from, to);
+  if (!sent) return sent;
+  return exec_sync(from, to);
+}
+
+util::Result<util::Json> RdlProxy::query(net::ReplicaId replica, const std::string& op,
+                                         util::Json args, std::string label) {
+  Event event;
+  event.kind = EventKind::Query;
+  event.replica = replica;
+  event.op = op;
+  event.args = std::move(args);
+  event.label = std::move(label);
+  return record_and_forward(std::move(event));
+}
+
+util::Result<util::Json> RdlProxy::invoke(const Event& event) {
+  return target_->invoke(event.replica, event.op, event.args);
+}
+
+}  // namespace erpi::proxy

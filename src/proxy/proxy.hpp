@@ -1,0 +1,59 @@
+// RdlProxy — the language binding stand-in.
+//
+// Application code calls RDL functions through this object. In capture mode
+// every call is recorded as an Event (and still forwarded, so the capture run
+// behaves like a normal run). During replay the engine calls `invoke(event)`
+// to re-issue recorded calls in the interleaving's order.
+#pragma once
+
+#include <vector>
+
+#include "proxy/event.hpp"
+#include "proxy/rdl.hpp"
+
+namespace erpi::proxy {
+
+class RdlProxy {
+ public:
+  explicit RdlProxy(Rdl& target) : target_(&target) {}
+
+  Rdl& target() noexcept { return *target_; }
+  const Rdl& target() const noexcept { return *target_; }
+
+  // ---- capture control (driven by Session::start/end) ----
+  void start_capture();
+  EventSet end_capture();
+  bool capturing() const noexcept { return capturing_; }
+  const EventSet& captured() const noexcept { return events_; }
+
+  // ---- interception points used by application code ----
+  /// A state-mutating RDL call on `replica`.
+  util::Result<util::Json> update(net::ReplicaId replica, const std::string& op,
+                                  util::Json args, std::string label = "");
+  /// Send a synchronization request from -> to.
+  util::Result<util::Json> sync_req(net::ReplicaId from, net::ReplicaId to,
+                                    util::Json args = util::Json::object());
+  /// Execute the received synchronization at `to` (from -> to channel).
+  util::Result<util::Json> exec_sync(net::ReplicaId from, net::ReplicaId to,
+                                     util::Json args = util::Json::object());
+  /// Convenience: sync_req immediately followed by exec_sync.
+  util::Result<util::Json> sync(net::ReplicaId from, net::ReplicaId to);
+  /// A read-only observation of `replica` (recorded, so it interleaves too —
+  /// cf. the motivating example's transmission event).
+  util::Result<util::Json> query(net::ReplicaId replica, const std::string& op,
+                                 util::Json args = util::Json::object(),
+                                 std::string label = "");
+
+  // ---- replay path ----
+  /// Re-invoke a previously captured event against the target RDL.
+  util::Result<util::Json> invoke(const Event& event);
+
+ private:
+  util::Result<util::Json> record_and_forward(Event event);
+
+  Rdl* target_;
+  bool capturing_ = false;
+  EventSet events_;
+};
+
+}  // namespace erpi::proxy

@@ -1,0 +1,48 @@
+// The Replicated Data Library integration surface.
+//
+// The paper intercepts RDL functions via language-specific techniques (Go AST
+// rewriting, JS monkey patching, Java dynamic proxies). In this C++
+// reproduction every subject implements `Rdl`, and `RdlProxy` (proxy.hpp)
+// plays the role of those bindings: application code calls the RDL *through
+// the proxy*, which records each call as an Event in capture mode and
+// re-invokes recorded calls during replay.
+#pragma once
+
+#include <string>
+
+#include "net/network.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace erpi::proxy {
+
+class Rdl {
+ public:
+  virtual ~Rdl() = default;
+
+  /// Library name for reports ("roshi", "orbitdb", ...).
+  virtual std::string name() const = 0;
+
+  virtual int replica_count() const = 0;
+
+  /// Invoke the RDL function `op` with `args` on `replica`. Sync operations
+  /// use the reserved names "sync_req" / "exec_sync" with args {"peer": id}.
+  /// A failed Result models an RDL error (failed op, access denied, ...);
+  /// the replay engine records but tolerates these.
+  virtual util::Result<util::Json> invoke(net::ReplicaId replica, const std::string& op,
+                                          const util::Json& args) = 0;
+
+  /// Serializable view of one replica's current state; assertions compare
+  /// these across replicas and across interleavings.
+  virtual util::Json replica_state(net::ReplicaId replica) const = 0;
+
+  /// Return every replica (and any in-flight messages) to the initial state.
+  /// Called before each interleaving so replays cannot affect each other.
+  virtual void reset() = 0;
+};
+
+/// Reserved op names for synchronization traffic.
+inline constexpr const char* kSyncReqOp = "sync_req";
+inline constexpr const char* kExecSyncOp = "exec_sync";
+
+}  // namespace erpi::proxy

@@ -1,0 +1,298 @@
+#include "subjects/crdt_collection.hpp"
+
+#include "util/hash.hpp"
+
+#include <algorithm>
+
+namespace erpi::subjects {
+
+namespace {
+
+util::Json dot_json(const crdt::Dot& dot) {
+  util::Json j = util::Json::object();
+  j["r"] = static_cast<int64_t>(dot.replica);
+  j["c"] = dot.counter;
+  return j;
+}
+
+crdt::Dot dot_from(const util::Json& j) {
+  return crdt::Dot{static_cast<crdt::ReplicaId>(j["r"].as_int()), j["c"].as_int()};
+}
+
+}  // namespace
+
+CrdtCollection::CrdtCollection(int replica_count, Flags flags)
+    : SubjectBase("crdts", replica_count), flags_(flags) {
+  init_replicas();
+}
+
+void CrdtCollection::init_replicas() {
+  replicas_.clear();
+  replicas_.resize(static_cast<size_t>(replica_count()));
+  for (int r = 0; r < replica_count(); ++r) {
+    // deterministic per-replica RNG for random to-do ids
+    replicas_[static_cast<size_t>(r)].rng.reseed(0xfeedULL + static_cast<uint64_t>(r));
+  }
+}
+
+void CrdtCollection::do_reset() { init_replicas(); }
+
+void CrdtCollection::record(ReplicaCtx& ctx, net::ReplicaId origin, util::Json op_json) {
+  StampedOp stamped{origin, ctx.next_local_seq++, std::move(op_json)};
+  ctx.applied.insert({stamped.origin, stamped.seq});
+  ctx.known_ops.push_back(std::move(stamped));
+}
+
+util::Result<util::Json> CrdtCollection::apply_op(ReplicaCtx& ctx, net::ReplicaId replica,
+                                                  const std::string& op, util::Json args,
+                                                  bool remote) {
+  if (op == "set_add") {
+    if (remote) {
+      ctx.orset.apply(crdt::OrSet::AddOp{args["element"].as_string(), dot_from(args["tag"])});
+      return args;
+    }
+    const auto produced =
+        ctx.orset.add(static_cast<crdt::ReplicaId>(replica), args["element"].as_string());
+    args["tag"] = dot_json(produced.tag);
+    return args;
+  }
+  if (op == "set_remove") {
+    if (remote) {
+      crdt::OrSet::RemoveOp removal;
+      removal.element = args["element"].as_string();
+      for (const auto& tag : args["tags"].as_array()) {
+        removal.observed_tags.push_back(dot_from(tag));
+      }
+      ctx.orset.apply(removal);
+      return args;
+    }
+    const auto produced = ctx.orset.remove(args["element"].as_string());
+    if (!produced) return util::Error{"crdts: set_remove of absent element"};
+    util::Json tags = util::Json::array();
+    for (const auto& tag : produced->observed_tags) tags.push_back(dot_json(tag));
+    args["tags"] = std::move(tags);
+    return args;
+  }
+  if (op == "twopset_add") {
+    if (remote) {
+      ctx.twopset.merge_add(args["element"].as_string());
+      return args;
+    }
+    if (!ctx.twopset.add(args["element"].as_string())) {
+      return util::Error{"crdts: twopset_add failed (already added or removed)"};
+    }
+    return args;
+  }
+  if (op == "twopset_remove") {
+    if (remote) {
+      ctx.twopset.merge_remove(args["element"].as_string());
+      return args;
+    }
+    if (!ctx.twopset.remove(args["element"].as_string())) {
+      return util::Error{"crdts: twopset_remove failed (not a member)"};
+    }
+    return args;
+  }
+  if (op == "counter_inc" || op == "counter_dec") {
+    const int64_t by = args.contains("by") ? args["by"].as_int() : 1;
+    const auto owner = static_cast<crdt::ReplicaId>(
+        remote ? args["origin"].as_int() : static_cast<int64_t>(replica));
+    if (op == "counter_inc") {
+      ctx.counter.increment(owner, by);
+    } else {
+      ctx.counter.decrement(owner, by);
+    }
+    if (!remote) args["origin"] = static_cast<int64_t>(replica);
+    return args;
+  }
+  if (op == "list_insert") {
+    if (remote) {
+      ctx.list.apply(crdt::Rga::InsertOp{dot_from(args["id"]), dot_from(args["after"]),
+                                         args["value"].as_string()});
+      return args;
+    }
+    const auto index = static_cast<size_t>(args["index"].as_int());
+    if (index > ctx.list.size()) {
+      return util::Error{"crdts: list_insert index out of range"};
+    }
+    const auto produced =
+        ctx.list.insert_at(static_cast<crdt::ReplicaId>(replica), index,
+                           args["value"].as_string());
+    args["id"] = dot_json(produced.id);
+    args["after"] = dot_json(produced.after);
+    return args;
+  }
+  if (op == "list_remove") {
+    if (remote) {
+      ctx.list.apply(crdt::Rga::RemoveOp{dot_from(args["target"])});
+      return args;
+    }
+    const auto produced = ctx.list.remove_at(static_cast<size_t>(args["index"].as_int()));
+    if (!produced) return util::Error{"crdts: list_remove index out of range"};
+    args["target"] = dot_json(produced->target);
+    return args;
+  }
+  if (op == "list_move") {
+    if (remote) {
+      crdt::Rga::MoveOp move;
+      move.target = dot_from(args["target"]);
+      move.after = dot_from(args["after"]);
+      move.stamp = crdt::Timestamp::from_json(args["stamp"]);
+      ctx.list.apply(move);
+      return args;
+    }
+    const auto produced = ctx.list.move(static_cast<crdt::ReplicaId>(replica),
+                                        static_cast<size_t>(args["from"].as_int()),
+                                        static_cast<size_t>(args["to"].as_int()));
+    if (!produced) return util::Error{"crdts: list_move index out of range"};
+    args["target"] = dot_json(produced->target);
+    args["after"] = dot_json(produced->after);
+    args["stamp"] = produced->stamp.to_json();
+    return args;
+  }
+  if (op == "list_naive_move") {
+    // Application-style move: delete + re-insert. Concurrent naive moves of
+    // the same element duplicate it — misconception #3.
+    if (remote) {
+      ctx.list.apply(crdt::Rga::RemoveOp{dot_from(args["target"])});
+      ctx.list.apply(crdt::Rga::InsertOp{dot_from(args["id"]), dot_from(args["after"]),
+                                         args["value"].as_string()});
+      return args;
+    }
+    const auto produced = ctx.list.naive_move(static_cast<crdt::ReplicaId>(replica),
+                                              static_cast<size_t>(args["from"].as_int()),
+                                              static_cast<size_t>(args["to"].as_int()));
+    if (!produced) return util::Error{"crdts: list_naive_move index out of range"};
+    args["target"] = dot_json(produced->first.target);
+    args["id"] = dot_json(produced->second.id);
+    args["after"] = dot_json(produced->second.after);
+    args["value"] = produced->second.value;
+    return args;
+  }
+  if (op == "naive_append") {
+    ctx.naive_list.append(args["value"].as_string());
+    return args;
+  }
+  if (op == "reg_set") {
+    const auto owner = static_cast<crdt::ReplicaId>(
+        remote ? args["origin"].as_int() : static_cast<int64_t>(replica));
+    ctx.reg.set(args["value"].as_string(), crdt::Timestamp{args["ts"].as_int(), owner});
+    if (!remote) args["origin"] = static_cast<int64_t>(replica);
+    return args;
+  }
+  if (op == "mv_set") {
+    if (remote) {
+      ctx.mvreg.apply_remote(args["value"].as_string(),
+                             crdt::VectorClock::from_json(args["clock"]));
+      return args;
+    }
+    const auto clock =
+        ctx.mvreg.set(static_cast<crdt::ReplicaId>(replica), args["value"].as_string());
+    args["clock"] = clock.to_json();
+    return args;
+  }
+  if (op == "todo_create") {
+    int64_t id;
+    if (remote) {
+      id = args["id"].as_int();
+    } else if (flags_.random_todo_ids) {
+      id = static_cast<int64_t>(ctx.rng.below(1'000'000'000));
+    } else {
+      // sequential max+1 minting — misconception #4
+      id = ctx.todos.empty() ? 1 : ctx.todos.rbegin()->first + 1;
+    }
+    // first writer wins locally; a concurrent clash leaves replicas divergent
+    ctx.todos.emplace(id, args["text"].as_string());
+    if (!remote) args["id"] = id;
+    return args;
+  }
+  return util::Error{"crdts: unknown op " + op};
+}
+
+util::Result<util::Json> CrdtCollection::do_invoke(net::ReplicaId replica,
+                                                   const std::string& op,
+                                                   const util::Json& args) {
+  auto& ctx = replicas_[static_cast<size_t>(replica)];
+  if (op == "todo_ids") {
+    util::Json ids = util::Json::array();
+    for (const auto& [id, text] : ctx.todos) ids.push_back(id);
+    return ids;
+  }
+  if (op == "list_values") {
+    util::Json values = util::Json::array();
+    for (const auto& v : ctx.list.values()) values.push_back(v);
+    return values;
+  }
+  auto produced = apply_op(ctx, replica, op, args, /*remote=*/false);
+  if (!produced) return produced;
+  util::Json op_json = util::Json::object();
+  op_json["op"] = op;
+  op_json["args"] = produced.value();
+  record(ctx, replica, std::move(op_json));
+  return util::Json(true);
+}
+
+util::Result<std::string> CrdtCollection::make_sync_payload(net::ReplicaId from,
+                                                             net::ReplicaId,
+                                                             const util::Json&) {
+  auto& ctx = replicas_[static_cast<size_t>(from)];
+  util::Json ops = util::Json::array();
+  for (const auto& stamped : ctx.known_ops) {
+    util::Json row = util::Json::object();
+    row["origin"] = static_cast<int64_t>(stamped.origin);
+    row["seq"] = stamped.seq;
+    row["op"] = stamped.op_json;
+    ops.push_back(std::move(row));
+  }
+  return ops.dump();
+}
+
+util::Status CrdtCollection::apply_sync_payload(net::ReplicaId, net::ReplicaId to,
+                                                const std::string& payload) {
+  auto doc = util::Json::parse(payload);
+  if (!doc) return util::Status::fail("crdts sync payload: " + doc.error().message);
+  auto& ctx = replicas_[static_cast<size_t>(to)];
+  for (const auto& row : doc.value().as_array()) {
+    const auto origin = static_cast<net::ReplicaId>(row["origin"].as_int());
+    const int64_t seq = row["seq"].as_int();
+    if (!ctx.applied.insert({origin, seq}).second) continue;
+    const auto& op_json = row["op"];
+    auto applied = apply_op(ctx, origin, op_json["op"].as_string(), op_json["args"],
+                            /*remote=*/true);
+    if (!applied) return util::Status::fail(applied.error().message);
+    ctx.known_ops.push_back(StampedOp{origin, seq, op_json});
+  }
+  return util::Status::ok();
+}
+
+util::Json CrdtCollection::replica_state(net::ReplicaId replica) const {
+  const auto& ctx = replicas_[static_cast<size_t>(replica)];
+  util::Json out = util::Json::object();
+  out["set"] = ctx.orset.to_json();
+  out["twopset"] = ctx.twopset.to_json();
+  out["counter"] = ctx.counter.value();
+  out["list"] = ctx.list.to_json();
+  out["naive_list"] = ctx.naive_list.to_json();
+  out["reg"] = ctx.reg.empty() ? util::Json() : util::Json(ctx.reg.value());
+  out["mvreg"] = ctx.mvreg.to_json();
+  util::Json todos = util::Json::object();
+  util::Json todo_ids = util::Json::array();
+  for (const auto& [id, text] : ctx.todos) {
+    todos[std::to_string(id)] = text;
+    todo_ids.push_back(id);
+  }
+  out["todos"] = std::move(todos);
+  out["todo_ids"] = std::move(todo_ids);
+  std::vector<std::string> seen_list;
+  for (const auto& stamped : ctx.known_ops) {
+    seen_list.push_back(std::to_string(stamped.origin) + ":" + std::to_string(stamped.seq) +
+                        ":" + std::to_string(util::fnv1a64(stamped.op_json.dump())));
+  }
+  std::sort(seen_list.begin(), seen_list.end());
+  util::Json seen = util::Json::array();
+  for (const auto& entry : seen_list) seen.push_back(entry);
+  out["seen"] = std::move(seen);
+  return out;
+}
+
+}  // namespace erpi::subjects

@@ -1,0 +1,81 @@
+// Subject 5 — "CRDTs": a collection of replicated data structures (paper §6,
+// [25]) with a thin application layer. Each replica exposes an OR-Set, a
+// 2P-Set (whose constraints feed Failed-Ops pruning), a PN-Counter, an RGA
+// list (with both CRDT move and the application-style naive move), a naive
+// unordered list (misconception #2 seeding), an LWW register, an MV register,
+// and a to-do map whose IDs are minted sequentially (misconception #4) or
+// randomly (the fix).
+//
+// Synchronization is op-based with (origin, seq) dedup, like Yorkie: replicas
+// exchange every operation they know and apply the unseen ones.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crdt/counters.hpp"
+#include "crdt/registers.hpp"
+#include "crdt/rga.hpp"
+#include "crdt/sets.hpp"
+#include "subjects/subject_base.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::subjects {
+
+class CrdtCollection : public SubjectBase {
+ public:
+  struct Flags {
+    /// true = the fix for misconception #4 (random IDs); false = sequential
+    /// max+1 IDs that clash when minted concurrently.
+    bool random_todo_ids = false;
+  };
+
+  explicit CrdtCollection(int replica_count) : CrdtCollection(replica_count, Flags()) {}
+  CrdtCollection(int replica_count, Flags flags);
+
+  util::Json replica_state(net::ReplicaId replica) const override;
+
+ protected:
+  util::Result<util::Json> do_invoke(net::ReplicaId replica, const std::string& op,
+                                     const util::Json& args) override;
+  util::Result<std::string> make_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                                                const util::Json& args) override;
+  util::Status apply_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                  const std::string& payload) override;
+  void do_reset() override;
+
+ private:
+  struct StampedOp {
+    net::ReplicaId origin;
+    int64_t seq;
+    util::Json op_json;
+  };
+  struct ReplicaCtx {
+    crdt::OrSet orset;
+    crdt::TwoPSet twopset;
+    crdt::PNCounter counter;
+    crdt::Rga list;
+    crdt::NaiveList naive_list;
+    crdt::LwwRegister reg;
+    crdt::MvRegister mvreg;
+    std::map<int64_t, std::string> todos;
+    util::Rng rng{0xfeedULL};
+
+    std::vector<StampedOp> known_ops;
+    std::set<std::pair<int32_t, int64_t>> applied;
+    int64_t next_local_seq = 0;
+  };
+
+  void init_replicas();
+  /// Execute one operation; `remote` ops reuse the embedded tags/ids instead
+  /// of minting new ones. Returns the (possibly augmented) op json to relay.
+  util::Result<util::Json> apply_op(ReplicaCtx& ctx, net::ReplicaId replica,
+                                    const std::string& op, util::Json args, bool remote);
+  void record(ReplicaCtx& ctx, net::ReplicaId origin, util::Json op_json);
+
+  Flags flags_;
+  std::vector<ReplicaCtx> replicas_;
+};
+
+}  // namespace erpi::subjects

@@ -1,0 +1,222 @@
+#include "subjects/orbitdb.hpp"
+
+namespace erpi::subjects {
+
+std::string OrbitDb::identity_of(net::ReplicaId replica) {
+  return "id" + std::to_string(replica);
+}
+
+OrbitDb::OrbitDb(int replica_count, Flags flags)
+    : SubjectBase("orbitdb", replica_count), flags_(flags) {
+  init_replicas();
+}
+
+void OrbitDb::init_replicas() {
+  replicas_.clear();
+  replicas_.resize(static_cast<size_t>(replica_count()));
+  for (int r = 0; r < replica_count(); ++r) {
+    replicas_[static_cast<size_t>(r)].log.emplace(identity_of(r), flags_.log_flags);
+  }
+}
+
+void OrbitDb::do_reset() { init_replicas(); }
+
+util::Status OrbitDb::apply_entry(ReplicaCtx& ctx, const crdt::LogEntry& entry) {
+  ctx.seen_hashes.insert(entry.hash);
+  const auto st = ctx.log->apply(entry);
+  if (!st && !ctx.log->can_write(entry.identity) && flags_.buffer_unauthorized) {
+    // Fixed behaviour for issue #1153: park the entry until the grant that
+    // authorizes its writer is executed locally.
+    ctx.pending.push_back(entry);
+    return util::Status::ok();
+  }
+  return st;
+}
+
+void OrbitDb::retry_pending(ReplicaCtx& ctx) {
+  std::vector<crdt::LogEntry> still_pending;
+  for (const auto& entry : ctx.pending) {
+    if (!ctx.log->apply(entry)) still_pending.push_back(entry);
+  }
+  ctx.pending = std::move(still_pending);
+}
+
+util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::string& op,
+                                            const util::Json& args) {
+  auto& ctx = replicas_[static_cast<size_t>(replica)];
+  if (op == "add") {
+    auto entry = ctx.log->append(args["payload"].dump());
+    if (!entry) return util::Error{entry.error()};
+    ctx.seen_hashes.insert(entry.value().hash);
+    return util::Json(entry.value().hash);
+  }
+  if (op == "add_with_clock") {
+    // poisoned-clock write used to seed issue #512
+    auto entry = ctx.log->append_with_clock(args["payload"].dump(), args["clock"].as_int());
+    if (!entry) return util::Error{entry.error()};
+    ctx.seen_hashes.insert(entry.value().hash);
+    return util::Json(entry.value().hash);
+  }
+  if (op == "put") {
+    util::Json record = util::Json::object();
+    record["k"] = args["key"].as_string();
+    record["v"] = args["value"];
+    auto entry = ctx.log->append(record.dump());
+    if (!entry) return util::Error{entry.error()};
+    ctx.seen_hashes.insert(entry.value().hash);
+    return util::Json(entry.value().hash);
+  }
+  if (op == "get") {
+    // key-value view: the latest put (in the log's total order) wins
+    const auto& key = args["key"].as_string();
+    util::Json value;
+    for (const auto& entry : ctx.log->traverse()) {
+      auto doc = util::Json::parse(entry.payload);
+      if (doc && doc.value().is_object() && doc.value().contains("k") &&
+          doc.value()["k"].as_string() == key) {
+        value = doc.value()["v"];
+      }
+    }
+    return value;
+  }
+  if (op == "grant") {
+    ctx.log->grant(args["identity"].as_string());
+    retry_pending(ctx);
+    return util::Json(true);
+  }
+  if (op == "open") {
+    if (ctx.is_open) return util::Json(false);  // benign re-open while open
+    if (ctx.repo_locked) {
+      // stale lock file left behind by a leaked close — issue #557 symptom
+      return util::Error{"orbitdb: repo folder is locked (stale lock file)"};
+    }
+    ctx.repo_locked = true;
+    ctx.is_open = true;
+    ctx.synced_while_open_count = 0;
+    return util::Json(true);
+  }
+  if (op == "close") {
+    if (!ctx.is_open) return util::Json(false);  // benign double close
+    ctx.is_open = false;
+    if (!flags_.release_lock_on_sync_fixed && ctx.synced_while_open_count >= 2) {
+      // Issue #557: replication re-entered the repo repeatedly while it was
+      // open; the teardown path skips the unlock and the lock file stays.
+      return util::Json(false);
+    }
+    ctx.repo_locked = false;
+    return util::Json(true);
+  }
+  if (op == "verify") {
+    return util::Json(ctx.log->verify());
+  }
+  if (op == "check_head") {
+    // Resolve every head a peer has announced against the local entry set;
+    // an unresolvable head is the "Head hash didn't match the contents"
+    // failure of issue #583.
+    const auto peer = static_cast<net::ReplicaId>(args["peer"].as_int());
+    const auto it = ctx.announced_heads.find(peer);
+    if (it == ctx.announced_heads.end()) return util::Json(true);  // nothing announced
+    const auto local = ctx.log->traverse();
+    for (const auto& head : it->second) {
+      bool found = false;
+      for (const auto& entry : local) {
+        if (entry.hash == head) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return util::Error{"orbitdb: head hash " + head.substr(0, 8) +
+                           " didn't match the contents (entry missing)"};
+      }
+    }
+    return util::Json(true);
+  }
+  return util::Error{"orbitdb: unknown op " + op};
+}
+
+util::Result<std::string> OrbitDb::make_sync_payload(net::ReplicaId from, net::ReplicaId,
+                                                      const util::Json& args) {
+  auto& ctx = replicas_[static_cast<size_t>(from)];
+  const std::string mode =
+      args.contains("mode") ? args["mode"].as_string() : std::string("full");
+  util::Json payload = util::Json::object();
+  payload["mode"] = mode;
+  payload["from"] = static_cast<int64_t>(from);
+  if (mode == "heads" || mode == "full") {
+    util::Json heads = util::Json::array();
+    for (const auto& head : ctx.log->heads()) heads.push_back(head);
+    payload["heads"] = std::move(heads);
+  }
+  if (mode == "entries" || mode == "full") {
+    util::Json entries = util::Json::array();
+    for (const auto& entry : ctx.log->traverse()) entries.push_back(entry.to_json());
+    payload["entries"] = std::move(entries);
+  }
+  return payload.dump();
+}
+
+util::Status OrbitDb::apply_sync_payload(net::ReplicaId, net::ReplicaId to,
+                                         const std::string& payload) {
+  auto doc = util::Json::parse(payload);
+  if (!doc) return util::Status::fail("orbitdb sync payload: " + doc.error().message);
+  auto& ctx = replicas_[static_cast<size_t>(to)];
+  const size_t entries_before = ctx.log->length();
+
+  const auto& body = doc.value();
+  if (body.contains("heads") && body["heads"].is_array()) {
+    std::vector<std::string> heads;
+    for (const auto& head : body["heads"].as_array()) heads.push_back(head.as_string());
+    ctx.announced_heads[static_cast<net::ReplicaId>(body["from"].as_int())] =
+        std::move(heads);
+  }
+  if (!body.contains("entries")) return util::Status::ok();  // heads-only sync
+
+  std::string first_error;
+  for (const auto& entry_json : body["entries"].as_array()) {
+    crdt::LogEntry entry;
+    entry.hash = entry_json["hash"].as_string();
+    entry.clock = entry_json["clock"].as_int();
+    entry.identity = entry_json["id"].as_string();
+    entry.payload = entry_json["payload"].as_string();
+    for (const auto& parent : entry_json["parents"].as_array()) {
+      entry.parents.push_back(parent.as_string());
+    }
+    if (const auto st = apply_entry(ctx, entry); !st && first_error.empty()) {
+      first_error = st.error().message;
+    }
+  }
+  // Issue #557: only replication that actually touched the repo (delivered
+  // fresh entries) re-enters the lock path while the db is open.
+  if (ctx.is_open && ctx.log->length() > entries_before) ++ctx.synced_while_open_count;
+  if (!first_error.empty()) return util::Status::fail(first_error);
+  return util::Status::ok();
+}
+
+util::Json OrbitDb::replica_state(net::ReplicaId replica) const {
+  const auto& ctx = replicas_[static_cast<size_t>(replica)];
+  util::Json out = util::Json::object();
+  util::Json payloads = util::Json::array();
+  for (const auto& entry : ctx.log->traverse()) payloads.push_back(entry.payload);
+  out["log"] = std::move(payloads);
+  out["clock"] = ctx.log->clock();
+  out["verified"] = ctx.log->verify();
+  out["locked"] = ctx.repo_locked;
+  out["pending"] = static_cast<int64_t>(ctx.pending.size());
+  util::Json seen = util::Json::array();
+  for (const auto& hash : ctx.seen_hashes) seen.push_back(hash);
+  out["seen"] = std::move(seen);
+  util::Json hashes = util::Json::array();
+  for (const auto& entry : ctx.log->traverse()) hashes.push_back(entry.hash);
+  out["hashes"] = std::move(hashes);
+  util::Json announced = util::Json::object();
+  for (const auto& [peer, heads] : ctx.announced_heads) {
+    util::Json arr = util::Json::array();
+    for (const auto& head : heads) arr.push_back(head);
+    announced[std::to_string(peer)] = std::move(arr);
+  }
+  out["announced"] = std::move(announced);
+  return out;
+}
+
+}  // namespace erpi::subjects

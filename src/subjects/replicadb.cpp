@@ -1,0 +1,163 @@
+#include "subjects/replicadb.hpp"
+
+namespace erpi::subjects {
+
+ReplicaDb::ReplicaDb(int replica_count, Flags flags)
+    : SubjectBase("replicadb", replica_count), flags_(flags) {
+  replicas_.resize(static_cast<size_t>(replica_count));
+}
+
+void ReplicaDb::do_reset() {
+  replicas_.clear();
+  replicas_.resize(static_cast<size_t>(replica_count()));
+}
+
+void ReplicaDb::upsert(std::map<std::string, Row>& table, const std::string& id, Row row) {
+  const auto it = table.find(id);
+  if (it == table.end() || row.version > it->second.version ||
+      !flags_.version_resolution) {
+    table[id] = std::move(row);
+  }
+}
+
+util::Result<util::Json> ReplicaDb::transfer(ReplicaCtx& ctx, const std::string& mode,
+                                             int64_t fetch_size) {
+  if (mode == "complete") {
+    // Complete mode truncates and reloads the sink from live source rows.
+    if (!flags_.streaming_fetch_fixed &&
+        static_cast<int64_t>(ctx.source.size()) > flags_.memory_budget_rows) {
+      return util::Error{"replicadb: OutOfMemoryError buffering " +
+                         std::to_string(ctx.source.size()) + " rows (budget " +
+                         std::to_string(flags_.memory_budget_rows) + ")"};  // issue #79
+    }
+    ctx.sink.clear();
+    int64_t transferred = 0;
+    int64_t chunk = 0;
+    for (const auto& [id, row] : ctx.source) {
+      if (row.deleted) continue;
+      ctx.sink[id] = row;
+      ++transferred;
+      // streaming fetch: rows move in fetch_size chunks, bounding memory
+      if (flags_.streaming_fetch_fixed && ++chunk >= fetch_size) chunk = 0;
+      if (row.version > ctx.last_transfer_version) ctx.last_transfer_version = row.version;
+    }
+    return util::Json(transferred);
+  }
+  if (mode == "incremental") {
+    int64_t transferred = 0;
+    int64_t max_version = ctx.last_transfer_version;
+    for (const auto& [id, row] : ctx.source) {
+      if (row.version <= ctx.last_transfer_version) continue;
+      if (row.deleted) {
+        if (flags_.incremental_deletes_fixed) {
+          ctx.sink.erase(id);
+          ++transferred;
+        }
+        // issue #23: the buggy incremental path ignores tombstones, so the
+        // sink keeps rows that were deleted at the source
+      } else {
+        ctx.sink[id] = row;
+        ++transferred;
+      }
+      if (row.version > max_version) max_version = row.version;
+    }
+    ctx.last_transfer_version = max_version;
+    return util::Json(transferred);
+  }
+  return util::Error{"replicadb: unknown transfer mode " + mode};
+}
+
+util::Result<util::Json> ReplicaDb::do_invoke(net::ReplicaId replica, const std::string& op,
+                                              const util::Json& args) {
+  auto& ctx = replicas_[static_cast<size_t>(replica)];
+  if (op == "insert_source" || op == "update_source") {
+    Row row;
+    row.value = args["value"].dump();
+    row.version = args["ts"].as_int();
+    ctx.history.insert(args["id"].as_string() + "|" + std::to_string(row.version));
+    upsert(ctx.source, args["id"].as_string(), std::move(row));
+    return util::Json(true);
+  }
+  if (op == "delete_source") {
+    Row row;
+    row.version = args["ts"].as_int();
+    row.deleted = true;
+    ctx.history.insert(args["id"].as_string() + "|" + std::to_string(row.version) + "|del");
+    upsert(ctx.source, args["id"].as_string(), std::move(row));
+    return util::Json(true);
+  }
+  if (op == "transfer") {
+    const std::string mode =
+        args.contains("mode") ? args["mode"].as_string() : std::string("complete");
+    const int64_t fetch_size = args.contains("fetch_size") ? args["fetch_size"].as_int() : 100;
+    return transfer(ctx, mode, fetch_size);
+  }
+  if (op == "sink_count") {
+    return util::Json(static_cast<int64_t>(ctx.sink.size()));
+  }
+  return util::Error{"replicadb: unknown op " + op};
+}
+
+util::Result<std::string> ReplicaDb::make_sync_payload(net::ReplicaId from, net::ReplicaId,
+                                                        const util::Json&) {
+  auto& ctx = replicas_[static_cast<size_t>(from)];
+  util::Json payload = util::Json::object();
+  util::Json rows = util::Json::object();
+  for (const auto& [id, row] : ctx.source) {
+    util::Json r = util::Json::object();
+    r["v"] = row.value;
+    r["ver"] = row.version;
+    r["del"] = row.deleted;
+    rows[id] = std::move(r);
+  }
+  payload["rows"] = std::move(rows);
+  util::Json history = util::Json::array();
+  for (const auto& h : ctx.history) history.push_back(h);
+  payload["history"] = std::move(history);
+  return payload.dump();
+}
+
+util::Status ReplicaDb::apply_sync_payload(net::ReplicaId, net::ReplicaId to,
+                                           const std::string& payload) {
+  auto doc = util::Json::parse(payload);
+  if (!doc) return util::Status::fail("replicadb sync payload: " + doc.error().message);
+  auto& ctx = replicas_[static_cast<size_t>(to)];
+  for (const auto& [id, r] : doc.value()["rows"].as_object()) {
+    Row row;
+    row.value = r["v"].as_string();
+    row.version = r["ver"].as_int();
+    row.deleted = r["del"].as_bool();
+    upsert(ctx.source, id, std::move(row));
+  }
+  for (const auto& h : doc.value()["history"].as_array()) {
+    ctx.history.insert(h.as_string());
+  }
+  return util::Status::ok();
+}
+
+util::Json ReplicaDb::replica_state(net::ReplicaId replica) const {
+  const auto& ctx = replicas_[static_cast<size_t>(replica)];
+  util::Json out = util::Json::object();
+  util::Json source = util::Json::object();
+  for (const auto& [id, row] : ctx.source) {
+    if (!row.deleted) source[id] = row.value;
+  }
+  util::Json sink = util::Json::object();
+  for (const auto& [id, row] : ctx.sink) sink[id] = row.value;
+  out["source"] = std::move(source);
+  out["sink"] = std::move(sink);
+  out["last_transfer"] = ctx.last_transfer_version;
+  // the versioned source table (used by the ReplicaDB-2 detector) ...
+  util::Json seen = util::Json::object();
+  for (const auto& [id, row] : ctx.source) {
+    seen[id] = std::to_string(row.version) + (row.deleted ? "|del" : "");
+  }
+  out["seen"] = std::move(seen);
+  // ... and the causal-knowledge witness (all row versions ever observed)
+  util::Json history = util::Json::array();
+  for (const auto& h : ctx.history) history.push_back(h);
+  out["history"] = std::move(history);
+  return out;
+}
+
+}  // namespace erpi::subjects

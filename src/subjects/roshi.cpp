@@ -1,0 +1,228 @@
+#include "subjects/roshi.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace erpi::subjects {
+
+namespace {
+std::string add_set(const std::string& key) { return key + "+"; }
+std::string del_set(const std::string& key) { return key + "-"; }
+}  // namespace
+
+Roshi::Roshi(int replica_count, Flags flags)
+    : SubjectBase("roshi", replica_count), flags_(flags) {
+  replicas_.resize(static_cast<size_t>(replica_count));
+}
+
+void Roshi::do_reset() {
+  replicas_.clear();
+  replicas_.resize(static_cast<size_t>(replica_count()));
+}
+
+bool Roshi::lww_write(ReplicaCtx& ctx, const std::string& key, const std::string& member,
+                      double ts, bool is_delete, bool from_sync) {
+  ctx.history.insert(key + "|" + member + "|" + std::to_string(ts) + "|" +
+                     (is_delete ? "d" : "a"));
+  if (!ctx.store.exists(add_set(key)) && !ctx.store.exists(del_set(key)) &&
+      std::find(ctx.key_arrival.begin(), ctx.key_arrival.end(), key) ==
+          ctx.key_arrival.end()) {
+    ctx.key_arrival.push_back(key);
+    // A key first written locally after this replica has already merged a
+    // remote sync hashes differently in the Go-map-like response order —
+    // the arrival-history sensitivity behind issue #40.
+    if (!from_sync && ctx.received_any) ctx.flagged_keys.insert(key);
+  }
+  const auto add_score = ctx.store.zscore(add_set(key), member);
+  const auto del_score = ctx.store.zscore(del_set(key), member);
+  const double current = std::max(add_score.value_or(-1.0), del_score.value_or(-1.0));
+  const bool currently_deleted = del_score.value_or(-1.0) >= add_score.value_or(-1.0) &&
+                                 del_score.has_value();
+
+  bool wins;
+  if (ts > current) {
+    wins = true;
+  } else if (ts < current) {
+    wins = false;
+  } else if (!flags_.lww_tiebreak_fixed) {
+    // Issue #11: an equal-timestamp write applies unconditionally, so the
+    // final state depends on arrival order.
+    wins = true;
+  } else {
+    // Fixed semantics: ties resolve with remove bias; a same-kind tie is a
+    // no-op (idempotent re-delivery).
+    wins = is_delete && !currently_deleted;
+  }
+  if (!wins) return false;
+
+  ctx.store.zrem(add_set(key), member);
+  ctx.store.zrem(del_set(key), member);
+  ctx.store.zadd(is_delete ? del_set(key) : add_set(key), ts, member);
+  return true;
+}
+
+std::vector<std::string> Roshi::ordered_keys(const ReplicaCtx& ctx) const {
+  std::vector<std::string> keys = ctx.key_arrival;
+  if (flags_.stable_select_order) {
+    std::sort(keys.begin(), keys.end());
+  } else {
+    // Issue #40: the response order mimics a Go map seeded by this
+    // replica's arrival history — keys first written locally after a remote
+    // merge hash into a different bucket region, so replicas whose data is
+    // identical can still report different stream orders.
+    std::sort(keys.begin(), keys.end(), [&](const std::string& a, const std::string& b) {
+      const auto rank = [&](const std::string& k) {
+        return util::fnv1a64(k) ^
+               (ctx.flagged_keys.count(k) > 0 ? 0x8000000000000000ULL : 0ULL);
+      };
+      return rank(a) < rank(b);
+    });
+  }
+  return keys;
+}
+
+util::Json Roshi::select(const ReplicaCtx& ctx, const std::string& key, int64_t offset,
+                         int64_t limit) const {
+  // Roshi's select returns members ordered by score (timestamp).
+  util::Json out = util::Json::array();
+  auto& store = const_cast<kv::Store&>(ctx.store);
+  std::vector<std::pair<double, util::Json>> rows;
+  for (const auto& member : store.zrange(add_set(key), 0, -1)) {
+    util::Json row = util::Json::object();
+    row["member"] = member;
+    row["deleted"] = false;
+    rows.emplace_back(store.zscore(add_set(key), member).value_or(0), std::move(row));
+  }
+  if (!flags_.deleted_field_fixed) {
+    // Issue #18: deleted members leak into the response flagged as live.
+    for (const auto& member : store.zrange(del_set(key), 0, -1)) {
+      util::Json row = util::Json::object();
+      row["member"] = member;
+      row["deleted"] = false;  // the incorrect field
+      rows.emplace_back(store.zscore(del_set(key), member).value_or(0), std::move(row));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  int64_t index = 0;
+  for (auto& [score, row] : rows) {
+    if (index++ < offset) continue;
+    if (limit >= 0 && static_cast<int64_t>(out.size()) >= limit) break;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+util::Result<util::Json> Roshi::do_invoke(net::ReplicaId replica, const std::string& op,
+                                          const util::Json& args) {
+  auto& ctx = replicas_[static_cast<size_t>(replica)];
+  if (op == "insert" || op == "delete") {
+    const auto& key = args["key"].as_string();
+    const auto& member = args["member"].as_string();
+    const double ts = args["ts"].as_double();
+    const bool won = lww_write(ctx, key, member, ts, op == "delete", false);
+    return util::Json(won);
+  }
+  if (op == "select") {
+    const auto& key = args["key"].as_string();
+    const int64_t offset = args.contains("offset") ? args["offset"].as_int() : 0;
+    const int64_t limit = args.contains("limit") ? args["limit"].as_int() : -1;
+    return select(ctx, key, offset, limit);
+  }
+  if (op == "select_all") {
+    util::Json out = util::Json::array();
+    for (const auto& key : ordered_keys(ctx)) {
+      util::Json entry = util::Json::object();
+      entry["key"] = key;
+      entry["rows"] = select(ctx, key, 0, -1);
+      out.push_back(std::move(entry));
+    }
+    return out;
+  }
+  return util::Error{"roshi: unknown op " + op};
+}
+
+util::Result<std::string> Roshi::make_sync_payload(net::ReplicaId from, net::ReplicaId,
+                                                    const util::Json&) {
+  // State-based sync: ship every key's add/delete sets.
+  auto& ctx = replicas_[static_cast<size_t>(from)];
+  util::Json payload = util::Json::object();
+  util::Json streams = util::Json::object();
+  for (const auto& key : ctx.key_arrival) {
+    util::Json adds = util::Json::array();
+    for (const auto& member : ctx.store.zrange(add_set(key), 0, -1)) {
+      util::Json row = util::Json::object();
+      row["m"] = member;
+      row["ts"] = ctx.store.zscore(add_set(key), member).value_or(0);
+      adds.push_back(std::move(row));
+    }
+    util::Json dels = util::Json::array();
+    for (const auto& member : ctx.store.zrange(del_set(key), 0, -1)) {
+      util::Json row = util::Json::object();
+      row["m"] = member;
+      row["ts"] = ctx.store.zscore(del_set(key), member).value_or(0);
+      dels.push_back(std::move(row));
+    }
+    util::Json entry = util::Json::object();
+    entry["adds"] = std::move(adds);
+    entry["dels"] = std::move(dels);
+    streams[key] = std::move(entry);
+  }
+  payload["streams"] = std::move(streams);
+  util::Json history = util::Json::array();
+  for (const auto& h : ctx.history) history.push_back(h);
+  payload["history"] = std::move(history);
+  return payload.dump();
+}
+
+util::Status Roshi::apply_sync_payload(net::ReplicaId, net::ReplicaId to,
+                                       const std::string& payload) {
+  auto doc = util::Json::parse(payload);
+  if (!doc) return util::Status::fail("roshi sync payload: " + doc.error().message);
+  auto& ctx = replicas_[static_cast<size_t>(to)];
+  ctx.received_any = true;
+  for (const auto& [key, entry] : doc.value()["streams"].as_object()) {
+    for (const auto& row : entry["adds"].as_array()) {
+      lww_write(ctx, key, row["m"].as_string(), row["ts"].as_double(), false, true);
+    }
+    for (const auto& row : entry["dels"].as_array()) {
+      lww_write(ctx, key, row["m"].as_string(), row["ts"].as_double(), true, true);
+    }
+  }
+  for (const auto& h : doc.value()["history"].as_array()) {
+    ctx.history.insert(h.as_string());
+  }
+  return util::Status::ok();
+}
+
+util::Json Roshi::replica_state(net::ReplicaId replica) const {
+  const auto& ctx = replicas_[static_cast<size_t>(replica)];
+  auto& store = const_cast<kv::Store&>(ctx.store);
+  util::Json out = util::Json::object();
+  util::Json history = util::Json::array();
+  for (const auto& h : ctx.history) history.push_back(h);
+  out["history"] = std::move(history);
+  util::Json order = util::Json::array();
+  for (const auto& key : ordered_keys(ctx)) order.push_back(key);
+  out["order"] = std::move(order);
+  std::vector<std::string> keys = ctx.key_arrival;
+  std::sort(keys.begin(), keys.end());
+  for (const auto& key : keys) {
+    util::Json entry = util::Json::object();
+    util::Json adds = util::Json::object();
+    for (const auto& member : store.zrange(add_set(key), 0, -1)) {
+      adds[member] = store.zscore(add_set(key), member).value_or(0);
+    }
+    util::Json dels = util::Json::object();
+    for (const auto& member : store.zrange(del_set(key), 0, -1)) {
+      dels[member] = store.zscore(del_set(key), member).value_or(0);
+    }
+    entry["adds"] = std::move(adds);
+    entry["dels"] = std::move(dels);
+    out[key] = std::move(entry);
+  }
+  return out;
+}
+
+}  // namespace erpi::subjects

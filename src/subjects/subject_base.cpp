@@ -1,0 +1,53 @@
+#include "subjects/subject_base.hpp"
+
+#include <stdexcept>
+
+namespace erpi::subjects {
+
+SubjectBase::SubjectBase(std::string name, int replica_count)
+    : name_(std::move(name)),
+      replica_count_(replica_count),
+      network_(std::make_unique<net::SimNetwork>(replica_count)) {}
+
+void SubjectBase::check_replica(net::ReplicaId replica) const {
+  if (replica < 0 || replica >= replica_count_) {
+    throw std::out_of_range("replica " + std::to_string(replica) + " out of range for " +
+                            name_);
+  }
+}
+
+util::Result<util::Json> SubjectBase::invoke(net::ReplicaId replica, const std::string& op,
+                                             const util::Json& args) {
+  check_replica(replica);
+  if (op == proxy::kSyncReqOp) {
+    const auto to = static_cast<net::ReplicaId>(args["peer"].as_int());
+    check_replica(to);
+    auto payload = make_sync_payload(replica, to, args);
+    if (!payload) return util::Error{payload.error()};
+    if (!network_->send(replica, to, "sync", std::move(payload).take())) {
+      return util::Error{"sync request dropped by network (partition or fault)"};
+    }
+    return util::Json(true);
+  }
+  if (op == proxy::kExecSyncOp) {
+    const auto from = static_cast<net::ReplicaId>(args["peer"].as_int());
+    check_replica(from);
+    const auto message = network_->deliver_next(from, replica);
+    if (!message) {
+      return util::Error{"no pending sync request from replica " + std::to_string(from)};
+    }
+    if (auto st = apply_sync_payload(from, replica, message->payload); !st) {
+      return util::Error{st.error()};
+    }
+    return util::Json(true);
+  }
+  return do_invoke(replica, op, args);
+}
+
+void SubjectBase::reset() {
+  network_->reset();
+  network_->heal_all();
+  do_reset();
+}
+
+}  // namespace erpi::subjects

@@ -1,0 +1,59 @@
+// Shared machinery for the evaluation subjects (paper §6).
+//
+// Every subject models one third-party replicated data system re-implemented
+// in C++: N replica contexts attached to a SimNetwork, with synchronization
+// expressed as the reserved "sync_req"/"exec_sync" operations. A sync_req
+// serializes the sender's sync payload onto the network channel; the paired
+// exec_sync pops it at the receiver and applies it — so the interleaving
+// fully controls when replication happens, which is what ER-pi replays.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network.hpp"
+#include "proxy/rdl.hpp"
+
+namespace erpi::subjects {
+
+class SubjectBase : public proxy::Rdl {
+ public:
+  SubjectBase(std::string name, int replica_count);
+
+  std::string name() const override { return name_; }
+  int replica_count() const override { return replica_count_; }
+
+  util::Result<util::Json> invoke(net::ReplicaId replica, const std::string& op,
+                                  const util::Json& args) final;
+
+  void reset() final;
+
+  net::SimNetwork& network() noexcept { return *network_; }
+
+ protected:
+  /// Subject-specific operation dispatch (sync ops are handled by the base).
+  virtual util::Result<util::Json> do_invoke(net::ReplicaId replica, const std::string& op,
+                                             const util::Json& args) = 0;
+
+  /// Produce the payload a sync_req from -> to puts on the wire. `args` are
+  /// the sync_req's arguments (subjects may support modes, e.g. OrbitDB's
+  /// separate head announcement vs entry shipment).
+  virtual util::Result<std::string> make_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                                      const util::Json& args) = 0;
+
+  /// Apply a delivered payload at the receiver.
+  virtual util::Status apply_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                          const std::string& payload) = 0;
+
+  /// Rebuild all replica state from scratch.
+  virtual void do_reset() = 0;
+
+  void check_replica(net::ReplicaId replica) const;
+
+ private:
+  std::string name_;
+  int replica_count_;
+  std::unique_ptr<net::SimNetwork> network_;
+};
+
+}  // namespace erpi::subjects

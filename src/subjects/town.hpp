@@ -1,0 +1,49 @@
+// The motivating example (paper §2.3): a town's issue-reporting app. Reported
+// problems live in a replicated OR-Set; residents report and resolve issues
+// on their own replicas, and one resident eventually transmits the current
+// set to the municipality (a Query event whose outcome the test checks).
+//
+// Operations: report{problem}, resolve{problem}, transmit (query).
+// Sync is op-based (add/remove ops with OR-Set tags).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "crdt/sets.hpp"
+#include "subjects/subject_base.hpp"
+
+namespace erpi::subjects {
+
+class TownApp : public SubjectBase {
+ public:
+  explicit TownApp(int replica_count);
+
+  util::Json replica_state(net::ReplicaId replica) const override;
+
+ protected:
+  util::Result<util::Json> do_invoke(net::ReplicaId replica, const std::string& op,
+                                     const util::Json& args) override;
+  util::Result<std::string> make_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                                                const util::Json& args) override;
+  util::Status apply_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                  const std::string& payload) override;
+  void do_reset() override;
+
+ private:
+  struct StampedOp {
+    net::ReplicaId origin;
+    int64_t seq;
+    util::Json op_json;
+  };
+  struct ReplicaCtx {
+    crdt::OrSet problems;
+    std::vector<StampedOp> known_ops;
+    std::set<std::pair<int32_t, int64_t>> applied;
+    int64_t next_local_seq = 0;
+  };
+
+  std::vector<ReplicaCtx> replicas_;
+};
+
+}  // namespace erpi::subjects

@@ -1,0 +1,150 @@
+#include "subjects/yorkie.hpp"
+
+#include "util/hash.hpp"
+
+namespace erpi::subjects {
+
+Yorkie::Yorkie(int replica_count, Flags flags)
+    : SubjectBase("yorkie", replica_count), flags_(flags) {
+  init_replicas();
+}
+
+void Yorkie::init_replicas() {
+  replicas_.clear();
+  replicas_.resize(static_cast<size_t>(replica_count()));
+  crdt::JsonDoc::Flags doc_flags;
+  doc_flags.lww_move = flags_.move_after_fixed;
+  doc_flags.replace_nested_on_set = flags_.nested_set_fixed;
+  for (int r = 0; r < replica_count(); ++r) {
+    replicas_[static_cast<size_t>(r)].doc =
+        std::make_unique<crdt::JsonDoc>(static_cast<crdt::ReplicaId>(r), doc_flags);
+  }
+}
+
+void Yorkie::do_reset() { init_replicas(); }
+
+crdt::DocPath Yorkie::parse_path(const util::Json& args) {
+  crdt::DocPath path;
+  if (args.contains("path")) {
+    for (const auto& component : args["path"].as_array()) {
+      path.push_back(component.as_string());
+    }
+  }
+  return path;
+}
+
+void Yorkie::record_local(ReplicaCtx& ctx, net::ReplicaId replica,
+                          const crdt::JsonDoc::Op& op) {
+  StampedOp stamped{replica, ctx.next_local_seq++, op.to_json()};
+  ctx.applied.insert({stamped.origin, stamped.seq});
+  ctx.known_ops.push_back(std::move(stamped));
+}
+
+util::Result<util::Json> Yorkie::do_invoke(net::ReplicaId replica, const std::string& op,
+                                           const util::Json& args) {
+  auto& ctx = replicas_[static_cast<size_t>(replica)];
+  const crdt::DocPath path = parse_path(args);
+
+  if (op == "set") {
+    const auto produced = ctx.doc->set(path, args["key"].as_string(), args["value"]);
+    record_local(ctx, replica, produced);
+    return util::Json(true);
+  }
+  if (op == "delete") {
+    const auto produced = ctx.doc->erase(path, args["key"].as_string());
+    record_local(ctx, replica, produced);
+    return util::Json(true);
+  }
+  if (op == "list_push") {
+    const auto produced = ctx.doc->list_push(path, args["key"].as_string(), args["value"]);
+    record_local(ctx, replica, produced);
+    return util::Json(true);
+  }
+  if (op == "list_insert") {
+    const auto index = static_cast<size_t>(args["index"].as_int());
+    if (index > ctx.doc->list_values(path, args["key"].as_string()).size()) {
+      return util::Error{"yorkie: list_insert index out of range"};
+    }
+    const auto produced =
+        ctx.doc->list_insert(path, args["key"].as_string(), index, args["value"]);
+    record_local(ctx, replica, produced);
+    return util::Json(true);
+  }
+  if (op == "list_remove") {
+    const auto produced = ctx.doc->list_remove(path, args["key"].as_string(),
+                                               static_cast<size_t>(args["index"].as_int()));
+    if (!produced) return util::Error{"yorkie: list_remove index out of range"};
+    record_local(ctx, replica, *produced);
+    return util::Json(true);
+  }
+  if (op == "move_after") {
+    const auto produced = ctx.doc->list_move(path, args["key"].as_string(),
+                                             static_cast<size_t>(args["from"].as_int()),
+                                             static_cast<size_t>(args["to"].as_int()));
+    if (!produced) return util::Error{"yorkie: move_after index out of range"};
+    record_local(ctx, replica, *produced);
+    return util::Json(true);
+  }
+  if (op == "get") {
+    const auto value = ctx.doc->get(path, args["key"].as_string());
+    return value ? *value : util::Json();
+  }
+  if (op == "snapshot") {
+    return ctx.doc->snapshot();
+  }
+  return util::Error{"yorkie: unknown op " + op};
+}
+
+util::Result<std::string> Yorkie::make_sync_payload(net::ReplicaId from, net::ReplicaId,
+                                                     const util::Json&) {
+  auto& ctx = replicas_[static_cast<size_t>(from)];
+  util::Json ops = util::Json::array();
+  for (const auto& stamped : ctx.known_ops) {
+    util::Json row = util::Json::object();
+    row["origin"] = static_cast<int64_t>(stamped.origin);
+    row["seq"] = stamped.seq;
+    row["op"] = stamped.op_json;
+    ops.push_back(std::move(row));
+  }
+  return ops.dump();
+}
+
+util::Status Yorkie::apply_sync_payload(net::ReplicaId, net::ReplicaId to,
+                                        const std::string& payload) {
+  auto doc = util::Json::parse(payload);
+  if (!doc) return util::Status::fail("yorkie sync payload: " + doc.error().message);
+  auto& ctx = replicas_[static_cast<size_t>(to)];
+  for (const auto& row : doc.value().as_array()) {
+    const auto origin = static_cast<net::ReplicaId>(row["origin"].as_int());
+    const int64_t seq = row["seq"].as_int();
+    if (!ctx.applied.insert({origin, seq}).second) continue;  // already applied
+    auto op = crdt::JsonDoc::Op::from_json(row["op"]);
+    if (!op) return util::Status::fail("yorkie op decode: " + op.error().message);
+    ctx.doc->apply(op.value());
+    ctx.known_ops.push_back(StampedOp{origin, seq, row["op"]});
+  }
+  return util::Status::ok();
+}
+
+util::Json Yorkie::replica_state(net::ReplicaId replica) const {
+  const auto& ctx = replicas_[static_cast<size_t>(replica)];
+  util::Json out = util::Json::object();
+  out["doc"] = ctx.doc->snapshot();
+  // witness entries carry a content digest so two different local ops that
+  // happen to receive the same (origin, seq) at replay never alias
+  std::vector<std::string> seen_list;
+  for (const auto& stamped : ctx.known_ops) {
+    seen_list.push_back(std::to_string(stamped.origin) + ":" + std::to_string(stamped.seq) +
+                        ":" +
+                        std::to_string(util::fnv1a64(stamped.op_json["kind"].as_string() +
+                                                     stamped.op_json["key"].as_string() +
+                                                     stamped.op_json["value"].dump())));
+  }
+  std::sort(seen_list.begin(), seen_list.end());
+  util::Json seen = util::Json::array();
+  for (const auto& entry : seen_list) seen.push_back(entry);
+  out["seen"] = std::move(seen);
+  return out;
+}
+
+}  // namespace erpi::subjects

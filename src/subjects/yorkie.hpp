@@ -1,0 +1,65 @@
+// Subject 4 — Yorkie: a replicated JSON document store (paper §6, [23]).
+// Each replica holds a JsonDoc CRDT; synchronization is op-based — every
+// replica keeps all operations it has seen, tagged (origin, seq), and sync
+// ships the ones the receiver has not applied yet (so delivery is transitive
+// across replicas).
+//
+// Historical bugs behind flags:
+//  * !move_after_fixed — issue #676: Array.MoveAfter resolves concurrent
+//    moves by arrival order, so documents do not converge.
+//  * !nested_set_fixed — issue #663: a Set whose value is a nested object is
+//    merged (not replaced) on the remote side, diverging from the local
+//    replace semantics.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "crdt/json_doc.hpp"
+#include "subjects/subject_base.hpp"
+
+namespace erpi::subjects {
+
+class Yorkie : public SubjectBase {
+ public:
+  struct Flags {
+    bool move_after_fixed = true;
+    bool nested_set_fixed = true;
+  };
+
+  explicit Yorkie(int replica_count) : Yorkie(replica_count, Flags()) {}
+  Yorkie(int replica_count, Flags flags);
+
+  util::Json replica_state(net::ReplicaId replica) const override;
+
+ protected:
+  util::Result<util::Json> do_invoke(net::ReplicaId replica, const std::string& op,
+                                     const util::Json& args) override;
+  util::Result<std::string> make_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                                                const util::Json& args) override;
+  util::Status apply_sync_payload(net::ReplicaId from, net::ReplicaId to,
+                                  const std::string& payload) override;
+  void do_reset() override;
+
+ private:
+  struct StampedOp {
+    net::ReplicaId origin;
+    int64_t seq;  // per-origin sequence
+    util::Json op_json;
+  };
+  struct ReplicaCtx {
+    std::unique_ptr<crdt::JsonDoc> doc;
+    std::vector<StampedOp> known_ops;       // everything seen, any origin
+    std::set<std::pair<int32_t, int64_t>> applied;  // (origin, seq)
+    int64_t next_local_seq = 0;
+  };
+
+  void init_replicas();
+  void record_local(ReplicaCtx& ctx, net::ReplicaId replica, const crdt::JsonDoc::Op& op);
+  static crdt::DocPath parse_path(const util::Json& args);
+
+  Flags flags_;
+  std::vector<ReplicaCtx> replicas_;
+};
+
+}  // namespace erpi::subjects

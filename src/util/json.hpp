@@ -1,0 +1,107 @@
+// Minimal self-contained JSON value / parser / serializer.
+//
+// ER-pi consumes developer-provided runtime constraints from JSON files in a
+// watched directory (paper §5.2) and persists experiment reports as JSON.
+// No third-party JSON library is assumed in the target environment, so the
+// middleware carries its own implementation. The dialect is strict RFC 8259
+// JSON with one extension: integers are kept exact as int64 when possible.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace erpi::util {
+
+/// A JSON document node. Value-semantic; copies are deep.
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  // std::map keeps keys ordered, which gives deterministic serialization —
+  // important because serialized states are compared across interleavings.
+  using Object = std::map<std::string, Json>;
+
+  Json() noexcept : type_(Type::Null) {}
+  Json(std::nullptr_t) noexcept : type_(Type::Null) {}              // NOLINT
+  Json(bool b) noexcept : type_(Type::Bool), bool_(b) {}            // NOLINT
+  Json(int v) noexcept : type_(Type::Int), int_(v) {}               // NOLINT
+  Json(int64_t v) noexcept : type_(Type::Int), int_(v) {}           // NOLINT
+  Json(uint64_t v) noexcept : type_(Type::Int), int_(static_cast<int64_t>(v)) {}  // NOLINT
+  Json(double v) noexcept : type_(Type::Double), double_(v) {}      // NOLINT
+  Json(const char* s) : type_(Type::String), string_(s) {}          // NOLINT
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}  // NOLINT
+  Json(Array a) : type_(Type::Array), array_(std::move(a)) {}       // NOLINT
+  Json(Object o) : type_(Type::Object), object_(std::move(o)) {}    // NOLINT
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_int() const noexcept { return type_ == Type::Int; }
+  bool is_double() const noexcept { return type_ == Type::Double; }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool() const { ensure(Type::Bool); return bool_; }
+  int64_t as_int() const { ensure(Type::Int); return int_; }
+  double as_double() const {
+    if (type_ == Type::Int) return static_cast<double>(int_);
+    ensure(Type::Double);
+    return double_;
+  }
+  const std::string& as_string() const { ensure(Type::String); return string_; }
+  const Array& as_array() const { ensure(Type::Array); return array_; }
+  Array& as_array() { ensure(Type::Array); return array_; }
+  const Object& as_object() const { ensure(Type::Object); return object_; }
+  Object& as_object() { ensure(Type::Object); return object_; }
+
+  /// Object member access. Non-const inserts a null member if missing.
+  Json& operator[](const std::string& key);
+  /// Const lookup; returns a shared null node if absent.
+  const Json& operator[](const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array element access (bounds-checked).
+  Json& at(size_t index);
+  const Json& at(size_t index) const;
+  size_t size() const noexcept;
+
+  void push_back(Json v);
+
+  bool operator==(const Json& other) const;
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+  /// Indented multi-line serialization.
+  std::string pretty(int indent = 2) const;
+
+  /// Parse a complete JSON document. Trailing garbage is an error.
+  static Result<Json> parse(std::string_view text);
+
+ private:
+  void ensure(Type t) const;
+  void write(std::string& out, int indent, int depth) const;
+  static void write_string(std::string& out, const std::string& s);
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace erpi::util

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace erpi::util {
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& line) {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), line.c_str());
+  };
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mu_);
+  std::swap(sink_, sink);
+  return sink;
+}
+
+void Logger::log(LogLevel level, const std::string& component, const std::string& message) {
+  std::lock_guard lock(mu_);
+  const uint64_t seq = sequence_++;
+  if (sink_) sink_(level, "#" + std::to_string(seq) + " " + component + ": " + message);
+}
+
+}  // namespace erpi::util

@@ -1,0 +1,77 @@
+// Leveled, thread-safe logging.
+//
+// Replay runs are long and multi-threaded (one worker per replica); log lines
+// carry a monotonic sequence number so interleaved output from concurrent
+// replicas can be totally ordered post-hoc when debugging a replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace erpi::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Process-wide logger. Sink defaults to stderr; tests may capture output.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Replace the sink; returns the previous one (for restoration in tests).
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger();
+
+  std::mutex mu_;
+  LogLevel level_ = LogLevel::Warn;
+  uint64_t sequence_ = 0;
+  Sink sink_;
+};
+
+/// Stream-style helper: LogStream(LogLevel::Info, "replay") << "x=" << x;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().log(level_, component_, stream_.str());
+    }
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (Logger::instance().enabled(level_)) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define ERPI_LOG(level, component) ::erpi::util::LogStream((level), (component))
+#define ERPI_TRACE(component) ERPI_LOG(::erpi::util::LogLevel::Trace, (component))
+#define ERPI_DEBUG(component) ERPI_LOG(::erpi::util::LogLevel::Debug, (component))
+#define ERPI_INFO(component) ERPI_LOG(::erpi::util::LogLevel::Info, (component))
+#define ERPI_WARN(component) ERPI_LOG(::erpi::util::LogLevel::Warn, (component))
+#define ERPI_ERROR(component) ERPI_LOG(::erpi::util::LogLevel::Error, (component))
+
+}  // namespace erpi::util

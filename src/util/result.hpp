@@ -1,0 +1,82 @@
+// Result<T> — lightweight expected-style error handling used across ER-pi.
+//
+// The middleware runs user workloads and replays thousands of interleavings;
+// a failure in one interleaving (a failed op, a resource cap, a lock timeout)
+// must not abort the whole replay loop. Modules therefore return Result<T>
+// for recoverable conditions and reserve exceptions for programming errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace erpi::util {
+
+/// Error payload carried by a failed Result.
+struct Error {
+  std::string message;
+
+  bool operator==(const Error&) const = default;
+};
+
+/// A value-or-error sum type. `T` must be move-constructible.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : repr_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result fail(std::string message) { return Result(Error{std::move(message)}); }
+
+  bool has_value() const noexcept { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Access the value; throws std::logic_error if this holds an error.
+  const T& value() const& {
+    if (!has_value()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    if (!has_value()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(repr_);
+  }
+  T&& take() && {
+    if (!has_value()) throw std::logic_error("Result::take() on error: " + error().message);
+    return std::get<T>(std::move(repr_));
+  }
+
+  const Error& error() const {
+    if (has_value()) throw std::logic_error("Result::error() on value");
+    return std::get<Error>(repr_);
+  }
+
+  T value_or(T fallback) const& { return has_value() ? std::get<T>(repr_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> repr_;
+};
+
+/// Specialization-free helper for operations that yield no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)), failed_(true) {}  // NOLINT
+
+  static Status ok() { return Status(); }
+  static Status fail(std::string message) { return Status(Error{std::move(message)}); }
+
+  bool is_ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  const Error& error() const {
+    if (!failed_) throw std::logic_error("Status::error() on ok");
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool failed_ = false;
+};
+
+}  // namespace erpi::util

@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation.
+//
+// Replay experiments must be reproducible run-to-run: the Random enumerator,
+// fault injection, and workload generators all draw from an explicitly seeded
+// xoshiro256** stream rather than std::random_device. xoshiro256** is chosen
+// for speed and statistical quality; determinism across platforms matters more
+// here than cryptographic strength.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace erpi::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  uint64_t next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed0f00d5eed0f0ULL) noexcept { reseed(seed); }
+
+  void reseed(uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  uint64_t next() noexcept {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method with rejection for exact uniformity.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) noexcept {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace erpi::util

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for experiment timing (Fig. 8b reproduction).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace erpi::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t elapsed_micros() const noexcept {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace erpi::util

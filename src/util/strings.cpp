@@ -1,0 +1,55 @@
+#include "util/strings.hpp"
+
+namespace erpi::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && is_space(s[begin])) ++begin;
+  while (end > begin && is_space(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string pad_number(uint64_t value, int width) {
+  std::string digits = std::to_string(value);
+  if (digits.size() < static_cast<size_t>(width)) {
+    digits.insert(0, static_cast<size_t>(width) - digits.size(), '0');
+  }
+  return digits;
+}
+
+}  // namespace erpi::util

@@ -1,0 +1,25 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erpi::util {
+
+/// Split on a single-character delimiter. Empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Zero-padded decimal rendering, e.g. pad_number(7, 3) == "007".
+std::string pad_number(uint64_t value, int width);
+
+}  // namespace erpi::util

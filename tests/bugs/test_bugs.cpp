@@ -1,0 +1,148 @@
+// Bug-registry and misconception tests: Table-1 metadata integrity, ER-pi
+// reproduction of every bug, clean identity interleavings, and Table-2
+// misconception recognition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "bugs/misconceptions.hpp"
+#include "bugs/registry.hpp"
+#include "subjects/crdt_collection.hpp"
+
+namespace erpi::bugs {
+namespace {
+
+TEST(Registry, HasAllTwelveBugsWithPaperMetadata) {
+  const auto& bugs = all_bugs();
+  ASSERT_EQ(bugs.size(), 12u);
+  // Table 1 rows, in order
+  const std::vector<std::tuple<std::string, int, int>> expected = {
+      {"Roshi-1", 18, 9},      {"Roshi-2", 11, 10},    {"Roshi-3", 40, 21},
+      {"OrbitDB-1", 513, 12},  {"OrbitDB-2", 512, 8},  {"OrbitDB-3", 1153, 15},
+      {"OrbitDB-4", 583, 18},  {"OrbitDB-5", 557, 24}, {"ReplicaDB-1", 79, 10},
+      {"ReplicaDB-2", 23, 14}, {"Yorkie-1", 676, 17},  {"Yorkie-2", 663, 22},
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(bugs[i].name, std::get<0>(expected[i]));
+    EXPECT_EQ(bugs[i].issue_number, std::get<1>(expected[i]));
+    EXPECT_EQ(bugs[i].event_count, std::get<2>(expected[i]));
+  }
+  EXPECT_THROW(find_bug("NoSuchBug"), std::invalid_argument);
+  EXPECT_EQ(find_bug("Yorkie-2").issue_number, 663);
+}
+
+// Each scenario's workload must capture exactly the declared #Events, and
+// the identity (captured) interleaving must satisfy the invariants — the
+// bug only manifests under reordering.
+class BugScenarioContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BugScenarioContract, EventCountMatchesTable1) {
+  const auto& bug = find_bug(GetParam());
+  auto subject = bug.make_subject();
+  proxy::RdlProxy proxy(*subject);
+  proxy.start_capture();
+  bug.workload(proxy);
+  EXPECT_EQ(proxy.captured().size(), static_cast<size_t>(bug.event_count));
+}
+
+TEST_P(BugScenarioContract, IdentityInterleavingIsClean) {
+  // DFS's first leaf is exactly the captured order; it must satisfy the
+  // invariants — the bug only manifests under reordering. (ER-pi's grouped
+  // first emission already reorders sync executions next to their sends, so
+  // it may legitimately hit the bug immediately.)
+  const auto& bug = find_bug(GetParam());
+  const auto result = run_bug(bug, core::ExplorationMode::Dfs, /*max_interleavings=*/1);
+  EXPECT_FALSE(result.report.reproduced)
+      << "the captured order itself violates the invariant";
+}
+
+TEST_P(BugScenarioContract, ErPiReproducesWithinTheCap) {
+  const auto& bug = find_bug(GetParam());
+  const auto result = run_bug(bug, core::ExplorationMode::ErPi, 10'000);
+  EXPECT_TRUE(result.report.reproduced);
+  EXPECT_GT(result.report.first_violation_index, 0u);
+  EXPECT_LE(result.report.first_violation_index, 10'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBugs, BugScenarioContract,
+                         ::testing::Values("Roshi-1", "Roshi-2", "Roshi-3", "OrbitDB-1",
+                                           "OrbitDB-2", "OrbitDB-3", "OrbitDB-4",
+                                           "OrbitDB-5", "ReplicaDB-1", "ReplicaDB-2",
+                                           "Yorkie-1", "Yorkie-2"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(Figure8Shape, BaselinesFailOnTheHardBugs) {
+  // DFS misses Roshi-3, OrbitDB-4 and OrbitDB-5 within the 10 K cap
+  for (const char* name : {"Roshi-3", "OrbitDB-4", "OrbitDB-5"}) {
+    const auto dfs = run_bug(find_bug(name), core::ExplorationMode::Dfs, 10'000);
+    EXPECT_FALSE(dfs.report.reproduced) << name << " (DFS)";
+  }
+  // Rand additionally misses Yorkie-2 (default seed)
+  for (const char* name : {"Roshi-3", "OrbitDB-4", "OrbitDB-5", "Yorkie-2"}) {
+    const auto rand = run_bug(find_bug(name), core::ExplorationMode::Rand, 10'000);
+    EXPECT_FALSE(rand.report.reproduced) << name << " (Rand)";
+  }
+}
+
+TEST(Figure8Shape, BaselinesSucceedOnTheEasyBugs) {
+  for (const char* name : {"Roshi-1", "OrbitDB-1", "ReplicaDB-2", "Yorkie-1"}) {
+    const auto dfs = run_bug(find_bug(name), core::ExplorationMode::Dfs, 10'000);
+    EXPECT_TRUE(dfs.report.reproduced) << name << " (DFS)";
+    const auto rand = run_bug(find_bug(name), core::ExplorationMode::Rand, 10'000);
+    EXPECT_TRUE(rand.report.reproduced) << name << " (Rand)";
+  }
+}
+
+TEST(Figure10Shape, ErPiSucceedsWithinTheResourceBudget) {
+  const auto& bug = find_bug("OrbitDB-5");
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    const auto result = run_bug(bug, core::ExplorationMode::ErPi, UINT64_MAX / 2, seed,
+                                /*resource_budget_bytes=*/128 * 1024);
+    EXPECT_TRUE(result.report.reproduced) << "seed " << seed;
+    EXPECT_FALSE(result.report.crashed);
+  }
+  // the DFS baseline exhausts the same budget without reproducing
+  const auto dfs = run_bug(bug, core::ExplorationMode::Dfs, UINT64_MAX / 2, 11,
+                           /*resource_budget_bytes=*/128 * 1024);
+  EXPECT_FALSE(dfs.report.reproduced);
+  EXPECT_TRUE(dfs.report.crashed);
+}
+
+TEST(Misconceptions, Table2MatrixMatchesThePaper) {
+  const std::map<std::string, std::set<int>> expected = {
+      {"Roshi", {1, 2, 3, 5}}, {"OrbitDB", {1, 5}},         {"ReplicaDB", {1}},
+      {"Yorkie", {1, 5}},      {"CRDTs", {1, 2, 3, 4, 5}},
+  };
+  std::map<std::string, std::set<int>> detected;
+  for (const auto& cell : all_misconceptions()) {
+    if (detect_misconception(cell)) {
+      detected[cell.subject].insert(cell.misconception);
+    }
+  }
+  EXPECT_EQ(detected, expected);
+}
+
+TEST(Misconceptions, FixedLibrariesPassTheSeededWorkloads) {
+  // Sanity: running the CRDTs #4 detector against the FIXED library (random
+  // ids) must not flag anything.
+  for (const auto& cell : all_misconceptions()) {
+    if (cell.subject != "CRDTs" || cell.misconception != 4) continue;
+    MisconceptionScenario fixed = cell;
+    fixed.scenario.make_subject = [] {
+      subjects::CrdtCollection::Flags flags;
+      flags.random_todo_ids = true;
+      return std::make_unique<subjects::CrdtCollection>(2, flags);
+    };
+    EXPECT_FALSE(detect_misconception(fixed, 2000));
+  }
+}
+
+}  // namespace
+}  // namespace erpi::bugs

@@ -1,0 +1,208 @@
+// Assertion-library tests against a real subject.
+#include <gtest/gtest.h>
+
+#include "core/assertions.hpp"
+#include "proxy/proxy.hpp"
+#include "subjects/crdt_collection.hpp"
+
+namespace erpi::core {
+namespace {
+
+util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json out = util::Json::object();
+  for (const auto& [k, v] : kv) out[k] = v;
+  return out;
+}
+
+struct Harness {
+  Harness() : app(2), proxy(app) {}
+
+  TestContext context() {
+    return TestContext{app, interleaving, events, results};
+  }
+
+  subjects::CrdtCollection app;
+  proxy::RdlProxy proxy;
+  Interleaving interleaving;
+  proxy::EventSet events;
+  std::vector<util::Result<util::Json>> results;
+};
+
+TEST(JsonAt, WalksPathsAndToleratesMissing) {
+  const auto doc = util::Json::parse(R"({"a":{"b":[1,2]}})").take();
+  EXPECT_TRUE(json_at(doc, {}).is_object());
+  EXPECT_TRUE(json_at(doc, {"a", "b"}).is_array());
+  EXPECT_TRUE(json_at(doc, {"a", "zz"}).is_null());
+  EXPECT_TRUE(json_at(doc, {"a", "b", "c"}).is_null());
+}
+
+TEST(Assertions, ReplicasConvergeDetectsDivergence) {
+  Harness h;
+  auto converge = replicas_converge({0, 1});
+  EXPECT_TRUE(converge->check(h.context()).is_ok());
+  h.proxy.update(0, "set_add", jobj({{"element", "only-at-0"}}));
+  EXPECT_FALSE(converge->check(h.context()).is_ok());
+  h.proxy.sync(0, 1);
+  EXPECT_TRUE(converge->check(h.context()).is_ok());
+}
+
+TEST(Assertions, WitnessConvergenceSkipsDifferentHistories) {
+  Harness h;
+  auto witnessed = converge_if_same_witness({0, 1}, {"seen"}, {"set"});
+  h.proxy.update(0, "set_add", jobj({{"element", "x"}}));
+  // replica 1 has not seen the op: different witness, no violation
+  EXPECT_TRUE(witnessed->check(h.context()).is_ok());
+  h.proxy.sync(0, 1);
+  EXPECT_TRUE(witnessed->check(h.context()).is_ok());
+}
+
+TEST(Assertions, CrossInterleavingDetectsDivergentReruns) {
+  Harness h;
+  auto stable = state_consistent_across_interleavings(0);
+  stable->on_run_start();
+  h.proxy.update(0, "set_add", jobj({{"element", "x"}}));
+  EXPECT_TRUE(stable->check(h.context()).is_ok());  // sets the baseline
+  EXPECT_TRUE(stable->check(h.context()).is_ok());  // same state: fine
+  h.proxy.update(0, "set_add", jobj({{"element", "y"}}));
+  EXPECT_FALSE(stable->check(h.context()).is_ok());
+  // a new run resets the baseline
+  stable->on_run_start();
+  EXPECT_TRUE(stable->check(h.context()).is_ok());
+}
+
+TEST(Assertions, WitnessedCrossInterleavingKeysOnWitness) {
+  Harness h;
+  auto stable = consistent_across_interleavings_if_same_witness(0, {"seen"}, {"set"});
+  stable->on_run_start();
+  h.proxy.update(0, "set_add", jobj({{"element", "x"}}));
+  EXPECT_TRUE(stable->check(h.context()).is_ok());
+  // growing the witness creates a NEW baseline class: no violation
+  h.proxy.update(0, "set_add", jobj({{"element", "y"}}));
+  EXPECT_TRUE(stable->check(h.context()).is_ok());
+}
+
+TEST(Assertions, NoDuplicatesFlagsRepeatedListValues) {
+  Harness h;
+  auto unique = no_duplicates({0}, {"list"});
+  h.proxy.update(0, "list_insert", jobj({{"index", 0}, {"value", "a"}}));
+  h.proxy.update(0, "list_insert", jobj({{"index", 1}, {"value", "b"}}));
+  EXPECT_TRUE(unique->check(h.context()).is_ok());
+  h.proxy.update(0, "list_insert", jobj({{"index", 2}, {"value", "a"}}));
+  const auto status = unique->check(h.context());
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.error().message.find("duplicated"), std::string::npos);
+}
+
+TEST(Assertions, ListOrderConsistentComparesReplicas) {
+  Harness h;
+  auto order = list_order_consistent({0, 1}, {"naive_list"});
+  h.proxy.update(0, "naive_append", jobj({{"value", "x"}}));
+  h.proxy.update(1, "naive_append", jobj({{"value", "y"}}));
+  h.proxy.sync(0, 1);
+  h.proxy.sync(1, 0);
+  // replica 0: [x, y]; replica 1: [y, x] — the misconception #2 signal
+  EXPECT_FALSE(order->check(h.context()).is_ok());
+}
+
+TEST(Assertions, IdsUniqueAcrossReplicasFlagsClashes) {
+  Harness h;
+  auto unique_ids = ids_unique_across_replicas({0, 1}, {"todo_ids"});
+  h.proxy.update(0, "todo_create", jobj({{"text", "one"}}));
+  EXPECT_TRUE(unique_ids->check(h.context()).is_ok());
+  // concurrent creation mints the same sequential id on both replicas
+  h.proxy.update(1, "todo_create", jobj({{"text", "uno"}}));
+  const auto status = unique_ids->check(h.context());
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.error().message.find("minted by both"), std::string::npos);
+}
+
+TEST(Assertions, QueryResultEqualsInspectsInvocationResults) {
+  Harness h;
+  proxy::Event query_event;
+  query_event.id = 0;
+  query_event.kind = proxy::EventKind::Query;
+  query_event.replica = 0;
+  query_event.op = "todo_ids";
+  h.events.push_back(query_event);
+  h.interleaving.order = {0};
+  h.results.emplace_back(util::Json(util::Json::array()));
+
+  util::Json expected = util::Json::array();
+  auto equals = query_result_equals(0, expected);
+  EXPECT_TRUE(equals->check(h.context()).is_ok());
+
+  util::Json other = util::Json::array();
+  other.push_back(int64_t{1});
+  auto not_equals = query_result_equals(0, other);
+  EXPECT_FALSE(not_equals->check(h.context()).is_ok());
+
+  auto absent = query_result_equals(7, expected);
+  EXPECT_FALSE(absent->check(h.context()).is_ok());
+}
+
+TEST(Assertions, AllOpsSucceedAndNeedleMatching) {
+  Harness h;
+  proxy::Event e;
+  e.id = 0;
+  e.kind = proxy::EventKind::Update;
+  e.replica = 0;
+  e.op = "twopset_add";
+  h.events.push_back(e);
+  h.interleaving.order = {0};
+  h.results.emplace_back(util::Error{"crdts: twopset_add failed (already added or removed)"});
+
+  EXPECT_FALSE(all_ops_succeed()->check(h.context()).is_ok());
+  EXPECT_FALSE(no_failure_matching("twopset_add failed")->check(h.context()).is_ok());
+  EXPECT_TRUE(no_failure_matching("unrelated message")->check(h.context()).is_ok());
+}
+
+TEST(Assertions, CustomWrapsArbitraryPredicate) {
+  Harness h;
+  int calls = 0;
+  auto probe = custom("probe", [&](const TestContext&) {
+    ++calls;
+    return util::Status::fail("always");
+  });
+  EXPECT_EQ(probe->name(), "probe");
+  EXPECT_FALSE(probe->check(h.context()).is_ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Assertions, QueryStableDetectsOrderFlip) {
+  Harness h;
+  proxy::Event query_event;
+  query_event.id = 0;
+  query_event.kind = proxy::EventKind::Query;
+  query_event.replica = 0;
+  query_event.op = "select_all";
+  h.events.push_back(query_event);
+  h.interleaving.order = {0};
+
+  auto stable = query_stable_given_witness(0, 0, {"history"});
+  stable->on_run_start();
+  util::Json first = util::Json::array();
+  first.push_back("a");
+  first.push_back("b");
+  h.results.emplace_back(first);
+  EXPECT_TRUE(stable->check(h.context()).is_ok());
+
+  // same content, different order -> violation
+  util::Json flipped = util::Json::array();
+  flipped.push_back("b");
+  flipped.push_back("a");
+  h.results.clear();
+  h.results.emplace_back(flipped);
+  EXPECT_FALSE(stable->check(h.context()).is_ok());
+
+  // different content -> a different class, no violation
+  util::Json richer = util::Json::array();
+  richer.push_back("a");
+  richer.push_back("b");
+  richer.push_back("c");
+  h.results.clear();
+  h.results.emplace_back(richer);
+  EXPECT_TRUE(stable->check(h.context()).is_ok());
+}
+
+}  // namespace
+}  // namespace erpi::core

@@ -1,0 +1,179 @@
+// Tests for the future-work extensions: workload fuzzing and resource
+// profiling (paper §8).
+#include <gtest/gtest.h>
+
+#include "core/fuzz.hpp"
+#include "core/profile.hpp"
+#include "core/session.hpp"
+#include "subjects/crdt_collection.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::core {
+namespace {
+
+util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json out = util::Json::object();
+  for (const auto& [k, v] : kv) out[k] = v;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadFuzzer
+// ---------------------------------------------------------------------------
+
+FuzzConfig small_fuzz_config() {
+  FuzzConfig config;
+  config.workloads = 8;
+  config.min_ops = 3;
+  config.max_ops = 6;
+  config.max_interleavings = 120;
+  return config;
+}
+
+TEST(WorkloadFuzzer, FixedLibrarySurvivesConvergenceFuzzing) {
+  WorkloadFuzzer fuzzer(
+      [] { return std::make_unique<subjects::CrdtCollection>(2); },
+      WorkloadFuzzer::crdt_collection_schema(),
+      [] {
+        // the OR-set, counter and register views must converge whenever both
+        // replicas saw the same ops (list moves are excluded: naive moves
+        // are intentionally unsafe and fuzzed separately below)
+        return AssertionList{converge_if_same_witness({0, 1}, {"seen"}, {"set"}),
+                             converge_if_same_witness({0, 1}, {"seen"}, {"counter"}),
+                             converge_if_same_witness({0, 1}, {"seen"}, {"reg"})};
+      },
+      small_fuzz_config());
+  const auto report = fuzzer.run();
+  EXPECT_EQ(report.workloads_run, 8);
+  EXPECT_GT(report.interleavings_replayed, 0u);
+  for (const auto& finding : report.findings) {
+    ADD_FAILURE() << "unexpected violation: " << finding.message;
+  }
+}
+
+TEST(WorkloadFuzzer, FindsSeededSequentialIdClashes) {
+  // fuzz the buggy (sequential to-do ids) library with a schema that only
+  // creates to-dos; the id-clash misconception must surface
+  std::vector<FuzzOp> schema;
+  schema.push_back({"todo_create",
+                    [](util::Rng&, int step) {
+                      return jobj({{"text", "task " + std::to_string(step)}});
+                    },
+                    1.0});
+  FuzzConfig config = small_fuzz_config();
+  config.workloads = 12;
+  WorkloadFuzzer fuzzer(
+      [] { return std::make_unique<subjects::CrdtCollection>(2); }, schema,
+      [] {
+        return AssertionList{converge_if_same_witness({0, 1}, {"seen"}, {"todos"})};
+      },
+      config);
+  const auto report = fuzzer.run();
+  EXPECT_FALSE(report.clean());
+  const auto& finding = report.findings.front();
+  EXPECT_GE(finding.workload_index, 0);
+  EXPECT_FALSE(finding.workload.empty());
+  EXPECT_FALSE(finding.interleaving.order.empty());
+  EXPECT_NE(finding.message.find("diverge"), std::string::npos);
+}
+
+TEST(WorkloadFuzzer, DeterministicForSameSeed) {
+  const auto run_once = [] {
+    WorkloadFuzzer fuzzer(
+        [] { return std::make_unique<subjects::CrdtCollection>(2); },
+        WorkloadFuzzer::crdt_collection_schema(),
+        [] {
+          return AssertionList{
+              converge_if_same_witness({0, 1}, {"seen"}, {"naive_list"})};
+        },
+        small_fuzz_config());
+    return fuzzer.run();
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.findings.size(), second.findings.size());
+  EXPECT_EQ(first.interleavings_replayed, second.interleavings_replayed);
+  if (!first.findings.empty()) {
+    EXPECT_EQ(first.findings[0].workload_seed, second.findings[0].workload_seed);
+    EXPECT_EQ(first.findings[0].interleaving.key(),
+              second.findings[0].interleaving.key());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResourceProfiler
+// ---------------------------------------------------------------------------
+
+TEST(ResourceProfiler, MeasuresEveryInterleaving) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session::Config config;
+  // raw-event DFS exploration: impossible orders (exec before its send)
+  // surface as failed ops for the profiler to count
+  config.mode = ExplorationMode::Dfs;
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 50;
+  Session session(proxy, config);
+  session.start();
+  proxy.update(0, "report", jobj({{"problem", "a"}}));
+  proxy.sync(0, 1);
+  proxy.update(1, "resolve", jobj({{"problem", "a"}}));
+  proxy.sync(1, 0);
+
+  auto profiler = std::make_shared<ResourceProfiler>(&town.network());
+  const auto report = session.end({profiler});
+  EXPECT_FALSE(report.reproduced);  // the profiler never fails
+  EXPECT_EQ(profiler->profiles().size(), report.explored);
+
+  const auto summary = profiler->summary();
+  EXPECT_EQ(summary.interleavings, report.explored);
+  EXPECT_EQ(summary.total_ops, report.explored * 6);  // 6 events each
+  EXPECT_GT(summary.total_failed_ops, 0u);  // some orders exec before req
+  EXPECT_GT(summary.mean_state_bytes, 0.0);
+  EXPECT_LE(summary.min_state_bytes, summary.max_state_bytes);
+  ASSERT_TRUE(summary.heaviest_state.has_value());
+  EXPECT_EQ(summary.heaviest_state->state_bytes, summary.max_state_bytes);
+  ASSERT_TRUE(summary.heaviest_traffic.has_value());
+  EXPECT_LE(summary.heaviest_traffic->messages_delivered,
+            summary.heaviest_traffic->messages_sent);
+}
+
+TEST(ResourceProfiler, DetectsTrafficVariationAcrossInterleavings) {
+  // whether a sync_req is sent before or after updates changes payloads and
+  // delivery counts; the profiler must surface the spread
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session::Config config;
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 200;
+  Session session(proxy, config);
+  session.start();
+  proxy.update(0, "report", jobj({{"problem", "a"}}));
+  proxy.update(0, "report", jobj({{"problem", "b"}}));
+  proxy.sync(0, 1);
+  auto profiler = std::make_shared<ResourceProfiler>(&town.network());
+  (void)session.end({profiler});
+  const auto summary = profiler->summary();
+  // state size varies: interleavings where the sync ran before the reports
+  // leave replica 1 empty
+  EXPECT_LT(summary.min_state_bytes, summary.max_state_bytes);
+}
+
+TEST(ResourceProfiler, WorksWithoutANetworkPointer) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session::Config config;
+  config.replay.max_interleavings = 5;
+  config.replay.stop_on_violation = false;
+  Session session(proxy, config);
+  session.start();
+  proxy.update(0, "report", jobj({{"problem", "a"}}));
+  auto profiler = std::make_shared<ResourceProfiler>();
+  (void)session.end({profiler});
+  ASSERT_FALSE(profiler->profiles().empty());
+  EXPECT_EQ(profiler->profiles()[0].messages_sent, 0u);
+  EXPECT_GT(profiler->profiles()[0].state_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace erpi::core

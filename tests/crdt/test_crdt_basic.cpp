@@ -1,0 +1,344 @@
+// CRDT substrate tests: clocks, counters, registers, sets — including
+// property-style merge commutativity/idempotence sweeps.
+#include <gtest/gtest.h>
+
+#include "crdt/common.hpp"
+#include "crdt/counters.hpp"
+#include "crdt/registers.hpp"
+#include "crdt/sets.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::crdt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+TEST(LamportClock, TickAndReceive) {
+  LamportClock clock;
+  EXPECT_EQ(clock.tick(), 1);
+  EXPECT_EQ(clock.tick(), 2);
+  EXPECT_EQ(clock.receive(10), 11);  // max(local, remote) + 1
+  EXPECT_EQ(clock.receive(3), 12);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(Timestamp, TotalOrderWithReplicaTieBreak) {
+  EXPECT_LT((Timestamp{1, 5}), (Timestamp{2, 0}));
+  EXPECT_LT((Timestamp{2, 0}), (Timestamp{2, 1}));
+  EXPECT_EQ((Timestamp{3, 3}), (Timestamp{3, 3}));
+  const auto round_tripped = Timestamp::from_json(Timestamp{7, 2}.to_json());
+  EXPECT_EQ(round_tripped, (Timestamp{7, 2}));
+}
+
+TEST(VectorClock, HappensBeforeAndConcurrency) {
+  VectorClock a;
+  VectorClock b;
+  a.tick(0);
+  EXPECT_TRUE(b.before(a));
+  b = a;
+  b.tick(1);
+  EXPECT_TRUE(a.before(b));
+  EXPECT_FALSE(b.before(a));
+
+  VectorClock c;
+  c.tick(2);
+  EXPECT_TRUE(b.concurrent(c));
+  EXPECT_TRUE(c.concurrent(b));
+
+  VectorClock merged = b;
+  merged.merge(c);
+  EXPECT_TRUE(b.before(merged));
+  EXPECT_TRUE(c.before(merged));
+  EXPECT_FALSE(merged.concurrent(b));
+}
+
+TEST(VectorClock, JsonRoundTrip) {
+  VectorClock vc;
+  vc.tick(0);
+  vc.tick(0);
+  vc.tick(3);
+  EXPECT_TRUE(VectorClock::from_json(vc.to_json()) == vc);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+TEST(GCounter, SumsComponentsAndMergesByMax) {
+  GCounter a;
+  GCounter b;
+  a.increment(0, 3);
+  b.increment(1, 4);
+  b.increment(0, 1);  // b has a stale view of replica 0
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7);  // max(3,1) + 4
+  EXPECT_THROW(a.increment(0, -1), std::invalid_argument);
+}
+
+TEST(GCounter, MergeIsIdempotent) {
+  GCounter a;
+  a.increment(0, 2);
+  GCounter b = a;
+  a.merge(b);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 2);
+}
+
+TEST(PNCounter, IncrementAndDecrement) {
+  PNCounter c;
+  c.increment(0, 10);
+  c.decrement(1, 4);
+  EXPECT_EQ(c.value(), 6);
+  const auto round_tripped = PNCounter::from_json(c.to_json());
+  EXPECT_EQ(round_tripped.value(), 6);
+  EXPECT_TRUE(round_tripped == c);
+}
+
+// Property: merging per-replica counter shards in any order gives the total.
+class CounterMergeOrder : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CounterMergeOrder, OrderIndependent) {
+  util::Rng rng(GetParam());
+  std::vector<PNCounter> shards(4);
+  int64_t expected = 0;
+  for (int replica = 0; replica < 4; ++replica) {
+    const int64_t incs = static_cast<int64_t>(rng.below(20));
+    const int64_t decs = static_cast<int64_t>(rng.below(10));
+    shards[static_cast<size_t>(replica)].increment(replica, incs);
+    shards[static_cast<size_t>(replica)].decrement(replica, decs);
+    expected += incs - decs;
+  }
+  std::vector<size_t> order{0, 1, 2, 3};
+  rng.shuffle(order);
+  PNCounter merged;
+  for (const size_t i : order) merged.merge(shards[i]);
+  EXPECT_EQ(merged.value(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterMergeOrder, ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// LWW register
+// ---------------------------------------------------------------------------
+
+TEST(LwwRegister, LaterTimestampWins) {
+  LwwRegister r;
+  r.set("old", {1, 0});
+  r.set("new", {2, 0});
+  EXPECT_EQ(r.value(), "new");
+  r.set("stale", {1, 9});
+  EXPECT_EQ(r.value(), "new");
+}
+
+TEST(LwwRegister, StrictTieBreakIsOrderIndependent) {
+  LwwRegister ab;
+  ab.set("from0", {5, 0});
+  ab.set("from1", {5, 1});
+  LwwRegister ba;
+  ba.set("from1", {5, 1});
+  ba.set("from0", {5, 0});
+  EXPECT_EQ(ab.value(), ba.value());
+  EXPECT_EQ(ab.value(), "from1");  // higher replica id wins ties
+}
+
+TEST(LwwRegister, BuggyTieBreakDependsOnArrival) {
+  LwwRegister ab(/*strict_tiebreak=*/false);
+  ab.set("from0", {5, 0});
+  ab.set("from1", {5, 1});
+  LwwRegister ba(false);
+  ba.set("from1", {5, 1});
+  ba.set("from0", {5, 0});
+  EXPECT_NE(ab.value(), ba.value());  // the Roshi #11 anomaly
+}
+
+TEST(LwwRegister, MergeTakesNewest) {
+  LwwRegister a;
+  a.set("a", {3, 0});
+  LwwRegister b;
+  b.set("b", {4, 1});
+  a.merge(b);
+  EXPECT_EQ(a.value(), "b");
+  LwwRegister empty;
+  a.merge(empty);  // merging an empty register is a no-op
+  EXPECT_EQ(a.value(), "b");
+}
+
+// ---------------------------------------------------------------------------
+// MV register
+// ---------------------------------------------------------------------------
+
+TEST(MvRegister, ConcurrentWritesBothSurvive) {
+  MvRegister a;
+  MvRegister b;
+  a.set(0, "alpha");
+  b.set(1, "beta");
+  a.merge(b);
+  EXPECT_EQ(a.conflict_count(), 2u);
+  EXPECT_EQ(a.values(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(MvRegister, LaterWriteSubsumesBoth) {
+  MvRegister a;
+  MvRegister b;
+  a.set(0, "alpha");
+  b.set(1, "beta");
+  a.merge(b);
+  a.set(0, "resolved");  // causally after both
+  b.merge(a);
+  EXPECT_EQ(b.values(), std::vector<std::string>{"resolved"});
+  EXPECT_EQ(b.conflict_count(), 1u);
+}
+
+TEST(MvRegister, RemoteApplyIsIdempotent) {
+  MvRegister a;
+  const auto clock = a.set(0, "x");
+  MvRegister b;
+  b.apply_remote("x", clock);
+  b.apply_remote("x", clock);
+  EXPECT_EQ(b.conflict_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// LWW set
+// ---------------------------------------------------------------------------
+
+TEST(LwwSet, AddRemoveMembership) {
+  LwwSet s;
+  EXPECT_TRUE(s.add("x", {1, 0}));
+  EXPECT_TRUE(s.contains("x"));
+  EXPECT_TRUE(s.remove("x", {2, 0}));
+  EXPECT_FALSE(s.contains("x"));
+  EXPECT_TRUE(s.deleted("x"));
+  EXPECT_FALSE(s.add("x", {1, 5}));  // stale add loses
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(LwwSet, StrictModeRemoveWinsTies) {
+  LwwSet ab;
+  ab.add("x", {5, 0});
+  ab.remove("x", {5, 1});
+  LwwSet ba;
+  ba.remove("x", {5, 1});
+  ba.add("x", {5, 0});
+  EXPECT_EQ(ab.contains("x"), ba.contains("x"));
+  EXPECT_FALSE(ab.contains("x"));  // remove bias
+}
+
+TEST(LwwSet, MergeCommutes) {
+  LwwSet a;
+  a.add("x", {1, 0});
+  a.add("y", {3, 0});
+  LwwSet b;
+  b.remove("x", {2, 1});
+  b.add("z", {1, 1});
+  LwwSet ab = a;
+  ab.merge(b);
+  LwwSet ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.elements(), ba.elements());
+  EXPECT_EQ(ab.elements(), (std::vector<std::string>{"y", "z"}));
+}
+
+TEST(LwwSet, LastOpTimestampExposed) {
+  LwwSet s;
+  s.add("x", {4, 2});
+  EXPECT_EQ(*s.last_op("x"), (Timestamp{4, 2}));
+  EXPECT_FALSE(s.last_op("missing"));
+}
+
+// ---------------------------------------------------------------------------
+// OR set
+// ---------------------------------------------------------------------------
+
+TEST(OrSet, AddWinsOverConcurrentRemove) {
+  OrSet a;
+  OrSet b;
+  const auto add_a = a.add(0, "x");
+  b.apply(add_a);
+  // concurrently: b removes x (observing only a's tag), a re-adds x
+  const auto remove_b = b.remove("x");
+  ASSERT_TRUE(remove_b);
+  const auto add_a2 = a.add(0, "x");
+  // exchange
+  a.apply(*remove_b);
+  b.apply(add_a2);
+  EXPECT_TRUE(a.contains("x"));  // re-add's fresh tag survives
+  EXPECT_TRUE(b.contains("x"));
+  EXPECT_EQ(a.elements(), b.elements());
+}
+
+TEST(OrSet, RemoveOfAbsentElementIsNoOp) {
+  OrSet s;
+  EXPECT_FALSE(s.remove("ghost"));
+}
+
+TEST(OrSet, TombstoneBlocksLateAdd) {
+  OrSet a;
+  const auto add = a.add(0, "x");
+  const auto remove = a.remove("x");
+  OrSet b;
+  b.apply(*remove);  // remove arrives before the add
+  b.apply(add);
+  EXPECT_FALSE(b.contains("x"));
+}
+
+TEST(OrSet, StateMergeCommutesAndIsIdempotent) {
+  OrSet a;
+  OrSet b;
+  a.add(0, "x");
+  a.add(0, "y");
+  b.add(1, "y");
+  b.add(1, "z");
+  b.remove("z");
+  OrSet ab = a;
+  ab.merge(b);
+  OrSet ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.elements(), ba.elements());
+  EXPECT_EQ(ab.elements(), (std::vector<std::string>{"x", "y"}));
+  ab.merge(b);
+  EXPECT_EQ(ab.elements(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(OrSet, FreshTagsAfterMerge) {
+  OrSet a;
+  a.add(0, "x");
+  OrSet b;
+  b.merge(a);
+  // b's next local add at replica 0 must not reuse a's tag
+  const auto op = b.add(0, "w");
+  EXPECT_GT(op.tag.counter, 0);
+  a.apply(op);
+  EXPECT_TRUE(a.contains("w"));
+}
+
+// ---------------------------------------------------------------------------
+// 2P set
+// ---------------------------------------------------------------------------
+
+TEST(TwoPSet, RemovedElementsNeverReturn) {
+  TwoPSet s;
+  EXPECT_TRUE(s.add("x"));
+  EXPECT_FALSE(s.add("x"));  // duplicate add fails (the §3.5 constraint)
+  EXPECT_TRUE(s.remove("x"));
+  EXPECT_FALSE(s.remove("x"));
+  EXPECT_FALSE(s.add("x"));  // removal is permanent
+  EXPECT_FALSE(s.contains("x"));
+}
+
+TEST(TwoPSet, MergeUnionsBothPhases) {
+  TwoPSet a;
+  a.add("x");
+  a.add("y");
+  TwoPSet b;
+  b.merge_add("y");
+  b.merge_remove("y");
+  a.merge(b);
+  EXPECT_EQ(a.elements(), std::vector<std::string>{"x"});
+}
+
+}  // namespace
+}  // namespace erpi::crdt

@@ -1,0 +1,186 @@
+// JSON document CRDT tests: object LWW, nested values, list operations, op
+// serialization round-trips, convergence, and the two seeded Yorkie defects.
+#include <gtest/gtest.h>
+
+#include "crdt/json_doc.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::crdt {
+namespace {
+
+util::Json obj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json out = util::Json::object();
+  for (const auto& [k, v] : kv) out[k] = v;
+  return out;
+}
+
+TEST(JsonDoc, SetAndGetPrimitives) {
+  JsonDoc doc(0);
+  doc.set({}, "title", util::Json("hello"));
+  doc.set({}, "count", util::Json(3));
+  EXPECT_EQ(doc.get({}, "title")->as_string(), "hello");
+  EXPECT_EQ(doc.get({}, "count")->as_int(), 3);
+  EXPECT_FALSE(doc.get({}, "missing"));
+  EXPECT_EQ(doc.snapshot().dump(), R"({"count":3,"title":"hello"})");
+}
+
+TEST(JsonDoc, NestedObjectsViaPathsAndValues) {
+  JsonDoc doc(0);
+  doc.set({}, "meta", obj({{"author", "ada"}}));
+  doc.set({"meta"}, "year", util::Json(1843));
+  EXPECT_EQ(doc.get({"meta"}, "author")->as_string(), "ada");
+  EXPECT_EQ(doc.get({"meta"}, "year")->as_int(), 1843);
+}
+
+TEST(JsonDoc, EraseHidesKey) {
+  JsonDoc doc(0);
+  doc.set({}, "k", util::Json("v"));
+  doc.erase({}, "k");
+  EXPECT_FALSE(doc.get({}, "k"));
+  EXPECT_EQ(doc.snapshot().dump(), "{}");
+  // a later set resurrects the slot
+  doc.set({}, "k", util::Json("v2"));
+  EXPECT_EQ(doc.get({}, "k")->as_string(), "v2");
+}
+
+TEST(JsonDoc, ListPushInsertRemoveMove) {
+  JsonDoc doc(0);
+  doc.list_push({}, "l", util::Json("a"));
+  doc.list_push({}, "l", util::Json("c"));
+  doc.list_insert({}, "l", 1, util::Json("b"));
+  EXPECT_EQ(doc.list_values({}, "l"),
+            (std::vector<std::string>{"\"a\"", "\"b\"", "\"c\""}));
+  ASSERT_TRUE(doc.list_move({}, "l", 0, 2));
+  EXPECT_EQ(doc.list_values({}, "l"),
+            (std::vector<std::string>{"\"b\"", "\"c\"", "\"a\""}));
+  ASSERT_TRUE(doc.list_remove({}, "l", 1));
+  EXPECT_EQ(doc.list_values({}, "l"), (std::vector<std::string>{"\"b\"", "\"a\""}));
+  EXPECT_FALSE(doc.list_remove({}, "l", 9));
+  EXPECT_FALSE(doc.list_move({}, "missing", 0, 1));
+}
+
+TEST(JsonDoc, SnapshotRendersListsAsArrays) {
+  JsonDoc doc(0);
+  doc.list_push({}, "l", util::Json(1));
+  doc.list_push({}, "l", util::Json("two"));
+  EXPECT_EQ(doc.snapshot().dump(), R"({"l":[1,"two"]})");
+}
+
+TEST(JsonDocOp, JsonRoundTripAllKinds) {
+  JsonDoc doc(0);
+  std::vector<JsonDoc::Op> ops;
+  ops.push_back(doc.set({}, "k", obj({{"x", 1}})));
+  ops.push_back(doc.erase({}, "k"));
+  ops.push_back(doc.list_push({}, "l", util::Json("a")));
+  ops.push_back(doc.list_insert({}, "l", 0, util::Json("b")));
+  ops.push_back(*doc.list_remove({}, "l", 0));
+  doc.list_push({}, "l", util::Json("c"));
+  ops.push_back(*doc.list_move({}, "l", 0, 1));
+
+  JsonDoc replica(1);
+  for (const auto& op : ops) {
+    const auto decoded = JsonDoc::Op::from_json(op.to_json());
+    ASSERT_TRUE(decoded) << decoded.error().message;
+    EXPECT_EQ(decoded.value().to_json().dump(), op.to_json().dump());
+  }
+}
+
+TEST(JsonDoc, OpReplicationConverges) {
+  JsonDoc a(0);
+  JsonDoc b(1);
+  std::vector<JsonDoc::Op> ops;
+  ops.push_back(a.set({}, "title", util::Json("doc")));
+  ops.push_back(a.list_push({}, "items", util::Json("x")));
+  ops.push_back(a.list_push({}, "items", util::Json("y")));
+  for (const auto& op : ops) b.apply(op);
+  EXPECT_EQ(a.snapshot().dump(), b.snapshot().dump());
+
+  const auto move = b.list_move({}, "items", 0, 1);
+  a.apply(*move);
+  EXPECT_EQ(a.snapshot().dump(), b.snapshot().dump());
+}
+
+TEST(JsonDoc, ConcurrentSetsResolveByLww) {
+  JsonDoc a(0);
+  JsonDoc b(1);
+  const auto from_a = a.set({}, "k", util::Json("A"));
+  const auto from_b = b.set({}, "k", util::Json("B"));
+  a.apply(from_b);
+  b.apply(from_a);
+  EXPECT_EQ(a.get({}, "k")->dump(), b.get({}, "k")->dump());
+  // equal Lamport times: higher replica id wins
+  EXPECT_EQ(a.get({}, "k")->as_string(), "B");
+}
+
+TEST(JsonDoc, FixedModeReplacesNestedObjects) {
+  JsonDoc a(0);
+  JsonDoc b(1);
+  const auto seed = b.set({}, "k", obj({{"y", 2}}));
+  a.apply(seed);
+  const auto overwrite = a.set({}, "k", obj({{"x", 1}}));
+  b.apply(overwrite);
+  EXPECT_EQ(b.get({}, "k")->dump(), R"({"x":1})");
+  EXPECT_EQ(a.snapshot().dump(), b.snapshot().dump());
+}
+
+TEST(JsonDoc, BuggyModeMergesNestedObjects) {
+  JsonDoc::Flags flags;
+  flags.replace_nested_on_set = false;  // Yorkie #663
+  JsonDoc a(0, flags);
+  JsonDoc b(1, flags);
+  const auto seed = b.set({}, "k", obj({{"y", 2}}));
+  a.apply(seed);
+  const auto overwrite = a.set({}, "k", obj({{"x", 1}}));
+  b.apply(overwrite);
+  // the remote side merged instead of replacing
+  EXPECT_EQ(b.get({}, "k")->dump(), R"({"x":1,"y":2})");
+  EXPECT_NE(a.snapshot().dump(), b.snapshot().dump());
+}
+
+TEST(JsonDoc, BuggyMoveModeDiverges) {
+  JsonDoc::Flags flags;
+  flags.lww_move = false;  // Yorkie #676
+  JsonDoc a(0, flags);
+  JsonDoc b(1, flags);
+  std::vector<JsonDoc::Op> setup;
+  for (const char* v : {"a", "b", "c", "d"}) {
+    setup.push_back(a.list_push({}, "l", util::Json(v)));
+  }
+  for (const auto& op : setup) b.apply(op);
+  const auto move_a = a.list_move({}, "l", 0, 2);
+  const auto move_b = b.list_move({}, "l", 0, 3);
+  a.apply(*move_b);
+  b.apply(*move_a);
+  EXPECT_NE(a.list_values({}, "l"), b.list_values({}, "l"));
+}
+
+// Property: replicas applying each other's object-level sets in any order
+// converge (LWW), across randomized write sequences.
+class JsonDocLwwProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonDocLwwProperty, ObjectWritesConverge) {
+  util::Rng rng(GetParam());
+  JsonDoc a(0);
+  JsonDoc b(1);
+  std::vector<JsonDoc::Op> from_a;
+  std::vector<JsonDoc::Op> from_b;
+  const char* keys[] = {"k1", "k2", "k3"};
+  for (int step = 0; step < 20; ++step) {
+    const char* key = keys[rng.below(3)];
+    if (rng.chance(0.5)) {
+      from_a.push_back(a.set({}, key, util::Json(static_cast<int64_t>(rng.below(100)))));
+    } else {
+      from_b.push_back(b.set({}, key, util::Json(static_cast<int64_t>(rng.below(100)))));
+    }
+  }
+  rng.shuffle(from_a);
+  rng.shuffle(from_b);
+  for (const auto& op : from_a) b.apply(op);
+  for (const auto& op : from_b) a.apply(op);
+  EXPECT_EQ(a.snapshot().dump(), b.snapshot().dump()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonDocLwwProperty, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace erpi::crdt

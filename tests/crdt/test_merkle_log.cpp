@@ -1,0 +1,160 @@
+// Merkle-DAG log tests: content addressing, join semantics, total order,
+// access control, and the three seeded OrbitDB defect modes.
+#include <gtest/gtest.h>
+
+#include "crdt/merkle_log.hpp"
+
+namespace erpi::crdt {
+namespace {
+
+TEST(MerkleLog, AppendChainsParents) {
+  MerkleLog log("id0");
+  const auto first = log.append("one").take();
+  EXPECT_TRUE(first.parents.empty());
+  const auto second = log.append("two").take();
+  ASSERT_EQ(second.parents.size(), 1u);
+  EXPECT_EQ(second.parents[0], first.hash);
+  EXPECT_EQ(log.heads(), std::vector<std::string>{second.hash});
+  EXPECT_EQ(log.length(), 2u);
+  EXPECT_EQ(log.clock(), 2);
+}
+
+TEST(MerkleLog, HashCoversContent) {
+  MerkleLog a("id0");
+  MerkleLog b("id0");
+  const auto ha = a.append("same").take().hash;
+  const auto hb = b.append("same").take().hash;
+  EXPECT_EQ(ha, hb);  // identical content, identical address
+  const auto hc = b.append("same").take().hash;
+  EXPECT_NE(hb, hc);  // different clock/parents -> different address
+}
+
+TEST(MerkleLog, JoinUnionsAndConverges) {
+  MerkleLog a("id0");
+  MerkleLog b("id1");
+  a.append("a1");
+  b.append("b1");
+  ASSERT_TRUE(a.join(b));
+  ASSERT_TRUE(b.join(a));
+  EXPECT_EQ(a.payloads(), b.payloads());
+  EXPECT_EQ(a.length(), 2u);
+  // joining again is idempotent
+  ASSERT_TRUE(a.join(b));
+  EXPECT_EQ(a.length(), 2u);
+  EXPECT_TRUE(a.verify());
+}
+
+TEST(MerkleLog, ConcurrentHeadsMergeOnNextAppend) {
+  MerkleLog a("id0");
+  MerkleLog b("id1");
+  a.append("a1");
+  b.append("b1");
+  a.join(b);
+  EXPECT_EQ(a.heads().size(), 2u);
+  const auto merge_entry = a.append("merge").take();
+  EXPECT_EQ(merge_entry.parents.size(), 2u);
+  EXPECT_EQ(a.heads().size(), 1u);
+}
+
+TEST(MerkleLog, IdentityTieBreakGivesSameOrderEverywhere) {
+  MerkleLog a("id0");
+  MerkleLog b("id1");
+  a.append("pa");  // clock 1 at both: a genuine tie
+  b.append("pb");
+  a.join(b);
+  b.join(a);
+  std::vector<std::string> order_a = a.payloads();
+  std::vector<std::string> order_b = b.payloads();
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(MerkleLog, ArrivalOrderTiesDiverge) {
+  MerkleLog::Flags flags;
+  flags.identity_tiebreak = false;  // OrbitDB #513
+  MerkleLog a("id0", flags);
+  MerkleLog b("id1", flags);
+  a.append("pa");
+  b.append("pb");
+  a.join(b);  // a sees pa then pb
+  b.join(a);  // b sees pb then pa
+  EXPECT_NE(a.payloads(), b.payloads());
+}
+
+TEST(MerkleLog, RejectFutureClocksWedgesReplication) {
+  MerkleLog::Flags flags;
+  flags.reject_future_clocks = true;  // OrbitDB #512
+  flags.max_clock_drift = 100;
+  MerkleLog a("id0", flags);
+  MerkleLog b("id1", flags);
+  a.append_with_clock("poison", 1'000'000);
+  const auto status = b.join(a);
+  EXPECT_FALSE(status);
+  EXPECT_NE(status.error().message.find("too far ahead"), std::string::npos);
+  EXPECT_EQ(b.length(), 0u);
+}
+
+TEST(MerkleLog, ClampModeAcceptsFutureClocks) {
+  MerkleLog a("id0");
+  MerkleLog b("id1");
+  a.append_with_clock("poison", 1'000'000);
+  EXPECT_TRUE(b.join(a));
+  EXPECT_EQ(b.clock(), 1'000'000);
+  // progress continues: the next local append just ratchets past it
+  EXPECT_TRUE(b.append("more"));
+}
+
+TEST(MerkleLog, PartialHashModeFailsVerification) {
+  MerkleLog::Flags flags;
+  flags.hash_includes_parents = false;  // OrbitDB #583 family
+  MerkleLog log("id0", flags);
+  log.append("one");
+  log.append("two");  // has a parent the minted hash ignores
+  EXPECT_FALSE(log.verify());
+
+  MerkleLog sound("id0");
+  sound.append("one");
+  sound.append("two");
+  EXPECT_TRUE(sound.verify());
+}
+
+TEST(MerkleLog, AccessControlDeniesUngrantedWriters) {
+  MerkleLog log("writer");
+  EXPECT_TRUE(log.append("open access"));  // empty ACL = open
+  log.grant("someone-else");
+  const auto denied = log.append("now closed");
+  EXPECT_FALSE(denied);
+  EXPECT_NE(denied.error().message.find("write access denied"), std::string::npos);
+  log.grant("writer");
+  EXPECT_TRUE(log.append("granted"));
+  log.revoke("writer");
+  EXPECT_FALSE(log.append("revoked"));
+}
+
+TEST(MerkleLog, ApplyRejectsEntriesFromUngrantedIdentity) {
+  MerkleLog a("id0");
+  const auto entry = a.append("hello").take();
+  MerkleLog b("id1");
+  b.grant("id1");  // ACL that excludes id0
+  EXPECT_FALSE(b.apply(entry));
+  b.grant("id0");
+  EXPECT_TRUE(b.apply(entry));
+  EXPECT_TRUE(b.apply(entry));  // idempotent re-apply
+  EXPECT_EQ(b.length(), 1u);
+}
+
+TEST(MerkleLog, TraverseOrderedByClock) {
+  MerkleLog a("id0");
+  a.append("first");
+  a.append("second");
+  MerkleLog b("id1");
+  b.join(a);
+  b.append("third");
+  const auto entries = b.traverse();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_LE(entries[0].clock, entries[1].clock);
+  EXPECT_LE(entries[1].clock, entries[2].clock);
+  EXPECT_EQ(entries[2].payload, "third");
+}
+
+}  // namespace
+}  // namespace erpi::crdt

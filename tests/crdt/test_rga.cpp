@@ -1,0 +1,197 @@
+// RGA list CRDT tests: insertion, removal, CRDT vs naive moves, op-based and
+// state-based convergence, plus a randomized convergence property sweep.
+#include <gtest/gtest.h>
+
+#include "crdt/rga.hpp"
+#include "util/rng.hpp"
+
+namespace erpi::crdt {
+namespace {
+
+TEST(Rga, InsertAtPositions) {
+  Rga list;
+  list.insert_at(0, 0, "b");
+  list.insert_at(0, 0, "a");   // prepend
+  list.insert_at(0, 2, "c");   // append
+  list.insert_at(0, 1, "ab");  // middle
+  EXPECT_EQ(list.values(), (std::vector<std::string>{"a", "ab", "b", "c"}));
+  EXPECT_THROW(list.insert_at(0, 99, "x"), std::out_of_range);
+}
+
+TEST(Rga, RemoveTombstones) {
+  Rga list;
+  list.insert_at(0, 0, "a");
+  list.insert_at(0, 1, "b");
+  ASSERT_TRUE(list.remove_at(0));
+  EXPECT_EQ(list.values(), std::vector<std::string>{"b"});
+  EXPECT_FALSE(list.remove_at(5));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(Rga, IdLookupHelpers) {
+  Rga list;
+  const auto op = list.insert_at(0, 0, "x");
+  EXPECT_EQ(*list.id_at(0), op.id);
+  EXPECT_EQ(*list.value_of(op.id), "x");
+  list.remove_at(0);
+  EXPECT_FALSE(list.value_of(op.id));
+  EXPECT_FALSE(list.id_at(0));
+}
+
+TEST(Rga, OpBasedReplicationConverges) {
+  Rga a;
+  Rga b;
+  const auto i1 = a.insert_at(0, 0, "one");
+  const auto i2 = a.insert_at(0, 1, "two");
+  b.apply(i1);
+  b.apply(i2);
+  EXPECT_EQ(a.values(), b.values());
+  const auto r = b.remove_at(0);
+  a.apply(*r);
+  EXPECT_EQ(a.values(), b.values());
+  // duplicate delivery is idempotent
+  a.apply(i2);
+  a.apply(*r);
+  EXPECT_EQ(a.values(), std::vector<std::string>{"two"});
+}
+
+TEST(Rga, ConcurrentSameAnchorInsertsConverge) {
+  Rga a;
+  Rga b;
+  const auto base = a.insert_at(0, 0, "base");
+  b.apply(base);
+  const auto from_a = a.insert_at(0, 1, "fromA");
+  const auto from_b = b.insert_at(1, 1, "fromB");
+  a.apply(from_b);
+  b.apply(from_a);
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Rga, LwwMoveConvergesUnderConcurrentMoves) {
+  Rga a;
+  Rga b;
+  std::vector<Rga::InsertOp> inserts;
+  for (int i = 0; i < 4; ++i) {
+    inserts.push_back(a.insert_at(0, static_cast<size_t>(i), std::string(1, 'a' + i)));
+  }
+  for (const auto& op : inserts) b.apply(op);
+
+  const auto move_a = a.move(0, 0, 2);
+  const auto move_b = b.move(1, 0, 3);
+  ASSERT_TRUE(move_a && move_b);
+  a.apply(*move_b);
+  b.apply(*move_a);
+  EXPECT_EQ(a.values(), b.values());  // the higher stamp won on both sides
+}
+
+TEST(Rga, ArrivalOrderMovesDiverge) {
+  Rga a;
+  a.set_lww_moves(false);
+  Rga b;
+  b.set_lww_moves(false);
+  std::vector<Rga::InsertOp> inserts;
+  for (int i = 0; i < 4; ++i) {
+    inserts.push_back(a.insert_at(0, static_cast<size_t>(i), std::string(1, 'a' + i)));
+  }
+  for (const auto& op : inserts) b.apply(op);
+  const auto move_a = a.move(0, 0, 2);
+  const auto move_b = b.move(1, 0, 3);
+  a.apply(*move_b);
+  b.apply(*move_a);
+  EXPECT_NE(a.values(), b.values());  // Yorkie #676's divergence
+}
+
+TEST(Rga, NaiveMoveDuplicatesUnderConcurrency) {
+  Rga a;
+  Rga b;
+  std::vector<Rga::InsertOp> inserts;
+  for (int i = 0; i < 3; ++i) {
+    inserts.push_back(a.insert_at(0, static_cast<size_t>(i), std::string(1, 'a' + i)));
+  }
+  for (const auto& op : inserts) b.apply(op);
+
+  const auto naive_a = a.naive_move(0, 0, 2);
+  const auto naive_b = b.naive_move(1, 0, 1);
+  ASSERT_TRUE(naive_a && naive_b);
+  a.apply(naive_b->first);
+  a.apply(naive_b->second);
+  b.apply(naive_a->first);
+  b.apply(naive_a->second);
+  // both replicas now hold TWO copies of "a" — misconception #3
+  const auto values = a.values();
+  EXPECT_EQ(std::count(values.begin(), values.end(), "a"), 2);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Rga, StateMergeConverges) {
+  Rga a;
+  a.insert_at(0, 0, "x");
+  a.insert_at(0, 1, "y");
+  Rga b;
+  b.insert_at(1, 0, "z");
+  Rga ab = a;
+  ab.merge(b);
+  Rga ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.values(), ba.values());
+  EXPECT_EQ(ab.size(), 3u);
+  ab.merge(b);  // idempotent
+  EXPECT_EQ(ab.size(), 3u);
+}
+
+TEST(Rga, StateMergePropagatesTombstones) {
+  Rga a;
+  a.insert_at(0, 0, "x");
+  Rga b = a;
+  b.remove_at(0);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+// Property: two replicas that exchange all their insert/remove ops converge,
+// across randomized op sequences.
+class RgaConvergence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RgaConvergence, InsertRemoveOpsConverge) {
+  util::Rng rng(GetParam());
+  Rga a;
+  Rga b;
+  std::vector<Rga::InsertOp> a_inserts;
+  std::vector<Rga::RemoveOp> a_removes;
+  std::vector<Rga::InsertOp> b_inserts;
+  std::vector<Rga::RemoveOp> b_removes;
+
+  for (int step = 0; step < 24; ++step) {
+    Rga& target = rng.chance(0.5) ? a : b;
+    const ReplicaId replica = (&target == &a) ? 0 : 1;
+    auto& inserts = (&target == &a) ? a_inserts : b_inserts;
+    auto& removes = (&target == &a) ? a_removes : b_removes;
+    if (target.size() == 0 || rng.chance(0.7)) {
+      inserts.push_back(target.insert_at(
+          replica, rng.below(target.size() + 1), "v" + std::to_string(step)));
+    } else {
+      const auto op = target.remove_at(rng.below(target.size()));
+      if (op) removes.push_back(*op);
+    }
+  }
+  for (const auto& op : a_inserts) b.apply(op);
+  for (const auto& op : a_removes) b.apply(op);
+  for (const auto& op : b_inserts) a.apply(op);
+  for (const auto& op : b_removes) a.apply(op);
+  EXPECT_EQ(a.values(), b.values()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RgaConvergence, ::testing::Range<uint64_t>(1, 17));
+
+TEST(NaiveList, AppendAndRemove) {
+  NaiveList list;
+  list.append("a");
+  list.append("b");
+  list.remove_value("a");
+  list.remove_value("ghost");
+  EXPECT_EQ(list.values(), std::vector<std::string>{"b"});
+}
+
+}  // namespace
+}  // namespace erpi::crdt

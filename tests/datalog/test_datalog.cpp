@@ -1,0 +1,335 @@
+// Datalog engine tests: database, parser, semi-naive evaluator.
+#include <gtest/gtest.h>
+
+#include "datalog/database.hpp"
+#include "datalog/evaluator.hpp"
+#include "datalog/parser.hpp"
+
+namespace erpi::datalog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+TEST(Database, InsertDeduplicates) {
+  Database db;
+  EXPECT_TRUE(db.insert_fact("p", {Database::num(1), Database::num(2)}));
+  EXPECT_FALSE(db.insert_fact("p", {Database::num(1), Database::num(2)}));
+  EXPECT_TRUE(db.insert_fact("p", {Database::num(1), Database::num(3)}));
+  EXPECT_EQ(db.find("p")->size(), 2u);
+}
+
+TEST(Database, ArityMismatchThrows) {
+  Database db;
+  db.insert_fact("p", {Database::num(1)});
+  EXPECT_THROW(db.insert_fact("p", {Database::num(1), Database::num(2)}),
+               std::invalid_argument);
+  EXPECT_THROW(db.relation("p", 3), std::invalid_argument);
+}
+
+TEST(Database, ColumnIndexFindsRows) {
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    db.insert_fact("edge", {Database::num(i % 3), Database::num(i)});
+  }
+  const auto& rows = db.find("edge")->rows_with(0, Value::integer(1));
+  EXPECT_EQ(rows.size(), 3u);  // i = 1, 4, 7
+  for (const size_t row : rows) {
+    EXPECT_EQ(db.find("edge")->tuples()[row][0], Value::integer(1));
+  }
+}
+
+TEST(Database, IndexExtendsAfterBuild) {
+  Database db;
+  db.insert_fact("p", {Database::num(1)});
+  EXPECT_EQ(db.find("p")->rows_with(0, Value::integer(1)).size(), 1u);  // builds index
+  db.insert_fact("p", {Database::num(1)});  // dedup: no change
+  db.relation("p", 1).insert({Database::num(2)});
+  db.relation("p", 1).insert({Database::num(1)});  // dedup again
+  EXPECT_EQ(db.find("p")->rows_with(0, Value::integer(2)).size(), 1u);
+}
+
+TEST(Database, SymbolsInterned) {
+  Database db;
+  const Value a1 = db.sym("alpha");
+  const Value a2 = db.sym("alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, db.sym("beta"));
+  EXPECT_EQ(db.render(a1), "alpha");
+  EXPECT_EQ(db.render(Database::num(-4)), "-4");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(Parser, ParsesFactsRulesAndComments) {
+  SymbolTable symbols;
+  const auto program = parse_program(
+      "% a comment\n"
+      "edge(1, 2).\n"
+      "edge(2, 3).  // another comment\n"
+      "label(1, \"start node\").\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- edge(X, Y), path(Y, Z), X != Z.\n",
+      symbols);
+  ASSERT_TRUE(program) << program.error().message;
+  EXPECT_EQ(program.value().rules.size(), 5u);
+  EXPECT_TRUE(program.value().rules[0].is_fact());
+  EXPECT_FALSE(program.value().rules[4].is_fact());
+  EXPECT_EQ(program.value().rules[4].constraints.size(), 1u);
+}
+
+TEST(Parser, LowercaseIsSymbolUppercaseIsVariable) {
+  SymbolTable symbols;
+  const auto atom = parse_atom("likes(alice, X)", symbols).take();
+  EXPECT_FALSE(atom.terms[0].is_variable());
+  EXPECT_TRUE(atom.terms[1].is_variable());
+}
+
+TEST(Parser, RejectsMalformedPrograms) {
+  SymbolTable symbols;
+  for (const char* bad : {"p(", "p() .", "p(1)", "p(1) :- .", "p(1) :- q(1),.",
+                          "p(X) :- X.", ":- q(1).", "p(1"}) {
+    EXPECT_FALSE(parse_program(bad, symbols)) << bad;
+  }
+}
+
+TEST(Parser, ReportsLineNumbers) {
+  SymbolTable symbols;
+  const auto result = parse_program("p(1).\nq(,).\n", symbols);
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().message.find("line 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+Program parse_ok(const std::string& source, SymbolTable& symbols) {
+  auto program = parse_program(source, symbols);
+  EXPECT_TRUE(program) << (program ? "" : program.error().message);
+  return std::move(program).take();
+}
+
+TEST(Evaluator, TransitiveClosureOnChain) {
+  Database db;
+  const auto program = parse_ok(
+      "edge(1,2). edge(2,3). edge(3,4).\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- edge(X,Y), path(Y,Z).\n",
+      db.symbols());
+  evaluate(db, program);
+  // chain of 4 nodes -> 3 + 2 + 1 = 6 paths
+  EXPECT_EQ(db.find("path")->size(), 6u);
+  EXPECT_TRUE(db.find("path")->contains({Value::integer(1), Value::integer(4)}));
+  EXPECT_FALSE(db.find("path")->contains({Value::integer(4), Value::integer(1)}));
+}
+
+TEST(Evaluator, CycleTerminates) {
+  Database db;
+  const auto program = parse_ok(
+      "edge(1,2). edge(2,1).\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- edge(X,Y), path(Y,Z).\n",
+      db.symbols());
+  const auto stats = evaluate(db, program);
+  EXPECT_EQ(db.find("path")->size(), 4u);  // 1->2, 2->1, 1->1, 2->2
+  EXPECT_GE(stats.iterations, 2u);
+}
+
+TEST(Evaluator, ConstraintsFilterJoins) {
+  Database db;
+  const auto program = parse_ok(
+      "n(1). n(2). n(3).\n"
+      "less(X,Y) :- n(X), n(Y), X < Y.\n"
+      "diag(X,X) :- n(X).\n",
+      db.symbols());
+  evaluate(db, program);
+  EXPECT_EQ(db.find("less")->size(), 3u);  // (1,2) (1,3) (2,3)
+  EXPECT_EQ(db.find("diag")->size(), 3u);
+  EXPECT_TRUE(db.find("diag")->contains({Value::integer(2), Value::integer(2)}));
+}
+
+TEST(Evaluator, SymbolsJoinAcrossRelations) {
+  Database db;
+  const auto program = parse_ok(
+      "parent(alice, bob). parent(bob, carol).\n"
+      "grandparent(X, Z) :- parent(X, Y), parent(Y, Z).\n",
+      db.symbols());
+  evaluate(db, program);
+  ASSERT_EQ(db.find("grandparent")->size(), 1u);
+  EXPECT_EQ(db.render(db.find("grandparent")->tuples()[0]), "(alice, carol)");
+}
+
+TEST(Evaluator, EmptyHeadRelationCreated) {
+  Database db;
+  const auto program = parse_ok("p(X) :- q(X).", db.symbols());
+  evaluate(db, program);
+  ASSERT_NE(db.find("p"), nullptr);
+  EXPECT_TRUE(db.find("p")->empty());
+}
+
+TEST(Evaluator, FactWithVariableRejected) {
+  Database db;
+  Program program;
+  Rule fact;
+  fact.head = Atom{"p", {Term::var("X")}};
+  program.rules.push_back(fact);
+  EXPECT_THROW(Evaluator(db, program), std::invalid_argument);
+}
+
+TEST(Query, BindsVariablesAndFiltersConstants) {
+  Database db;
+  db.insert_fact("edge", {Database::num(1), Database::num(2)});
+  db.insert_fact("edge", {Database::num(1), Database::num(3)});
+  db.insert_fact("edge", {Database::num(2), Database::num(3)});
+
+  const auto from1 = query(db, Atom{"edge", {Term::constant_int(1), Term::var("Y")}});
+  EXPECT_EQ(from1.size(), 2u);
+
+  // repeated variable joins within the atom
+  db.insert_fact("edge", {Database::num(5), Database::num(5)});
+  const auto self = query(db, Atom{"edge", {Term::var("X"), Term::var("X")}});
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0].at("X").payload, 5);
+
+  // wildcard matches anything without binding
+  const auto all = query(db, Atom{"edge", {Term::var("_"), Term::var("_")}});
+  EXPECT_EQ(all.size(), 4u);
+}
+
+// Property: semi-naive evaluation computes the same closure as a reference
+// all-pairs reachability, across several graph shapes.
+class ClosureEquivalence : public ::testing::TestWithParam<std::vector<std::pair<int, int>>> {
+};
+
+TEST_P(ClosureEquivalence, MatchesReferenceReachability) {
+  const auto& edges = GetParam();
+  Database db;
+  for (const auto& [from, to] : edges) {
+    db.insert_fact("edge", {Database::num(from), Database::num(to)});
+  }
+  const auto program = parse_ok(
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- edge(X,Y), path(Y,Z).\n",
+      db.symbols());
+  evaluate(db, program);
+
+  // reference: Floyd-Warshall style reachability over ids 0..7
+  bool reach[8][8] = {};
+  for (const auto& [from, to] : edges) reach[from][to] = true;
+  for (int k = 0; k < 8; ++k) {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        reach[i][j] = reach[i][j] || (reach[i][k] && reach[k][j]);
+      }
+    }
+  }
+  size_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (!reach[i][j]) continue;
+      ++expected;
+      EXPECT_TRUE(db.find("path")->contains({Value::integer(i), Value::integer(j)}))
+          << i << "->" << j;
+    }
+  }
+  EXPECT_EQ(db.find("path")->size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ClosureEquivalence,
+    ::testing::Values(std::vector<std::pair<int, int>>{},
+                      std::vector<std::pair<int, int>>{{0, 1}},
+                      std::vector<std::pair<int, int>>{{0, 1}, {1, 2}, {2, 0}},
+                      std::vector<std::pair<int, int>>{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+                      std::vector<std::pair<int, int>>{
+                          {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}},
+                      std::vector<std::pair<int, int>>{
+                          {1, 1}, {1, 2}, {2, 1}, {3, 4}, {5, 4}, {4, 6}, {6, 5}}));
+
+
+// ---------------------------------------------------------------------------
+// Stratified negation
+// ---------------------------------------------------------------------------
+
+TEST(Negation, UnreachableNodesViaNegatedClosure) {
+  Database db;
+  const auto program = parse_ok(
+      "node(1). node(2). node(3). node(4).\n"
+      "edge(1,2). edge(2,3).\n"
+      "reach(X) :- edge(1, X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), !reach(X).\n",
+      db.symbols());
+  evaluate(db, program);
+  EXPECT_EQ(db.find("reach")->size(), 2u);    // 2, 3
+  EXPECT_EQ(db.find("unreach")->size(), 2u);  // 1, 4
+  EXPECT_TRUE(db.find("unreach")->contains({Value::integer(4)}));
+  EXPECT_TRUE(db.find("unreach")->contains({Value::integer(1)}));
+}
+
+TEST(Negation, SetDifferenceOverEdb) {
+  Database db;
+  const auto program = parse_ok(
+      "a(1). a(2). a(3). b(2).\n"
+      "only_a(X) :- a(X), !b(X).\n",
+      db.symbols());
+  evaluate(db, program);
+  EXPECT_EQ(db.find("only_a")->size(), 2u);
+  EXPECT_FALSE(db.find("only_a")->contains({Value::integer(2)}));
+}
+
+TEST(Negation, NegatedPredicateMayBeEntirelyAbsent) {
+  Database db;
+  const auto program = parse_ok(
+      "a(1).\n"
+      "keep(X) :- a(X), !blocked(X, X).\n",
+      db.symbols());
+  evaluate(db, program);
+  EXPECT_EQ(db.find("keep")->size(), 1u);
+}
+
+TEST(Negation, StratificationOrdersDependencies) {
+  SymbolTable symbols;
+  const auto program = parse_program(
+      "p(X) :- e(X).\n"
+      "q(X) :- e(X), !p(X).\n"
+      "r(X) :- q(X).\n"
+      "s(X) :- e(X), !r(X).\n",
+      symbols).take();
+  const auto strata = stratify(program);
+  EXPECT_EQ(strata.at("p"), 0);
+  EXPECT_EQ(strata.at("q"), 1);
+  EXPECT_EQ(strata.at("r"), 1);
+  EXPECT_EQ(strata.at("s"), 2);
+}
+
+TEST(Negation, CycleThroughNegationRejected) {
+  Database db;
+  const auto program = parse_ok(
+      "e(1).\n"
+      "p(X) :- e(X), !q(X).\n"
+      "q(X) :- e(X), !p(X).\n",
+      db.symbols());
+  EXPECT_THROW(evaluate(db, program), std::invalid_argument);
+}
+
+TEST(Negation, UnboundNegatedVariableRejected) {
+  Database db;
+  const auto program = parse_ok("p(X) :- e(X), !q(Y).\n", db.symbols());
+  EXPECT_THROW(evaluate(db, program), std::invalid_argument);
+}
+
+TEST(Negation, ParserAcceptsBangAtoms) {
+  SymbolTable symbols;
+  const auto program = parse_program("p(X) :- q(X), !r(X), X != 3.\n", symbols);
+  ASSERT_TRUE(program) << program.error().message;
+  EXPECT_EQ(program.value().rules[0].negated_body.size(), 1u);
+  EXPECT_EQ(program.value().rules[0].constraints.size(), 1u);
+}
+
+}  // namespace
+}  // namespace erpi::datalog

@@ -1,0 +1,235 @@
+// Mini-Redis tests: store commands, TTL semantics (fake clock), the server
+// thread, and the Redlock-style distributed mutex (mutual exclusion under
+// contention, token-checked release).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kvstore/lock.hpp"
+#include "kvstore/server.hpp"
+#include "kvstore/store.hpp"
+
+namespace erpi::kv {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : store_([this] { return now_; }) {}
+
+  int64_t now_ = 0;
+  Store store_;
+};
+
+TEST_F(StoreTest, GetSetDel) {
+  EXPECT_FALSE(store_.get("k"));
+  store_.set("k", "v");
+  EXPECT_EQ(store_.get("k"), "v");
+  EXPECT_TRUE(store_.del("k"));
+  EXPECT_FALSE(store_.del("k"));
+  EXPECT_FALSE(store_.get("k"));
+}
+
+TEST_F(StoreTest, SetNxOnlyWhenAbsent) {
+  EXPECT_TRUE(store_.setnx("k", "first"));
+  EXPECT_FALSE(store_.setnx("k", "second"));
+  EXPECT_EQ(store_.get("k"), "first");
+}
+
+TEST_F(StoreTest, TtlExpiresByClock) {
+  store_.set("k", "v", /*ttl_ms=*/100);
+  now_ = 99;
+  EXPECT_TRUE(store_.get("k"));
+  now_ = 100;
+  EXPECT_FALSE(store_.get("k"));
+  // an expired key is absent for SETNX
+  EXPECT_TRUE(store_.setnx("k", "fresh"));
+}
+
+TEST_F(StoreTest, ExpireCommandAndExists) {
+  EXPECT_FALSE(store_.expire("missing", 10));
+  store_.set("k", "v");
+  EXPECT_TRUE(store_.expire("k", 10));
+  EXPECT_TRUE(store_.exists("k"));
+  now_ = 11;
+  EXPECT_FALSE(store_.exists("k"));
+}
+
+TEST_F(StoreTest, IncrStartsAtZero) {
+  EXPECT_EQ(store_.incr("counter"), 1);
+  EXPECT_EQ(store_.incr("counter"), 2);
+  store_.set("pre", "41");
+  EXPECT_EQ(store_.incr("pre"), 42);
+}
+
+TEST_F(StoreTest, CompareAndDelete) {
+  store_.set("lock", "token-a");
+  EXPECT_FALSE(store_.compare_and_delete("lock", "token-b"));
+  EXPECT_TRUE(store_.exists("lock"));
+  EXPECT_TRUE(store_.compare_and_delete("lock", "token-a"));
+  EXPECT_FALSE(store_.exists("lock"));
+}
+
+TEST_F(StoreTest, KeysWithPrefixSorted) {
+  store_.set("a:1", "x");
+  store_.set("a:2", "x");
+  store_.set("b:1", "x");
+  store_.zadd("a:3", 1, "m");
+  const auto keys = store_.keys_with_prefix("a:");
+  EXPECT_EQ(keys, (std::vector<std::string>{"a:1", "a:2", "a:3"}));
+}
+
+TEST_F(StoreTest, SortedSetOrderAndScores) {
+  store_.zadd("z", 3, "c");
+  store_.zadd("z", 1, "a");
+  store_.zadd("z", 2, "b");
+  EXPECT_EQ(store_.zrange("z", 0, -1), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(store_.zrange("z", 1, 1), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(store_.zrange("z", -2, -1), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(store_.zcard("z"), 3);
+  EXPECT_DOUBLE_EQ(*store_.zscore("z", "b"), 2);
+  // score update re-sorts, does not duplicate
+  EXPECT_FALSE(store_.zadd("z", 9, "a"));
+  EXPECT_EQ(store_.zrange("z", 0, -1), (std::vector<std::string>{"b", "c", "a"}));
+  EXPECT_TRUE(store_.zrem("z", "b"));
+  EXPECT_FALSE(store_.zrem("z", "b"));
+  EXPECT_EQ(store_.zcard("z"), 2);
+}
+
+TEST_F(StoreTest, ZRangeEdgeCases) {
+  EXPECT_TRUE(store_.zrange("missing", 0, -1).empty());
+  store_.zadd("z", 1, "a");
+  EXPECT_TRUE(store_.zrange("z", 5, 9).empty());
+  EXPECT_TRUE(store_.zrange("z", 1, 0).empty());
+}
+
+TEST_F(StoreTest, WireProtocolDispatch) {
+  EXPECT_EQ(store_.execute({"PING", {}}).value, "PONG");
+  EXPECT_TRUE(store_.execute({"SET", {"k", "v"}}).ok);
+  EXPECT_EQ(store_.execute({"GET", {"k"}}).value, "v");
+  EXPECT_FALSE(store_.execute({"GET", {"missing"}}).found);
+  EXPECT_FALSE(store_.execute({"BOGUS", {}}).ok);
+  EXPECT_FALSE(store_.execute({"SET", {"only-key"}}).ok);
+  // SET ... NX PX ttl
+  EXPECT_TRUE(store_.execute({"SET", {"n", "1", "NX", "PX", "50"}}).found);
+  EXPECT_FALSE(store_.execute({"SET", {"n", "2", "NX"}}).found);
+  now_ = 51;
+  EXPECT_TRUE(store_.execute({"SET", {"n", "3", "NX"}}).found);
+  EXPECT_EQ(store_.execute({"DBSIZE", {}}).integer, 2);
+  store_.execute({"FLUSHALL", {}});
+  EXPECT_EQ(store_.execute({"DBSIZE", {}}).integer, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+TEST(Server, ServesConcurrentClients) {
+  Server server;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server] {
+      Client client(server);
+      for (int i = 0; i < kIncrements; ++i) client.incr("shared");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Client client(server);
+  EXPECT_EQ(client.get("shared"), std::to_string(kThreads * kIncrements));
+  EXPECT_GE(server.commands_served(), static_cast<uint64_t>(kThreads * kIncrements));
+}
+
+TEST(Server, StopRejectsFurtherCalls) {
+  Server server;
+  server.stop();
+  const auto response = server.call({"PING", {}});
+  EXPECT_FALSE(response.ok);
+}
+
+TEST(Server, TypedClientWrappers) {
+  Server server;
+  Client client(server);
+  EXPECT_FALSE(client.get("x"));
+  client.set("x", "1");
+  EXPECT_EQ(client.get("x"), "1");
+  EXPECT_TRUE(client.exists("x"));
+  EXPECT_TRUE(client.zadd("z", 1.5, "m"));
+  EXPECT_DOUBLE_EQ(*client.zscore("z", "m"), 1.5);
+  EXPECT_EQ(client.zcard("z"), 1);
+  EXPECT_EQ(client.zrange("z", 0, -1), std::vector<std::string>{"m"});
+  EXPECT_TRUE(client.zrem("z", "m"));
+  client.flush_all();
+  EXPECT_FALSE(client.exists("x"));
+}
+
+// ---------------------------------------------------------------------------
+// DistributedMutex
+// ---------------------------------------------------------------------------
+
+TEST(DistributedMutex, TryLockExcludesSecondHolder) {
+  Server server;
+  DistributedMutex first(server, "lock");
+  DistributedMutex second(server, "lock", DistributedMutex::Options{}, 999);
+  EXPECT_TRUE(first.try_lock());
+  EXPECT_FALSE(second.try_lock());
+  EXPECT_TRUE(first.unlock());
+  EXPECT_TRUE(second.try_lock());
+  EXPECT_TRUE(second.unlock());
+}
+
+TEST(DistributedMutex, UnlockWithoutHoldIsFalse) {
+  Server server;
+  DistributedMutex mutex(server, "lock");
+  EXPECT_FALSE(mutex.unlock());
+}
+
+TEST(DistributedMutex, ExpiredLeaseCannotReleaseNewHolder) {
+  // Use a server with a controllable clock so the lease can expire.
+  int64_t now = 0;
+  Server server([&now] { return now; });
+  DistributedMutex::Options short_lease;
+  short_lease.ttl_ms = 10;
+  DistributedMutex first(server, "lock", short_lease, 1);
+  DistributedMutex second(server, "lock", short_lease, 2);
+
+  EXPECT_TRUE(first.try_lock());
+  now = 11;  // first's lease expires
+  EXPECT_TRUE(second.try_lock());
+  // first's release must NOT free second's lock (token mismatch)
+  EXPECT_FALSE(first.unlock());
+  Client client(server);
+  EXPECT_TRUE(client.exists("lock"));
+  EXPECT_TRUE(second.unlock());
+}
+
+TEST(DistributedMutex, MutualExclusionUnderContention) {
+  Server server;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> total{0};
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 50;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DistributedMutex mutex(server, "critical", DistributedMutex::Options{},
+                             static_cast<uint64_t>(t + 1));
+      for (int round = 0; round < kRounds; ++round) {
+        ASSERT_TRUE(mutex.lock());
+        if (inside.fetch_add(1) != 0) violation = true;
+        total.fetch_add(1);
+        inside.fetch_sub(1);
+        mutex.unlock();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(total.load(), kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace erpi::kv

@@ -1,0 +1,117 @@
+// SimNetwork tests: FIFO channels, global delivery order, partitions, fault
+// injection, handlers, statistics.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace erpi::net {
+namespace {
+
+TEST(SimNetwork, FifoPerChannel) {
+  SimNetwork net(2);
+  net.send(0, 1, "t", "first");
+  net.send(0, 1, "t", "second");
+  net.send(0, 1, "t", "third");
+  EXPECT_EQ(net.pending(0, 1), 3u);
+  EXPECT_EQ(net.deliver_next(0, 1)->payload, "first");
+  EXPECT_EQ(net.deliver_next(0, 1)->payload, "second");
+  EXPECT_EQ(net.deliver_next(0, 1)->payload, "third");
+  EXPECT_FALSE(net.deliver_next(0, 1));
+}
+
+TEST(SimNetwork, DeliverAnyUsesGlobalSendOrder) {
+  SimNetwork net(3);
+  net.send(0, 2, "t", "from0");
+  net.send(1, 2, "t", "from1");
+  net.send(0, 2, "t", "from0b");
+  EXPECT_EQ(net.deliver_any(2)->payload, "from0");
+  EXPECT_EQ(net.deliver_any(2)->payload, "from1");
+  EXPECT_EQ(net.deliver_any(2)->payload, "from0b");
+}
+
+TEST(SimNetwork, DeliverAllDrainsEverything) {
+  SimNetwork net(3);
+  net.send(0, 1, "t", "a");
+  net.send(1, 2, "t", "b");
+  net.send(2, 0, "t", "c");
+  EXPECT_EQ(net.deliver_all(), 3u);
+  EXPECT_EQ(net.total_pending(), 0u);
+}
+
+TEST(SimNetwork, PartitionDropsAndHealRestores) {
+  SimNetwork net(2);
+  net.partition(0, 1);
+  EXPECT_TRUE(net.partitioned(1, 0));  // symmetric
+  EXPECT_FALSE(net.send(0, 1, "t", "lost"));
+  EXPECT_FALSE(net.send(1, 0, "t", "lost"));
+  net.heal(0, 1);
+  EXPECT_TRUE(net.send(0, 1, "t", "delivered"));
+  EXPECT_EQ(net.stats().dropped, 2u);
+  EXPECT_EQ(net.stats().sent, 3u);
+}
+
+TEST(SimNetwork, HealAllClearsEveryPartition) {
+  SimNetwork net(3);
+  net.partition(0, 1);
+  net.partition(1, 2);
+  net.heal_all();
+  EXPECT_FALSE(net.partitioned(0, 1));
+  EXPECT_FALSE(net.partitioned(1, 2));
+}
+
+TEST(SimNetwork, DropFaultLosesRoughlyTheConfiguredFraction) {
+  SimNetwork net(2, /*seed=*/7);
+  net.set_faults({.drop_probability = 0.5, .duplicate_probability = 0.0});
+  int delivered = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (net.send(0, 1, "t", "x")) ++delivered;
+  }
+  EXPECT_GT(delivered, 120);
+  EXPECT_LT(delivered, 280);
+  EXPECT_EQ(net.stats().dropped + static_cast<uint64_t>(delivered), 400u);
+}
+
+TEST(SimNetwork, DuplicateFaultQueuesTwice) {
+  SimNetwork net(2, /*seed=*/7);
+  net.set_faults({.drop_probability = 0.0, .duplicate_probability = 1.0});
+  net.send(0, 1, "t", "x");
+  EXPECT_EQ(net.pending(0, 1), 2u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(SimNetwork, HandlersInvokedOnDelivery) {
+  SimNetwork net(2);
+  std::vector<std::string> received;
+  net.set_handler(1, [&](const Message& m) { received.push_back(m.payload); });
+  net.send(0, 1, "t", "a");
+  net.send(0, 1, "t", "b");
+  net.deliver_all();
+  EXPECT_EQ(received, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SimNetwork, ResetClearsChannelsAndStats) {
+  SimNetwork net(2);
+  net.send(0, 1, "t", "x");
+  net.reset();
+  EXPECT_EQ(net.total_pending(), 0u);
+  EXPECT_EQ(net.stats().sent, 0u);
+  EXPECT_FALSE(net.deliver_next(0, 1));
+}
+
+TEST(SimNetwork, ValidatesReplicaIds) {
+  SimNetwork net(2);
+  EXPECT_THROW(net.send(0, 5, "t", "x"), std::out_of_range);
+  EXPECT_THROW(net.deliver_next(-1, 0), std::out_of_range);
+  EXPECT_THROW(SimNetwork(0), std::invalid_argument);
+}
+
+TEST(SimNetwork, SequenceNumbersAreUniqueAndIncreasing) {
+  SimNetwork net(2);
+  const auto s1 = net.send(0, 1, "t", "a");
+  const auto s2 = net.send(1, 0, "t", "b");
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_LT(*s1, *s2);
+}
+
+}  // namespace
+}  // namespace erpi::net

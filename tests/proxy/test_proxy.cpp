@@ -1,0 +1,121 @@
+// RdlProxy and event-model tests: capture, event numbering, classification,
+// replay invocation, JSON round-trips.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::proxy {
+namespace {
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+TEST(Event, JsonRoundTrip) {
+  Event e;
+  e.id = 3;
+  e.kind = EventKind::SyncReq;
+  e.replica = 0;
+  e.from = 0;
+  e.to = 1;
+  e.op = kSyncReqOp;
+  e.args = problem("x");
+  e.label = "ship it";
+  const Event decoded = Event::from_json(e.to_json());
+  EXPECT_EQ(decoded.id, 3);
+  EXPECT_EQ(decoded.kind, EventKind::SyncReq);
+  EXPECT_EQ(decoded.from, 0);
+  EXPECT_EQ(decoded.to, 1);
+  EXPECT_EQ(decoded.label, "ship it");
+  EXPECT_TRUE(decoded.args == e.args);
+}
+
+TEST(Event, DescribeIsHumanReadable) {
+  Event e;
+  e.id = 2;
+  e.kind = EventKind::ExecSync;
+  e.from = 1;
+  e.to = 0;
+  e.op = kExecSyncOp;
+  EXPECT_EQ(e.describe(), "ev2:exec_sync(1->0):exec_sync");
+}
+
+TEST(RdlProxy, CaptureAssignsDenseIds) {
+  subjects::TownApp town(2);
+  RdlProxy proxy(town);
+  proxy.start_capture();
+  ASSERT_TRUE(proxy.capturing());
+  EXPECT_TRUE(proxy.update(0, "report", problem("a")));
+  EXPECT_TRUE(proxy.sync_req(0, 1));
+  EXPECT_TRUE(proxy.exec_sync(0, 1));
+  EXPECT_TRUE(proxy.query(1, "transmit"));
+  const auto events = proxy.end_capture();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[static_cast<size_t>(i)].id, i);
+  EXPECT_EQ(events[0].kind, EventKind::Update);
+  EXPECT_EQ(events[1].kind, EventKind::SyncReq);
+  EXPECT_EQ(events[1].replica, 0);  // send executes at the sender
+  EXPECT_EQ(events[2].kind, EventKind::ExecSync);
+  EXPECT_EQ(events[2].replica, 1);  // execution happens at the receiver
+  EXPECT_EQ(events[3].kind, EventKind::Query);
+}
+
+TEST(RdlProxy, CallsForwardWhenNotCapturing) {
+  subjects::TownApp town(2);
+  RdlProxy proxy(town);
+  EXPECT_TRUE(proxy.update(0, "report", problem("a")));
+  EXPECT_TRUE(proxy.captured().empty());
+  EXPECT_EQ(town.replica_state(0)["problems"].size(), 1u);
+}
+
+TEST(RdlProxy, SyncHelperSendsAndExecutes) {
+  subjects::TownApp town(2);
+  RdlProxy proxy(town);
+  proxy.start_capture();
+  proxy.update(0, "report", problem("a"));
+  EXPECT_TRUE(proxy.sync(0, 1));
+  const auto events = proxy.end_capture();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(town.replica_state(1)["problems"].size(), 1u);
+}
+
+TEST(RdlProxy, InvokeReplaysCapturedEvents) {
+  subjects::TownApp town(2);
+  RdlProxy proxy(town);
+  proxy.start_capture();
+  proxy.update(0, "report", problem("a"));
+  proxy.sync(0, 1);
+  const auto events = proxy.end_capture();
+
+  town.reset();
+  EXPECT_EQ(town.replica_state(1)["problems"].size(), 0u);
+  for (const auto& event : events) EXPECT_TRUE(proxy.invoke(event));
+  EXPECT_EQ(town.replica_state(1)["problems"].size(), 1u);
+}
+
+TEST(RdlProxy, ExecBeforeReqFailsGracefully) {
+  subjects::TownApp town(2);
+  RdlProxy proxy(town);
+  const auto result = proxy.exec_sync(0, 1);
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().message.find("no pending sync"), std::string::npos);
+}
+
+TEST(RdlProxy, StartCaptureClearsPreviousTrace) {
+  subjects::TownApp town(2);
+  RdlProxy proxy(town);
+  proxy.start_capture();
+  proxy.update(0, "report", problem("a"));
+  proxy.end_capture();
+  proxy.start_capture();
+  proxy.update(0, "report", problem("b"));
+  const auto events = proxy.end_capture();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, 0);
+}
+
+}  // namespace
+}  // namespace erpi::proxy

@@ -1,0 +1,390 @@
+// Evaluation-subject tests: each subject's operations, synchronization,
+// reset semantics, state/witness exposure, and seeded-defect flags.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.hpp"
+#include "subjects/crdt_collection.hpp"
+#include "subjects/orbitdb.hpp"
+#include "subjects/replicadb.hpp"
+#include "subjects/roshi.hpp"
+#include "subjects/town.hpp"
+#include "subjects/yorkie.hpp"
+
+namespace erpi::subjects {
+namespace {
+
+util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json out = util::Json::object();
+  for (const auto& [k, v] : kv) out[k] = v;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Common base behaviour
+// ---------------------------------------------------------------------------
+
+TEST(SubjectBase, UnknownOpAndBadReplicaAreErrors) {
+  TownApp town(2);
+  EXPECT_FALSE(town.invoke(0, "no_such_op", util::Json::object()));
+  EXPECT_THROW(town.invoke(7, "report", jobj({{"problem", "x"}})), std::out_of_range);
+}
+
+TEST(SubjectBase, ExecWithoutPendingSyncFails) {
+  TownApp town(2);
+  const auto result = town.invoke(1, proxy::kExecSyncOp, jobj({{"peer", 0}}));
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().message.find("no pending sync"), std::string::npos);
+}
+
+TEST(SubjectBase, ResetClearsStateAndNetwork) {
+  TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  proxy.update(0, "report", jobj({{"problem", "x"}}));
+  proxy.sync_req(0, 1);  // leaves an undelivered message in flight
+  town.reset();
+  EXPECT_EQ(town.replica_state(0)["problems"].size(), 0u);
+  EXPECT_FALSE(town.invoke(1, proxy::kExecSyncOp, jobj({{"peer", 0}})));
+}
+
+// ---------------------------------------------------------------------------
+// TownApp
+// ---------------------------------------------------------------------------
+
+TEST(TownApp, ReportResolveTransmit) {
+  TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  proxy.update(0, "report", jobj({{"problem", "otb"}}));
+  proxy.sync(0, 1);
+  proxy.update(1, "report", jobj({{"problem", "ph"}}));
+  proxy.update(1, "resolve", jobj({{"problem", "otb"}}));
+  proxy.sync(1, 0);
+  const auto transmitted = proxy.query(0, "transmit");
+  ASSERT_TRUE(transmitted);
+  EXPECT_EQ(transmitted.value().dump(), R"(["ph"])");
+  // resolving an unseen problem is a harmless no-op
+  const auto noop = proxy.update(1, "resolve", jobj({{"problem", "ghost"}}));
+  EXPECT_TRUE(noop);
+  EXPECT_FALSE(noop.value().as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// Roshi
+// ---------------------------------------------------------------------------
+
+TEST(Roshi, LwwInsertDeleteSelect) {
+  Roshi roshi(2);
+  proxy::RdlProxy proxy(roshi);
+  proxy.update(0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.0}}));
+  proxy.update(0, "delete", jobj({{"key", "s"}, {"member", "m"}, {"ts", 2.0}}));
+  // stale re-insert loses against the newer delete
+  const auto stale = proxy.update(0, "insert",
+                                  jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.5}}));
+  EXPECT_FALSE(stale.value().as_bool());
+  const auto rows = proxy.query(0, "select", jobj({{"key", "s"}}));
+  EXPECT_EQ(rows.value().size(), 0u);
+  proxy.update(0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 3.0}}));
+  const auto rows2 = proxy.query(0, "select", jobj({{"key", "s"}}));
+  ASSERT_EQ(rows2.value().size(), 1u);
+  EXPECT_FALSE(rows2.value().at(0)["deleted"].as_bool());
+}
+
+TEST(Roshi, SelectRespectsOffsetAndLimit) {
+  Roshi roshi(1);
+  proxy::RdlProxy proxy(roshi);
+  for (int i = 0; i < 5; ++i) {
+    proxy.update(0, "insert", jobj({{"key", "s"},
+                                    {"member", "m" + std::to_string(i)},
+                                    {"ts", static_cast<double>(i)}}));
+  }
+  const auto rows =
+      proxy.query(0, "select", jobj({{"key", "s"}, {"offset", 1}, {"limit", 2}}));
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value().at(0)["member"].as_string(), "m1");
+  EXPECT_EQ(rows.value().at(1)["member"].as_string(), "m2");
+}
+
+TEST(Roshi, StateSyncMergesLww) {
+  Roshi roshi(2);
+  proxy::RdlProxy proxy(roshi);
+  proxy.update(0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.0}}));
+  proxy.update(1, "delete", jobj({{"key", "s"}, {"member", "m"}, {"ts", 2.0}}));
+  proxy.sync(0, 1);
+  proxy.sync(1, 0);
+  // histories equal, and the newer delete wins at both replicas
+  EXPECT_TRUE(roshi.replica_state(0) == roshi.replica_state(1));
+  const auto rows = proxy.query(0, "select", jobj({{"key", "s"}}));
+  EXPECT_EQ(rows.value().size(), 0u);
+}
+
+TEST(Roshi, BuggyDeletedFieldLeaksDeletedMembers) {
+  Roshi::Flags flags;
+  flags.deleted_field_fixed = false;
+  Roshi roshi(1, flags);
+  proxy::RdlProxy proxy(roshi);
+  proxy.update(0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.0}}));
+  proxy.update(0, "delete", jobj({{"key", "s"}, {"member", "m"}, {"ts", 2.0}}));
+  const auto rows = proxy.query(0, "select", jobj({{"key", "s"}}));
+  ASSERT_EQ(rows.value().size(), 1u);  // issue #18: the deleted member leaks
+  EXPECT_FALSE(rows.value().at(0)["deleted"].as_bool());
+}
+
+TEST(Roshi, SelectAllOrderStableWhenFixed) {
+  Roshi roshi(2);
+  proxy::RdlProxy proxy(roshi);
+  proxy.update(0, "insert", jobj({{"key", "k2"}, {"member", "a"}, {"ts", 1.0}}));
+  proxy.update(0, "insert", jobj({{"key", "k1"}, {"member", "b"}, {"ts", 2.0}}));
+  const auto all = proxy.query(0, "select_all", util::Json::object());
+  ASSERT_EQ(all.value().size(), 2u);
+  EXPECT_EQ(all.value().at(0)["key"].as_string(), "k1");  // sorted
+}
+
+// ---------------------------------------------------------------------------
+// OrbitDb
+// ---------------------------------------------------------------------------
+
+TEST(OrbitDb, AddPutGetAndSync) {
+  OrbitDb db(2);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "put", jobj({{"key", "color"}, {"value", "red"}}));
+  proxy.update(0, "put", jobj({{"key", "color"}, {"value", "blue"}}));
+  proxy.sync(0, 1);
+  const auto got = proxy.query(1, "get", jobj({{"key", "color"}}));
+  EXPECT_EQ(got.value().as_string(), "blue");  // latest put wins
+  EXPECT_TRUE(proxy.query(1, "verify", util::Json::object()).value().as_bool());
+}
+
+TEST(OrbitDb, OpenCloseLockLifecycle) {
+  OrbitDb db(1);
+  proxy::RdlProxy proxy(db);
+  EXPECT_TRUE(proxy.update(0, "open", util::Json::object()).value().as_bool());
+  // re-open while open is a benign no-op, not a stale lock
+  EXPECT_FALSE(proxy.update(0, "open", util::Json::object()).value().as_bool());
+  EXPECT_TRUE(proxy.update(0, "close", util::Json::object()).value().as_bool());
+  EXPECT_TRUE(proxy.update(0, "open", util::Json::object()).value().as_bool());
+}
+
+TEST(OrbitDb, BuggyLockLeaksAfterTwoFreshSyncsWhileOpen) {
+  OrbitDb::Flags flags;
+  flags.release_lock_on_sync_fixed = false;
+  OrbitDb db(2, flags);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "add", jobj({{"payload", "a1"}}));
+  proxy.sync_req(0, 1);
+  proxy.update(0, "add", jobj({{"payload", "a2"}}));
+  proxy.sync_req(0, 1);
+  proxy.update(1, "open", util::Json::object());
+  proxy.exec_sync(0, 1);  // fresh entries while open (1)
+  proxy.exec_sync(0, 1);  // fresh entries while open (2)
+  proxy.update(1, "close", util::Json::object());
+  const auto reopened = proxy.update(1, "open", util::Json::object());
+  ASSERT_FALSE(reopened);
+  EXPECT_NE(reopened.error().message.find("stale lock"), std::string::npos);
+}
+
+TEST(OrbitDb, GrantBuffersUnauthorizedEntriesWhenFixed) {
+  OrbitDb db(2);  // buffer_unauthorized = true
+  proxy::RdlProxy proxy(db);
+  proxy.update(1, "grant", jobj({{"identity", OrbitDb::identity_of(1)}}));
+  proxy.update(0, "add", jobj({{"payload", "pre-grant"}}));
+  proxy.sync(0, 1);  // id0 not yet granted at replica 1 -> buffered
+  EXPECT_EQ(db.replica_state(1)["pending"].as_int(), 1);
+  proxy.update(1, "grant", jobj({{"identity", OrbitDb::identity_of(0)}}));
+  EXPECT_EQ(db.replica_state(1)["pending"].as_int(), 0);
+  EXPECT_EQ(db.replica_state(1)["log"].size(), 1u);
+}
+
+TEST(OrbitDb, HeadsOnlySyncAnnouncesWithoutEntries) {
+  OrbitDb db(2);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "add", jobj({{"payload", "x"}}));
+  proxy.sync_req(0, 1, jobj({{"mode", "heads"}}));
+  proxy.exec_sync(0, 1);
+  EXPECT_EQ(db.replica_state(1)["log"].size(), 0u);
+  const auto check = proxy.query(1, "check_head", jobj({{"peer", 0}}));
+  ASSERT_FALSE(check);  // announced head unresolvable
+  EXPECT_NE(check.error().message.find("didn't match the contents"), std::string::npos);
+  // shipping the entries repairs it
+  proxy.sync_req(0, 1, jobj({{"mode", "entries"}}));
+  proxy.exec_sync(0, 1);
+  EXPECT_TRUE(proxy.query(1, "check_head", jobj({{"peer", 0}})));
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaDb
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaDb, CompleteTransferCopiesLiveRows) {
+  ReplicaDb db(1);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "insert_source", jobj({{"id", "r1"}, {"value", "v1"}, {"ts", 1}}));
+  proxy.update(0, "insert_source", jobj({{"id", "r2"}, {"value", "v2"}, {"ts", 2}}));
+  proxy.update(0, "delete_source", jobj({{"id", "r2"}, {"ts", 3}}));
+  const auto moved = proxy.update(0, "transfer", jobj({{"mode", "complete"}}));
+  EXPECT_EQ(moved.value().as_int(), 1);
+  EXPECT_EQ(proxy.query(0, "sink_count", util::Json::object()).value().as_int(), 1);
+}
+
+TEST(ReplicaDb, IncrementalTransferPropagatesDeletesWhenFixed) {
+  ReplicaDb db(1);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "insert_source", jobj({{"id", "r1"}, {"value", "v"}, {"ts", 1}}));
+  proxy.update(0, "transfer", jobj({{"mode", "incremental"}}));
+  EXPECT_EQ(proxy.query(0, "sink_count", util::Json::object()).value().as_int(), 1);
+  proxy.update(0, "delete_source", jobj({{"id", "r1"}, {"ts", 2}}));
+  proxy.update(0, "transfer", jobj({{"mode", "incremental"}}));
+  EXPECT_EQ(proxy.query(0, "sink_count", util::Json::object()).value().as_int(), 0);
+}
+
+TEST(ReplicaDb, BuggyIncrementalKeepsDeletedRows) {
+  ReplicaDb::Flags flags;
+  flags.incremental_deletes_fixed = false;
+  ReplicaDb db(1, flags);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "insert_source", jobj({{"id", "r1"}, {"value", "v"}, {"ts", 1}}));
+  proxy.update(0, "transfer", jobj({{"mode", "incremental"}}));
+  proxy.update(0, "delete_source", jobj({{"id", "r1"}, {"ts", 2}}));
+  proxy.update(0, "transfer", jobj({{"mode", "incremental"}}));
+  EXPECT_EQ(proxy.query(0, "sink_count", util::Json::object()).value().as_int(), 1);
+}
+
+TEST(ReplicaDb, BuggyBufferedTransferHitsMemoryBudget) {
+  ReplicaDb::Flags flags;
+  flags.streaming_fetch_fixed = false;
+  flags.memory_budget_rows = 2;
+  ReplicaDb db(1, flags);
+  proxy::RdlProxy proxy(db);
+  for (int i = 0; i < 3; ++i) {
+    proxy.update(0, "insert_source",
+                 jobj({{"id", "r" + std::to_string(i)}, {"value", "v"}, {"ts", i + 1}}));
+  }
+  const auto oom = proxy.update(0, "transfer", jobj({{"mode", "complete"}}));
+  ASSERT_FALSE(oom);
+  EXPECT_NE(oom.error().message.find("OutOfMemoryError"), std::string::npos);
+}
+
+TEST(ReplicaDb, SourceSyncResolvesByVersion) {
+  ReplicaDb db(2);
+  proxy::RdlProxy proxy(db);
+  proxy.update(0, "insert_source", jobj({{"id", "r"}, {"value", "old"}, {"ts", 1}}));
+  proxy.update(1, "insert_source", jobj({{"id", "r"}, {"value", "new"}, {"ts", 2}}));
+  proxy.sync(0, 1);
+  proxy.sync(1, 0);
+  EXPECT_TRUE(db.replica_state(0)["source"] == db.replica_state(1)["source"]);
+  EXPECT_EQ(db.replica_state(0)["source"]["r"].as_string(), "\"new\"");
+}
+
+// ---------------------------------------------------------------------------
+// Yorkie
+// ---------------------------------------------------------------------------
+
+TEST(Yorkie, DocumentOpsAndTransitiveSync) {
+  Yorkie yorkie(3);
+  proxy::RdlProxy proxy(yorkie);
+  proxy.update(0, "set", jobj({{"key", "title"}, {"value", "doc"}}));
+  proxy.update(0, "list_push", jobj({{"key", "items"}, {"value", "a"}}));
+  proxy.sync(0, 1);   // 0 -> 1
+  proxy.sync(1, 2);   // 1 relays 0's ops to 2
+  EXPECT_TRUE(yorkie.replica_state(2)["doc"] == yorkie.replica_state(0)["doc"]);
+}
+
+TEST(Yorkie, MoveAfterAndRemove) {
+  Yorkie yorkie(1);
+  proxy::RdlProxy proxy(yorkie);
+  for (const char* v : {"a", "b", "c"}) {
+    proxy.update(0, "list_push", jobj({{"key", "l"}, {"value", v}}));
+  }
+  proxy.update(0, "move_after", jobj({{"key", "l"}, {"from", 0}, {"to", 2}}));
+  EXPECT_EQ(yorkie.replica_state(0)["doc"]["l"].dump(), R"(["b","c","a"])");
+  proxy.update(0, "list_remove", jobj({{"key", "l"}, {"index", 1}}));
+  EXPECT_EQ(yorkie.replica_state(0)["doc"]["l"].dump(), R"(["b","a"])");
+  EXPECT_FALSE(proxy.update(0, "move_after", jobj({{"key", "l"}, {"from", 9}, {"to", 0}})));
+  EXPECT_FALSE(proxy.update(0, "list_remove", jobj({{"key", "l"}, {"index", 9}})));
+}
+
+TEST(Yorkie, WitnessCarriesContentDigests) {
+  // two different single-op histories must have different witnesses even
+  // though both ops get (origin=0, seq=0)
+  Yorkie first(1);
+  proxy::RdlProxy p1(first);
+  p1.update(0, "set", jobj({{"key", "k"}, {"value", "a"}}));
+  Yorkie second(1);
+  proxy::RdlProxy p2(second);
+  p2.update(0, "set", jobj({{"key", "k"}, {"value", "b"}}));
+  EXPECT_FALSE(first.replica_state(0)["seen"] == second.replica_state(0)["seen"]);
+}
+
+// ---------------------------------------------------------------------------
+// CrdtCollection
+// ---------------------------------------------------------------------------
+
+TEST(CrdtCollection, AllStructuresRoundTripThroughSync) {
+  CrdtCollection app(2);
+  proxy::RdlProxy proxy(app);
+  proxy.update(0, "set_add", jobj({{"element", "s1"}}));
+  proxy.update(0, "twopset_add", jobj({{"element", "t1"}}));
+  proxy.update(0, "counter_inc", jobj({{"by", 5}}));
+  proxy.update(0, "counter_dec", jobj({{"by", 2}}));
+  proxy.update(0, "list_insert", jobj({{"index", 0}, {"value", "l1"}}));
+  proxy.update(0, "naive_append", jobj({{"value", "n1"}}));
+  proxy.update(0, "reg_set", jobj({{"value", "r1"}, {"ts", 1}}));
+  proxy.update(0, "mv_set", jobj({{"value", "m1"}}));
+  proxy.update(0, "todo_create", jobj({{"text", "task"}}));
+  proxy.sync(0, 1);
+  const auto s0 = app.replica_state(0);
+  const auto s1 = app.replica_state(1);
+  EXPECT_TRUE(s0 == s1);
+  EXPECT_EQ(s1["counter"].as_int(), 3);
+  EXPECT_EQ(s1["set"].dump(), R"(["s1"])");
+  EXPECT_EQ(s1["todos"]["1"].as_string(), "task");
+}
+
+TEST(CrdtCollection, TwoPSetConstraintsSurfaceAsFailedOps) {
+  CrdtCollection app(1);
+  proxy::RdlProxy proxy(app);
+  EXPECT_TRUE(proxy.update(0, "twopset_add", jobj({{"element", "x"}})));
+  EXPECT_FALSE(proxy.update(0, "twopset_add", jobj({{"element", "x"}})));
+  EXPECT_TRUE(proxy.update(0, "twopset_remove", jobj({{"element", "x"}})));
+  EXPECT_FALSE(proxy.update(0, "twopset_remove", jobj({{"element", "x"}})));
+  EXPECT_FALSE(proxy.update(0, "twopset_add", jobj({{"element", "x"}})));
+}
+
+TEST(CrdtCollection, SequentialTodoIdsClashConcurrently) {
+  CrdtCollection app(2);
+  proxy::RdlProxy proxy(app);
+  proxy.update(0, "todo_create", jobj({{"text", "from-0"}}));
+  proxy.update(1, "todo_create", jobj({{"text", "from-1"}}));  // same id 1!
+  const auto ids0 = proxy.query(0, "todo_ids", util::Json::object());
+  const auto ids1 = proxy.query(1, "todo_ids", util::Json::object());
+  EXPECT_TRUE(ids0.value() == ids1.value());  // both minted id 1
+  proxy.sync(0, 1);
+  // the clash persists: replica 1 keeps its own text for id 1
+  EXPECT_EQ(app.replica_state(1)["todos"]["1"].as_string(), "from-1");
+  EXPECT_EQ(app.replica_state(0)["todos"]["1"].as_string(), "from-0");
+}
+
+TEST(CrdtCollection, RandomTodoIdsAvoidTheClash) {
+  CrdtCollection::Flags flags;
+  flags.random_todo_ids = true;
+  CrdtCollection app(2, flags);
+  proxy::RdlProxy proxy(app);
+  proxy.update(0, "todo_create", jobj({{"text", "from-0"}}));
+  proxy.update(1, "todo_create", jobj({{"text", "from-1"}}));
+  proxy.sync(0, 1);
+  proxy.sync(1, 0);
+  EXPECT_EQ(app.replica_state(0)["todos"].size(), 2u);
+  EXPECT_TRUE(app.replica_state(0)["todos"] == app.replica_state(1)["todos"]);
+}
+
+TEST(CrdtCollection, MvRegisterKeepsConcurrentWrites) {
+  CrdtCollection app(2);
+  proxy::RdlProxy proxy(app);
+  proxy.update(0, "mv_set", jobj({{"value", "from-0"}}));
+  proxy.update(1, "mv_set", jobj({{"value", "from-1"}}));
+  proxy.sync(0, 1);
+  proxy.sync(1, 0);
+  EXPECT_EQ(app.replica_state(0)["mvreg"].size(), 2u);
+  EXPECT_TRUE(app.replica_state(0)["mvreg"] == app.replica_state(1)["mvreg"]);
+}
+
+}  // namespace
+}  // namespace erpi::subjects

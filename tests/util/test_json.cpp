@@ -1,0 +1,150 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace erpi::util {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(JsonValue, ObjectBuildingAndLookup) {
+  Json j = Json::object();
+  j["b"] = 2;
+  j["a"] = 1;
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zz"));
+  EXPECT_EQ(j["a"].as_int(), 1);
+  // deterministic (sorted) serialization
+  EXPECT_EQ(j.dump(), "{\"a\":1,\"b\":2}");
+  const Json& cj = j;
+  EXPECT_TRUE(cj["missing"].is_null());
+}
+
+TEST(JsonValue, NullAutoVivifiesToObject) {
+  Json j;
+  j["x"] = "y";
+  EXPECT_TRUE(j.is_object());
+}
+
+TEST(JsonValue, ArrayOperations) {
+  Json j = Json::array();
+  j.push_back(1);
+  j.push_back("two");
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.at(0).as_int(), 1);
+  EXPECT_EQ(j.at(1).as_string(), "two");
+  EXPECT_THROW(j.at(5), std::out_of_range);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  Json j(42);
+  EXPECT_THROW(j.as_string(), std::logic_error);
+  EXPECT_THROW(j.as_array(), std::logic_error);
+  EXPECT_NO_THROW(j.as_double());  // int widens to double
+}
+
+TEST(JsonValue, EqualityIsDeep) {
+  auto a = Json::parse(R"({"x":[1,2,{"y":null}],"z":true})").take();
+  auto b = Json::parse(R"({"z":true,"x":[1,2,{"y":null}]})").take();
+  EXPECT_TRUE(a == b);
+  auto c = Json::parse(R"({"z":false,"x":[1,2,{"y":null}]})").take();
+  EXPECT_FALSE(a == c);
+}
+
+TEST(JsonValue, NumericCrossRepresentationEquality) {
+  EXPECT_TRUE(Json(2) == Json(2.0));
+  EXPECT_FALSE(Json(2) == Json(2.5));
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Json::parse("{} x"));
+  EXPECT_FALSE(Json::parse("1 2"));
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "nul",
+                          "\"unterminated", "01x", "[1 2]", "{\"a\":1,}",
+                          "\"bad \\q escape\""}) {
+    EXPECT_FALSE(Json::parse(bad)) << bad;
+  }
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  const auto result = Json::parse("{\n  \"a\": ?\n}");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto j = Json::parse(R"("a\"b\\c\nd\teA")").take();
+  EXPECT_EQ(j.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeSurrogatePairs) {
+  const auto j = Json::parse(R"("😀")").take();  // emoji
+  EXPECT_EQ(j.as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(Json::parse(R"("\ud83d")"));    // lone high surrogate
+  EXPECT_FALSE(Json::parse(R"("\ud83dxx")"));  // not followed by \u
+}
+
+TEST(JsonParse, Numbers) {
+  EXPECT_EQ(Json::parse("0").take().as_int(), 0);
+  EXPECT_EQ(Json::parse("-12345").take().as_int(), -12345);
+  EXPECT_DOUBLE_EQ(Json::parse("0.25").take().as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").take().as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5E-2").take().as_double(), -0.025);
+  // int64 overflow falls back to double
+  EXPECT_TRUE(Json::parse("99999999999999999999999").take().is_double());
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto j = Json::parse(R"({"a":{"b":{"c":[1,[2,[3]]]}}})").take();
+  EXPECT_EQ(j["a"]["b"]["c"].at(1).at(1).at(0).as_int(), 3);
+}
+
+// Round-trip property: dump(parse(dump(x))) == dump(x) across a corpus.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, DumpParseDumpIsStable) {
+  const auto first = Json::parse(GetParam());
+  ASSERT_TRUE(first) << first.error().message;
+  const std::string once = first.value().dump();
+  const auto second = Json::parse(once);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second.value().dump(), once);
+  EXPECT_TRUE(second.value() == first.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(R"(null)", R"(true)", R"(-3)", R"(3.25)", R"("")",
+                      R"("x\ny")", R"([])", R"([[],[[]]])", R"({})",
+                      R"({"k":"v"})", R"({"a":[1,2,3],"b":{"c":null}})",
+                      R"([{"deep":{"er":[true,false,null,0.5]}}])"));
+
+TEST(JsonPretty, IndentsNestedValues) {
+  auto j = Json::parse(R"({"a":[1],"b":{}})").take();
+  const std::string pretty = j.pretty(2);
+  EXPECT_NE(pretty.find("\n  \"a\": [\n    1\n  ]"), std::string::npos);
+}
+
+TEST(JsonDump, ControlCharactersEscaped) {
+  Json j(std::string("\x01 bell\x07"));
+  EXPECT_EQ(j.dump(), "\"\\u0001 bell\\u0007\"");
+}
+
+}  // namespace
+}  // namespace erpi::util
