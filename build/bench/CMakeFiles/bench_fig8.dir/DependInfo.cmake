@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8.cpp" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bugs/CMakeFiles/erpi_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/CMakeFiles/erpi_subjects.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/erpi_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/erpi_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/erpi_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/erpi_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

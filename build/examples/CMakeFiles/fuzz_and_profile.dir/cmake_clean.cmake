@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_and_profile.dir/fuzz_and_profile.cpp.o"
+  "CMakeFiles/fuzz_and_profile.dir/fuzz_and_profile.cpp.o.d"
+  "fuzz_and_profile"
+  "fuzz_and_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_and_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/town_reports.dir/town_reports.cpp.o"
+  "CMakeFiles/town_reports.dir/town_reports.cpp.o.d"
+  "town_reports"
+  "town_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/town_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bugs/misconceptions.cpp" "src/bugs/CMakeFiles/erpi_bugs.dir/misconceptions.cpp.o" "gcc" "src/bugs/CMakeFiles/erpi_bugs.dir/misconceptions.cpp.o.d"
+  "/root/repo/src/bugs/registry.cpp" "src/bugs/CMakeFiles/erpi_bugs.dir/registry.cpp.o" "gcc" "src/bugs/CMakeFiles/erpi_bugs.dir/registry.cpp.o.d"
+  "/root/repo/src/bugs/scenarios_orbitdb.cpp" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_orbitdb.cpp.o" "gcc" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_orbitdb.cpp.o.d"
+  "/root/repo/src/bugs/scenarios_replicadb.cpp" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_replicadb.cpp.o" "gcc" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_replicadb.cpp.o.d"
+  "/root/repo/src/bugs/scenarios_roshi.cpp" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_roshi.cpp.o" "gcc" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_roshi.cpp.o.d"
+  "/root/repo/src/bugs/scenarios_yorkie.cpp" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_yorkie.cpp.o" "gcc" "src/bugs/CMakeFiles/erpi_bugs.dir/scenarios_yorkie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/erpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/CMakeFiles/erpi_subjects.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/erpi_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/erpi_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/erpi_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/erpi_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

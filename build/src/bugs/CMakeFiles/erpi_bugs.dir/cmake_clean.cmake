@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_bugs.dir/misconceptions.cpp.o"
+  "CMakeFiles/erpi_bugs.dir/misconceptions.cpp.o.d"
+  "CMakeFiles/erpi_bugs.dir/registry.cpp.o"
+  "CMakeFiles/erpi_bugs.dir/registry.cpp.o.d"
+  "CMakeFiles/erpi_bugs.dir/scenarios_orbitdb.cpp.o"
+  "CMakeFiles/erpi_bugs.dir/scenarios_orbitdb.cpp.o.d"
+  "CMakeFiles/erpi_bugs.dir/scenarios_replicadb.cpp.o"
+  "CMakeFiles/erpi_bugs.dir/scenarios_replicadb.cpp.o.d"
+  "CMakeFiles/erpi_bugs.dir/scenarios_roshi.cpp.o"
+  "CMakeFiles/erpi_bugs.dir/scenarios_roshi.cpp.o.d"
+  "CMakeFiles/erpi_bugs.dir/scenarios_yorkie.cpp.o"
+  "CMakeFiles/erpi_bugs.dir/scenarios_yorkie.cpp.o.d"
+  "liberpi_bugs.a"
+  "liberpi_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

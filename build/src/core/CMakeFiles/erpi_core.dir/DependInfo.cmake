@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assertions.cpp" "src/core/CMakeFiles/erpi_core.dir/assertions.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/assertions.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/erpi_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/enumerate.cpp" "src/core/CMakeFiles/erpi_core.dir/enumerate.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/enumerate.cpp.o.d"
+  "/root/repo/src/core/fuzz.cpp" "src/core/CMakeFiles/erpi_core.dir/fuzz.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/fuzz.cpp.o.d"
+  "/root/repo/src/core/interleaving.cpp" "src/core/CMakeFiles/erpi_core.dir/interleaving.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/interleaving.cpp.o.d"
+  "/root/repo/src/core/persist.cpp" "src/core/CMakeFiles/erpi_core.dir/persist.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/persist.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/erpi_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/erpi_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/replay.cpp" "src/core/CMakeFiles/erpi_core.dir/replay.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/replay.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/erpi_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/erpi_core.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/erpi_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/erpi_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/erpi_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_core.dir/assertions.cpp.o"
+  "CMakeFiles/erpi_core.dir/assertions.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/constraints.cpp.o"
+  "CMakeFiles/erpi_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/enumerate.cpp.o"
+  "CMakeFiles/erpi_core.dir/enumerate.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/fuzz.cpp.o"
+  "CMakeFiles/erpi_core.dir/fuzz.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/interleaving.cpp.o"
+  "CMakeFiles/erpi_core.dir/interleaving.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/persist.cpp.o"
+  "CMakeFiles/erpi_core.dir/persist.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/profile.cpp.o"
+  "CMakeFiles/erpi_core.dir/profile.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/pruning.cpp.o"
+  "CMakeFiles/erpi_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/replay.cpp.o"
+  "CMakeFiles/erpi_core.dir/replay.cpp.o.d"
+  "CMakeFiles/erpi_core.dir/session.cpp.o"
+  "CMakeFiles/erpi_core.dir/session.cpp.o.d"
+  "liberpi_core.a"
+  "liberpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crdt/counters.cpp" "src/crdt/CMakeFiles/erpi_crdt.dir/counters.cpp.o" "gcc" "src/crdt/CMakeFiles/erpi_crdt.dir/counters.cpp.o.d"
+  "/root/repo/src/crdt/json_doc.cpp" "src/crdt/CMakeFiles/erpi_crdt.dir/json_doc.cpp.o" "gcc" "src/crdt/CMakeFiles/erpi_crdt.dir/json_doc.cpp.o.d"
+  "/root/repo/src/crdt/merkle_log.cpp" "src/crdt/CMakeFiles/erpi_crdt.dir/merkle_log.cpp.o" "gcc" "src/crdt/CMakeFiles/erpi_crdt.dir/merkle_log.cpp.o.d"
+  "/root/repo/src/crdt/registers.cpp" "src/crdt/CMakeFiles/erpi_crdt.dir/registers.cpp.o" "gcc" "src/crdt/CMakeFiles/erpi_crdt.dir/registers.cpp.o.d"
+  "/root/repo/src/crdt/rga.cpp" "src/crdt/CMakeFiles/erpi_crdt.dir/rga.cpp.o" "gcc" "src/crdt/CMakeFiles/erpi_crdt.dir/rga.cpp.o.d"
+  "/root/repo/src/crdt/sets.cpp" "src/crdt/CMakeFiles/erpi_crdt.dir/sets.cpp.o" "gcc" "src/crdt/CMakeFiles/erpi_crdt.dir/sets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

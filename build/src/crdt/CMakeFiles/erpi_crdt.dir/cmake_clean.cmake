@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_crdt.dir/counters.cpp.o"
+  "CMakeFiles/erpi_crdt.dir/counters.cpp.o.d"
+  "CMakeFiles/erpi_crdt.dir/json_doc.cpp.o"
+  "CMakeFiles/erpi_crdt.dir/json_doc.cpp.o.d"
+  "CMakeFiles/erpi_crdt.dir/merkle_log.cpp.o"
+  "CMakeFiles/erpi_crdt.dir/merkle_log.cpp.o.d"
+  "CMakeFiles/erpi_crdt.dir/registers.cpp.o"
+  "CMakeFiles/erpi_crdt.dir/registers.cpp.o.d"
+  "CMakeFiles/erpi_crdt.dir/rga.cpp.o"
+  "CMakeFiles/erpi_crdt.dir/rga.cpp.o.d"
+  "CMakeFiles/erpi_crdt.dir/sets.cpp.o"
+  "CMakeFiles/erpi_crdt.dir/sets.cpp.o.d"
+  "liberpi_crdt.a"
+  "liberpi_crdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_crdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

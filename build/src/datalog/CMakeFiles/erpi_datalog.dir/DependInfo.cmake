@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/database.cpp" "src/datalog/CMakeFiles/erpi_datalog.dir/database.cpp.o" "gcc" "src/datalog/CMakeFiles/erpi_datalog.dir/database.cpp.o.d"
+  "/root/repo/src/datalog/evaluator.cpp" "src/datalog/CMakeFiles/erpi_datalog.dir/evaluator.cpp.o" "gcc" "src/datalog/CMakeFiles/erpi_datalog.dir/evaluator.cpp.o.d"
+  "/root/repo/src/datalog/parser.cpp" "src/datalog/CMakeFiles/erpi_datalog.dir/parser.cpp.o" "gcc" "src/datalog/CMakeFiles/erpi_datalog.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_datalog.dir/database.cpp.o"
+  "CMakeFiles/erpi_datalog.dir/database.cpp.o.d"
+  "CMakeFiles/erpi_datalog.dir/evaluator.cpp.o"
+  "CMakeFiles/erpi_datalog.dir/evaluator.cpp.o.d"
+  "CMakeFiles/erpi_datalog.dir/parser.cpp.o"
+  "CMakeFiles/erpi_datalog.dir/parser.cpp.o.d"
+  "liberpi_datalog.a"
+  "liberpi_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

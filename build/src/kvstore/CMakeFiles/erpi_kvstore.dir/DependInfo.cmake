@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/lock.cpp" "src/kvstore/CMakeFiles/erpi_kvstore.dir/lock.cpp.o" "gcc" "src/kvstore/CMakeFiles/erpi_kvstore.dir/lock.cpp.o.d"
+  "/root/repo/src/kvstore/server.cpp" "src/kvstore/CMakeFiles/erpi_kvstore.dir/server.cpp.o" "gcc" "src/kvstore/CMakeFiles/erpi_kvstore.dir/server.cpp.o.d"
+  "/root/repo/src/kvstore/store.cpp" "src/kvstore/CMakeFiles/erpi_kvstore.dir/store.cpp.o" "gcc" "src/kvstore/CMakeFiles/erpi_kvstore.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_kvstore.dir/lock.cpp.o"
+  "CMakeFiles/erpi_kvstore.dir/lock.cpp.o.d"
+  "CMakeFiles/erpi_kvstore.dir/server.cpp.o"
+  "CMakeFiles/erpi_kvstore.dir/server.cpp.o.d"
+  "CMakeFiles/erpi_kvstore.dir/store.cpp.o"
+  "CMakeFiles/erpi_kvstore.dir/store.cpp.o.d"
+  "liberpi_kvstore.a"
+  "liberpi_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberpi_kvstore.a"
+)

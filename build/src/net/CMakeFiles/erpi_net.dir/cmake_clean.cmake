@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_net.dir/network.cpp.o"
+  "CMakeFiles/erpi_net.dir/network.cpp.o.d"
+  "liberpi_net.a"
+  "liberpi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_proxy.dir/event.cpp.o"
+  "CMakeFiles/erpi_proxy.dir/event.cpp.o.d"
+  "CMakeFiles/erpi_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/erpi_proxy.dir/proxy.cpp.o.d"
+  "liberpi_proxy.a"
+  "liberpi_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

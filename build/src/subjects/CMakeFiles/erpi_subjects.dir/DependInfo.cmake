@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subjects/crdt_collection.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/crdt_collection.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/crdt_collection.cpp.o.d"
+  "/root/repo/src/subjects/orbitdb.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/orbitdb.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/orbitdb.cpp.o.d"
+  "/root/repo/src/subjects/replicadb.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/replicadb.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/replicadb.cpp.o.d"
+  "/root/repo/src/subjects/roshi.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/roshi.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/roshi.cpp.o.d"
+  "/root/repo/src/subjects/subject_base.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/subject_base.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/subject_base.cpp.o.d"
+  "/root/repo/src/subjects/town.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/town.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/town.cpp.o.d"
+  "/root/repo/src/subjects/yorkie.cpp" "src/subjects/CMakeFiles/erpi_subjects.dir/yorkie.cpp.o" "gcc" "src/subjects/CMakeFiles/erpi_subjects.dir/yorkie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/erpi_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/erpi_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/erpi_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_subjects.dir/crdt_collection.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/crdt_collection.cpp.o.d"
+  "CMakeFiles/erpi_subjects.dir/orbitdb.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/orbitdb.cpp.o.d"
+  "CMakeFiles/erpi_subjects.dir/replicadb.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/replicadb.cpp.o.d"
+  "CMakeFiles/erpi_subjects.dir/roshi.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/roshi.cpp.o.d"
+  "CMakeFiles/erpi_subjects.dir/subject_base.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/subject_base.cpp.o.d"
+  "CMakeFiles/erpi_subjects.dir/town.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/town.cpp.o.d"
+  "CMakeFiles/erpi_subjects.dir/yorkie.cpp.o"
+  "CMakeFiles/erpi_subjects.dir/yorkie.cpp.o.d"
+  "liberpi_subjects.a"
+  "liberpi_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

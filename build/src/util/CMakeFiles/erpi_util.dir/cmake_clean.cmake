@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpi_util.dir/hash.cpp.o"
+  "CMakeFiles/erpi_util.dir/hash.cpp.o.d"
+  "CMakeFiles/erpi_util.dir/json.cpp.o"
+  "CMakeFiles/erpi_util.dir/json.cpp.o.d"
+  "CMakeFiles/erpi_util.dir/log.cpp.o"
+  "CMakeFiles/erpi_util.dir/log.cpp.o.d"
+  "CMakeFiles/erpi_util.dir/strings.cpp.o"
+  "CMakeFiles/erpi_util.dir/strings.cpp.o.d"
+  "liberpi_util.a"
+  "liberpi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

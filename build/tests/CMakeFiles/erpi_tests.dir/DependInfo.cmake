@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bugs/test_bugs.cpp" "tests/CMakeFiles/erpi_tests.dir/bugs/test_bugs.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/bugs/test_bugs.cpp.o.d"
+  "/root/repo/tests/core/test_assertions.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_assertions.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_assertions.cpp.o.d"
+  "/root/repo/tests/core/test_enumerate.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_enumerate.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_enumerate.cpp.o.d"
+  "/root/repo/tests/core/test_fuzz_profile.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_fuzz_profile.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_fuzz_profile.cpp.o.d"
+  "/root/repo/tests/core/test_interleaving.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_interleaving.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_interleaving.cpp.o.d"
+  "/root/repo/tests/core/test_pruning.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_pruning.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_pruning.cpp.o.d"
+  "/root/repo/tests/core/test_replay.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_replay.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_replay.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/erpi_tests.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/crdt/test_crdt_basic.cpp" "tests/CMakeFiles/erpi_tests.dir/crdt/test_crdt_basic.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/crdt/test_crdt_basic.cpp.o.d"
+  "/root/repo/tests/crdt/test_json_doc.cpp" "tests/CMakeFiles/erpi_tests.dir/crdt/test_json_doc.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/crdt/test_json_doc.cpp.o.d"
+  "/root/repo/tests/crdt/test_merkle_log.cpp" "tests/CMakeFiles/erpi_tests.dir/crdt/test_merkle_log.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/crdt/test_merkle_log.cpp.o.d"
+  "/root/repo/tests/crdt/test_rga.cpp" "tests/CMakeFiles/erpi_tests.dir/crdt/test_rga.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/crdt/test_rga.cpp.o.d"
+  "/root/repo/tests/datalog/test_datalog.cpp" "tests/CMakeFiles/erpi_tests.dir/datalog/test_datalog.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/datalog/test_datalog.cpp.o.d"
+  "/root/repo/tests/integration/test_integration.cpp" "tests/CMakeFiles/erpi_tests.dir/integration/test_integration.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/integration/test_integration.cpp.o.d"
+  "/root/repo/tests/kvstore/test_kvstore.cpp" "tests/CMakeFiles/erpi_tests.dir/kvstore/test_kvstore.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/kvstore/test_kvstore.cpp.o.d"
+  "/root/repo/tests/net/test_network.cpp" "tests/CMakeFiles/erpi_tests.dir/net/test_network.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/net/test_network.cpp.o.d"
+  "/root/repo/tests/proxy/test_proxy.cpp" "tests/CMakeFiles/erpi_tests.dir/proxy/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/proxy/test_proxy.cpp.o.d"
+  "/root/repo/tests/subjects/test_subjects.cpp" "tests/CMakeFiles/erpi_tests.dir/subjects/test_subjects.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/subjects/test_subjects.cpp.o.d"
+  "/root/repo/tests/util/test_json.cpp" "tests/CMakeFiles/erpi_tests.dir/util/test_json.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/util/test_json.cpp.o.d"
+  "/root/repo/tests/util/test_util.cpp" "tests/CMakeFiles/erpi_tests.dir/util/test_util.cpp.o" "gcc" "tests/CMakeFiles/erpi_tests.dir/util/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bugs/CMakeFiles/erpi_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/CMakeFiles/erpi_subjects.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/erpi_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/erpi_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/erpi_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/erpi_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
