@@ -1,5 +1,7 @@
 #include "core/profile.hpp"
 
+#include <algorithm>
+
 namespace erpi::core {
 
 void ResourceProfiler::on_run_start() { profiles_.clear(); }
@@ -24,13 +26,32 @@ util::Status ResourceProfiler::check(const TestContext& ctx) {
   return util::Status::ok();
 }
 
-ProfileSummary ResourceProfiler::summary() const {
+ProfileSummary ResourceProfiler::summary() const { return summarize_profiles(profiles_); }
+
+std::vector<InterleavingProfile> collect_profiles(
+    const std::vector<AssertionList>& worker_assertions) {
+  std::vector<InterleavingProfile> merged;
+  for (const auto& assertions : worker_assertions) {
+    for (const auto& assertion : assertions) {
+      const auto* profiler = dynamic_cast<const ResourceProfiler*>(assertion.get());
+      if (profiler == nullptr) continue;
+      merged.insert(merged.end(), profiler->profiles().begin(), profiler->profiles().end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const InterleavingProfile& a, const InterleavingProfile& b) {
+              return a.interleaving.key() < b.interleaving.key();
+            });
+  return merged;
+}
+
+ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profiles) {
   ProfileSummary out;
-  out.interleavings = profiles_.size();
-  if (profiles_.empty()) return out;
+  out.interleavings = profiles.size();
+  if (profiles.empty()) return out;
   double state_sum = 0;
   double message_sum = 0;
-  for (const auto& profile : profiles_) {
+  for (const auto& profile : profiles) {
     out.total_ops += profile.ops_attempted;
     out.total_failed_ops += profile.ops_failed;
     state_sum += static_cast<double>(profile.state_bytes);
@@ -46,8 +67,8 @@ ProfileSummary ResourceProfiler::summary() const {
       out.heaviest_traffic = profile;
     }
   }
-  out.mean_state_bytes = state_sum / static_cast<double>(profiles_.size());
-  out.mean_messages = message_sum / static_cast<double>(profiles_.size());
+  out.mean_state_bytes = state_sum / static_cast<double>(profiles.size());
+  out.mean_messages = message_sum / static_cast<double>(profiles.size());
   return out;
 }
 

@@ -69,4 +69,23 @@ class ResourceProfiler : public Assertion {
   std::vector<InterleavingProfile> profiles_;
 };
 
+// ---- parallel-run aggregation ---------------------------------------------
+//
+// Under sched::ParallelExplorer every worker owns its own ResourceProfiler
+// (built by the AssertionFactory, attached to that worker's network), so no
+// profiler is ever touched by two threads. After the run, merge the shards:
+//
+//   auto profiles = collect_profiles(session.worker_assertions());
+//   auto summary  = summarize_profiles(profiles);
+
+/// Gather every ResourceProfiler sample across per-worker assertion lists,
+/// sorted by interleaving key so the merged order (and any tie-broken outlier
+/// selection) is deterministic regardless of how the shards interleaved.
+std::vector<InterleavingProfile> collect_profiles(
+    const std::vector<AssertionList>& worker_assertions);
+
+/// Summary over an arbitrary profile collection (the same math as
+/// ResourceProfiler::summary, factored out so merged collections reuse it).
+ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profiles);
+
 }  // namespace erpi::core

@@ -92,20 +92,46 @@ void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& even
   for (auto& worker : workers) worker.join();
 }
 
+InterleavingOutcome ReplayEngine::replay_one(const Interleaving& il, const EventSet& events,
+                                             const AssertionList& assertions) {
+  // Checkpoint/reset: every interleaving starts from the initial state.
+  proxy_->target().reset();
+
+  std::vector<util::Result<util::Json>> results;
+  results.reserve(il.size());
+  if (options_.threaded) {
+    execute_threaded(il, events, results);
+  } else {
+    execute_fast(il, events, results);
+  }
+
+  const TestContext ctx{proxy_->target(), il, events, results};
+  InterleavingOutcome outcome;
+  for (const auto& assertion : assertions) {
+    const auto status = assertion->check(ctx);
+    if (!status.is_ok()) {
+      outcome.violations.push_back(
+          {assertion->name(), assertion->name() + ": " + status.error().message +
+                                  " [interleaving " + il.key() + "]"});
+    }
+  }
+  return outcome;
+}
+
 ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
                                const AssertionList& assertions) {
   ReplayReport report;
   util::Stopwatch watch;
-  explored_log_bytes_ = 0;
+  BudgetAccount local_budget(options_.resource_budget_bytes);
+  BudgetAccount* budget = options_.budget != nullptr ? options_.budget : &local_budget;
 
   for (const auto& assertion : assertions) assertion->on_run_start();
 
   while (report.explored < options_.max_interleavings) {
     // Resource check first — the explored-interleaving log plus any
     // enumerator/pruner caches must fit the configured budget.
-    uint64_t bytes = explored_log_bytes_;
-    if (options_.extra_cache_bytes) bytes += options_.extra_cache_bytes();
-    if (bytes > options_.resource_budget_bytes) {
+    const uint64_t extra = options_.extra_cache_bytes ? options_.extra_cache_bytes() : 0;
+    if (budget->crash_if_exceeded(extra)) {
       report.crashed = true;
       break;
     }
@@ -116,42 +142,22 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
       break;
     }
     ++report.explored;
-    // the tracked log entry: one key string per explored interleaving
-    explored_log_bytes_ += il->order.size() * 3 + 48;
+    budget->charge(explored_log_entry_bytes(*il));
 
-    // Checkpoint/reset: every interleaving starts from the initial state.
-    proxy_->target().reset();
-
-    std::vector<util::Result<util::Json>> results;
-    results.reserve(il->size());
-    if (options_.threaded) {
-      execute_threaded(*il, events, results);
-    } else {
-      execute_fast(*il, events, results);
-    }
-
-    const TestContext ctx{proxy_->target(), *il, events, results};
-    bool violated = false;
-    for (const auto& assertion : assertions) {
-      const auto status = assertion->check(ctx);
-      if (!status.is_ok()) {
-        violated = true;
-        ++report.violations;
-        if (report.messages.size() < 16) {
-          report.messages.push_back(assertion->name() + ": " + status.error().message +
-                                    " [interleaving " + il->key() + "]");
-        }
-        if (!report.reproduced) {
-          report.reproduced = true;
-          report.first_violation_index = report.explored;
-          report.first_violation_assertion = assertion->name();
-          report.first_violation = *il;
-        }
+    const InterleavingOutcome outcome = replay_one(*il, events, assertions);
+    for (const auto& violation : outcome.violations) {
+      ++report.violations;
+      if (report.messages.size() < 16) report.messages.push_back(violation.message);
+      if (!report.reproduced) {
+        report.reproduced = true;
+        report.first_violation_index = report.explored;
+        report.first_violation_assertion = violation.assertion;
+        report.first_violation = *il;
       }
     }
 
     if (options_.on_interleaving_done) options_.on_interleaving_done(report.explored, *il);
-    if (violated && options_.stop_on_violation) break;
+    if (!outcome.violations.empty() && options_.stop_on_violation) break;
   }
 
   report.hit_cap = report.explored >= options_.max_interleavings;

@@ -16,9 +16,17 @@
 // "server [that] keeps track of which interleavings have been explored", it
 // records every explored interleaving; when the configured budget is
 // exceeded the run "crashes" (Fig. 10's succeed-or-crash experiment).
+//
+// Thread safety: one ReplayEngine::run drives one enumerator on one thread.
+// To explore an interleaving stream across cores, use sched::ParallelExplorer
+// (src/sched/explorer.hpp), which gives each worker its own engine over an
+// isolated subject fixture and charges all workers against one shared
+// BudgetAccount.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/assertions.hpp"
@@ -28,6 +36,59 @@
 #include "util/stopwatch.hpp"
 
 namespace erpi::core {
+
+/// Thread-safe ledger for the Fig. 10 resource budget. One account may be
+/// shared by several engines (the parallel scheduler's workers): charges are
+/// atomic and the crash verdict latches exactly once, so concurrent callers
+/// agree on whether the run crashed.
+class BudgetAccount {
+ public:
+  explicit BudgetAccount(uint64_t budget_bytes = UINT64_MAX) noexcept
+      : budget_bytes_(budget_bytes) {}
+
+  uint64_t budget_bytes() const noexcept { return budget_bytes_; }
+  uint64_t charged_bytes() const noexcept {
+    return charged_.load(std::memory_order_relaxed);
+  }
+
+  /// Atomically add `bytes` to the running total.
+  void charge(uint64_t bytes) noexcept {
+    charged_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// True when the running total plus `extra_bytes` exceeds the budget; the
+  /// crash flag latches on first exceedance and stays set.
+  bool crash_if_exceeded(uint64_t extra_bytes = 0) noexcept {
+    if (charged_.load(std::memory_order_relaxed) + extra_bytes > budget_bytes_) {
+      crashed_.store(true, std::memory_order_relaxed);
+    }
+    return crashed_.load(std::memory_order_relaxed);
+  }
+
+  bool crashed() const noexcept { return crashed_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t budget_bytes_;
+  std::atomic<uint64_t> charged_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+/// Bytes the explored-interleaving log grows by for one interleaving: one
+/// key string per explored interleaving (the DMCK server's tracking entry).
+inline uint64_t explored_log_entry_bytes(const Interleaving& il) noexcept {
+  return il.order.size() * 3 + 48;
+}
+
+/// Builds a fresh subject-system fixture (replica set + simulated network).
+/// The parallel scheduler calls it once per worker so workers never share
+/// mutable subject state.
+using SubjectFactory = std::function<std::unique_ptr<proxy::Rdl>()>;
+
+/// Builds fresh assertion instances bound to `subject` (so observers like
+/// the ResourceProfiler can attach to that fixture's network). Called once
+/// per parallel worker; cross-interleaving assertions therefore compare
+/// within one worker's shard only (see DESIGN.md "Parallel exploration").
+using AssertionFactory = std::function<AssertionList(proxy::Rdl& subject)>;
 
 struct ReplayOptions {
   /// Stop after this many interleavings (the paper's 10 K experiment cap).
@@ -40,14 +101,28 @@ struct ReplayOptions {
   kv::Server* lock_server = nullptr;
   /// Simulated memory budget in bytes; exceeding it aborts the run with
   /// crashed=true (Fig. 10). Counts the explored-interleaving log plus any
-  /// extra cache reported by `extra_cache_bytes`.
+  /// extra cache reported by `extra_cache_bytes`. Ignored when `budget` is
+  /// injected below.
   uint64_t resource_budget_bytes = UINT64_MAX;
+  /// Shared budget ledger. When null the engine keeps a private account
+  /// seeded from `resource_budget_bytes`; inject one to share accounting
+  /// across engines (sched::ParallelExplorer charges every worker against a
+  /// single account, atomically, crash-once).
+  BudgetAccount* budget = nullptr;
   /// Extra memory to charge against the budget (e.g. the Random enumerator's
   /// dedup cache, the pruning pipeline's canonical-form set).
   std::function<uint64_t()> extra_cache_bytes;
   /// Invoked after each interleaving with its 1-based index and the
   /// interleaving itself (the Session uses this to poll the constraints
   /// directory and to persist replayed interleavings).
+  ///
+  /// Threading contract: ReplayEngine::run invokes the callback on the
+  /// calling thread, strictly serialized, in ascending index order, never
+  /// concurrently with itself. sched::ParallelExplorer preserves the same
+  /// contract — delivery happens on its control thread in global index order
+  /// while holding the enumerator lock — so the callback may mutate the
+  /// enumerator / pruning pipeline without additional locking. The callback
+  /// must not re-enter the engine or the explorer.
   std::function<void(uint64_t, const Interleaving&)> on_interleaving_done;
 };
 
@@ -70,12 +145,30 @@ struct ReplayReport {
   util::Json to_json() const;
 };
 
+/// What replaying a single interleaving observed (no run-level aggregation).
+struct InterleavingOutcome {
+  struct Violation {
+    std::string assertion;
+    std::string message;  // formatted report line, includes the interleaving key
+  };
+  std::vector<Violation> violations;
+};
+
 class ReplayEngine {
  public:
   ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options);
 
   ReplayReport run(Enumerator& enumerator, const EventSet& events,
                    const AssertionList& assertions);
+
+  /// Replay exactly one interleaving (reset → execute → assert) without
+  /// touching any run-level state. This is the building block the parallel
+  /// scheduler drives from worker threads — each worker owns its own engine,
+  /// proxy and subject, so concurrent replay_one calls never share mutable
+  /// subject state. Does not call Assertion::on_run_start and does not
+  /// deliver on_interleaving_done; callers own that protocol.
+  InterleavingOutcome replay_one(const Interleaving& il, const EventSet& events,
+                                 const AssertionList& assertions);
 
  private:
   void execute_fast(const Interleaving& il, const EventSet& events,
@@ -85,7 +178,6 @@ class ReplayEngine {
 
   proxy::RdlProxy* proxy_;
   ReplayOptions options_;
-  uint64_t explored_log_bytes_ = 0;
 };
 
 }  // namespace erpi::core

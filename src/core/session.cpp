@@ -1,7 +1,9 @@
 #include "core/session.hpp"
 
 #include <numeric>
+#include <stdexcept>
 
+#include "sched/explorer.hpp"
 #include "util/log.hpp"
 
 namespace erpi::core {
@@ -22,6 +24,11 @@ Session::Session(proxy::RdlProxy& proxy, Config config)
       watcher_(config_.constraints_dir) {}
 
 void Session::start() { proxy_->start_capture(); }
+
+void Session::start(SubjectFactory subject_factory) {
+  config_.subject_factory = std::move(subject_factory);
+  start();
+}
 
 PruningPipeline Session::build_pipeline() const {
   PruningPipeline pipeline;
@@ -61,8 +68,9 @@ std::unique_ptr<Enumerator> Session::make_enumerator() {
   return nullptr;
 }
 
-ReplayReport Session::end(const AssertionList& assertions) {
+Session::PreparedRun Session::prepare_run() {
   events_ = proxy_->end_capture();
+  worker_assertions_.clear();
 
   // State 1-2: extract events, apply grouping (plus any groups already
   // waiting in the constraints directory) and generate interleavings.
@@ -80,16 +88,20 @@ ReplayReport Session::end(const AssertionList& assertions) {
     store_.persist_units(units_);
   }
 
-  auto enumerator = make_enumerator();
-  auto* pruned = dynamic_cast<PrunedEnumerator*>(enumerator.get());
-  active_pruned_ = pruned;
+  PreparedRun prepared;
+  prepared.enumerator = make_enumerator();
+  prepared.pruned = dynamic_cast<PrunedEnumerator*>(prepared.enumerator.get());
+  active_pruned_ = prepared.pruned;
 
   // State 3-4: replay one by one; between interleavings, poll the
   // constraints directory and extend the pruning pipeline dynamically.
-  ReplayOptions replay_options = config_.replay;
-  auto user_hook = replay_options.on_interleaving_done;
-  replay_options.on_interleaving_done = [this, pruned, user_hook](uint64_t index,
-                                                                  const Interleaving& il) {
+  // (In parallel mode this callback runs serialized on the explorer's
+  // control thread while holding the enumerator lock — see ReplayOptions.)
+  prepared.replay = config_.replay;
+  auto user_hook = prepared.replay.on_interleaving_done;
+  auto* pruned = prepared.pruned;
+  prepared.replay.on_interleaving_done = [this, pruned, user_hook](uint64_t index,
+                                                                   const Interleaving& il) {
     if (config_.persist) store_.persist(il);
     if (pruned != nullptr && !config_.constraints_dir.empty()) {
       Constraints fresh = watcher_.poll();
@@ -105,23 +117,65 @@ ReplayReport Session::end(const AssertionList& assertions) {
     }
     if (user_hook) user_hook(index, il);
   };
-  if (!replay_options.extra_cache_bytes) {
+  if (!prepared.replay.extra_cache_bytes) {
     if (pruned != nullptr) {
-      replay_options.extra_cache_bytes = [pruned] {
+      prepared.replay.extra_cache_bytes = [pruned] {
         return pruned->pipeline().cache_bytes();
       };
-    } else if (auto* random = dynamic_cast<RandomEnumerator*>(enumerator.get());
+    } else if (auto* random = dynamic_cast<RandomEnumerator*>(prepared.enumerator.get());
                random != nullptr) {
       // Rand's dedup cache is its dominant memory cost (Fig. 10).
-      replay_options.extra_cache_bytes = [random] { return random->cache_bytes(); };
+      prepared.replay.extra_cache_bytes = [random] { return random->cache_bytes(); };
     }
   }
+  return prepared;
+}
 
-  ReplayEngine engine(*proxy_, replay_options);
-  ReplayReport report = engine.run(*enumerator, events_, assertions);
-
-  if (pruned != nullptr) last_stats_ = pruned->pipeline().stats();
+void Session::finish_run(const PreparedRun& prepared) {
+  if (prepared.pruned != nullptr) last_stats_ = prepared.pruned->pipeline().stats();
   active_pruned_ = nullptr;
+}
+
+ReplayReport Session::end(const AssertionList& assertions) {
+  if (config_.parallelism > 1) {
+    throw std::invalid_argument(
+        "parallelism > 1 needs end(AssertionFactory) so each worker owns its "
+        "assertion state");
+  }
+  PreparedRun prepared = prepare_run();
+  ReplayEngine engine(*proxy_, prepared.replay);
+  ReplayReport report = engine.run(*prepared.enumerator, events_, assertions);
+  finish_run(prepared);
+  return report;
+}
+
+ReplayReport Session::end_with_factory(const AssertionFactory& assertion_factory) {
+  if (config_.parallelism <= 1) {
+    // Delegate to the sequential path — bit-for-bit today's behavior.
+    AssertionList assertions;
+    if (assertion_factory) assertions = assertion_factory(proxy_->target());
+    const int saved_parallelism = config_.parallelism;  // may be 0/negative
+    config_.parallelism = 1;
+    auto report = end(assertions);
+    config_.parallelism = saved_parallelism;
+    return report;
+  }
+  if (!config_.subject_factory) {
+    throw std::invalid_argument(
+        "parallel exploration requires a subject factory "
+        "(Session::start(factory) or Config::subject_factory)");
+  }
+
+  PreparedRun prepared = prepare_run();
+  sched::ExplorerOptions options;
+  options.parallelism = config_.parallelism;
+  options.replay = prepared.replay;
+  options.subject_factory = config_.subject_factory;
+  options.assertion_factory = assertion_factory;
+  sched::ParallelExplorer explorer(std::move(options));
+  ReplayReport report = explorer.run(*prepared.enumerator, events_);
+  worker_assertions_ = explorer.worker_assertions();
+  finish_run(prepared);
   return report;
 }
 

@@ -12,11 +12,27 @@
 // Event-Independence / Failed-Ops from config and from runtime constraint
 // files), persist to the Datalog store, replay every surviving interleaving,
 // and evaluate the test assertions after each one.
+//
+// Parallel exploration (src/sched/): set config.parallelism > 1, hand start()
+// a replica-set factory that clones the subject fixture, and call the
+// end(AssertionFactory) overload so every worker gets its own assertion
+// state:
+//
+//   Session session(proxy, config);              // config.parallelism = 8
+//   session.start([] { return std::make_unique<subjects::TownApp>(2); });
+//   ... workload ...
+//   auto report = session.end([](proxy::Rdl&) -> AssertionList {
+//     return {query_result_equals(9, expected)};
+//   });
+//
+// parallelism == 1 keeps the sequential engine bit-for-bit (same explored
+// count, same first_violation_index, same persisted log).
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 
 #include "core/constraints.hpp"
 #include "core/persist.hpp"
@@ -53,6 +69,14 @@ class Session {
     GroupedEnumerator::Order generation_order = GroupedEnumerator::Order::Shuffled;
     /// Persist events/units and every replayed interleaving into Datalog.
     bool persist = false;
+    /// Worker count for parallel exploration (sched::ParallelExplorer).
+    /// 1 (default) replays sequentially on the calling thread, preserving
+    /// today's behavior exactly; > 1 requires a subject factory and the
+    /// end(AssertionFactory) overload.
+    int parallelism = 1;
+    /// Clones the subject-system fixture for each parallel worker (also
+    /// settable through start(SubjectFactory)).
+    SubjectFactory subject_factory;
   };
 
   Session(proxy::RdlProxy& proxy, Config config);
@@ -60,12 +84,36 @@ class Session {
   /// Begin capturing RDL calls.
   void start();
 
+  /// Begin capturing and register the replica-set factory used to clone the
+  /// subject fixture per parallel worker (overrides Config::subject_factory).
+  void start(SubjectFactory subject_factory);
+
   /// Stop capturing, generate + prune + replay, check assertions.
+  /// Requires parallelism == 1 (shared assertion instances cannot be handed
+  /// to concurrent workers); throws std::invalid_argument otherwise.
   ReplayReport end(const AssertionList& assertions);
+
+  /// Parallelism-aware end(): builds one assertion set per worker via the
+  /// factory. With parallelism == 1 this calls the factory once against the
+  /// captured proxy's subject and behaves exactly like end(AssertionList).
+  /// (Constrained template so end({}) still resolves to the list overload.)
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<AssertionList, F&, proxy::Rdl&>>>
+  ReplayReport end(F&& assertion_factory) {
+    return end_with_factory(AssertionFactory(std::forward<F>(assertion_factory)));
+  }
+  ReplayReport end_with_factory(const AssertionFactory& assertion_factory);
 
   // ---- post-run introspection ----
   const EventSet& events() const noexcept { return events_; }
   const std::vector<EventUnit>& units() const noexcept { return units_; }
+
+  /// After a parallel end(): each worker's assertion instances, for merging
+  /// observer state (e.g. collect_profiles over ResourceProfiler samples).
+  /// Empty after a sequential run.
+  const std::vector<AssertionList>& worker_assertions() const noexcept {
+    return worker_assertions_;
+  }
 
   struct PruningReport {
     uint64_t event_count = 0;
@@ -84,6 +132,13 @@ class Session {
   std::unique_ptr<Enumerator> make_enumerator();
 
  private:
+  struct PreparedRun {
+    std::unique_ptr<Enumerator> enumerator;
+    ReplayOptions replay;
+    PrunedEnumerator* pruned = nullptr;
+  };
+  PreparedRun prepare_run();
+  void finish_run(const PreparedRun& prepared);
   PruningPipeline build_pipeline() const;
 
   proxy::RdlProxy* proxy_;
@@ -95,6 +150,7 @@ class Session {
   ConstraintWatcher watcher_;
   PrunedEnumerator* active_pruned_ = nullptr;  // live during end()
   PruningPipeline::Stats last_stats_;
+  std::vector<AssertionList> worker_assertions_;
 };
 
 }  // namespace erpi::core

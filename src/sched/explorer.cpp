@@ -1,0 +1,235 @@
+#include "sched/explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sched/queue.hpp"
+#include "util/stopwatch.hpp"
+
+namespace erpi::sched {
+namespace {
+
+struct WorkItem {
+  uint64_t index = 0;  // 1-based position in the enumerator stream
+  core::Interleaving interleaving;
+};
+
+struct Batch {
+  std::vector<WorkItem> items;
+};
+
+struct Done {
+  uint64_t index = 0;
+  core::Interleaving interleaving;
+  core::InterleavingOutcome outcome;
+  bool skipped = false;  // early-cancelled past the violation floor (or abort)
+};
+
+/// Monotone atomic min.
+void lower_floor(std::atomic<uint64_t>& floor, uint64_t index) {
+  uint64_t current = floor.load(std::memory_order_relaxed);
+  while (index < current &&
+         !floor.compare_exchange_weak(current, index, std::memory_order_relaxed)) {
+  }
+}
+
+/// Work-stealing-friendly sizing: enough batches that a straggler never
+/// leaves siblings idle (≥ 4 batches per worker across the cap), capped so
+/// queue traffic stays negligible next to replay cost.
+size_t auto_batch_size(uint64_t cap, int workers) {
+  const uint64_t per_worker = cap / (static_cast<uint64_t>(workers) * 4 + 1);
+  return static_cast<size_t>(std::clamp<uint64_t>(per_worker, 1, 32));
+}
+
+}  // namespace
+
+ParallelExplorer::ParallelExplorer(ExplorerOptions options) : options_(std::move(options)) {
+  if (!options_.subject_factory) {
+    throw std::invalid_argument("ParallelExplorer requires a subject factory");
+  }
+}
+
+core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
+                                         const core::EventSet& events) {
+  const int workers = std::max(1, options_.parallelism);
+  const uint64_t cap = options_.replay.max_interleavings;
+  const bool stop_on_violation = options_.replay.stop_on_violation;
+  const size_t batch_size =
+      options_.batch_size != 0 ? options_.batch_size : auto_batch_size(cap, workers);
+
+  core::BudgetAccount local_budget(options_.replay.resource_budget_bytes);
+  core::BudgetAccount* budget =
+      options_.replay.budget != nullptr ? options_.replay.budget : &local_budget;
+
+  util::Stopwatch watch;
+  core::ReplayReport report;
+
+  // Worker contexts are built up front on this thread so factory failures
+  // throw before any thread exists.
+  std::vector<std::unique_ptr<WorkerContext>> contexts;
+  contexts.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    contexts.push_back(std::make_unique<WorkerContext>(
+        options_.subject_factory, options_.assertion_factory, options_.replay, budget));
+  }
+
+  BoundedQueue<Batch> work(static_cast<size_t>(workers) * 2);
+  BoundedQueue<Done> done(std::numeric_limits<size_t>::max());
+
+  std::mutex enum_mu;  // enumerator access + callback-side pipeline mutation
+  std::atomic<uint64_t> violation_floor{std::numeric_limits<uint64_t>::max()};
+  std::atomic<bool> dispatch_crashed{false};
+  std::atomic<bool> dispatch_exhausted{false};
+  std::atomic<bool> abort{false};
+  std::atomic<int> active_workers{workers};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto record_error = [&](std::exception_ptr error) {
+    {
+      std::lock_guard lock(error_mu);
+      if (!first_error) first_error = error;
+    }
+    abort.store(true);
+    work.close();
+  };
+
+  // ---- dispatcher: the only thread that touches the enumerator ----
+  std::thread dispatcher([&] {
+    try {
+      uint64_t next_index = 1;
+      while (!abort.load()) {
+        if (next_index > cap) break;
+        if (stop_on_violation && next_index > violation_floor.load()) break;
+        Batch batch;
+        bool stop_dispatch = false;
+        {
+          std::lock_guard lock(enum_mu);
+          while (batch.items.size() < batch_size) {
+            if (next_index > cap ||
+                (stop_on_violation && next_index > violation_floor.load())) {
+              break;
+            }
+            // Budget check exactly where the sequential engine does it:
+            // before pulling, counting the log so far plus live caches.
+            const uint64_t extra =
+                options_.replay.extra_cache_bytes ? options_.replay.extra_cache_bytes() : 0;
+            if (budget->crash_if_exceeded(extra)) {
+              dispatch_crashed.store(true);
+              stop_dispatch = true;
+              break;
+            }
+            auto il = enumerator.next();
+            if (!il) {
+              dispatch_exhausted.store(true);
+              stop_dispatch = true;
+              break;
+            }
+            budget->charge(core::explored_log_entry_bytes(*il));
+            batch.items.push_back({next_index, std::move(*il)});
+            ++next_index;
+          }
+        }
+        if (!batch.items.empty() && !work.push(std::move(batch))) break;
+        if (stop_dispatch) break;
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    work.close();
+  });
+
+  // ---- workers: isolated replay, shared only through thread-safe state ----
+  auto worker_fn = [&](int w) {
+    WorkerContext& ctx = *contexts[static_cast<size_t>(w)];
+    try {
+      while (auto batch = work.pop()) {
+        for (auto& item : batch->items) {
+          Done d;
+          d.index = item.index;
+          const bool cancelled =
+              abort.load() ||
+              (stop_on_violation && item.index > violation_floor.load());
+          if (cancelled) {
+            d.skipped = true;
+          } else {
+            d.outcome = ctx.replay_one(item.interleaving, events);
+            if (stop_on_violation && !d.outcome.violations.empty()) {
+              lower_floor(violation_floor, item.index);
+            }
+          }
+          d.interleaving = std::move(item.interleaving);
+          done.push(std::move(d));
+        }
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    if (active_workers.fetch_sub(1) == 1) done.close();
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+
+  // ---- committer (this thread): in-order merge = deterministic semantics ----
+  std::map<uint64_t, Done> reorder;
+  uint64_t next_commit = 1;
+  bool stopped = false;
+  while (auto d = done.pop()) {
+    if (abort.load()) continue;  // drain only; the error is rethrown below
+    reorder.emplace(d->index, std::move(*d));
+    while (!stopped) {
+      auto it = reorder.find(next_commit);
+      if (it == reorder.end()) break;
+      // A skipped item can only sit past a committed violation; reaching one
+      // here means commit already stopped (or an abort raced) — never count it.
+      if (it->second.skipped) break;
+      Done item = std::move(it->second);
+      reorder.erase(it);
+
+      ++report.explored;
+      for (const auto& violation : item.outcome.violations) {
+        ++report.violations;
+        if (report.messages.size() < 16) report.messages.push_back(violation.message);
+        if (!report.reproduced) {
+          report.reproduced = true;
+          report.first_violation_index = report.explored;
+          report.first_violation_assertion = violation.assertion;
+          report.first_violation = item.interleaving;
+        }
+      }
+      if (options_.replay.on_interleaving_done) {
+        // Serialized, ascending delivery under the enumerator lock: the
+        // callback may mutate the pruning pipeline the dispatcher reads.
+        std::lock_guard lock(enum_mu);
+        options_.replay.on_interleaving_done(report.explored, item.interleaving);
+      }
+      if (stop_on_violation && !item.outcome.violations.empty()) stopped = true;
+      ++next_commit;
+    }
+  }
+
+  dispatcher.join();
+  for (auto& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Sequential parity for the terminal flags: a stop_on_violation run that
+  // reproduced never reaches the crash/exhaustion the dispatcher may have
+  // overrun into.
+  const bool stopped_at_violation = stop_on_violation && report.reproduced;
+  report.crashed = dispatch_crashed.load() && !stopped_at_violation;
+  report.exhausted = dispatch_exhausted.load() && !stopped_at_violation;
+  report.hit_cap = report.explored >= cap;
+  report.elapsed_seconds = watch.elapsed_seconds();
+
+  worker_assertions_.clear();
+  for (const auto& ctx : contexts) worker_assertions_.push_back(ctx->assertions());
+  return report;
+}
+
+}  // namespace erpi::sched

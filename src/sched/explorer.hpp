@@ -1,0 +1,85 @@
+// ParallelExplorer — multi-core interleaving replay with deterministic
+// violation semantics (the ROADMAP's scale-out move: explore interleavings
+// *across* cores, the way stateless model checkers shard their search).
+//
+// Architecture (three roles, two channels):
+//
+//   dispatcher thread ──batches──▶ BoundedQueue ──▶ N worker threads
+//        │  drains the (single-threaded) enumerator under a mutex,        │
+//        │  doing the budget check + charge exactly where the             │
+//        │  sequential engine does (before/after each next()).            │
+//        ▼                                                                ▼
+//   control thread ◀──(global_index, outcome)── results channel ◀─────────┘
+//        commits outcomes in ascending global-index order through the same
+//        aggregation the sequential engine runs, and delivers
+//        on_interleaving_done callbacks serialized, in order.
+//
+// Determinism guarantee: because every interleaving is tagged with its
+// position in the enumerator stream and outcomes are *committed* in that
+// order, the merged report's explored / violations / first_violation_index /
+// first_violation_assertion / messages are identical for every worker count
+// and every thread schedule — including stop_on_violation runs, where the
+// first committed violation is provably the lowest-index one:
+//
+//   * workers that find a violation at global index v lower an atomic
+//     "violation floor" (monotone min); workers early-cancel any index
+//     > floor, but every index < floor is still replayed and reported, so
+//     a lower violation can never be lost;
+//   * commits ascend, so the first committed violation is the stream's
+//     first violation; committing stops there and explored == that index,
+//     exactly as the sequential engine reports.
+//
+// Caveat (documented in DESIGN.md): assertions are instantiated per worker,
+// so *cross-interleaving* assertions compare state within one worker's shard
+// only. Per-interleaving assertions are bit-for-bit identical to sequential.
+#pragma once
+
+#include <vector>
+
+#include "core/replay.hpp"
+#include "sched/worker.hpp"
+
+namespace erpi::sched {
+
+struct ExplorerOptions {
+  /// Worker count. Values < 1 are clamped to 1. (Session short-circuits
+  /// parallelism == 1 to the plain sequential engine; driving the explorer
+  /// with one worker is still deterministic, just pays thread overhead.)
+  int parallelism = 2;
+  /// Interleavings per dispatched batch. 0 = auto: small enough that idle
+  /// workers always find work to steal from the queue, large enough that
+  /// queue traffic stays off the profile.
+  size_t batch_size = 0;
+  /// Run-wide replay options (cap, stop_on_violation, threaded, budget,
+  /// extra_cache_bytes, on_interleaving_done). Per-worker fields
+  /// (lock_server) are rewired inside each WorkerContext.
+  core::ReplayOptions replay;
+  /// Builds one isolated subject fixture per worker. Required.
+  core::SubjectFactory subject_factory;
+  /// Builds one assertion set per worker (may be empty).
+  core::AssertionFactory assertion_factory;
+};
+
+class ParallelExplorer {
+ public:
+  explicit ParallelExplorer(ExplorerOptions options);
+
+  /// Shard `enumerator`'s stream across the worker pool and replay
+  /// concurrently. The enumerator itself is only ever touched by the
+  /// dispatcher under a mutex (enumerators stay single-threaded); the same
+  /// mutex is held while on_interleaving_done runs, so callbacks may extend
+  /// the pruning pipeline mid-run just like in the sequential engine.
+  core::ReplayReport run(core::Enumerator& enumerator, const core::EventSet& events);
+
+  /// Post-run: every worker's assertion instances, for merging observer
+  /// state (e.g. core::collect_profiles over ResourceProfiler samples).
+  const std::vector<core::AssertionList>& worker_assertions() const noexcept {
+    return worker_assertions_;
+  }
+
+ private:
+  ExplorerOptions options_;
+  std::vector<core::AssertionList> worker_assertions_;
+};
+
+}  // namespace erpi::sched

@@ -1,0 +1,80 @@
+// Bounded MPMC queue — the hand-off channel between the parallel explorer's
+// dispatcher and its replay workers.
+//
+// Deliberately simple (one mutex, two condvars): the queue moves *batches* of
+// interleavings, so it is touched a few thousand times per run at most and is
+// nowhere near the hot path (replaying an interleaving costs orders of
+// magnitude more than a queue operation). The bound provides backpressure —
+// the dispatcher cannot race ahead of the workers by more than
+// capacity × batch_size interleavings, which keeps the early-cancel window
+// small when stop_on_violation is set.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace erpi::sched {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping the item) once
+  /// the queue has been closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed *and* drained — remaining items are still handed out after
+  /// close(), so no work is lost on shutdown.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return std::optional<T>(std::move(item));
+  }
+
+  /// Wake every waiter: push becomes a no-op, pop drains what remains.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace erpi::sched

@@ -1,0 +1,38 @@
+#include "sched/worker.hpp"
+
+#include <stdexcept>
+
+namespace erpi::sched {
+
+WorkerContext::WorkerContext(const core::SubjectFactory& subject_factory,
+                             const core::AssertionFactory& assertion_factory,
+                             core::ReplayOptions base, core::BudgetAccount* budget) {
+  if (!subject_factory) {
+    throw std::invalid_argument("parallel exploration requires a subject factory");
+  }
+  subject_ = subject_factory();
+  if (subject_ == nullptr) {
+    throw std::invalid_argument("subject factory returned a null fixture");
+  }
+  proxy_ = std::make_unique<proxy::RdlProxy>(*subject_);
+  if (assertion_factory) assertions_ = assertion_factory(*subject_);
+
+  core::ReplayOptions options = std::move(base);
+  if (options.threaded) {
+    lock_server_ = std::make_unique<kv::Server>();
+    options.lock_server = lock_server_.get();
+  }
+  options.budget = budget;
+  options.on_interleaving_done = nullptr;
+  options.extra_cache_bytes = nullptr;  // budget checks happen at dispatch
+  engine_ = std::make_unique<core::ReplayEngine>(*proxy_, std::move(options));
+
+  for (const auto& assertion : assertions_) assertion->on_run_start();
+}
+
+core::InterleavingOutcome WorkerContext::replay_one(const core::Interleaving& il,
+                                                    const core::EventSet& events) {
+  return engine_->replay_one(il, events, assertions_);
+}
+
+}  // namespace erpi::sched

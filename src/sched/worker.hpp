@@ -1,0 +1,55 @@
+// WorkerContext — one parallel worker's fully isolated replay universe.
+//
+// The invariant the parallel explorer depends on: workers never share mutable
+// subject state. Each context therefore owns a private copy of everything a
+// sequential replay run would touch:
+//
+//   * its own subject fixture (replica set + simulated network), built by the
+//     caller-supplied SubjectFactory;
+//   * its own RdlProxy over that fixture;
+//   * its own assertion instances (AssertionFactory) — so cross-interleaving
+//     assertion state is per-worker, see DESIGN.md "Parallel exploration";
+//   * in threaded mode, its own kv::Server hosting that worker's distributed
+//     lock — the lock protocol is exercised per interleaving exactly as in
+//     the sequential engine, just on a private server;
+//   * its own ReplayEngine over all of the above.
+//
+// The only shared pieces are explicitly thread-safe: the BudgetAccount
+// (atomic charge, crash-once) and the explorer's queues.
+#pragma once
+
+#include <memory>
+
+#include "core/replay.hpp"
+
+namespace erpi::sched {
+
+class WorkerContext {
+ public:
+  /// `base` carries the run-wide replay options. The context rewires the
+  /// per-worker pieces: a private lock server when `base.threaded` is set,
+  /// the shared `budget`, and no on_interleaving_done (delivery is the
+  /// explorer's job, serialized on its control thread).
+  WorkerContext(const core::SubjectFactory& subject_factory,
+                const core::AssertionFactory& assertion_factory,
+                core::ReplayOptions base, core::BudgetAccount* budget);
+
+  WorkerContext(const WorkerContext&) = delete;
+  WorkerContext& operator=(const WorkerContext&) = delete;
+
+  /// Replay one interleaving against this worker's private fixture.
+  core::InterleavingOutcome replay_one(const core::Interleaving& il,
+                                       const core::EventSet& events);
+
+  proxy::Rdl& subject() noexcept { return *subject_; }
+  const core::AssertionList& assertions() const noexcept { return assertions_; }
+
+ private:
+  std::unique_ptr<proxy::Rdl> subject_;
+  std::unique_ptr<kv::Server> lock_server_;  // threaded mode only
+  std::unique_ptr<proxy::RdlProxy> proxy_;
+  core::AssertionList assertions_;
+  std::unique_ptr<core::ReplayEngine> engine_;
+};
+
+}  // namespace erpi::sched

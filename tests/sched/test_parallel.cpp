@@ -1,0 +1,342 @@
+// Parallel exploration scheduler tests: deterministic result semantics
+// across worker counts (the ISSUE's parallelism ∈ {1, 4, 8} stress test),
+// lowest-index violation under stop_on_violation, serialized callback
+// delivery, persisted-log equality, shared budget accounting, distributed-
+// lock threaded mode under a parallel outer loop, profiler shard merging,
+// and the BoundedQueue primitive itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/profile.hpp"
+#include "core/session.hpp"
+#include "sched/explorer.hpp"
+#include "sched/queue.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::sched {
+namespace {
+
+using core::AssertionList;
+using core::ReplayReport;
+using core::Session;
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+// Two replicas reporting and resolving with syncs, ending in the transmit
+// query. With the two spec groups below plus the auto-paired (e7,e8) sync,
+// this builds 6 units -> a 720-interleaving universe.
+void stress_workload(proxy::RdlProxy& proxy) {
+  (void)proxy.update(0, "report", problem("otb"));   // e0
+  (void)proxy.sync_req(0, 1);                        // e1
+  (void)proxy.exec_sync(0, 1);                       // e2
+  (void)proxy.update(1, "report", problem("ph"));    // e3
+  (void)proxy.sync_req(1, 0);                        // e4
+  (void)proxy.exec_sync(1, 0);                       // e5
+  (void)proxy.update(1, "resolve", problem("otb"));  // e6
+  (void)proxy.sync_req(1, 0);                        // e7
+  (void)proxy.exec_sync(1, 0);                       // e8
+  (void)proxy.update(0, "report", problem("lamp"));  // e9
+  (void)proxy.query(0, "transmit");                  // e10
+}
+
+Session::Config stress_config(int parallelism) {
+  Session::Config config;
+  config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+  config.spec_groups = {{0, 1, 2}, {3, 4, 5}};
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 100'000;
+  config.parallelism = parallelism;
+  config.subject_factory = [] { return std::make_unique<subjects::TownApp>(2); };
+  return config;
+}
+
+core::AssertionFactory transmit_assertions() {
+  return [](proxy::Rdl&) -> AssertionList {
+    // what the identity interleaving transmits (OrSet elements are sorted);
+    // reorderings that skip the resolve or a sync violate this
+    util::Json expected = util::Json::array();
+    expected.push_back("lamp");
+    expected.push_back("ph");
+    return {core::query_result_equals(10, expected)};
+  };
+}
+
+ReplayReport run_stress(int parallelism, Session::Config config = {}) {
+  if (config.subject_factory == nullptr) config = stress_config(parallelism);
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  stress_workload(proxy);
+  return session.end(transmit_assertions());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic result semantics across worker counts
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExplorer, IdenticalReportsAtParallelism148) {
+  const ReplayReport sequential = run_stress(1);
+  ASSERT_GT(sequential.explored, 100u);  // a real universe, not a toy
+  ASSERT_GT(sequential.violations, 0u);
+  ASSERT_TRUE(sequential.reproduced);
+
+  for (const int parallelism : {4, 8}) {
+    const ReplayReport parallel = run_stress(parallelism);
+    EXPECT_EQ(parallel.explored, sequential.explored) << "p=" << parallelism;
+    EXPECT_EQ(parallel.violations, sequential.violations) << "p=" << parallelism;
+    EXPECT_EQ(parallel.reproduced, sequential.reproduced) << "p=" << parallelism;
+    EXPECT_EQ(parallel.first_violation_index, sequential.first_violation_index)
+        << "p=" << parallelism;
+    EXPECT_EQ(parallel.first_violation_assertion, sequential.first_violation_assertion)
+        << "p=" << parallelism;
+    ASSERT_TRUE(parallel.first_violation.has_value());
+    EXPECT_EQ(parallel.first_violation->key(), sequential.first_violation->key())
+        << "p=" << parallelism;
+    EXPECT_EQ(parallel.messages, sequential.messages) << "p=" << parallelism;
+    EXPECT_EQ(parallel.exhausted, sequential.exhausted) << "p=" << parallelism;
+    EXPECT_EQ(parallel.hit_cap, sequential.hit_cap) << "p=" << parallelism;
+  }
+}
+
+TEST(ParallelExplorer, IdenticalReportsUnderSeededShuffledOrder) {
+  auto seeded_config = [](int parallelism) {
+    Session::Config config = stress_config(parallelism);
+    config.generation_order = core::GroupedEnumerator::Order::Shuffled;
+    config.random_seed = 1234;
+    return config;
+  };
+  const ReplayReport sequential = run_stress(1, seeded_config(1));
+  for (const int parallelism : {4, 8}) {
+    const ReplayReport parallel = run_stress(parallelism, seeded_config(parallelism));
+    EXPECT_EQ(parallel.explored, sequential.explored) << "p=" << parallelism;
+    EXPECT_EQ(parallel.violations, sequential.violations) << "p=" << parallelism;
+    EXPECT_EQ(parallel.first_violation_index, sequential.first_violation_index)
+        << "p=" << parallelism;
+  }
+}
+
+TEST(ParallelExplorer, StopOnViolationReportsLowestIndexViolation) {
+  for (const int parallelism : {1, 4, 8}) {
+    Session::Config config = stress_config(parallelism);
+    config.replay.stop_on_violation = true;
+    const ReplayReport report = run_stress(parallelism, std::move(config));
+    const ReplayReport baseline = [] {
+      Session::Config c = stress_config(1);
+      c.replay.stop_on_violation = true;
+      return run_stress(1, std::move(c));
+    }();
+    ASSERT_TRUE(report.reproduced) << "p=" << parallelism;
+    EXPECT_EQ(report.first_violation_index, baseline.first_violation_index)
+        << "p=" << parallelism;
+    EXPECT_EQ(report.explored, baseline.explored) << "p=" << parallelism;
+    EXPECT_EQ(report.first_violation->key(), baseline.first_violation->key())
+        << "p=" << parallelism;
+    EXPECT_FALSE(report.exhausted) << "p=" << parallelism;
+  }
+}
+
+TEST(ParallelExplorer, CallbacksAreSerializedInAscendingIndexOrder) {
+  Session::Config config = stress_config(8);
+  std::vector<uint64_t> indices;
+  std::atomic<int> concurrent{0};
+  std::atomic<bool> overlapped{false};
+  config.replay.on_interleaving_done = [&](uint64_t index, const core::Interleaving&) {
+    if (concurrent.fetch_add(1) != 0) overlapped.store(true);
+    indices.push_back(index);
+    concurrent.fetch_sub(1);
+  };
+  const ReplayReport report = run_stress(8, std::move(config));
+  EXPECT_FALSE(overlapped.load());
+  ASSERT_EQ(indices.size(), report.explored);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], static_cast<uint64_t>(i) + 1);
+  }
+}
+
+TEST(ParallelExplorer, PersistedLogIdenticalAcrossParallelism) {
+  auto persisted_keys = [](int parallelism) {
+    Session::Config config = stress_config(parallelism);
+    config.persist = true;
+    config.replay.max_interleavings = 150;  // keep the Datalog store small
+    subjects::TownApp town(2);
+    proxy::RdlProxy proxy(town);
+    Session session(proxy, std::move(config));
+    session.start();
+    stress_workload(proxy);
+    (void)session.end(transmit_assertions());
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < session.store().interleaving_count(); ++i) {
+      keys.push_back(session.store().load(i).key());
+    }
+    return keys;
+  };
+  const auto sequential = persisted_keys(1);
+  const auto parallel = persisted_keys(4);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ParallelExplorer, HonorsInterleavingCap) {
+  Session::Config config = stress_config(4);
+  config.replay.max_interleavings = 17;
+  const ReplayReport report = run_stress(4, std::move(config));
+  EXPECT_EQ(report.explored, 17u);
+  EXPECT_TRUE(report.hit_cap);
+  EXPECT_FALSE(report.exhausted);
+}
+
+TEST(ParallelExplorer, SharedBudgetCrashesDeterministically) {
+  auto budgeted = [](int parallelism) {
+    Session::Config config = stress_config(parallelism);
+    config.replay.resource_budget_bytes = 4'000;  // a few dozen log entries
+    return run_stress(parallelism, std::move(config));
+  };
+  const ReplayReport sequential = budgeted(1);
+  ASSERT_TRUE(sequential.crashed);
+  for (const int parallelism : {4, 8}) {
+    const ReplayReport parallel = budgeted(parallelism);
+    EXPECT_TRUE(parallel.crashed) << "p=" << parallelism;
+    EXPECT_EQ(parallel.explored, sequential.explored) << "p=" << parallelism;
+    EXPECT_EQ(parallel.violations, sequential.violations) << "p=" << parallelism;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-lock threaded mode under the parallel outer loop
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExplorer, ThreadedLockModeValidatesUnderParallelOuterLoop) {
+  auto threaded_config = [](int parallelism) {
+    Session::Config config = stress_config(parallelism);
+    config.replay.threaded = true;  // workers each get a private kv::Server
+    config.replay.max_interleavings = 24;
+    if (parallelism <= 1) {
+      // the sequential engine needs an explicit lock server
+      static kv::Server sequential_lock_server;
+      config.replay.lock_server = &sequential_lock_server;
+    }
+    return config;
+  };
+  const ReplayReport sequential = run_stress(1, threaded_config(1));
+  const ReplayReport parallel = run_stress(4, threaded_config(4));
+  EXPECT_EQ(parallel.explored, sequential.explored);
+  EXPECT_EQ(parallel.violations, sequential.violations);
+  EXPECT_EQ(parallel.first_violation_index, sequential.first_violation_index);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler shard merging
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExplorer, ProfilerSamplesMergeAcrossWorkers) {
+  Session::Config config = stress_config(4);
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  stress_workload(proxy);
+  const ReplayReport report = session.end([](proxy::Rdl& subject) -> AssertionList {
+    auto* base = dynamic_cast<subjects::SubjectBase*>(&subject);
+    return {std::make_shared<core::ResourceProfiler>(base ? &base->network() : nullptr)};
+  });
+
+  ASSERT_EQ(session.worker_assertions().size(), 4u);
+  const auto merged = core::collect_profiles(session.worker_assertions());
+  EXPECT_EQ(merged.size(), report.explored);
+  const auto summary = core::summarize_profiles(merged);
+  EXPECT_EQ(summary.interleavings, report.explored);
+  EXPECT_EQ(summary.total_ops, report.explored * 11);  // 11 events per interleaving
+  EXPECT_GT(summary.max_state_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Config surface
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExplorer, ParallelEndRequiresSubjectFactory) {
+  Session::Config config = stress_config(4);
+  config.subject_factory = nullptr;
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  stress_workload(proxy);
+  EXPECT_THROW((void)session.end(transmit_assertions()), std::invalid_argument);
+}
+
+TEST(ParallelExplorer, SharedAssertionListRejectedWhenParallel) {
+  Session::Config config = stress_config(4);
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  stress_workload(proxy);
+  EXPECT_THROW((void)session.end(AssertionList{}), std::invalid_argument);
+}
+
+TEST(ParallelExplorer, StartOverloadRegistersTheFactory) {
+  Session::Config config = stress_config(4);
+  config.subject_factory = nullptr;
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start([] { return std::make_unique<subjects::TownApp>(2); });
+  stress_workload(proxy);
+  const ReplayReport report = session.end(transmit_assertions());
+  EXPECT_GT(report.explored, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue primitive
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndDrainAfterClose) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // closed: dropped
+  EXPECT_EQ(queue.pop(), 1);    // remaining items still drain
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, BlockingProducersAndConsumersSeeEveryItem) {
+  BoundedQueue<int> queue(2);  // tiny bound forces producer blocking
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (size_t t = 3; t < threads.size(); ++t) threads[t].join();  // producers
+  queue.close();
+  for (size_t t = 0; t < 3; ++t) threads[t].join();  // consumers
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace erpi::sched
