@@ -1,0 +1,263 @@
+// Incremental prefix-replay sweep: how much re-execution does the snapshot
+// cache save per enumerator, as the unit count grows?
+//
+// For unit counts 6..9 the sweep replays the town app's universe (capped)
+// with Grouped-lexicographic, DFS and Random enumeration, once with the
+// prefix cache off (max_snapshot_depth = 0, the legacy full-reset engine)
+// and once with the default cache, and reports wall time, the
+// hardware-independent events-executed counter, and the snapshot-cache
+// high-water mark. Lexicographic orders visit adjacent permutations, so
+// Grouped-lex is where prefix sharing pays off most; Random establishes the
+// adversarial floor.
+//
+// --smoke runs a tiny fixed workload instead and compares the *full* replay
+// report of the incremental engine against full-reset for every enumerator,
+// exiting non-zero on any divergence (CI guards the equivalence contract
+// with this).
+//
+// Usage: bench_prefix [--cap N] [--out BENCH_prefix.json] [--smoke]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "subjects/town.hpp"
+
+using namespace erpi;
+
+namespace {
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+/// `count` independent report events (each becomes its own unit — no sync
+/// pairs, so build_units leaves them unmerged).
+core::EventSet capture_reports(size_t count) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  proxy.start_capture();
+  for (size_t i = 0; i < count; ++i) {
+    const std::string name = "p" + std::to_string(i);
+    (void)proxy.update(static_cast<net::ReplicaId>(i % 2), "report", problem(name.c_str()));
+  }
+  return proxy.end_capture();
+}
+
+core::ReplayReport run_engine(core::Enumerator& enumerator, const core::EventSet& events,
+                              const core::AssertionList& assertions, uint64_t cap,
+                              size_t max_snapshot_depth) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  core::ReplayOptions options;
+  options.stop_on_violation = false;
+  options.max_interleavings = cap;
+  options.max_snapshot_depth = max_snapshot_depth;
+  core::ReplayEngine engine(proxy, options);
+  return engine.run(enumerator, events, assertions);
+}
+
+std::unique_ptr<core::Enumerator> make_enumerator(const std::string& kind,
+                                                  const std::vector<core::EventUnit>& units,
+                                                  size_t event_count) {
+  std::vector<int> ids(event_count);
+  std::iota(ids.begin(), ids.end(), 0);
+  if (kind == "grouped-lex") {
+    return std::make_unique<core::GroupedEnumerator>(
+        units, core::GroupedEnumerator::Order::Lexicographic);
+  }
+  if (kind == "grouped-shuffled") {
+    return std::make_unique<core::GroupedEnumerator>(
+        units, core::GroupedEnumerator::Order::Shuffled, 42);
+  }
+  if (kind == "dfs") return std::make_unique<core::DfsEnumerator>(std::move(ids));
+  return std::make_unique<core::RandomEnumerator>(std::move(ids), 42);
+}
+
+/// Depth 0 must reproduce the legacy engine exactly: every event of every
+/// explored interleaving executed from a full reset, nothing snapshotted.
+bool depth_zero_exact(const core::ReplayReport& report, size_t events_per_il,
+                      const char* label) {
+  const auto& p = report.prefix;
+  if (p.events_executed == report.explored * events_per_il && p.events_skipped == 0 &&
+      p.snapshots_taken == 0 && p.cache_bytes_peak == 0) {
+    return true;
+  }
+  std::fprintf(stderr,
+               "bench_prefix: depth-0 counts diverge from legacy for %s "
+               "(executed %" PRIu64 " want %" PRIu64 ", skipped %" PRIu64 ")\n",
+               label, p.events_executed, report.explored * events_per_il, p.events_skipped);
+  return false;
+}
+
+bool reports_match(const core::ReplayReport& incremental, const core::ReplayReport& full,
+                   const char* label) {
+  const bool same =
+      incremental.explored == full.explored && incremental.violations == full.violations &&
+      incremental.reproduced == full.reproduced &&
+      incremental.first_violation_index == full.first_violation_index &&
+      incremental.first_violation_assertion == full.first_violation_assertion &&
+      incremental.exhausted == full.exhausted && incremental.hit_cap == full.hit_cap &&
+      incremental.crashed == full.crashed && incremental.messages == full.messages;
+  if (!same) {
+    std::fprintf(stderr,
+                 "bench_prefix: SMOKE DIVERGENCE for %s: incremental "
+                 "(explored %" PRIu64 ", violations %" PRIu64
+                 ") vs full-reset (explored %" PRIu64 ", violations %" PRIu64 ")\n",
+                 label, incremental.explored, incremental.violations, full.explored,
+                 full.violations);
+  }
+  return same;
+}
+
+/// Tiny fixed workload with real violations: 12 events grouped to 6 units
+/// (720 interleavings); the transmit assertion fires on orders that resolve
+/// "otb" before it syncs. Compares incremental vs full-reset reports for
+/// every enumerator.
+int run_smoke(uint64_t cap) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  proxy.start_capture();
+  (void)proxy.update(0, "report", problem("otb"));   // e0 ┐
+  (void)proxy.sync_req(0, 1);                        // e1 │ unit 1
+  (void)proxy.exec_sync(0, 1);                       // e2 ┘
+  (void)proxy.update(1, "report", problem("ph"));    // e3 ┐
+  (void)proxy.sync_req(1, 0);                        // e4 │ unit 2
+  (void)proxy.exec_sync(1, 0);                       // e5 ┘
+  (void)proxy.update(1, "resolve", problem("otb"));  // e6 ┐
+  (void)proxy.sync_req(1, 0);                        // e7 │ unit 3
+  (void)proxy.exec_sync(1, 0);                       // e8 ┘
+  (void)proxy.update(0, "report", problem("lamp"));  // e9   unit 4
+  (void)proxy.update(1, "report", problem("pipe"));  // e10  unit 5
+  (void)proxy.query(0, "transmit");                  // e11  unit 6
+  const core::EventSet events = proxy.end_capture();
+  const auto units = core::build_units(events, {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}});
+
+  util::Json expected = util::Json::array();
+  expected.push_back("lamp");
+  expected.push_back("ph");
+  expected.push_back("pipe");
+  const core::AssertionList assertions{core::query_result_equals(11, expected)};
+
+  bool ok = true;
+  for (const char* kind : {"grouped-lex", "grouped-shuffled", "dfs", "random"}) {
+    auto full_enum = make_enumerator(kind, units, events.size());
+    const auto full = run_engine(*full_enum, events, assertions, cap, 0);
+    auto inc_enum = make_enumerator(kind, units, events.size());
+    const auto incremental =
+        run_engine(*inc_enum, events, assertions, cap, core::kDefaultMaxSnapshotDepth);
+    ok &= depth_zero_exact(full, events.size(), kind);
+    ok &= reports_match(incremental, full, kind);
+    std::printf("  smoke %-16s explored %5" PRIu64 "  violations %4" PRIu64
+                "  executed %7" PRIu64 " -> %7" PRIu64 "  %s\n",
+                kind, full.explored, full.violations, full.prefix.events_executed,
+                incremental.prefix.events_executed,
+                reports_match(incremental, full, kind) ? "ok" : "DIVERGED");
+  }
+  std::printf("bench_prefix --smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t cap = 1'500;
+  std::string out_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cap") == 0 && i + 1 < argc) cap = std::stoull(argv[++i]);
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) return run_smoke(std::min<uint64_t>(cap, 720));
+
+  std::printf("=== Incremental prefix replay sweep (cap %" PRIu64 " interleavings) ===\n\n", cap);
+  util::Json rows = util::Json::array();
+  bool ok = true;
+  bool grouped_lex_target_met = true;
+  for (size_t unit_count = 6; unit_count <= 9; ++unit_count) {
+    const core::EventSet events = capture_reports(unit_count);
+    const auto units = core::build_units(events, {});
+    for (const char* kind : {"grouped-lex", "dfs", "random"}) {
+      auto full_enum = make_enumerator(kind, units, events.size());
+      const auto full = run_engine(*full_enum, events, {}, cap, 0);
+      auto inc_enum = make_enumerator(kind, units, events.size());
+      const auto incremental =
+          run_engine(*inc_enum, events, {}, cap, core::kDefaultMaxSnapshotDepth);
+      ok &= depth_zero_exact(full, events.size(), kind);
+      ok &= incremental.explored == full.explored;
+
+      const double reduction =
+          full.prefix.events_executed == 0
+              ? 0.0
+              : 100.0 * (1.0 - static_cast<double>(incremental.prefix.events_executed) /
+                                   static_cast<double>(full.prefix.events_executed));
+      // ISSUE acceptance: the lexicographic sweep must cut >= 40% of event
+      // executions once adjacent permutations share long prefixes (>= 7 units).
+      if (std::strcmp(kind, "grouped-lex") == 0 && unit_count >= 7 && reduction < 40.0) {
+        grouped_lex_target_met = false;
+      }
+      std::printf("  %zu units %-12s explored %6" PRIu64 "  executed %8" PRIu64
+                  " -> %8" PRIu64 "  (-%5.1f%%)  cache peak %6" PRIu64 " B  %6.3fs -> %6.3fs\n",
+                  unit_count, kind, full.explored, full.prefix.events_executed,
+                  incremental.prefix.events_executed, reduction,
+                  incremental.prefix.cache_bytes_peak, full.elapsed_seconds,
+                  incremental.elapsed_seconds);
+
+      util::Json row = util::Json::object();
+      row["units"] = static_cast<int64_t>(unit_count);
+      row["enumerator"] = kind;
+      row["explored"] = static_cast<int64_t>(full.explored);
+      util::Json full_j = util::Json::object();
+      full_j["seconds"] = full.elapsed_seconds;
+      full_j["events_executed"] = static_cast<int64_t>(full.prefix.events_executed);
+      row["full_reset"] = std::move(full_j);
+      util::Json inc_j = util::Json::object();
+      inc_j["seconds"] = incremental.elapsed_seconds;
+      inc_j["events_executed"] = static_cast<int64_t>(incremental.prefix.events_executed);
+      inc_j["events_skipped"] = static_cast<int64_t>(incremental.prefix.events_skipped);
+      inc_j["snapshots_taken"] = static_cast<int64_t>(incremental.prefix.snapshots_taken);
+      inc_j["snapshots_restored"] =
+          static_cast<int64_t>(incremental.prefix.snapshots_restored);
+      inc_j["snapshot_cache_peak_bytes"] =
+          static_cast<int64_t>(incremental.prefix.cache_bytes_peak);
+      row["incremental"] = std::move(inc_j);
+      row["events_executed_reduction_pct"] = reduction;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  util::Json doc = util::Json::object();
+  doc["bench"] = "prefix";
+  doc["subject"] = "town";
+  doc["cap"] = static_cast<int64_t>(cap);
+  doc["max_snapshot_depth"] = static_cast<int64_t>(core::kDefaultMaxSnapshotDepth);
+  doc["rows"] = std::move(rows);
+  doc["depth_zero_exact"] = ok;
+  doc["grouped_lex_reduction_target_met"] = grouped_lex_target_met;
+
+  std::printf("\n%s\n", doc.dump().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc.dump() << "\n";
+    if (out.good()) {
+      std::printf("(written to %s)\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_prefix: could not write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+  if (!ok || !grouped_lex_target_met) {
+    std::fprintf(stderr, "bench_prefix: %s\n",
+                 !ok ? "depth-0 runs diverged from legacy counts"
+                     : "grouped-lex reduction target (>= 40%) missed");
+    return 1;
+  }
+  return 0;
+}

@@ -20,9 +20,17 @@ void GroupedEnumerator::reset() {
   std::iota(order_.begin(), order_.end(), size_t{0});
   rng_.reseed(seed_);
   seen_.clear();
+  last_common_prefix_.reset();
+  key_width_ = packed_key_width(units_.empty() ? 0 : units_.size() - 1);
   exhausted_ = units_.empty();
   first_ = true;
   emitted_ = 0;
+}
+
+uint64_t GroupedEnumerator::cache_bytes() const noexcept {
+  // each cached key packs one unit id per key_width_ bytes, plus set overhead
+  return seen_.size() *
+         (units_.size() * static_cast<uint64_t>(key_width_) + 48);
 }
 
 uint64_t GroupedEnumerator::universe_size() const {
@@ -38,23 +46,37 @@ std::optional<Interleaving> GroupedEnumerator::next() {
 
 std::optional<Interleaving> GroupedEnumerator::next_lexicographic() {
   if (!first_) {
+    const std::vector<size_t> prev = order_;
     if (!std::next_permutation(order_.begin(), order_.end())) {
       exhausted_ = true;
+      last_common_prefix_.reset();
       return std::nullopt;
     }
+    // Exact divergence point: count events in the unit prefix shared with the
+    // previous permutation (adjacent lexicographic orders usually share all
+    // but the last two or three units, which is what makes prefix snapshots
+    // pay off).
+    size_t events = 0;
+    for (size_t u = 0; u < order_.size() && order_[u] == prev[u]; ++u) {
+      events += units_[order_[u]].events.size();
+    }
+    last_common_prefix_ = events;
+  } else {
+    first_ = false;
+    last_common_prefix_.reset();  // nothing emitted before the first
   }
-  first_ = false;
   return flatten(units_, order_);
 }
 
 std::optional<Interleaving> GroupedEnumerator::next_shuffled() {
+  // Random order: adjacent emissions share no guaranteed prefix.
+  last_common_prefix_.reset();
   // Emit the identity (captured) order first — the baseline the developer
   // actually ran — then seeded random permutations with dedup.
   if (first_) {
     first_ = false;
-    Interleaving il = flatten(units_, order_);
-    seen_.insert(il.key());
-    return il;
+    seen_.insert(packed_dedup_key(order_, key_width_));
+    return flatten(units_, order_);
   }
   if (seen_.size() >= universe_size()) {
     exhausted_ = true;
@@ -64,8 +86,9 @@ std::optional<Interleaving> GroupedEnumerator::next_shuffled() {
   uint64_t duplicates = 0;
   while (true) {
     rng_.shuffle(order_);
-    Interleaving il = flatten(units_, order_);
-    if (seen_.insert(il.key()).second) return il;
+    if (seen_.insert(packed_dedup_key(order_, key_width_)).second) {
+      return flatten(units_, order_);
+    }
     if (++duplicates >= dup_limit) {
       exhausted_ = true;
       return std::nullopt;
@@ -91,6 +114,8 @@ void DfsEnumerator::reset() {
   path_.clear();
   used_.assign(event_ids_.size(), false);
   stack_.push_back(Frame{});  // root
+  prev_order_.clear();
+  last_common_prefix_.reset();
   exhausted_ = event_ids_.empty();
   nodes_expanded_ = 0;
   emitted_ = 0;
@@ -129,6 +154,14 @@ std::optional<Interleaving> DfsEnumerator::next() {
       // leaf: emit, then immediately backtrack this choice
       Interleaving il;
       il.order = path_;
+      if (prev_order_.empty()) {
+        last_common_prefix_.reset();
+      } else {
+        size_t shared = 0;
+        while (shared < n && il.order[shared] == prev_order_[shared]) ++shared;
+        last_common_prefix_ = shared;
+      }
+      prev_order_ = il.order;
       path_.pop_back();
       used_[choice] = false;
       ++emitted_;
@@ -148,7 +181,11 @@ RandomEnumerator::RandomEnumerator(std::vector<int> event_ids, uint64_t seed)
     : event_ids_(std::move(event_ids)),
       seed_(seed),
       rng_(seed),
-      dup_limit_(64 * std::max<uint64_t>(1, event_ids_.size())) {}
+      dup_limit_(64 * std::max<uint64_t>(1, event_ids_.size())) {
+  uint64_t max_id = 0;
+  for (const int id : event_ids_) max_id = std::max<uint64_t>(max_id, static_cast<uint64_t>(id));
+  key_width_ = packed_key_width(max_id);
+}
 
 void RandomEnumerator::reset() {
   rng_.reseed(seed_);
@@ -163,8 +200,9 @@ uint64_t RandomEnumerator::universe_size() const {
 }
 
 uint64_t RandomEnumerator::cache_bytes() const noexcept {
-  // each cached key is roughly 3 bytes per event id plus set overhead
-  return seen_.size() * (event_ids_.size() * 3 + 48);
+  // each cached key packs one event id per key_width_ bytes, plus set overhead
+  return seen_.size() *
+         (event_ids_.size() * static_cast<uint64_t>(key_width_) + 48);
 }
 
 std::optional<Interleaving> RandomEnumerator::next() {
@@ -179,7 +217,7 @@ std::optional<Interleaving> RandomEnumerator::next() {
   while (true) {
     rng_.shuffle(il.order);
     ++shuffles_;
-    if (seen_.insert(il.key()).second) break;
+    if (seen_.insert(packed_dedup_key(il.order, key_width_)).second) break;
     if (++consecutive_duplicates >= dup_limit_) {
       exhausted_ = true;
       return std::nullopt;

@@ -41,9 +41,41 @@ class Enumerator {
   /// Interleavings handed out so far.
   uint64_t emitted() const noexcept { return emitted_; }
 
+  /// Incremental-replay hint: a lower bound (in *event* positions) on the
+  /// common prefix between the two most recent interleavings emitted by
+  /// next(). Read after next(); nullopt = no guarantee, the replay engine
+  /// falls back to comparing the interleavings directly. Lexicographic and
+  /// DFS orders report the exact divergence point; randomized orders report
+  /// nullopt.
+  virtual std::optional<size_t> last_common_prefix() const { return std::nullopt; }
+
  protected:
   uint64_t emitted_ = 0;
 };
+
+/// Narrowest per-id byte width able to represent every id in [0, max_id].
+inline int packed_key_width(uint64_t max_id) noexcept {
+  if (max_id < 0x100) return 1;
+  if (max_id < 0x10000) return 2;
+  return 4;
+}
+
+/// Fixed-width little-endian byte packing of an id sequence: the dedup-cache
+/// key. One reserve + one allocation per key (and SSO for small sequences),
+/// unlike the old "3,0,1,2" text rendering which reallocated while growing.
+template <typename Seq>
+std::string packed_dedup_key(const Seq& order, int width) {
+  std::string key;
+  key.reserve(order.size() * static_cast<size_t>(width));
+  for (const auto id : order) {
+    auto value = static_cast<uint64_t>(id);
+    for (int byte = 0; byte < width; ++byte) {
+      key.push_back(static_cast<char>(value & 0xff));
+      value >>= 8;
+    }
+  }
+  return key;
+}
 
 /// Permutations of units (ER-pi generation). Two emission orders:
 ///  * Lexicographic — deterministic std::next_permutation sweep; used where
@@ -64,8 +96,11 @@ class GroupedEnumerator : public Enumerator {
   std::optional<Interleaving> next() override;
   uint64_t universe_size() const override;
   void reset() override;
+  std::optional<size_t> last_common_prefix() const override { return last_common_prefix_; }
 
   const std::vector<EventUnit>& units() const noexcept { return units_; }
+  /// Approximate bytes held by the Shuffled-mode dedup cache.
+  uint64_t cache_bytes() const noexcept;
 
  private:
   std::optional<Interleaving> next_lexicographic();
@@ -77,6 +112,8 @@ class GroupedEnumerator : public Enumerator {
   util::Rng rng_;
   std::vector<size_t> order_;
   std::unordered_set<std::string> seen_;  // Shuffled mode dedup
+  std::optional<size_t> last_common_prefix_;
+  int key_width_ = 1;
   bool exhausted_ = false;
   bool first_ = true;
 };
@@ -92,6 +129,7 @@ class DfsEnumerator : public Enumerator {
   std::optional<Interleaving> next() override;
   uint64_t universe_size() const override;
   void reset() override;
+  std::optional<size_t> last_common_prefix() const override { return last_common_prefix_; }
 
   /// Tree nodes expanded so far (a cost proxy for the baseline's bookkeeping).
   uint64_t nodes_expanded() const noexcept { return nodes_expanded_; }
@@ -105,6 +143,8 @@ class DfsEnumerator : public Enumerator {
   std::vector<Frame> stack_;
   std::vector<int> path_;          // chosen event ids, by depth
   std::vector<bool> used_;
+  std::vector<int> prev_order_;    // previous leaf, for last_common_prefix()
+  std::optional<size_t> last_common_prefix_;
   bool exhausted_ = false;
   uint64_t nodes_expanded_ = 0;
 };
@@ -136,6 +176,7 @@ class RandomEnumerator : public Enumerator {
   std::unordered_set<std::string> seen_;
   uint64_t shuffles_ = 0;
   uint64_t dup_limit_;
+  int key_width_ = 1;
   bool exhausted_ = false;
 };
 

@@ -22,6 +22,13 @@ std::string Interleaving::key() const {
   return out;
 }
 
+size_t common_prefix_len(const Interleaving& a, const Interleaving& b) noexcept {
+  const size_t limit = std::min(a.size(), b.size());
+  size_t len = 0;
+  while (len < limit && a.order[len] == b.order[len]) ++len;
+  return len;
+}
+
 std::vector<EventUnit> build_units(const EventSet& events, const SpecGroups& spec_groups) {
   // union-find style chaining: follower[i] = event that must follow event i
   const int n = static_cast<int>(events.size());

@@ -39,6 +39,10 @@ struct Interleaving {
   std::string key() const;
 };
 
+/// Length of the longest shared prefix of two interleavings, in events.
+/// Incremental replay may resume a snapshot taken at any depth <= this.
+size_t common_prefix_len(const Interleaving& a, const Interleaving& b) noexcept;
+
 /// A maximal run of events that always executes contiguously, in order.
 struct EventUnit {
   std::vector<int> events;

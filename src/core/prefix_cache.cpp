@@ -1,0 +1,101 @@
+#include "core/prefix_cache.hpp"
+
+#include <algorithm>
+
+namespace erpi::core {
+
+util::Json PrefixReplayStats::to_json() const {
+  util::Json j = util::Json::object();
+  j["events_executed"] = static_cast<int64_t>(events_executed);
+  j["events_skipped"] = static_cast<int64_t>(events_skipped);
+  j["snapshots_taken"] = static_cast<int64_t>(snapshots_taken);
+  j["snapshots_restored"] = static_cast<int64_t>(snapshots_restored);
+  j["snapshots_evicted"] = static_cast<int64_t>(snapshots_evicted);
+  j["cache_bytes_peak"] = static_cast<int64_t>(cache_bytes_peak);
+  return j;
+}
+
+void PrefixCache::drop_entry_bytes(const Entry& entry) noexcept {
+  bytes_.fetch_sub(entry.snap.bytes, std::memory_order_relaxed);
+}
+
+void PrefixCache::clear() {
+  for (const auto& entry : entries_) drop_entry_bytes(entry);
+  entries_.clear();
+  prev_ = Interleaving{};
+  prev_results_.clear();
+  disabled_ = false;
+}
+
+size_t PrefixCache::begin_replay(proxy::Rdl& subject, const Interleaving& il,
+                                 std::optional<size_t> hint,
+                                 std::vector<util::Result<util::Json>>& results) {
+  if (disabled_ || entries_.empty()) return 0;
+  // How deep the shared prefix with the previous interleaving reaches. The
+  // enumerator hint is a lower bound, so trusting it is safe; without one,
+  // compare the orders directly (O(n), negligible next to replay cost).
+  size_t shared = hint ? std::min(*hint, std::min(prev_.size(), il.size()))
+                       : common_prefix_len(prev_, il);
+
+  // Snapshots deeper than the shared prefix can never be restored again —
+  // the next baseline becomes `il`, which diverges from them.
+  while (!entries_.empty() && entries_.back().depth > shared) {
+    drop_entry_bytes(entries_.back());
+    entries_.pop_back();
+    ++stats_->snapshots_evicted;
+  }
+  if (entries_.empty()) return 0;
+
+  const Entry& deepest = entries_.back();
+  if (!subject.restore(deepest.snap)) {
+    // Defensive: a failing restore invalidates every assumption about the
+    // subject's state, so fall back to full resets for the whole run.
+    for (const auto& entry : entries_) drop_entry_bytes(entry);
+    entries_.clear();
+    disabled_ = true;
+    return 0;
+  }
+  ++stats_->snapshots_restored;
+  results.assign(prev_results_.begin(),
+                 prev_results_.begin() + static_cast<ptrdiff_t>(deepest.depth));
+  return deepest.depth;
+}
+
+void PrefixCache::note_executed(proxy::Rdl& subject, const Interleaving& il, size_t pos) {
+  if (disabled_) return;
+  const size_t depth = pos + 1;
+  // Two distinct permutations of the same events always diverge before
+  // position n-1, so snapshots at depth n-1 or n can never be restored.
+  if (depth + 2 > il.size()) return;
+
+  proxy::Snapshot snap = subject.snapshot();
+  if (!snap.valid()) {
+    // Subject has no snapshot support: disable for the whole run rather than
+    // probing again on every event.
+    clear();
+    disabled_ = true;
+    return;
+  }
+  bytes_.fetch_add(snap.bytes, std::memory_order_relaxed);
+  ++stats_->snapshots_taken;
+  entries_.push_back(Entry{depth, std::move(snap)});
+  // Depth budget: retain at most max_entries_ snapshots, evicting the
+  // shallowest first — deep snapshots are the ones adjacent lexicographic
+  // permutations restore.
+  while (entries_.size() > max_entries_) {
+    drop_entry_bytes(entries_.front());
+    entries_.erase(entries_.begin());
+    ++stats_->snapshots_evicted;
+  }
+  stats_->cache_bytes_peak =
+      std::max(stats_->cache_bytes_peak, bytes_.load(std::memory_order_relaxed));
+}
+
+void PrefixCache::end_replay(const Interleaving& il,
+                             const std::vector<util::Result<util::Json>>& results) {
+  if (disabled_) return;
+  prev_ = il;
+  prev_results_ = results;
+}
+
+}  // namespace erpi::core

@@ -72,4 +72,10 @@ ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profil
   return out;
 }
 
+PrefixReplayStats merge_prefix_stats(const std::vector<PrefixReplayStats>& shards) {
+  PrefixReplayStats merged;
+  for (const auto& shard : shards) merged.merge(shard);
+  return merged;
+}
+
 }  // namespace erpi::core

@@ -88,4 +88,10 @@ std::vector<InterleavingProfile> collect_profiles(
 /// ResourceProfiler::summary, factored out so merged collections reuse it).
 ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profiles);
 
+/// Merge the per-worker incremental-replay counters (each worker's engine
+/// owns one PrefixReplayStats shard, untouched by other threads) into one
+/// run-wide tally — counters sum; cache-bytes peaks sum too, bounding the
+/// workers' concurrently resident snapshot footprint.
+PrefixReplayStats merge_prefix_stats(const std::vector<PrefixReplayStats>& shards);
+
 }  // namespace erpi::core

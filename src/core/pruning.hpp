@@ -161,6 +161,7 @@ class PrunedEnumerator : public Enumerator {
   std::optional<Interleaving> next() override;
   uint64_t universe_size() const override { return inner_->universe_size(); }
   void reset() override;
+  std::optional<size_t> last_common_prefix() const override { return last_common_prefix_; }
 
   PruningPipeline& pipeline() noexcept { return pipeline_; }
   Enumerator& inner() noexcept { return *inner_; }
@@ -168,6 +169,7 @@ class PrunedEnumerator : public Enumerator {
  private:
   std::unique_ptr<Enumerator> inner_;
   PruningPipeline pipeline_;
+  std::optional<size_t> last_common_prefix_;
 };
 
 }  // namespace erpi::core

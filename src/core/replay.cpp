@@ -23,6 +23,7 @@ util::Json ReplayReport::to_json() const {
   util::Json msgs = util::Json::array();
   for (const auto& message : messages) msgs.push_back(message);
   j["messages"] = std::move(msgs);
+  j["prefix"] = prefix.to_json();
   return j;
 }
 
@@ -31,32 +32,44 @@ ReplayEngine::ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options)
   if (options_.threaded && options_.lock_server == nullptr) {
     throw std::invalid_argument("threaded replay requires a lock_server");
   }
+  if (options_.max_snapshot_depth > 0) {
+    cache_ = std::make_unique<PrefixCache>(options_.max_snapshot_depth, &prefix_stats_);
+  }
 }
 
-void ReplayEngine::execute_fast(const Interleaving& il, const EventSet& events,
+void ReplayEngine::reset_prefix_state() {
+  prefix_stats_ = PrefixReplayStats{};
+  if (cache_) cache_->clear();
+}
+
+void ReplayEngine::execute_fast(const Interleaving& il, const EventSet& events, size_t start,
                                 std::vector<util::Result<util::Json>>& results) {
-  for (size_t pos = 0; pos < il.size(); ++pos) {
+  for (size_t pos = start; pos < il.size(); ++pos) {
     const Event& event = events.at(static_cast<size_t>(il.order[pos]));
     results.emplace_back(proxy_->invoke(event));
+    if (cache_) cache_->note_executed(proxy_->target(), il, pos);
   }
 }
 
 void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& events,
+                                    size_t start,
                                     std::vector<util::Result<util::Json>>& results) {
-  // Pre-size results; each worker writes only its own positions, and the
-  // turn counter guarantees mutual exclusion between writers.
-  results.assign(il.size(), util::Result<util::Json>(util::Json()));
+  // Pre-size results, keeping the first `start` entries restored from the
+  // prefix cache; each worker writes only its own positions, and the turn
+  // counter guarantees mutual exclusion between writers.
+  results.resize(il.size(), util::Result<util::Json>(util::Json()));
 
   // Collect the replicas that participate and each one's positions in order.
+  // Positions inside the restored prefix are already satisfied.
   std::map<net::ReplicaId, std::vector<size_t>> positions_by_replica;
-  for (size_t pos = 0; pos < il.size(); ++pos) {
+  for (size_t pos = start; pos < il.size(); ++pos) {
     const Event& event = events.at(static_cast<size_t>(il.order[pos]));
     positions_by_replica[event.replica].push_back(pos);
   }
 
   kv::Client control(*options_.lock_server);
   const std::string turn_key = "erpi:turn";
-  control.set(turn_key, "0");
+  control.set(turn_key, std::to_string(start));
 
   std::vector<std::thread> workers;
   workers.reserve(positions_by_replica.size());
@@ -79,6 +92,10 @@ void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& even
           if (ours) {
             const Event& event = events.at(static_cast<size_t>(il.order[pos]));
             results[pos] = proxy_->invoke(event);
+            // Snapshot under the same turn-ownership discipline the
+            // results[pos] write relies on: only the turn owner touches the
+            // subject or the cache, so note_executed is serialized.
+            if (cache_) cache_->note_executed(proxy_->target(), il, pos);
             client.set(turn_key, std::to_string(pos + 1));
             mutex.unlock();
             break;
@@ -93,17 +110,28 @@ void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& even
 }
 
 InterleavingOutcome ReplayEngine::replay_one(const Interleaving& il, const EventSet& events,
-                                             const AssertionList& assertions) {
-  // Checkpoint/reset: every interleaving starts from the initial state.
-  proxy_->target().reset();
-
+                                             const AssertionList& assertions,
+                                             std::optional<size_t> prefix_hint) {
   std::vector<util::Result<util::Json>> results;
   results.reserve(il.size());
-  if (options_.threaded) {
-    execute_threaded(il, events, results);
-  } else {
-    execute_fast(il, events, results);
+
+  // Restore the deepest shared-prefix checkpoint, or fall back to the full
+  // reset every interleaving historically started from.
+  const size_t start =
+      cache_ ? cache_->begin_replay(proxy_->target(), il, prefix_hint, results) : 0;
+  if (start == 0) {
+    proxy_->target().reset();
+    results.clear();
   }
+  prefix_stats_.events_skipped += start;
+  prefix_stats_.events_executed += il.size() - start;
+
+  if (options_.threaded) {
+    execute_threaded(il, events, start, results);
+  } else {
+    execute_fast(il, events, start, results);
+  }
+  if (cache_) cache_->end_replay(il, results);
 
   const TestContext ctx{proxy_->target(), il, events, results};
   InterleavingOutcome outcome;
@@ -125,12 +153,15 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
   BudgetAccount local_budget(options_.resource_budget_bytes);
   BudgetAccount* budget = options_.budget != nullptr ? options_.budget : &local_budget;
 
+  reset_prefix_state();
   for (const auto& assertion : assertions) assertion->on_run_start();
 
   while (report.explored < options_.max_interleavings) {
     // Resource check first — the explored-interleaving log plus any
-    // enumerator/pruner caches must fit the configured budget.
-    const uint64_t extra = options_.extra_cache_bytes ? options_.extra_cache_bytes() : 0;
+    // enumerator/pruner caches plus retained prefix snapshots must fit the
+    // configured budget.
+    const uint64_t extra = (options_.extra_cache_bytes ? options_.extra_cache_bytes() : 0) +
+                           snapshot_cache_bytes();
     if (budget->crash_if_exceeded(extra)) {
       report.crashed = true;
       break;
@@ -144,7 +175,8 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
     ++report.explored;
     budget->charge(explored_log_entry_bytes(*il));
 
-    const InterleavingOutcome outcome = replay_one(*il, events, assertions);
+    const InterleavingOutcome outcome =
+        replay_one(*il, events, assertions, enumerator.last_common_prefix());
     for (const auto& violation : outcome.violations) {
       ++report.violations;
       if (report.messages.size() < 16) report.messages.push_back(violation.message);
@@ -162,6 +194,7 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
 
   report.hit_cap = report.explored >= options_.max_interleavings;
   report.elapsed_seconds = watch.elapsed_seconds();
+  report.prefix = prefix_stats_;
   return report;
 }
 

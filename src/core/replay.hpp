@@ -31,6 +31,7 @@
 
 #include "core/assertions.hpp"
 #include "core/enumerate.hpp"
+#include "core/prefix_cache.hpp"
 #include "kvstore/server.hpp"
 #include "proxy/proxy.hpp"
 #include "util/stopwatch.hpp"
@@ -90,11 +91,22 @@ using SubjectFactory = std::function<std::unique_ptr<proxy::Rdl>()>;
 /// within one worker's shard only (see DESIGN.md "Parallel exploration").
 using AssertionFactory = std::function<AssertionList(proxy::Rdl& subject)>;
 
+/// Default snapshot retention for incremental prefix replay: enough to cover
+/// every useful depth at the unit counts the experiments sweep (n <= 9 keeps
+/// at most n-2 snapshots alive) while capping memory on deeper workloads.
+inline constexpr size_t kDefaultMaxSnapshotDepth = 16;
+
 struct ReplayOptions {
   /// Stop after this many interleavings (the paper's 10 K experiment cap).
   uint64_t max_interleavings = 10'000;
   /// Stop at the first assertion violation (bug reproduced).
   bool stop_on_violation = true;
+  /// Incremental prefix replay: retain up to this many subject snapshots so
+  /// the next interleaving resumes from the deepest shared-prefix checkpoint
+  /// instead of a full reset. 0 disables the cache entirely — every
+  /// interleaving resets and re-executes from scratch, byte-identical to the
+  /// pre-snapshot engine.
+  size_t max_snapshot_depth = kDefaultMaxSnapshotDepth;
   /// Execute through per-replica worker threads + distributed lock.
   bool threaded = false;
   /// KV server hosting the distributed lock (required when threaded).
@@ -140,6 +152,8 @@ struct ReplayReport {
   double elapsed_seconds = 0.0;
   /// First few violation messages, for reports.
   std::vector<std::string> messages;
+  /// Incremental prefix-replay counters (all zero when the cache is off).
+  PrefixReplayStats prefix;
 
   /// Serializable form (EXPERIMENTS tooling, CI artifacts).
   util::Json to_json() const;
@@ -161,23 +175,42 @@ class ReplayEngine {
   ReplayReport run(Enumerator& enumerator, const EventSet& events,
                    const AssertionList& assertions);
 
-  /// Replay exactly one interleaving (reset → execute → assert) without
-  /// touching any run-level state. This is the building block the parallel
-  /// scheduler drives from worker threads — each worker owns its own engine,
-  /// proxy and subject, so concurrent replay_one calls never share mutable
-  /// subject state. Does not call Assertion::on_run_start and does not
-  /// deliver on_interleaving_done; callers own that protocol.
+  /// Replay exactly one interleaving (restore-or-reset → execute → assert)
+  /// without touching any run-level state. This is the building block the
+  /// parallel scheduler drives from worker threads — each worker owns its own
+  /// engine, proxy, subject and prefix cache, so concurrent replay_one calls
+  /// never share mutable subject state. Does not call
+  /// Assertion::on_run_start and does not deliver on_interleaving_done;
+  /// callers own that protocol. `prefix_hint` is an optional lower bound on
+  /// the common prefix with the engine's previously replayed interleaving
+  /// (from Enumerator::last_common_prefix); without it the cache compares
+  /// interleavings directly.
   InterleavingOutcome replay_one(const Interleaving& il, const EventSet& events,
-                                 const AssertionList& assertions);
+                                 const AssertionList& assertions,
+                                 std::optional<size_t> prefix_hint = std::nullopt);
+
+  /// Incremental-replay counters since the last run()/reset_prefix_state().
+  const PrefixReplayStats& prefix_stats() const noexcept { return prefix_stats_; }
+
+  /// Bytes currently retained by the prefix snapshot cache. Thread-safe; the
+  /// parallel dispatcher polls workers' engines for budget checks.
+  uint64_t snapshot_cache_bytes() const noexcept {
+    return cache_ ? cache_->bytes() : 0;
+  }
+
+  /// Drop all snapshots and zero the counters (run() does this on entry).
+  void reset_prefix_state();
 
  private:
-  void execute_fast(const Interleaving& il, const EventSet& events,
+  void execute_fast(const Interleaving& il, const EventSet& events, size_t start,
                     std::vector<util::Result<util::Json>>& results);
-  void execute_threaded(const Interleaving& il, const EventSet& events,
+  void execute_threaded(const Interleaving& il, const EventSet& events, size_t start,
                         std::vector<util::Result<util::Json>>& results);
 
   proxy::RdlProxy* proxy_;
   ReplayOptions options_;
+  PrefixReplayStats prefix_stats_;
+  std::unique_ptr<PrefixCache> cache_;  // null when max_snapshot_depth == 0
 };
 
 }  // namespace erpi::core

@@ -98,6 +98,9 @@ Session::PreparedRun Session::prepare_run() {
   // (In parallel mode this callback runs serialized on the explorer's
   // control thread while holding the enumerator lock — see ReplayOptions.)
   prepared.replay = config_.replay;
+  if (config_.max_snapshot_depth) {
+    prepared.replay.max_snapshot_depth = *config_.max_snapshot_depth;
+  }
   auto user_hook = prepared.replay.on_interleaving_done;
   auto* pruned = prepared.pruned;
   prepared.replay.on_interleaving_done = [this, pruned, user_hook](uint64_t index,

@@ -77,6 +77,10 @@ class Session {
     /// Clones the subject-system fixture for each parallel worker (also
     /// settable through start(SubjectFactory)).
     SubjectFactory subject_factory;
+    /// Snapshot retention for incremental prefix replay; overrides
+    /// replay.max_snapshot_depth when set. 0 disables the prefix cache and
+    /// restores full-reset replay exactly (see ReplayOptions).
+    std::optional<size_t> max_snapshot_depth;
   };
 
   Session(proxy::RdlProxy& proxy, Config config);

@@ -111,6 +111,26 @@ JsonDoc::JsonDoc(ReplicaId replica, Flags flags)
   root_->kind = Node::Kind::Object;
 }
 
+JsonDoc JsonDoc::clone() const {
+  JsonDoc copy(replica_, flags_);
+  copy.clock_ = clock_;
+  copy.root_ = clone_node(*root_);
+  return copy;
+}
+
+std::unique_ptr<JsonDoc::Node> JsonDoc::clone_node(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->kind = node.kind;
+  copy->primitive = node.primitive;
+  copy->stamp = node.stamp;
+  copy->list = node.list;  // Rga is value-semantic
+  copy->erased = node.erased;
+  for (const auto& [key, child] : node.fields) {
+    copy->fields.emplace(key, clone_node(*child));
+  }
+  return copy;
+}
+
 Timestamp JsonDoc::next_stamp() { return Timestamp{clock_.tick(), replica_}; }
 
 JsonDoc::Node* JsonDoc::resolve(const DocPath& path, bool create) {

@@ -62,6 +62,11 @@ class JsonDoc {
   JsonDoc(JsonDoc&&) = default;
   JsonDoc& operator=(JsonDoc&&) = default;
 
+  /// Deep copy of the whole document (node tree, clock, flags) — the
+  /// explicit-copy escape hatch the deleted copy constructor forces callers
+  /// through. Subject snapshots use it to checkpoint replica state.
+  JsonDoc clone() const;
+
   ReplicaId replica() const noexcept { return replica_; }
 
   // ---- local edits; the returned op must be broadcast to peers ----
@@ -107,6 +112,7 @@ class JsonDoc {
   static void build_from_json(Node& node, const util::Json& value, Timestamp stamp,
                               bool lww_move);
   static util::Json node_to_json(const Node& node);
+  static std::unique_ptr<Node> clone_node(const Node& node);
 
   ReplicaId replica_;
   Flags flags_;

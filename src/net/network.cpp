@@ -171,4 +171,37 @@ void SimNetwork::reset() {
   next_seq_ = 1;
 }
 
+uint64_t SimNetwork::State::bytes() const noexcept {
+  uint64_t total = sizeof(State);
+  for (const auto& [key, queue] : channels) {
+    for (const auto& message : queue) {
+      total += sizeof(Message) + message.topic.size() + message.payload.size();
+    }
+  }
+  total += partitions.size() * sizeof(std::pair<ReplicaId, ReplicaId>);
+  return total;
+}
+
+SimNetwork::State SimNetwork::save_state() const {
+  std::lock_guard lock(mu_);
+  State state;
+  state.rng = rng_;
+  state.faults = faults_;
+  state.next_seq = next_seq_;
+  state.channels = channels_;
+  state.partitions = partitions_;
+  state.stats = stats_;
+  return state;
+}
+
+void SimNetwork::restore_state(const State& state) {
+  std::lock_guard lock(mu_);
+  rng_ = state.rng;
+  faults_ = state.faults;
+  next_seq_ = state.next_seq;
+  channels_ = state.channels;
+  partitions_ = state.partitions;
+  stats_ = state.stats;
+}
+
 }  // namespace erpi::net

@@ -87,6 +87,26 @@ class SimNetwork {
   /// Drop all in-flight messages and reset statistics (between interleavings).
   void reset();
 
+  /// Value-semantic checkpoint of the network: queued messages, partitions,
+  /// fault configuration, the fault RNG stream, sequence counter and stats.
+  /// Handlers are wiring, not state, and are excluded. Subjects embed this in
+  /// their proxy::Snapshot so incremental replay restores in-flight sync
+  /// traffic along with replica state.
+  struct State {
+    util::Rng rng;
+    Faults faults;
+    uint64_t next_seq = 1;
+    std::map<std::pair<ReplicaId, ReplicaId>, std::deque<Message>> channels;
+    std::set<std::pair<ReplicaId, ReplicaId>> partitions;
+    NetworkStats stats;
+
+    /// Approximate heap bytes (payloads + per-message overhead).
+    uint64_t bytes() const noexcept;
+  };
+
+  State save_state() const;
+  void restore_state(const State& state);
+
  private:
   void check_replica(ReplicaId id) const;
   std::optional<Message> pop_locked(ReplicaId from, ReplicaId to);

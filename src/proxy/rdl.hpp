@@ -8,6 +8,8 @@
 // re-invokes recorded calls during replay.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "net/network.hpp"
@@ -15,6 +17,18 @@
 #include "util/result.hpp"
 
 namespace erpi::proxy {
+
+/// Opaque checkpoint of a subject system's full state: every replica plus any
+/// in-flight synchronization traffic. `state` is whatever the producing
+/// subject's snapshot() stored — only the same subject instance's restore()
+/// interprets it. `bytes` approximates the heap footprint of the checkpoint,
+/// which the replay engine charges against the Fig. 10 resource budget.
+struct Snapshot {
+  std::shared_ptr<const void> state;
+  uint64_t bytes = 0;
+
+  bool valid() const noexcept { return state != nullptr; }
+};
 
 class Rdl {
  public:
@@ -39,6 +53,20 @@ class Rdl {
   /// Return every replica (and any in-flight messages) to the initial state.
   /// Called before each interleaving so replays cannot affect each other.
   virtual void reset() = 0;
+
+  /// Checkpoint the current state so a later restore() resumes mid-stream
+  /// instead of replaying from position 0 (incremental prefix replay).
+  /// Default: snapshots unsupported (invalid Snapshot) — the replay engine
+  /// then falls back to the full reset() path.
+  virtual Snapshot snapshot() { return {}; }
+
+  /// Return to a previously captured state. Must leave the subject untouched
+  /// and return false when the snapshot is invalid or was produced by a
+  /// different subject instance.
+  virtual bool restore(const Snapshot& snap) {
+    (void)snap;
+    return false;
+  }
 };
 
 /// Reserved op names for synchronization traffic.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/profile.hpp"
 #include "sched/queue.hpp"
 #include "util/stopwatch.hpp"
 
@@ -117,8 +118,13 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
             }
             // Budget check exactly where the sequential engine does it:
             // before pulling, counting the log so far plus live caches.
-            const uint64_t extra =
+            // Worker prefix-snapshot caches count too; unlike the other
+            // components their live size is scheduling-dependent, so crash
+            // points from snapshot memory may vary across worker counts
+            // (DESIGN.md "Incremental prefix replay").
+            uint64_t extra =
                 options_.replay.extra_cache_bytes ? options_.replay.extra_cache_bytes() : 0;
+            for (const auto& ctx : contexts) extra += ctx->snapshot_cache_bytes();
             if (budget->crash_if_exceeded(extra)) {
               dispatch_crashed.store(true);
               stop_dispatch = true;
@@ -228,7 +234,13 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
   report.elapsed_seconds = watch.elapsed_seconds();
 
   worker_assertions_.clear();
-  for (const auto& ctx : contexts) worker_assertions_.push_back(ctx->assertions());
+  std::vector<core::PrefixReplayStats> prefix_shards;
+  prefix_shards.reserve(contexts.size());
+  for (const auto& ctx : contexts) {
+    worker_assertions_.push_back(ctx->assertions());
+    prefix_shards.push_back(ctx->prefix_stats());
+  }
+  report.prefix = core::merge_prefix_stats(prefix_shards);
   return report;
 }
 

@@ -44,6 +44,14 @@ class WorkerContext {
   proxy::Rdl& subject() noexcept { return *subject_; }
   const core::AssertionList& assertions() const noexcept { return assertions_; }
 
+  /// This worker's incremental-replay counters (read after the pool joins).
+  const core::PrefixReplayStats& prefix_stats() const noexcept {
+    return engine_->prefix_stats();
+  }
+  /// Bytes retained by this worker's prefix snapshot cache. Thread-safe; the
+  /// dispatcher polls it for shared-budget checks.
+  uint64_t snapshot_cache_bytes() const noexcept { return engine_->snapshot_cache_bytes(); }
+
  private:
   std::unique_ptr<proxy::Rdl> subject_;
   std::unique_ptr<kv::Server> lock_server_;  // threaded mode only

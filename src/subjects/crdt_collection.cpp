@@ -37,6 +37,14 @@ void CrdtCollection::init_replicas() {
 
 void CrdtCollection::do_reset() { init_replicas(); }
 
+std::shared_ptr<const void> CrdtCollection::clone_replicas() const {
+  return clone_ctx_vector(replicas_);
+}
+
+bool CrdtCollection::adopt_replicas(const void* saved) {
+  return adopt_ctx_vector(replicas_, saved);
+}
+
 void CrdtCollection::record(ReplicaCtx& ctx, net::ReplicaId origin, util::Json op_json) {
   StampedOp stamped{origin, ctx.next_local_seq++, std::move(op_json)};
   ctx.applied.insert({stamped.origin, stamped.seq});

@@ -21,6 +21,14 @@ void OrbitDb::init_replicas() {
 
 void OrbitDb::do_reset() { init_replicas(); }
 
+std::shared_ptr<const void> OrbitDb::clone_replicas() const {
+  return clone_ctx_vector(replicas_);
+}
+
+bool OrbitDb::adopt_replicas(const void* saved) {
+  return adopt_ctx_vector(replicas_, saved);
+}
+
 util::Status OrbitDb::apply_entry(ReplicaCtx& ctx, const crdt::LogEntry& entry) {
   ctx.seen_hashes.insert(entry.hash);
   const auto st = ctx.log->apply(entry);

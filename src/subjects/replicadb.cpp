@@ -12,6 +12,14 @@ void ReplicaDb::do_reset() {
   replicas_.resize(static_cast<size_t>(replica_count()));
 }
 
+std::shared_ptr<const void> ReplicaDb::clone_replicas() const {
+  return clone_ctx_vector(replicas_);
+}
+
+bool ReplicaDb::adopt_replicas(const void* saved) {
+  return adopt_ctx_vector(replicas_, saved);
+}
+
 void ReplicaDb::upsert(std::map<std::string, Row>& table, const std::string& id, Row row) {
   const auto it = table.find(id);
   if (it == table.end() || row.version > it->second.version ||

@@ -21,6 +21,14 @@ void Roshi::do_reset() {
   replicas_.resize(static_cast<size_t>(replica_count()));
 }
 
+std::shared_ptr<const void> Roshi::clone_replicas() const {
+  return clone_ctx_vector(replicas_);
+}
+
+bool Roshi::adopt_replicas(const void* saved) {
+  return adopt_ctx_vector(replicas_, saved);
+}
+
 bool Roshi::lww_write(ReplicaCtx& ctx, const std::string& key, const std::string& member,
                       double ts, bool is_delete, bool from_sync) {
   ctx.history.insert(key + "|" + member + "|" + std::to_string(ts) + "|" +

@@ -50,4 +50,34 @@ void SubjectBase::reset() {
   do_reset();
 }
 
+uint64_t SubjectBase::replica_state_bytes() const {
+  uint64_t total = 0;
+  for (int r = 0; r < replica_count_; ++r) {
+    total += replica_state(static_cast<net::ReplicaId>(r)).dump().size();
+  }
+  return total;
+}
+
+proxy::Snapshot SubjectBase::snapshot() {
+  auto replicas = clone_replicas();
+  if (replicas == nullptr) return {};
+  auto state = std::make_shared<SnapshotState>();
+  state->owner = this;
+  state->replicas = std::move(replicas);
+  state->network = network_->save_state();
+  proxy::Snapshot snap;
+  snap.bytes = replica_state_bytes() + state->network.bytes();
+  snap.state = std::move(state);
+  return snap;
+}
+
+bool SubjectBase::restore(const proxy::Snapshot& snap) {
+  if (!snap.valid()) return false;
+  const auto* state = static_cast<const SnapshotState*>(snap.state.get());
+  if (state->owner != this) return false;
+  if (!adopt_replicas(state->replicas.get())) return false;
+  network_->restore_state(state->network);
+  return true;
+}
+
 }  // namespace erpi::subjects

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/network.hpp"
 #include "proxy/rdl.hpp"
@@ -27,6 +28,18 @@ class SubjectBase : public proxy::Rdl {
                                   const util::Json& args) final;
 
   void reset() final;
+
+  /// Incremental-replay checkpoint: replica state (via clone_replicas) plus
+  /// the simulated network (in-flight sync traffic, partitions, fault RNG).
+  /// Returns an invalid Snapshot when the subject does not override
+  /// clone_replicas/adopt_replicas; the replay engine then falls back to the
+  /// full reset() path.
+  proxy::Snapshot snapshot() final;
+
+  /// Restore a checkpoint produced by *this* subject's snapshot(). Snapshots
+  /// from another instance (or an invalid one) are rejected with false and
+  /// leave the state untouched.
+  bool restore(const proxy::Snapshot& snap) final;
 
   net::SimNetwork& network() noexcept { return *network_; }
 
@@ -48,9 +61,52 @@ class SubjectBase : public proxy::Rdl {
   /// Rebuild all replica state from scratch.
   virtual void do_reset() = 0;
 
+  // ---- snapshot hooks (incremental prefix replay) -------------------------
+  //
+  // A subject that wants snapshot support returns a type-erased deep copy of
+  // its replica contexts from clone_replicas() and replaces the live contexts
+  // from that copy in adopt_replicas(). Every subject in src/subjects/ does;
+  // the base defaults keep snapshots *unsupported* (nullptr / false), because
+  // replica state cannot be rebuilt generically — only sized: the default
+  // replica_state_bytes() serializes each replica_state() through the
+  // existing JSON machinery to estimate the checkpoint's budget charge.
+
+  /// Deep copy of all replica state. nullptr = snapshots unsupported.
+  virtual std::shared_ptr<const void> clone_replicas() const { return nullptr; }
+
+  /// Replace the live replica state with a copy previously produced by
+  /// clone_replicas(). Must deep-copy (a snapshot may be restored many
+  /// times). Returns false when unsupported.
+  virtual bool adopt_replicas(const void* saved) {
+    (void)saved;
+    return false;
+  }
+
+  /// Approximate heap bytes of the current replica state, charged against
+  /// the resource budget per retained snapshot. Default: total length of
+  /// every replica's JSON-rendered state.
+  virtual uint64_t replica_state_bytes() const;
+
+  /// Boilerplate for the common `std::vector<ReplicaCtx>` subject layout.
+  template <typename Ctx>
+  static std::shared_ptr<const void> clone_ctx_vector(const std::vector<Ctx>& contexts) {
+    return std::make_shared<const std::vector<Ctx>>(contexts);
+  }
+  template <typename Ctx>
+  static bool adopt_ctx_vector(std::vector<Ctx>& contexts, const void* saved) {
+    contexts = *static_cast<const std::vector<Ctx>*>(saved);
+    return true;
+  }
+
   void check_replica(net::ReplicaId replica) const;
 
  private:
+  struct SnapshotState {
+    const SubjectBase* owner = nullptr;  // guards against cross-subject restore
+    std::shared_ptr<const void> replicas;
+    net::SimNetwork::State network;
+  };
+
   std::string name_;
   int replica_count_;
   std::unique_ptr<net::SimNetwork> network_;

@@ -25,6 +25,14 @@ void TownApp::do_reset() {
   replicas_.resize(static_cast<size_t>(replica_count()));
 }
 
+std::shared_ptr<const void> TownApp::clone_replicas() const {
+  return clone_ctx_vector(replicas_);
+}
+
+bool TownApp::adopt_replicas(const void* saved) {
+  return adopt_ctx_vector(replicas_, saved);
+}
+
 util::Result<util::Json> TownApp::do_invoke(net::ReplicaId replica, const std::string& op,
                                             const util::Json& args) {
   auto& ctx = replicas_[static_cast<size_t>(replica)];

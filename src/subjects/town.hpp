@@ -29,6 +29,8 @@ class TownApp : public SubjectBase {
   util::Status apply_sync_payload(net::ReplicaId from, net::ReplicaId to,
                                   const std::string& payload) override;
   void do_reset() override;
+  std::shared_ptr<const void> clone_replicas() const override;
+  bool adopt_replicas(const void* saved) override;
 
  private:
   struct StampedOp {

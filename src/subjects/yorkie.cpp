@@ -23,6 +23,40 @@ void Yorkie::init_replicas() {
 
 void Yorkie::do_reset() { init_replicas(); }
 
+std::shared_ptr<const void> Yorkie::clone_replicas() const {
+  // ReplicaCtx is not copyable (unique_ptr<JsonDoc>), so build the deep copy
+  // by hand via JsonDoc::clone.
+  auto copy = std::make_shared<std::vector<ReplicaCtx>>();
+  copy->reserve(replicas_.size());
+  for (const auto& src : replicas_) {
+    ReplicaCtx ctx;
+    ctx.doc = std::make_unique<crdt::JsonDoc>(src.doc->clone());
+    ctx.known_ops = src.known_ops;
+    ctx.applied = src.applied;
+    ctx.next_local_seq = src.next_local_seq;
+    copy->push_back(std::move(ctx));
+  }
+  return copy;
+}
+
+bool Yorkie::adopt_replicas(const void* saved) {
+  // Deep-copy back out of the snapshot: the same snapshot may be restored
+  // multiple times, so the saved contexts must stay untouched.
+  const auto& contexts = *static_cast<const std::vector<ReplicaCtx>*>(saved);
+  std::vector<ReplicaCtx> fresh;
+  fresh.reserve(contexts.size());
+  for (const auto& src : contexts) {
+    ReplicaCtx ctx;
+    ctx.doc = std::make_unique<crdt::JsonDoc>(src.doc->clone());
+    ctx.known_ops = src.known_ops;
+    ctx.applied = src.applied;
+    ctx.next_local_seq = src.next_local_seq;
+    fresh.push_back(std::move(ctx));
+  }
+  replicas_ = std::move(fresh);
+  return true;
+}
+
 crdt::DocPath Yorkie::parse_path(const util::Json& args) {
   crdt::DocPath path;
   if (args.contains("path")) {

@@ -1,0 +1,316 @@
+// Incremental prefix replay: equivalence + accounting tests.
+//
+// The contract of the prefix cache is that it is a pure performance
+// optimisation — replaying with snapshots enabled must produce the same
+// ReplayReport (explored counts, violations, messages, first-violation data,
+// persisted log) as full-reset replay, across subjects, parallelism and
+// snapshot-depth settings. These tests pin that contract, plus the resource
+// accounting: retained snapshot bytes charge the Fig. 10 budget, depth 0
+// reproduces the legacy engine's execution counts exactly, and the depth
+// budget evicts.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hpp"
+#include "core/session.hpp"
+#include "kvstore/server.hpp"
+#include "subjects/crdt_collection.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::core {
+namespace {
+
+util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json j = util::Json::object();
+  for (auto& [key, value] : kv) j[key] = value;
+  return j;
+}
+
+struct Scenario {
+  std::string name;
+  std::function<std::unique_ptr<proxy::Rdl>()> make_subject;
+  std::function<void(proxy::RdlProxy&)> workload;
+  AssertionFactory assertions;
+  std::function<void(Session::Config&)> configure;  // optional
+  /// True when the assertion list carries cross-interleaving state. Such
+  /// assertions see only the interleavings their own worker replayed, and
+  /// batch->worker assignment is timing-dependent, so at parallelism > 1 their
+  /// violation messages are not comparable across runs (independent of the
+  /// prefix cache). Only scheduling-invariant report fields are compared then.
+  bool stateful_assertions = false;
+};
+
+Scenario town_scenario() {
+  Scenario sc;
+  sc.name = "town";
+  sc.make_subject = [] { return std::make_unique<subjects::TownApp>(2); };
+  sc.workload = [](proxy::RdlProxy& proxy) {
+    (void)proxy.update(0, "report", jobj({{"problem", "otb"}}));
+    (void)proxy.sync_req(0, 1);
+    (void)proxy.exec_sync(0, 1);
+    (void)proxy.update(1, "report", jobj({{"problem", "ph"}}));
+    (void)proxy.sync_req(1, 0);
+    (void)proxy.exec_sync(1, 0);
+    (void)proxy.update(1, "resolve", jobj({{"problem", "otb"}}));
+    (void)proxy.sync_req(1, 0);
+    (void)proxy.exec_sync(1, 0);
+    (void)proxy.update(0, "report", jobj({{"problem", "lamp"}}));
+    (void)proxy.query(0, "transmit");
+  };
+  sc.assertions = [](proxy::Rdl&) -> AssertionList {
+    util::Json expected = util::Json::array();
+    expected.push_back("lamp");
+    expected.push_back("ph");
+    return {query_result_equals(10, expected)};
+  };
+  sc.configure = [](Session::Config& config) {
+    config.generation_order = GroupedEnumerator::Order::Lexicographic;
+    config.spec_groups = {{0, 1, 2}, {3, 4, 5}};
+  };
+  return sc;
+}
+
+Scenario collection_scenario() {
+  Scenario sc;
+  sc.name = "crdt_collection";
+  sc.make_subject = [] { return std::make_unique<subjects::CrdtCollection>(2); };
+  sc.workload = [](proxy::RdlProxy& proxy) {
+    (void)proxy.update(0, "set_add", jobj({{"element", "a"}}));
+    (void)proxy.sync_req(0, 1);
+    (void)proxy.exec_sync(0, 1);
+    (void)proxy.update(1, "set_remove", jobj({{"element", "a"}}));
+    (void)proxy.sync_req(1, 0);
+    (void)proxy.exec_sync(1, 0);
+    (void)proxy.update(0, "counter_inc", jobj({{"by", 2}}));
+  };
+  sc.assertions = [](proxy::Rdl&) -> AssertionList {
+    return {converge_if_same_witness({0, 1}, {"seen"}, {"set"})};
+  };
+  return sc;
+}
+
+std::vector<Scenario> all_scenarios() {
+  std::vector<Scenario> scenarios{town_scenario(), collection_scenario()};
+  // One registry bug per remaining subject: real workloads, real pruning
+  // config (so the PrunedEnumerator hint path is exercised too).
+  // Roshi-1/ReplicaDB-1 use stateless per-interleaving custom assertions;
+  // OrbitDB-1/Yorkie-1 include consistent_across_interleavings_if_same_witness.
+  for (const auto& [name, stateful] :
+       std::vector<std::pair<const char*, bool>>{{"Roshi-1", false},
+                                                 {"OrbitDB-1", true},
+                                                 {"ReplicaDB-1", false},
+                                                 {"Yorkie-1", true}}) {
+    const auto& bug = bugs::find_bug(name);
+    Scenario sc;
+    sc.name = bug.name;
+    sc.make_subject = bug.make_subject;
+    sc.workload = bug.workload;
+    auto make_assertions = bug.assertions;
+    sc.assertions = [make_assertions](proxy::Rdl&) { return make_assertions(); };
+    sc.configure = bug.configure;
+    sc.stateful_assertions = stateful;
+    scenarios.push_back(std::move(sc));
+  }
+  return scenarios;
+}
+
+struct RunOutput {
+  ReplayReport report;
+  std::vector<std::string> persisted;
+};
+
+RunOutput run_scenario(const Scenario& sc, size_t max_snapshot_depth, int parallelism,
+                       bool persist = false) {
+  auto subject = sc.make_subject();
+  proxy::RdlProxy proxy(*subject);
+  Session::Config config;
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 300;
+  if (sc.configure) sc.configure(config);
+  config.parallelism = parallelism;
+  config.subject_factory = sc.make_subject;
+  config.max_snapshot_depth = max_snapshot_depth;
+  config.persist = persist;
+  Session session(proxy, std::move(config));
+  session.start();
+  sc.workload(proxy);
+  RunOutput out;
+  out.report = session.end(sc.assertions);
+  if (persist) {
+    for (size_t i = 0; i < session.store().interleaving_count(); ++i) {
+      out.persisted.push_back(session.store().load(i).key());
+    }
+  }
+  return out;
+}
+
+/// The report fields that stay fixed no matter how batches land on workers.
+void expect_invariant_fields_equal(const ReplayReport& got, const ReplayReport& want,
+                                   const std::string& label) {
+  EXPECT_EQ(got.explored, want.explored) << label;
+  EXPECT_EQ(got.exhausted, want.exhausted) << label;
+  EXPECT_EQ(got.hit_cap, want.hit_cap) << label;
+  EXPECT_EQ(got.crashed, want.crashed) << label;
+}
+
+/// Everything observable except timing and the prefix counters themselves.
+void expect_reports_equal(const ReplayReport& got, const ReplayReport& want,
+                          const std::string& label) {
+  expect_invariant_fields_equal(got, want, label);
+  EXPECT_EQ(got.violations, want.violations) << label;
+  EXPECT_EQ(got.reproduced, want.reproduced) << label;
+  EXPECT_EQ(got.first_violation_index, want.first_violation_index) << label;
+  EXPECT_EQ(got.first_violation_assertion, want.first_violation_assertion) << label;
+  EXPECT_EQ(got.first_violation.has_value(), want.first_violation.has_value()) << label;
+  if (got.first_violation && want.first_violation) {
+    EXPECT_EQ(got.first_violation->key(), want.first_violation->key()) << label;
+  }
+  EXPECT_EQ(got.messages, want.messages) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Report equivalence: incremental == full-reset, everywhere
+// ---------------------------------------------------------------------------
+
+class PrefixEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(PrefixEquivalence, IncrementalReplayIsReportIdenticalToFullReset) {
+  const Scenario& sc = GetParam();
+  for (const int parallelism : {1, 4}) {
+    const RunOutput baseline = run_scenario(sc, /*max_snapshot_depth=*/0, parallelism);
+    ASSERT_GT(baseline.report.explored, 0u);
+    for (const size_t depth : {size_t{2}, size_t{SIZE_MAX}}) {
+      const RunOutput incremental = run_scenario(sc, depth, parallelism);
+      const std::string label = sc.name + " p=" + std::to_string(parallelism) +
+                                " depth=" + std::to_string(depth);
+      if (parallelism > 1 && sc.stateful_assertions) {
+        expect_invariant_fields_equal(incremental.report, baseline.report, label);
+      } else {
+        expect_reports_equal(incremental.report, baseline.report, label);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubjects, PrefixEquivalence,
+                         ::testing::ValuesIn(all_scenarios()), [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PrefixEquivalence, PersistedLogIdenticalWithAndWithoutSnapshots) {
+  const Scenario sc = town_scenario();
+  const RunOutput baseline = run_scenario(sc, 0, 1, /*persist=*/true);
+  ASSERT_FALSE(baseline.persisted.empty());
+  for (const int parallelism : {1, 4}) {
+    const RunOutput incremental = run_scenario(sc, SIZE_MAX, parallelism, /*persist=*/true);
+    EXPECT_EQ(incremental.persisted, baseline.persisted) << "p=" << parallelism;
+  }
+}
+
+TEST(PrefixEquivalence, ThreadedModeMatchesWithSnapshotsOnAndOff) {
+  // Threaded replay drives the distributed-lock protocol per event; snapshots
+  // ride the turn-ownership discipline. Keep the cap small: every threaded
+  // interleaving spins up one thread per replica.
+  auto run_threaded = [](size_t depth, int parallelism) {
+    static kv::Server lock_server;  // sequential path needs an explicit server
+    Scenario sc = town_scenario();
+    auto base_configure = sc.configure;
+    sc.configure = [base_configure, parallelism](Session::Config& config) {
+      base_configure(config);
+      config.replay.max_interleavings = 24;
+      config.replay.threaded = true;
+      if (parallelism == 1) config.replay.lock_server = &lock_server;
+    };
+    return run_scenario(sc, depth, parallelism);
+  };
+  for (const int parallelism : {1, 4}) {
+    const RunOutput baseline = run_threaded(0, parallelism);
+    ASSERT_EQ(baseline.report.explored, 24u);
+    const RunOutput incremental = run_threaded(SIZE_MAX, parallelism);
+    expect_reports_equal(incremental.report, baseline.report,
+                         "threaded p=" + std::to_string(parallelism));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters and accounting
+// ---------------------------------------------------------------------------
+
+TEST(PrefixReplay, DepthZeroReproducesLegacyExecutionExactly) {
+  const Scenario sc = town_scenario();
+  const RunOutput out = run_scenario(sc, 0, 1);
+  const auto& prefix = out.report.prefix;
+  // 11 events per interleaving, every one executed from a full reset.
+  EXPECT_EQ(prefix.events_executed, out.report.explored * 11);
+  EXPECT_EQ(prefix.events_skipped, 0u);
+  EXPECT_EQ(prefix.snapshots_taken, 0u);
+  EXPECT_EQ(prefix.snapshots_restored, 0u);
+  EXPECT_EQ(prefix.snapshots_evicted, 0u);
+  EXPECT_EQ(prefix.cache_bytes_peak, 0u);
+}
+
+TEST(PrefixReplay, LexicographicSweepSkipsMostPrefixWork) {
+  const Scenario sc = town_scenario();
+  const RunOutput full = run_scenario(sc, 0, 1);
+  const RunOutput incremental = run_scenario(sc, SIZE_MAX, 1);
+  ASSERT_EQ(incremental.report.explored, full.report.explored);
+  const uint64_t total = full.report.prefix.events_executed;
+  const uint64_t executed = incremental.report.prefix.events_executed;
+  EXPECT_EQ(executed + incremental.report.prefix.events_skipped, total);
+  // ISSUE acceptance: >= 40% fewer events executed on a lexicographic sweep.
+  EXPECT_LE(executed * 10, total * 6)
+      << "only " << (100.0 - 100.0 * static_cast<double>(executed) / static_cast<double>(total))
+      << "% reduction";
+  EXPECT_GT(incremental.report.prefix.snapshots_taken, 0u);
+  EXPECT_GT(incremental.report.prefix.snapshots_restored, 0u);
+  EXPECT_GT(incremental.report.prefix.cache_bytes_peak, 0u);
+}
+
+TEST(PrefixReplay, DepthBudgetEvicts) {
+  const Scenario sc = town_scenario();
+  const RunOutput out = run_scenario(sc, 2, 1);
+  // Each 11-event replay takes up to 9 snapshots but only 2 may stay.
+  EXPECT_GT(out.report.prefix.snapshots_evicted, 0u);
+  EXPECT_GT(out.report.prefix.snapshots_restored, 0u);
+}
+
+TEST(PrefixReplay, SnapshotMemoryAloneCrashesTheBudget) {
+  const Scenario sc = town_scenario();
+  constexpr uint64_t kCap = 40;
+  // explored_log_entry_bytes for 11 events = 11*3 + 48 = 81. With the other
+  // live-cache charge pinned to zero below, a budget of exactly cap * 81 is
+  // never *exceeded* by the log, so any crash is attributable to retained
+  // snapshot bytes alone.
+  constexpr uint64_t kBudget = kCap * 81;
+  auto run_budgeted = [&](size_t depth) {
+    Scenario budgeted = sc;
+    auto base_configure = sc.configure;
+    budgeted.configure = [base_configure](Session::Config& config) {
+      base_configure(config);
+      config.replay.max_interleavings = kCap;
+      config.replay.resource_budget_bytes = kBudget;
+      // Suppress the session's default pruning-pipeline charge; this test
+      // isolates log bytes vs snapshot bytes.
+      config.replay.extra_cache_bytes = [] { return uint64_t{0}; };
+    };
+    return run_scenario(budgeted, depth, 1);
+  };
+  const RunOutput without = run_budgeted(0);
+  EXPECT_FALSE(without.report.crashed);
+  EXPECT_EQ(without.report.explored, kCap);
+
+  const RunOutput with_snapshots = run_budgeted(SIZE_MAX);
+  EXPECT_TRUE(with_snapshots.report.crashed);
+  EXPECT_LT(with_snapshots.report.explored, kCap);
+}
+
+}  // namespace
+}  // namespace erpi::core

@@ -196,6 +196,12 @@ TEST(ParallelExplorer, SharedBudgetCrashesDeterministically) {
   auto budgeted = [](int parallelism) {
     Session::Config config = stress_config(parallelism);
     config.replay.resource_budget_bytes = 4'000;  // a few dozen log entries
+    // Exact crash parity is only guaranteed for the deterministic budget
+    // components (explored log + enumerator caches): live prefix-snapshot
+    // bytes are scheduling-dependent across worker counts, so pin the cache
+    // off here. Snapshot-memory crashes have their own deterministic
+    // sequential test (test_prefix_replay.cpp).
+    config.max_snapshot_depth = 0;
     return run_stress(parallelism, std::move(config));
   };
   const ReplayReport sequential = budgeted(1);
