@@ -1,7 +1,11 @@
 #include "core/persist.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 #include <stdexcept>
+
+#include "util/json.hpp"
 
 namespace erpi::core {
 
@@ -123,6 +127,148 @@ std::vector<int64_t> InterleavingStore::interleavings_where_precedes(int e1, int
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// RunJournal
+
+namespace {
+
+std::string fingerprint_hex(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+std::string journal_header_line(uint64_t fingerprint) {
+  util::Json header = util::Json::object();
+  header["erpi_run_journal"] = static_cast<int64_t>(1);
+  header["fingerprint"] = fingerprint_hex(fingerprint);
+  return header.dump();
+}
+
+std::string journal_record_line(const RunJournal::Record& record) {
+  util::Json j = util::Json::object();
+  j["plan"] = record.plan;
+  j["il"] = static_cast<int64_t>(record.interleaving);
+  j["key"] = record.key;
+  j["timed_out"] = record.timed_out;
+  util::Json violations = util::Json::array();
+  for (const auto& violation : record.violations) {
+    util::Json v = util::Json::object();
+    v["assertion"] = violation.assertion;
+    v["message"] = violation.message;
+    violations.push_back(std::move(v));
+  }
+  j["violations"] = std::move(violations);
+  return j.dump();
+}
+
+std::optional<RunJournal::Record> parse_record_line(const std::string& line) {
+  const auto parsed = util::Json::parse(line);
+  if (!parsed) return std::nullopt;
+  const util::Json& j = parsed.value();
+  if (!j.is_object()) return std::nullopt;
+  if (!j.contains("plan") || !j["plan"].is_string()) return std::nullopt;
+  if (!j.contains("il") || !j["il"].is_int()) return std::nullopt;
+  if (!j.contains("key") || !j["key"].is_string()) return std::nullopt;
+  if (!j.contains("timed_out") || !j["timed_out"].is_bool()) return std::nullopt;
+  if (!j.contains("violations") || !j["violations"].is_array()) return std::nullopt;
+  RunJournal::Record record;
+  record.plan = j["plan"].as_string();
+  const int64_t ordinal = j["il"].as_int();
+  if (ordinal < 1) return std::nullopt;
+  record.interleaving = static_cast<uint64_t>(ordinal);
+  record.key = j["key"].as_string();
+  record.timed_out = j["timed_out"].as_bool();
+  for (const auto& v : j["violations"].as_array()) {
+    if (!v.is_object() || !v.contains("assertion") || !v["assertion"].is_string() ||
+        !v.contains("message") || !v["message"].is_string()) {
+      return std::nullopt;
+    }
+    record.violations.push_back({v["assertion"].as_string(), v["message"].as_string()});
+  }
+  return record;
+}
+
+}  // namespace
+
+RunJournal::RunJournal(std::string path, uint64_t fingerprint)
+    : path_(std::move(path)), fingerprint_(fingerprint) {
+  lines_.push_back(journal_header_line(fingerprint_));
+}
+
+RunJournal RunJournal::create(std::string path, uint64_t fingerprint) {
+  RunJournal journal(std::move(path), fingerprint);
+  journal.checkpoint();  // atomically materialize the header
+  return journal;
+}
+
+void RunJournal::reopen_append() {
+  out_.close();
+  out_.clear();
+  out_.open(path_, std::ios::out | std::ios::app);
+  if (!out_) throw std::runtime_error("RunJournal: cannot open " + path_);
+}
+
+void RunJournal::checkpoint() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::out | std::ios::trunc);
+    if (!f) throw std::runtime_error("RunJournal: cannot write " + tmp);
+    for (const auto& line : lines_) f << line << '\n';
+    f.flush();
+    if (!f) throw std::runtime_error("RunJournal: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("RunJournal: rename failed for " + path_);
+  }
+  reopen_append();
+  since_checkpoint_ = 0;
+}
+
+void RunJournal::append(const Record& record) {
+  lines_.push_back(journal_record_line(record));
+  ++records_;
+  out_ << lines_.back() << '\n';
+  out_.flush();
+  if (++since_checkpoint_ >= kCheckpointEvery) checkpoint();
+}
+
+std::optional<RunJournal::Loaded> RunJournal::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  const auto header = util::Json::parse(line);
+  if (!header) return std::nullopt;
+  const util::Json& h = header.value();
+  if (!h.is_object() || !h.contains("erpi_run_journal") ||
+      !h.contains("fingerprint") || !h["fingerprint"].is_string()) {
+    return std::nullopt;
+  }
+  Loaded loaded;
+  try {
+    loaded.fingerprint = std::stoull(h["fingerprint"].as_string(), nullptr, 16);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  // Accept the longest valid prefix: stop at the first malformed line (a
+  // torn tail from a SIGKILL) or the first record that breaks a plan's
+  // ascending 1..m ordinal sequence (only possible via corruption — the
+  // committer journals in order).
+  std::map<std::string, uint64_t> last_ordinal;
+  while (std::getline(in, line)) {
+    if (line.empty()) break;
+    auto record = parse_record_line(line);
+    if (!record) break;
+    uint64_t& last = last_ordinal[record->plan];
+    if (record->interleaving != last + 1) break;
+    last = record->interleaving;
+    loaded.records.push_back(std::move(*record));
+  }
+  return loaded;
 }
 
 }  // namespace erpi::core

@@ -9,8 +9,16 @@
 //   group(Leader, Member)
 // and a derived happens-before relation is installed:
 //   precedes(Il, E1, E2) :- interleaving(Il,P1,E1), interleaving(Il,P2,E2), P1 < P2.
+//
+// This header also hosts core::RunJournal, the crash-safe on-disk record of
+// explored (interleaving, plan) pairs that lets a killed fault-schedule run
+// resume where it left off (DESIGN.md §8).
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/interleaving.hpp"
@@ -53,6 +61,91 @@ class InterleavingStore {
  private:
   datalog::Database* db_;
   int64_t next_il_id_ = 0;
+};
+
+/// Crash-safe, append-only journal of completed (interleaving, plan) pairs.
+///
+/// File layout (JSONL):
+///   line 1   — header: {"erpi_run_journal":1,"fingerprint":"<16 hex digits>"}
+///   line 2.. — one record per completed pair, in commit order
+///
+/// Durability model: every append is written and flushed immediately, and
+/// every kCheckpointEvery appends the whole journal is rewritten to a
+/// temporary file and atomically renamed over the target. A SIGKILL can
+/// therefore at worst leave one torn trailing line, which load() tolerates by
+/// stopping at the first malformed or out-of-order record — everything before
+/// it is a valid prefix of the run. Because the parallel committer commits
+/// pairs in order, the journaled records for each plan always form an
+/// ascending 1..m prefix of that plan's sweep; resuming means skipping the
+/// first m interleavings of each journaled plan and merging the recorded
+/// outcomes back into the report.
+///
+/// The fingerprint (FNV-1a over the run configuration: mode, order, seeds,
+/// caps, events, plan catalog — but not parallelism, so a resume may use a
+/// different worker count) guards against resuming with a journal written by
+/// a different run.
+class RunJournal {
+ public:
+  struct Record {
+    struct Violation {
+      std::string assertion;
+      std::string message;
+
+      bool operator==(const Violation&) const = default;
+    };
+
+    std::string plan;          // FaultPlan::key()
+    uint64_t interleaving = 0; // 1-based ordinal within the plan's sweep
+    std::string key;           // Interleaving::key()
+    std::vector<Violation> violations;
+    bool timed_out = false;
+
+    bool operator==(const Record&) const = default;
+  };
+
+  struct Loaded {
+    uint64_t fingerprint = 0;
+    std::vector<Record> records;  // the valid prefix, in commit order
+  };
+
+  static constexpr size_t kCheckpointEvery = 64;
+
+  /// Start a fresh journal at `path` (atomically replacing any existing
+  /// file) and leave it open for appending.
+  static RunJournal create(std::string path, uint64_t fingerprint);
+
+  /// Read back the valid prefix of a journal. nullopt when the file is
+  /// missing or its header is unreadable; torn/out-of-order tails are
+  /// silently truncated.
+  static std::optional<Loaded> load(const std::string& path);
+
+  RunJournal(RunJournal&&) = default;
+  RunJournal& operator=(RunJournal&&) = default;
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  /// Append one completed pair: written and flushed before returning, with a
+  /// periodic atomic-rename checkpoint.
+  void append(const Record& record);
+
+  /// Force the atomic tmp+rename rewrite now (also called by append every
+  /// kCheckpointEvery records, and by create for the header).
+  void checkpoint();
+
+  size_t appended() const noexcept { return records_; }
+  const std::string& path() const noexcept { return path_; }
+  uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+ private:
+  RunJournal(std::string path, uint64_t fingerprint);
+  void reopen_append();
+
+  std::string path_;
+  uint64_t fingerprint_ = 0;
+  std::vector<std::string> lines_;  // header + every record, for checkpoints
+  std::ofstream out_;
+  size_t records_ = 0;
+  size_t since_checkpoint_ = 0;
 };
 
 }  // namespace erpi::core

@@ -18,6 +18,7 @@ util::Status ResourceProfiler::check(const TestContext& ctx) {
     profile.messages_sent = stats.sent;
     profile.messages_delivered = stats.delivered;
     profile.messages_dropped = stats.dropped;
+    profile.messages_duplicated = stats.duplicated;
   }
   for (int replica = 0; replica < ctx.rdl.replica_count(); ++replica) {
     profile.state_bytes += ctx.rdl.replica_state(replica).dump().size();
@@ -54,6 +55,8 @@ ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profil
   for (const auto& profile : profiles) {
     out.total_ops += profile.ops_attempted;
     out.total_failed_ops += profile.ops_failed;
+    out.total_dropped += profile.messages_dropped;
+    out.total_duplicated += profile.messages_duplicated;
     state_sum += static_cast<double>(profile.state_bytes);
     message_sum += static_cast<double>(profile.messages_sent);
     if (profile.state_bytes < out.min_state_bytes) out.min_state_bytes = profile.state_bytes;

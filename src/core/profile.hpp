@@ -26,6 +26,7 @@ struct InterleavingProfile {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;
+  uint64_t messages_duplicated = 0;
   uint64_t state_bytes = 0;  // total serialized replica-state size
 };
 
@@ -41,6 +42,12 @@ struct ProfileSummary {
   uint64_t min_messages = std::numeric_limits<uint64_t>::max();
   uint64_t max_messages = 0;
   double mean_messages = 0;
+
+  /// Fault-visible traffic: how much of the run's sync traffic the network
+  /// dropped or duplicated (probabilistic faults, scripted fault plans, or
+  /// partitions — all three count through the same NetworkStats).
+  uint64_t total_dropped = 0;
+  uint64_t total_duplicated = 0;
 
   /// Resource outliers: the interleavings with the largest final state and
   /// the most network traffic.

@@ -19,6 +19,16 @@ util::Json ReplayReport::to_json() const {
   j["exhausted"] = exhausted;
   j["hit_cap"] = hit_cap;
   j["crashed"] = crashed;
+  j["budget_exhausted"] = budget_exhausted;
+  j["timed_out"] = static_cast<int64_t>(timed_out);
+  util::Json quarantine = util::Json::array();
+  for (const auto& key : quarantined) quarantine.push_back(key);
+  j["quarantined"] = std::move(quarantine);
+  j["plans_explored"] = static_cast<int64_t>(plans_explored);
+  j["pairs_skipped_from_journal"] = static_cast<int64_t>(pairs_skipped_from_journal);
+  j["first_violation_plan"] = first_violation_plan;
+  j["first_violation_plan_interleaving"] =
+      static_cast<int64_t>(first_violation_plan_interleaving);
   j["elapsed_seconds"] = elapsed_seconds;
   util::Json msgs = util::Json::array();
   for (const auto& message : messages) msgs.push_back(message);
@@ -35,6 +45,7 @@ ReplayEngine::ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options)
   if (options_.max_snapshot_depth > 0) {
     cache_ = std::make_unique<PrefixCache>(options_.max_snapshot_depth, &prefix_stats_);
   }
+  if (options_.observer_factory) observer_ = options_.observer_factory(proxy.target());
 }
 
 void ReplayEngine::reset_prefix_state() {
@@ -45,6 +56,8 @@ void ReplayEngine::reset_prefix_state() {
 void ReplayEngine::execute_fast(const Interleaving& il, const EventSet& events, size_t start,
                                 std::vector<util::Result<util::Json>>& results) {
   for (size_t pos = start; pos < il.size(); ++pos) {
+    if (cancel_requested_.load(std::memory_order_relaxed)) return;
+    if (observer_) observer_->before_event(proxy_->target(), il, pos);
     const Event& event = events.at(static_cast<size_t>(il.order[pos]));
     results.emplace_back(proxy_->invoke(event));
     if (cache_) cache_->note_executed(proxy_->target(), il, pos);
@@ -83,6 +96,10 @@ void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& even
         // Wait for our turn under the distributed lock — the same shared-key
         // mutex discipline the paper uses across machines.
         while (true) {
+          // Watchdog cancellation: a hung replay spins here forever when an
+          // earlier turn never completes, so the spin loop is where workers
+          // must notice the deadline and bail.
+          if (cancel_requested_.load(std::memory_order_relaxed)) return;
           if (!mutex.lock()) {
             ERPI_ERROR("replay") << "lock acquisition timed out (replica " << replica << ")";
             return;
@@ -90,6 +107,7 @@ void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& even
           const auto turn = client.get(turn_key);
           const bool ours = turn && std::stoull(*turn) == pos;
           if (ours) {
+            if (observer_) observer_->before_event(proxy_->target(), il, pos);
             const Event& event = events.at(static_cast<size_t>(il.order[pos]));
             results[pos] = proxy_->invoke(event);
             // Snapshot under the same turn-ownership discipline the
@@ -126,10 +144,20 @@ InterleavingOutcome ReplayEngine::replay_one(const Interleaving& il, const Event
   prefix_stats_.events_skipped += start;
   prefix_stats_.events_executed += il.size() - start;
 
+  if (observer_) observer_->on_replay_begin(proxy_->target(), il, start);
+
   if (options_.threaded) {
     execute_threaded(il, events, start, results);
   } else {
     execute_fast(il, events, start, results);
+  }
+  if (cancel_requested_.load(std::memory_order_relaxed)) {
+    // Watchdog fired mid-replay: subject and cache state are unspecified, so
+    // skip end_replay/assertions and hand back a structured timeout. The
+    // caller discards this fixture.
+    InterleavingOutcome cancelled;
+    cancelled.timed_out = true;
+    return cancelled;
   }
   if (cache_) cache_->end_replay(il, results);
 
@@ -164,6 +192,7 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
                            snapshot_cache_bytes();
     if (budget->crash_if_exceeded(extra)) {
       report.crashed = true;
+      report.budget_exhausted = true;
       break;
     }
 
@@ -177,6 +206,10 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
 
     const InterleavingOutcome outcome =
         replay_one(*il, events, assertions, enumerator.last_common_prefix());
+    if (outcome.timed_out) {
+      ++report.timed_out;
+      report.quarantined.push_back(il->key());
+    }
     for (const auto& violation : outcome.violations) {
       ++report.violations;
       if (report.messages.size() < 16) report.messages.push_back(violation.message);
@@ -188,6 +221,7 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
       }
     }
 
+    if (options_.on_outcome) options_.on_outcome(report.explored, *il, outcome);
     if (options_.on_interleaving_done) options_.on_interleaving_done(report.explored, *il);
     if (!outcome.violations.empty() && options_.stop_on_violation) break;
   }

@@ -96,6 +96,31 @@ using AssertionFactory = std::function<AssertionList(proxy::Rdl& subject)>;
 /// at most n-2 snapshots alive) while capping memory on deeper workloads.
 inline constexpr size_t kDefaultMaxSnapshotDepth = 16;
 
+/// Observes replay execution at interleaving positions. This is the hook the
+/// fault-schedule layer (src/faults) uses to fire scheduled actions — core
+/// stays ignorant of fault plans and only promises *when* the hooks run:
+///
+///  * on_replay_begin — after the subject was reset (resume_depth == 0) or
+///    restored from a shared-prefix snapshot (resume_depth > 0), before any
+///    event of this interleaving executes.
+///  * before_event — immediately before the event at position `pos` is
+///    invoked. In threaded-lock mode the call happens on the worker thread
+///    that owns the turn, so it is serialized with the subject exactly like
+///    the invoke it precedes.
+///
+/// Observer effects are part of replayed state: whatever a hook does to the
+/// subject/network at or before position p is captured by the prefix snapshot
+/// taken at depth p+1, so snapshot reuse stays consistent with the hooks.
+class ReplayObserver {
+ public:
+  virtual ~ReplayObserver() = default;
+  virtual void on_replay_begin(proxy::Rdl& subject, const Interleaving& il,
+                               size_t resume_depth) = 0;
+  virtual void before_event(proxy::Rdl& subject, const Interleaving& il, size_t pos) = 0;
+};
+
+struct InterleavingOutcome;
+
 struct ReplayOptions {
   /// Stop after this many interleavings (the paper's 10 K experiment cap).
   uint64_t max_interleavings = 10'000;
@@ -124,6 +149,23 @@ struct ReplayOptions {
   /// Extra memory to charge against the budget (e.g. the Random enumerator's
   /// dedup cache, the pruning pipeline's canonical-form set).
   std::function<uint64_t()> extra_cache_bytes;
+  /// Per-engine replay observer (fault-schedule hooks). Invoked once in the
+  /// engine constructor with the engine's subject; the returned observer then
+  /// receives on_replay_begin/before_event for every interleaving this engine
+  /// replays. Parallel workers each construct their own observer instance, so
+  /// observers may keep per-fixture mutable state without locking.
+  std::function<std::shared_ptr<ReplayObserver>(proxy::Rdl& subject)> observer_factory;
+  /// Replay watchdog: when > 0, sched::ParallelExplorer bounds every replay
+  /// to this many milliseconds. A replay that exceeds the deadline is
+  /// recorded as a structured `timed_out` outcome (not a crash), its key is
+  /// quarantined in the report, the worker's fixture is rebuilt, and
+  /// exploration continues. The sequential ReplayEngine::run ignores it.
+  uint64_t watchdog_timeout_ms = 0;
+  /// Per-interleaving outcome tap: index, interleaving, and everything the
+  /// replay observed (violations, timed_out). Same threading contract as
+  /// on_interleaving_done — serialized, ascending index order — and delivered
+  /// immediately before it. The faults:: layer journals from this hook.
+  std::function<void(uint64_t, const Interleaving&, const InterleavingOutcome&)> on_outcome;
   /// Invoked after each interleaving with its 1-based index and the
   /// interleaving itself (the Session uses this to poll the constraints
   /// directory and to persist replayed interleavings).
@@ -149,6 +191,23 @@ struct ReplayReport {
   bool exhausted = false;  // enumerator ran dry
   bool hit_cap = false;    // max_interleavings reached
   bool crashed = false;    // resource budget exceeded
+  /// Structured form of `crashed`: the budget ran out mid-run and the
+  /// counters above hold partial results. Never thrown across threads — the
+  /// parallel explorer latches it on the shared BudgetAccount and drains.
+  bool budget_exhausted = false;
+  /// Replays the watchdog cut off (quarantined, not counted as violations).
+  uint64_t timed_out = 0;
+  /// Keys of watchdog-quarantined interleavings, in exploration order. Under
+  /// fault exploration each key is prefixed with the plan ("plan/il-key").
+  std::vector<std::string> quarantined;
+  /// Fault-schedule dimensions (zero/empty outside faults:: runs). `explored`
+  /// then counts (interleaving, plan) pairs in plan-major order, and the
+  /// first violation is additionally named as a pair: the plan's key() plus
+  /// the 1-based interleaving ordinal within that plan's sweep.
+  uint64_t plans_explored = 0;
+  uint64_t pairs_skipped_from_journal = 0;
+  std::string first_violation_plan;
+  uint64_t first_violation_plan_interleaving = 0;
   double elapsed_seconds = 0.0;
   /// First few violation messages, for reports.
   std::vector<std::string> messages;
@@ -166,6 +225,10 @@ struct InterleavingOutcome {
     std::string message;  // formatted report line, includes the interleaving key
   };
   std::vector<Violation> violations;
+  /// The watchdog cancelled this replay (hung lock protocol / deadlocked
+  /// subject). No violations are reported for a timed-out replay; the run
+  /// quarantines it and keeps exploring.
+  bool timed_out = false;
 };
 
 class ReplayEngine {
@@ -201,6 +264,19 @@ class ReplayEngine {
   /// Drop all snapshots and zero the counters (run() does this on entry).
   void reset_prefix_state();
 
+  /// Cooperative cancellation for the replay watchdog: flips an atomic that
+  /// the execute loops poll (per event in fast mode, per lock-spin iteration
+  /// in threaded mode). A cancelled replay_one returns a `timed_out` outcome
+  /// and leaves subject/cache state unspecified — callers must discard the
+  /// fixture (sched::WorkerContext rebuilds it). The flag is one-way; a
+  /// cancelled engine is not reused.
+  void request_cancel() noexcept {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+  bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
  private:
   void execute_fast(const Interleaving& il, const EventSet& events, size_t start,
                     std::vector<util::Result<util::Json>>& results);
@@ -211,6 +287,8 @@ class ReplayEngine {
   ReplayOptions options_;
   PrefixReplayStats prefix_stats_;
   std::unique_ptr<PrefixCache> cache_;  // null when max_snapshot_depth == 0
+  std::shared_ptr<ReplayObserver> observer_;  // from options_.observer_factory
+  std::atomic<bool> cancel_requested_{false};
 };
 
 }  // namespace erpi::core

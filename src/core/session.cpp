@@ -23,7 +23,10 @@ Session::Session(proxy::RdlProxy& proxy, Config config)
       store_(db_),
       watcher_(config_.constraints_dir) {}
 
-void Session::start() { proxy_->start_capture(); }
+void Session::start() {
+  captured_ = false;
+  proxy_->start_capture();
+}
 
 void Session::start(SubjectFactory subject_factory) {
   config_.subject_factory = std::move(subject_factory);
@@ -68,7 +71,9 @@ std::unique_ptr<Enumerator> Session::make_enumerator() {
   return nullptr;
 }
 
-Session::PreparedRun Session::prepare_run() {
+void Session::finish_capture() {
+  if (captured_) return;
+  captured_ = true;
   events_ = proxy_->end_capture();
   worker_assertions_.clear();
 
@@ -87,6 +92,10 @@ Session::PreparedRun Session::prepare_run() {
     store_.persist_events(events_);
     store_.persist_units(units_);
   }
+}
+
+Session::PreparedRun Session::prepare_run() {
+  finish_capture();
 
   PreparedRun prepared;
   prepared.enumerator = make_enumerator();

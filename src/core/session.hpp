@@ -81,6 +81,13 @@ class Session {
     /// replay.max_snapshot_depth when set. 0 disables the prefix cache and
     /// restores full-reset replay exactly (see ReplayOptions).
     std::optional<size_t> max_snapshot_depth;
+    /// Crash-safe resume journal path for fault-schedule exploration
+    /// (faults::explore_with_faults). "" disables journaling. When the file
+    /// already exists and its fingerprint matches the run configuration, the
+    /// journaled (interleaving, plan) pairs are skipped and their recorded
+    /// outcomes merged into the final report — so a SIGKILLed run picks up
+    /// where it left off; otherwise a fresh journal is started at this path.
+    std::string resume_journal;
   };
 
   Session(proxy::RdlProxy& proxy, Config config);
@@ -107,6 +114,15 @@ class Session {
     return end_with_factory(AssertionFactory(std::forward<F>(assertion_factory)));
   }
   ReplayReport end_with_factory(const AssertionFactory& assertion_factory);
+
+  /// Stop capturing and run the grouping/persist half of end() — events and
+  /// units become available, make_enumerator() works — without replaying
+  /// anything. Idempotent until the next start(). This is the entry point for
+  /// drivers that own the replay loop themselves (faults::FaultExplorer runs
+  /// the interleaving stream once per fault plan via make_enumerator()).
+  void finish_capture();
+
+  const Config& config() const noexcept { return config_; }
 
   // ---- post-run introspection ----
   const EventSet& events() const noexcept { return events_; }
@@ -155,6 +171,7 @@ class Session {
   PrunedEnumerator* active_pruned_ = nullptr;  // live during end()
   PruningPipeline::Stats last_stats_;
   std::vector<AssertionList> worker_assertions_;
+  bool captured_ = false;  // finish_capture() ran since the last start()
 };
 
 }  // namespace erpi::core

@@ -1,0 +1,255 @@
+#include "faults/explorer.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/persist.hpp"
+#include "faults/runtime.hpp"
+#include "sched/explorer.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace erpi::faults {
+namespace {
+
+/// Inverse of Interleaving::key() ("3,0,1,2"), used to rehydrate the first
+/// violation when it is merged back out of the journal.
+core::Interleaving interleaving_from_key(const std::string& key) {
+  core::Interleaving il;
+  size_t start = 0;
+  while (start < key.size()) {
+    size_t end = key.find(',', start);
+    if (end == std::string::npos) end = key.size();
+    il.order.push_back(std::stoi(key.substr(start, end - start)));
+    start = end + 1;
+  }
+  return il;
+}
+
+/// The run-configuration fingerprint guarding journal resumes: everything
+/// that shapes the (interleaving, plan) stream and its outcomes — events,
+/// units, enumerator configuration, caps, catalog — but NOT parallelism or
+/// the watchdog deadline, so a resume may use a different worker count.
+uint64_t run_fingerprint(const core::Session& session,
+                         const std::vector<FaultPlan>& plans,
+                         const core::ReplayOptions& replay) {
+  util::Fnv1aHasher hasher;
+  const auto& config = session.config();
+  hasher.bytes(core::exploration_mode_name(config.mode));
+  hasher.u64(static_cast<uint64_t>(config.generation_order));
+  hasher.u64(config.random_seed);
+  hasher.u64(config.dfs_branch_seed);
+  hasher.u64(replay.max_interleavings);
+  hasher.u64(replay.stop_on_violation ? 1 : 0);
+  hasher.u64(replay.max_snapshot_depth);
+  hasher.u64(replay.threaded ? 1 : 0);
+  for (const auto& event : session.events()) hasher.bytes(event.to_json().dump());
+  for (const auto& unit : session.units()) {
+    for (const int id : unit.events) hasher.i64(id);
+    hasher.bytes("/");
+  }
+  for (const auto& plan : plans) hasher.bytes(plan.key());
+  return hasher.digest();
+}
+
+}  // namespace
+
+FaultExplorer::FaultExplorer(core::Session& session, CatalogOptions catalog)
+    : session_(&session), catalog_options_(catalog) {}
+
+core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_factory) {
+  session_->finish_capture();
+  const auto& config = session_->config();
+  if (!config.subject_factory) {
+    throw std::invalid_argument(
+        "fault-schedule exploration requires a subject factory "
+        "(Session::start(factory) or Config::subject_factory)");
+  }
+
+  // Effective replay options, resolved the way Session::prepare_run does.
+  core::ReplayOptions replay = config.replay;
+  if (config.max_snapshot_depth) replay.max_snapshot_depth = *config.max_snapshot_depth;
+
+  // The catalog needs the replica count; probe one fixture for it.
+  int replica_count = 0;
+  {
+    const auto probe = config.subject_factory();
+    if (probe == nullptr) {
+      throw std::invalid_argument("subject factory returned a null fixture");
+    }
+    replica_count = probe->replica_count();
+  }
+  plans_ = build_catalog(session_->events(), replica_count, catalog_options_);
+  worker_assertions_.clear();
+
+  util::Stopwatch watch;
+  core::ReplayReport report;
+
+  // One budget spans the whole sweep, like one sequential run would charge.
+  core::BudgetAccount local_budget(replay.resource_budget_bytes);
+  core::BudgetAccount* budget = replay.budget != nullptr ? replay.budget : &local_budget;
+
+  // ---- crash-safe journal: load what a killed run already explored --------
+  const uint64_t fingerprint = run_fingerprint(*session_, plans_, replay);
+  std::map<std::string, std::vector<core::RunJournal::Record>> journaled;
+  if (!config.resume_journal.empty()) {
+    if (auto loaded = core::RunJournal::load(config.resume_journal)) {
+      if (loaded->fingerprint == fingerprint) {
+        for (auto& record : loaded->records) {
+          journaled[record.plan].push_back(std::move(record));
+        }
+      } else {
+        ERPI_INFO("faults") << "resume journal fingerprint mismatch, starting fresh: "
+                            << config.resume_journal;
+      }
+    }
+  }
+  std::optional<core::RunJournal> journal;
+  if (!config.resume_journal.empty()) {
+    journal = core::RunJournal::create(config.resume_journal, fingerprint);
+    // Re-seed the fresh journal with the resumed prefix so a second kill
+    // resumes from at least this far, then compact it in one atomic rename.
+    for (const auto& plan : plans_) {
+      const auto it = journaled.find(plan.key());
+      if (it == journaled.end()) continue;
+      for (const auto& record : it->second) journal->append(record);
+    }
+    journal->checkpoint();
+  }
+
+  // ---- plan-major sweep ----------------------------------------------------
+  bool stopped = false;         // stop_on_violation hit
+  bool all_exhausted = true;    // every plan's stream ran dry
+  bool any_hit_cap = false;
+
+  // Commit one (interleaving, plan) pair into the run report — the single
+  // aggregation point both live outcomes and journal-merged outcomes go
+  // through, so resumed and uninterrupted runs produce identical reports.
+  const auto commit = [&](const FaultPlan& plan, uint64_t plan_ordinal,
+                          const core::Interleaving& il,
+                          const core::InterleavingOutcome& outcome, bool from_journal) {
+    ++report.explored;
+    if (from_journal) ++report.pairs_skipped_from_journal;
+    if (outcome.timed_out) {
+      ++report.timed_out;
+      report.quarantined.push_back(plan.key() + "/" + il.key());
+    }
+    for (const auto& violation : outcome.violations) {
+      ++report.violations;
+      if (report.messages.size() < 16) {
+        report.messages.push_back("[plan " + plan.key() + "] " + violation.message);
+      }
+      if (!report.reproduced) {
+        report.reproduced = true;
+        report.first_violation_index = report.explored;
+        report.first_violation_assertion = violation.assertion;
+        report.first_violation = il;
+        report.first_violation_plan = plan.key();
+        report.first_violation_plan_interleaving = plan_ordinal;
+      }
+    }
+    if (!outcome.violations.empty() && replay.stop_on_violation) stopped = true;
+  };
+
+  for (const auto& plan : plans_) {
+    if (stopped || budget->crashed()) break;
+    ++report.plans_explored;
+
+    // Merge the journaled prefix of this plan's sweep (an ascending 1..m
+    // prefix, because the committer journals in commit order).
+    uint64_t skip = 0;
+    if (const auto it = journaled.find(plan.key()); it != journaled.end()) {
+      for (const auto& record : it->second) {
+        core::InterleavingOutcome outcome;
+        outcome.timed_out = record.timed_out;
+        for (const auto& violation : record.violations) {
+          outcome.violations.push_back({violation.assertion, violation.message});
+        }
+        commit(plan, record.interleaving, interleaving_from_key(record.key), outcome,
+               /*from_journal=*/true);
+        skip = record.interleaving;
+        if (stopped) break;
+      }
+    }
+    if (stopped) break;
+
+    // Rebuild the enumerator for this plan and drain the journaled prefix,
+    // charging the explored-interleaving budget exactly as the dispatcher
+    // would have — so a resumed run's budget trajectory matches.
+    auto enumerator = session_->make_enumerator();
+    bool drained_dry = false;
+    for (uint64_t i = 0; i < skip; ++i) {
+      const auto il = enumerator->next();
+      if (!il) {
+        drained_dry = true;
+        break;
+      }
+      budget->charge(core::explored_log_entry_bytes(*il));
+    }
+    if (drained_dry) continue;  // journal covered the whole (short) stream
+
+    const uint64_t cap = replay.max_interleavings;
+    sched::ExplorerOptions options;
+    options.parallelism = std::max(1, config.parallelism);
+    options.replay = replay;
+    options.replay.budget = budget;
+    options.replay.max_interleavings = cap > skip ? cap - skip : 0;
+    options.replay.extra_cache_bytes = nullptr;
+    options.replay.on_interleaving_done = nullptr;
+    options.replay.observer_factory = [plan](proxy::Rdl& subject) {
+      return std::make_shared<PlanRuntime>(plan, subject);
+    };
+    options.replay.on_outcome = [&](uint64_t index, const core::Interleaving& il,
+                                    const core::InterleavingOutcome& outcome) {
+      const uint64_t plan_ordinal = skip + index;
+      if (journal) {
+        core::RunJournal::Record record;
+        record.plan = plan.key();
+        record.interleaving = plan_ordinal;
+        record.key = il.key();
+        record.timed_out = outcome.timed_out;
+        for (const auto& violation : outcome.violations) {
+          record.violations.push_back({violation.assertion, violation.message});
+        }
+        journal->append(record);
+      }
+      commit(plan, plan_ordinal, il, outcome, /*from_journal=*/false);
+    };
+    options.subject_factory = config.subject_factory;
+    options.assertion_factory = assertion_factory;
+
+    sched::ParallelExplorer explorer(std::move(options));
+    const core::ReplayReport plan_report = explorer.run(*enumerator, session_->events());
+    for (const auto& assertions : explorer.worker_assertions()) {
+      worker_assertions_.push_back(assertions);
+    }
+    report.prefix.merge(plan_report.prefix);
+    if (!plan_report.exhausted) all_exhausted = false;
+    if (plan_report.hit_cap) any_hit_cap = true;
+    if (plan_report.crashed) {
+      report.crashed = true;
+      report.budget_exhausted = true;
+      break;
+    }
+  }
+
+  if (journal) journal->checkpoint();
+
+  if (!stopped && !report.crashed) {
+    report.exhausted = all_exhausted;
+    report.hit_cap = any_hit_cap;
+  }
+  report.elapsed_seconds = watch.elapsed_seconds();
+  return report;
+}
+
+core::ReplayReport explore_with_faults(core::Session& session,
+                                       const core::AssertionFactory& assertion_factory,
+                                       const CatalogOptions& catalog) {
+  FaultExplorer explorer(session, catalog);
+  return explorer.run(assertion_factory);
+}
+
+}  // namespace erpi::faults

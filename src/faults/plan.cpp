@@ -1,0 +1,96 @@
+#include "faults/plan.hpp"
+
+#include <algorithm>
+
+namespace erpi::faults {
+
+std::string FaultPlan::key() const {
+  switch (kind) {
+    case Kind::None:
+      return "none";
+    case Kind::DropSync:
+      return "drop:" + std::to_string(sync_index);
+    case Kind::DuplicateSync:
+      return "dup:" + std::to_string(sync_index);
+    case Kind::PartitionWindow:
+      return "part:" + std::to_string(replica_a) + "-" + std::to_string(replica_b) + "@" +
+             std::to_string(window_begin) + ".." + std::to_string(window_end);
+    case Kind::CrashRestart:
+      return "crash:r" + std::to_string(replica_a) + "@" + std::to_string(snapshot_pos) +
+             "->" + std::to_string(crash_pos);
+  }
+  return "?";
+}
+
+std::vector<FaultPlan> build_catalog(const core::EventSet& events, int replica_count,
+                                     const CatalogOptions& options) {
+  std::vector<FaultPlan> plans;
+  const size_t n = events.size();
+  size_t sync_sends = 0;
+  for (const auto& event : events) {
+    if (event.is_sync_req()) ++sync_sends;
+  }
+
+  if (options.baseline) plans.push_back(FaultPlan{});
+
+  // Single-drop / single-duplicate sweeps over the sync sends. The ordinal is
+  // interleaving-relative (the k-th send *executed*), so one plan targets a
+  // different physical message in each interleaving — a sweep over k plus a
+  // sweep over interleavings covers every (message, ordering) combination the
+  // caps allow.
+  for (uint64_t k = 1; k <= std::min<uint64_t>(sync_sends, options.max_drops); ++k) {
+    FaultPlan plan;
+    plan.kind = FaultPlan::Kind::DropSync;
+    plan.sync_index = k;
+    plans.push_back(plan);
+  }
+  for (uint64_t k = 1; k <= std::min<uint64_t>(sync_sends, options.max_duplicates); ++k) {
+    FaultPlan plan;
+    plan.kind = FaultPlan::Kind::DuplicateSync;
+    plan.sync_index = k;
+    plans.push_back(plan);
+  }
+
+  // Partition windows: slide the window start across positions, cycling the
+  // replica pairs so every link gets exercised as the cap allows.
+  if (n > 0 && replica_count >= 2) {
+    std::vector<std::pair<net::ReplicaId, net::ReplicaId>> pairs;
+    for (net::ReplicaId a = 0; a < replica_count; ++a) {
+      for (net::ReplicaId b = a + 1; b < replica_count; ++b) pairs.emplace_back(a, b);
+    }
+    size_t made = 0;
+    for (size_t begin = 0; begin < n && made < options.max_partition_windows;
+         ++begin, ++made) {
+      FaultPlan plan;
+      plan.kind = FaultPlan::Kind::PartitionWindow;
+      plan.window_begin = begin;
+      plan.window_end = std::min(begin + std::max<size_t>(1, options.partition_window_length), n);
+      const auto& pair = pairs[made % pairs.size()];
+      plan.replica_a = pair.first;
+      plan.replica_b = pair.second;
+      plans.push_back(plan);
+    }
+  }
+
+  // Crash-restart: snapshot early, crash late — the positions sit at n/3 and
+  // 2n/3 so the checkpoint predates real work and the crash discards some.
+  if (n >= 2 && replica_count >= 1) {
+    for (size_t c = 0; c < options.max_crash_restarts; ++c) {
+      FaultPlan plan;
+      plan.kind = FaultPlan::Kind::CrashRestart;
+      plan.replica_a = static_cast<net::ReplicaId>(c % static_cast<size_t>(replica_count));
+      plan.snapshot_pos = n / 3;
+      plan.crash_pos = std::min(n - 1, std::max(plan.snapshot_pos + 1, (2 * n) / 3));
+      if (plan.crash_pos <= plan.snapshot_pos) continue;
+      // Successive crash plans with identical positions differ only by
+      // replica; with one replica the sweep degenerates to a single plan.
+      if (std::find(plans.begin(), plans.end(), plan) != plans.end()) continue;
+      plans.push_back(plan);
+    }
+  }
+
+  if (plans.size() > options.max_plans) plans.resize(options.max_plans);
+  return plans;
+}
+
+}  // namespace erpi::faults

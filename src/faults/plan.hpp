@@ -1,0 +1,85 @@
+// Deterministic fault plans (DESIGN.md §8).
+//
+// A FaultPlan is a small value type of scheduled fault actions keyed to
+// interleaving positions — not probabilities. Where SimNetwork::Faults makes
+// the k-th send fail *sometimes*, a plan makes exactly the k-th sync send
+// fail on *every* replay, which is what turns network/replica faults into an
+// explored dimension: the fault layer replays each surviving interleaving
+// under each plan of a bounded catalog, and a violation is named by its
+// (interleaving, plan) pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/interleaving.hpp"
+
+namespace erpi::faults {
+
+struct FaultPlan {
+  enum class Kind {
+    None,             // fault-free baseline
+    DropSync,         // drop the k-th sync send of the interleaving
+    DuplicateSync,    // duplicate the k-th sync send
+    PartitionWindow,  // sever one link for positions [window_begin, window_end)
+    CrashRestart,     // snapshot a replica, later crash + restore it
+  };
+
+  Kind kind = Kind::None;
+  /// DropSync / DuplicateSync: 1-based ordinal of the targeted send, counted
+  /// over sync_req executions in interleaving order (SimNetwork::Script).
+  uint64_t sync_index = 0;
+  /// PartitionWindow: the link (replica_a, replica_b) is severed immediately
+  /// before position window_begin executes and healed immediately before
+  /// position window_end executes (window_end == interleaving size means the
+  /// window never closes; reset() between interleavings heals it).
+  size_t window_begin = 0;
+  size_t window_end = 0;
+  net::ReplicaId replica_a = -1;
+  net::ReplicaId replica_b = -1;  // PartitionWindow only
+  /// CrashRestart: replica_a's state is checkpointed immediately before
+  /// position snapshot_pos executes, then immediately before position
+  /// crash_pos the replica crashes: its state reverts to the checkpoint and
+  /// its queued inbox is discarded (SubjectBase::crash_restore_replica).
+  size_t snapshot_pos = 0;
+  size_t crash_pos = 0;
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// Stable id used in reports and the run journal: "none", "drop:2",
+  /// "dup:1", "part:0-1@2..4", "crash:r1@1->3".
+  std::string key() const;
+};
+
+/// Bounded catalog composition. Every knob caps one sweep; the catalog stays
+/// small by construction (|catalog| <= 1 + max_drops + max_duplicates +
+/// max_partition_windows + max_crash_restarts, then clipped to max_plans).
+struct CatalogOptions {
+  bool baseline = true;  /// include the fault-free "none" plan first
+  /// Single-drop sweep: plans drop:1 .. drop:k, bounded by the number of
+  /// sync_req events captured.
+  size_t max_drops = 4;
+  /// Single-duplicate sweep, same bounds as drops.
+  size_t max_duplicates = 4;
+  /// Partition windows starting at positions 0, 1, ..., cycling through the
+  /// replica pairs, each window partition_window_length positions long.
+  size_t max_partition_windows = 4;
+  size_t partition_window_length = 2;
+  /// Crash-restart plans, one per replica (cycling) at positions derived
+  /// from the event count.
+  size_t max_crash_restarts = 2;
+  /// Hard cap on the composed catalog.
+  size_t max_plans = 32;
+
+  bool operator==(const CatalogOptions&) const = default;
+};
+
+/// Deterministically compose the plan catalog for a captured event set: same
+/// events + same options -> same plans in the same order, which is what makes
+/// the (interleaving, plan) exploration space stable across runs, worker
+/// counts, and journal resumes.
+std::vector<FaultPlan> build_catalog(const core::EventSet& events, int replica_count,
+                                     const CatalogOptions& options = {});
+
+}  // namespace erpi::faults

@@ -1,0 +1,63 @@
+#include "faults/runtime.hpp"
+
+namespace erpi::faults {
+
+PlanRuntime::PlanRuntime(FaultPlan plan, proxy::Rdl& subject) : plan_(plan) {
+  base_ = dynamic_cast<subjects::SubjectBase*>(&subject);
+  if (base_ == nullptr) return;
+  // Scripted network faults are installed once per fixture; the per-
+  // interleaving reset() rewinds the send ordinal but keeps the script.
+  net::SimNetwork::Script script;
+  if (plan_.kind == FaultPlan::Kind::DropSync) script.drop.insert(plan_.sync_index);
+  if (plan_.kind == FaultPlan::Kind::DuplicateSync) {
+    script.duplicate.insert(plan_.sync_index);
+  }
+  if (!script.empty()) base_->network().set_script(std::move(script));
+}
+
+void PlanRuntime::on_replay_begin(proxy::Rdl& subject, const core::Interleaving& il,
+                                  size_t resume_depth) {
+  (void)subject;
+  (void)il;
+  if (plan_.kind != FaultPlan::Kind::CrashRestart) return;
+  // The retained checkpoint is valid only while the replay shares the prefix
+  // it was taken in. Resuming at depth > snapshot_pos means positions
+  // 0..snapshot_pos-1 (and so the pre-snapshot_pos state) are identical to
+  // the replay that took it — keep it. Resuming at or before snapshot_pos
+  // means before_event(snapshot_pos) will run again and retake it; clear the
+  // stale one so a failed retake cannot restore across interleavings.
+  if (resume_depth <= plan_.snapshot_pos) {
+    saved_ = subjects::SubjectBase::ReplicaSnapshotState{};
+  }
+}
+
+void PlanRuntime::before_event(proxy::Rdl& subject, const core::Interleaving& il,
+                               size_t pos) {
+  (void)subject;
+  (void)il;
+  if (base_ == nullptr) return;
+  switch (plan_.kind) {
+    case FaultPlan::Kind::None:
+    case FaultPlan::Kind::DropSync:
+    case FaultPlan::Kind::DuplicateSync:
+      break;  // script-driven; nothing positional to do
+    case FaultPlan::Kind::PartitionWindow:
+      if (pos == plan_.window_begin) {
+        base_->network().partition(plan_.replica_a, plan_.replica_b);
+      }
+      if (pos == plan_.window_end) {
+        base_->network().heal(plan_.replica_a, plan_.replica_b);
+      }
+      break;
+    case FaultPlan::Kind::CrashRestart:
+      if (pos == plan_.snapshot_pos) {
+        saved_ = base_->snapshot_replica(plan_.replica_a);
+      }
+      if (pos == plan_.crash_pos && saved_.valid()) {
+        base_->crash_restore_replica(plan_.replica_a, saved_);
+      }
+      break;
+  }
+}
+
+}  // namespace erpi::faults

@@ -1,0 +1,42 @@
+// PlanRuntime — executes one FaultPlan's scheduled actions against a live
+// replay via the core::ReplayObserver hooks.
+//
+// One instance is bound to one subject fixture (the engine's observer_factory
+// builds it), so per-plan mutable state (the crash checkpoint) is per-fixture
+// and needs no locking. Determinism with the prefix cache holds because every
+// action fires in before_event(pos), i.e. strictly before the event at pos
+// executes: the snapshot taken at depth pos+1 captures the post-action state,
+// and a replay resuming at depth > pos inherits the action from the restored
+// checkpoint instead of re-firing it.
+#pragma once
+
+#include "core/replay.hpp"
+#include "faults/plan.hpp"
+#include "subjects/subject_base.hpp"
+
+namespace erpi::faults {
+
+class PlanRuntime : public core::ReplayObserver {
+ public:
+  /// Binds the plan to `subject`'s fixture. Drop/duplicate plans install
+  /// their SimNetwork::Script here, once — the script survives the per-
+  /// interleaving reset() (which only rewinds the send ordinal) and rides
+  /// through prefix-cache restores inside SimNetwork::State.
+  PlanRuntime(FaultPlan plan, proxy::Rdl& subject);
+
+  void on_replay_begin(proxy::Rdl& subject, const core::Interleaving& il,
+                       size_t resume_depth) override;
+  void before_event(proxy::Rdl& subject, const core::Interleaving& il,
+                    size_t pos) override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  /// Crash/partition actions need SubjectBase machinery; for foreign Rdl
+  /// implementations those plans degrade to no-ops (deterministically so).
+  subjects::SubjectBase* base_ = nullptr;
+  subjects::SubjectBase::ReplicaSnapshotState saved_;  // CrashRestart checkpoint
+};
+
+}  // namespace erpi::faults

@@ -20,6 +20,17 @@ void SimNetwork::set_faults(Faults faults) {
   faults_ = faults;
 }
 
+void SimNetwork::set_script(Script script) {
+  std::lock_guard lock(mu_);
+  script_ = std::move(script);
+  script_sends_seen_ = 0;
+}
+
+SimNetwork::Script SimNetwork::script() const {
+  std::lock_guard lock(mu_);
+  return script_;
+}
+
 void SimNetwork::partition(ReplicaId a, ReplicaId b) {
   check_replica(a);
   check_replica(b);
@@ -48,15 +59,27 @@ std::optional<uint64_t> SimNetwork::send(ReplicaId from, ReplicaId to, std::stri
   check_replica(to);
   std::lock_guard lock(mu_);
   ++stats_.sent;
-  if (partitions_.count({std::min(from, to), std::max(from, to)}) > 0 ||
-      rng_.chance(faults_.drop_probability)) {
+  ++script_sends_seen_;
+  const bool severed = partitions_.count({std::min(from, to), std::max(from, to)}) > 0;
+  // Both fault chances are drawn on every send, even across a severed link:
+  // the fault RNG stream must advance exactly one (drop, duplicate) pair per
+  // send so that save_state()/restore_state() round-trips and fault-schedule
+  // replays see the same stream regardless of partition timing.
+  const bool fault_drop = rng_.chance(faults_.drop_probability);
+  const bool fault_dup = rng_.chance(faults_.duplicate_probability);
+  const bool script_drop = script_.drop.count(script_sends_seen_) > 0;
+  const bool script_dup = script_.duplicate.count(script_sends_seen_) > 0;
+  if (severed || fault_drop || script_drop) {
+    // However many causes coincide (probability drop on a severed link, a
+    // scripted drop on top of either), the message is one loss: count it
+    // exactly once, and never duplicate what was never delivered.
     ++stats_.dropped;
     return std::nullopt;
   }
   Message m{from, to, std::move(topic), std::move(payload), next_seq_++};
   auto& channel = channels_[{from, to}];
   channel.push_back(m);
-  if (rng_.chance(faults_.duplicate_probability)) {
+  if (fault_dup || script_dup) {
     Message dup = channel.back();
     dup.seq = next_seq_++;
     channel.push_back(std::move(dup));
@@ -169,6 +192,23 @@ void SimNetwork::reset() {
   channels_.clear();
   stats_ = NetworkStats{};
   next_seq_ = 1;
+  script_sends_seen_ = 0;  // the script itself survives across interleavings
+}
+
+size_t SimNetwork::drop_inbound(ReplicaId to) {
+  check_replica(to);
+  std::lock_guard lock(mu_);
+  size_t discarded = 0;
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->first.second == to) {
+      discarded += it->second.size();
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.dropped += discarded;
+  return discarded;
 }
 
 uint64_t SimNetwork::State::bytes() const noexcept {
@@ -179,6 +219,7 @@ uint64_t SimNetwork::State::bytes() const noexcept {
     }
   }
   total += partitions.size() * sizeof(std::pair<ReplicaId, ReplicaId>);
+  total += (script.drop.size() + script.duplicate.size()) * sizeof(uint64_t);
   return total;
 }
 
@@ -191,6 +232,8 @@ SimNetwork::State SimNetwork::save_state() const {
   state.channels = channels_;
   state.partitions = partitions_;
   state.stats = stats_;
+  state.script = script_;
+  state.script_sends_seen = script_sends_seen_;
   return state;
 }
 
@@ -202,6 +245,8 @@ void SimNetwork::restore_state(const State& state) {
   channels_ = state.channels;
   partitions_ = state.partitions;
   stats_ = state.stats;
+  script_ = state.script;
+  script_sends_seen_ = state.script_sends_seen;
 }
 
 }  // namespace erpi::net

@@ -44,6 +44,23 @@ class SimNetwork {
   struct Faults {
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
+
+    bool operator==(const Faults&) const = default;
+  };
+
+  /// Deterministic scripted faults (the fault-schedule exploration layer,
+  /// src/faults): sends are counted 1, 2, 3, ... from the last reset() /
+  /// set_script(), and a send whose ordinal appears in `drop` is dropped,
+  /// in `duplicate` duplicated. Unlike the probabilistic Faults above, a
+  /// script makes the exact same message fail on every replay of the same
+  /// interleaving — which is what lets a FaultPlan be an explored dimension
+  /// rather than noise.
+  struct Script {
+    std::set<uint64_t> drop;
+    std::set<uint64_t> duplicate;
+
+    bool empty() const noexcept { return drop.empty() && duplicate.empty(); }
+    bool operator==(const Script&) const = default;
   };
 
   explicit SimNetwork(int replica_count, uint64_t seed = 0xbeef);
@@ -51,6 +68,12 @@ class SimNetwork {
   int replica_count() const noexcept { return replica_count_; }
 
   void set_faults(Faults faults);
+
+  /// Install a scripted fault schedule and restart the send ordinal at 1.
+  /// The script survives reset() (reset only rewinds the ordinal), so one
+  /// installation covers every interleaving replayed under the same plan.
+  void set_script(Script script);
+  Script script() const;
 
   /// Sever the link between two replicas (both directions). Messages sent
   /// across a partition are dropped.
@@ -84,8 +107,15 @@ class SimNetwork {
 
   NetworkStats stats() const;
 
-  /// Drop all in-flight messages and reset statistics (between interleavings).
+  /// Drop all in-flight messages and reset statistics (between
+  /// interleavings). Keeps the scripted fault schedule but rewinds its send
+  /// ordinal to the beginning, so every interleaving sees the same script.
   void reset();
+
+  /// Crash-fault support: discard every queued message destined to `to`
+  /// (the crashed replica's inbox dies with its process). The discarded
+  /// messages count as dropped in stats(). Returns how many were discarded.
+  size_t drop_inbound(ReplicaId to);
 
   /// Value-semantic checkpoint of the network: queued messages, partitions,
   /// fault configuration, the fault RNG stream, sequence counter and stats.
@@ -95,6 +125,8 @@ class SimNetwork {
   struct State {
     util::Rng rng;
     Faults faults;
+    Script script;
+    uint64_t script_sends_seen = 0;
     uint64_t next_seq = 1;
     std::map<std::pair<ReplicaId, ReplicaId>, std::deque<Message>> channels;
     std::set<std::pair<ReplicaId, ReplicaId>> partitions;
@@ -116,6 +148,8 @@ class SimNetwork {
   mutable std::mutex mu_;
   util::Rng rng_;
   Faults faults_;
+  Script script_;
+  uint64_t script_sends_seen_ = 0;
   uint64_t next_seq_ = 1;
   std::map<std::pair<ReplicaId, ReplicaId>, std::deque<Message>> channels_;
   std::set<std::pair<ReplicaId, ReplicaId>> partitions_;  // normalized (min,max)

@@ -199,6 +199,12 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
       reorder.erase(it);
 
       ++report.explored;
+      if (item.outcome.timed_out) {
+        // Watchdog quarantine: counted, keyed, never a violation — and
+        // committed in order, so the quarantine list is deterministic.
+        ++report.timed_out;
+        report.quarantined.push_back(item.interleaving.key());
+      }
       for (const auto& violation : item.outcome.violations) {
         ++report.violations;
         if (report.messages.size() < 16) report.messages.push_back(violation.message);
@@ -209,11 +215,16 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
           report.first_violation = item.interleaving;
         }
       }
-      if (options_.replay.on_interleaving_done) {
+      if (options_.replay.on_outcome || options_.replay.on_interleaving_done) {
         // Serialized, ascending delivery under the enumerator lock: the
-        // callback may mutate the pruning pipeline the dispatcher reads.
+        // callbacks may mutate the pruning pipeline the dispatcher reads.
         std::lock_guard lock(enum_mu);
-        options_.replay.on_interleaving_done(report.explored, item.interleaving);
+        if (options_.replay.on_outcome) {
+          options_.replay.on_outcome(report.explored, item.interleaving, item.outcome);
+        }
+        if (options_.replay.on_interleaving_done) {
+          options_.replay.on_interleaving_done(report.explored, item.interleaving);
+        }
       }
       if (stop_on_violation && !item.outcome.violations.empty()) stopped = true;
       ++next_commit;
@@ -229,6 +240,10 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
   // overrun into.
   const bool stopped_at_violation = stop_on_violation && report.reproduced;
   report.crashed = dispatch_crashed.load() && !stopped_at_violation;
+  // Budget overrun never throws out of a worker: the dispatcher latches it
+  // on the shared account, workers drain, and the report carries partial
+  // results with the structured flag set.
+  report.budget_exhausted = report.crashed;
   report.exhausted = dispatch_exhausted.load() && !stopped_at_violation;
   report.hit_cap = report.explored >= cap;
   report.elapsed_seconds = watch.elapsed_seconds();

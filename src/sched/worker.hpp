@@ -16,6 +16,13 @@
 //
 // The only shared pieces are explicitly thread-safe: the BudgetAccount
 // (atomic charge, crash-once) and the explorer's queues.
+//
+// Replay watchdog (ReplayOptions::watchdog_timeout_ms > 0): each replay runs
+// on a short-lived thread; if it misses the deadline the engine is cancelled
+// cooperatively, the whole fixture is abandoned to the hung thread (shared
+// ownership, so nothing dangles) and rebuilt fresh, and the interleaving is
+// reported as a structured timed_out outcome. See DESIGN.md §8 for what can
+// and cannot be reclaimed from a hung replay.
 #pragma once
 
 #include <memory>
@@ -28,8 +35,8 @@ class WorkerContext {
  public:
   /// `base` carries the run-wide replay options. The context rewires the
   /// per-worker pieces: a private lock server when `base.threaded` is set,
-  /// the shared `budget`, and no on_interleaving_done (delivery is the
-  /// explorer's job, serialized on its control thread).
+  /// the shared `budget`, and no on_interleaving_done / on_outcome (delivery
+  /// is the explorer's job, serialized on its control thread).
   WorkerContext(const core::SubjectFactory& subject_factory,
                 const core::AssertionFactory& assertion_factory,
                 core::ReplayOptions base, core::BudgetAccount* budget);
@@ -37,27 +44,46 @@ class WorkerContext {
   WorkerContext(const WorkerContext&) = delete;
   WorkerContext& operator=(const WorkerContext&) = delete;
 
-  /// Replay one interleaving against this worker's private fixture.
+  /// Replay one interleaving against this worker's private fixture. With a
+  /// watchdog configured, a replay that exceeds the deadline returns
+  /// outcome.timed_out == true and this context transparently rebuilds its
+  /// fixture before the next call.
   core::InterleavingOutcome replay_one(const core::Interleaving& il,
                                        const core::EventSet& events);
 
-  proxy::Rdl& subject() noexcept { return *subject_; }
-  const core::AssertionList& assertions() const noexcept { return assertions_; }
+  proxy::Rdl& subject() noexcept { return *fixture_->subject; }
+  const core::AssertionList& assertions() const noexcept { return fixture_->assertions; }
 
   /// This worker's incremental-replay counters (read after the pool joins).
-  const core::PrefixReplayStats& prefix_stats() const noexcept {
-    return engine_->prefix_stats();
-  }
+  /// Counters from fixtures abandoned to hung replays are not included —
+  /// a thread stuck inside the subject may still be mutating them.
+  core::PrefixReplayStats prefix_stats() const { return fixture_->engine->prefix_stats(); }
+
   /// Bytes retained by this worker's prefix snapshot cache. Thread-safe; the
   /// dispatcher polls it for shared-budget checks.
-  uint64_t snapshot_cache_bytes() const noexcept { return engine_->snapshot_cache_bytes(); }
+  uint64_t snapshot_cache_bytes() const noexcept {
+    return fixture_->engine->snapshot_cache_bytes();
+  }
 
  private:
-  std::unique_ptr<proxy::Rdl> subject_;
-  std::unique_ptr<kv::Server> lock_server_;  // threaded mode only
-  std::unique_ptr<proxy::RdlProxy> proxy_;
-  core::AssertionList assertions_;
-  std::unique_ptr<core::ReplayEngine> engine_;
+  /// Everything a replay touches, bundled so a hung replay thread can keep a
+  /// shared reference while the worker moves on to a fresh instance.
+  struct Fixture {
+    std::unique_ptr<proxy::Rdl> subject;
+    std::unique_ptr<kv::Server> lock_server;  // threaded mode only
+    std::unique_ptr<proxy::RdlProxy> proxy;
+    core::AssertionList assertions;
+    std::unique_ptr<core::ReplayEngine> engine;
+  };
+
+  std::shared_ptr<Fixture> build_fixture() const;
+  core::InterleavingOutcome replay_with_watchdog(const core::Interleaving& il,
+                                                 const core::EventSet& events);
+
+  core::SubjectFactory subject_factory_;
+  core::AssertionFactory assertion_factory_;
+  core::ReplayOptions options_;  // per-worker rewired (budget, callbacks)
+  std::shared_ptr<Fixture> fixture_;
 };
 
 }  // namespace erpi::sched

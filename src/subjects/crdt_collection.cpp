@@ -45,6 +45,14 @@ bool CrdtCollection::adopt_replicas(const void* saved) {
   return adopt_ctx_vector(replicas_, saved);
 }
 
+std::shared_ptr<const void> CrdtCollection::clone_replica(net::ReplicaId replica) const {
+  return clone_ctx_at(replicas_, replica);
+}
+
+bool CrdtCollection::adopt_replica(net::ReplicaId replica, const void* saved) {
+  return adopt_ctx_at(replicas_, replica, saved);
+}
+
 void CrdtCollection::record(ReplicaCtx& ctx, net::ReplicaId origin, util::Json op_json) {
   StampedOp stamped{origin, ctx.next_local_seq++, std::move(op_json)};
   ctx.applied.insert({stamped.origin, stamped.seq});

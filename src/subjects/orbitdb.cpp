@@ -29,6 +29,14 @@ bool OrbitDb::adopt_replicas(const void* saved) {
   return adopt_ctx_vector(replicas_, saved);
 }
 
+std::shared_ptr<const void> OrbitDb::clone_replica(net::ReplicaId replica) const {
+  return clone_ctx_at(replicas_, replica);
+}
+
+bool OrbitDb::adopt_replica(net::ReplicaId replica, const void* saved) {
+  return adopt_ctx_at(replicas_, replica, saved);
+}
+
 util::Status OrbitDb::apply_entry(ReplicaCtx& ctx, const crdt::LogEntry& entry) {
   ctx.seen_hashes.insert(entry.hash);
   const auto st = ctx.log->apply(entry);

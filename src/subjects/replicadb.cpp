@@ -20,6 +20,14 @@ bool ReplicaDb::adopt_replicas(const void* saved) {
   return adopt_ctx_vector(replicas_, saved);
 }
 
+std::shared_ptr<const void> ReplicaDb::clone_replica(net::ReplicaId replica) const {
+  return clone_ctx_at(replicas_, replica);
+}
+
+bool ReplicaDb::adopt_replica(net::ReplicaId replica, const void* saved) {
+  return adopt_ctx_at(replicas_, replica, saved);
+}
+
 void ReplicaDb::upsert(std::map<std::string, Row>& table, const std::string& id, Row row) {
   const auto it = table.find(id);
   if (it == table.end() || row.version > it->second.version ||

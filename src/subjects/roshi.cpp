@@ -29,6 +29,14 @@ bool Roshi::adopt_replicas(const void* saved) {
   return adopt_ctx_vector(replicas_, saved);
 }
 
+std::shared_ptr<const void> Roshi::clone_replica(net::ReplicaId replica) const {
+  return clone_ctx_at(replicas_, replica);
+}
+
+bool Roshi::adopt_replica(net::ReplicaId replica, const void* saved) {
+  return adopt_ctx_at(replicas_, replica, saved);
+}
+
 bool Roshi::lww_write(ReplicaCtx& ctx, const std::string& key, const std::string& member,
                       double ts, bool is_delete, bool from_sync) {
   ctx.history.insert(key + "|" + member + "|" + std::to_string(ts) + "|" +

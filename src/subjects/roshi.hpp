@@ -52,6 +52,8 @@ class Roshi : public SubjectBase {
   void do_reset() override;
   std::shared_ptr<const void> clone_replicas() const override;
   bool adopt_replicas(const void* saved) override;
+  std::shared_ptr<const void> clone_replica(net::ReplicaId replica) const override;
+  bool adopt_replica(net::ReplicaId replica, const void* saved) override;
 
  private:
   struct ReplicaCtx {

@@ -80,4 +80,23 @@ bool SubjectBase::restore(const proxy::Snapshot& snap) {
   return true;
 }
 
+SubjectBase::ReplicaSnapshotState SubjectBase::snapshot_replica(net::ReplicaId replica) const {
+  check_replica(replica);
+  ReplicaSnapshotState snap;
+  snap.saved = clone_replica(replica);
+  if (snap.saved == nullptr) return snap;  // unsupported — invalid snapshot
+  snap.owner = this;
+  snap.replica = replica;
+  return snap;
+}
+
+bool SubjectBase::crash_restore_replica(net::ReplicaId replica,
+                                        const ReplicaSnapshotState& snap) {
+  check_replica(replica);
+  if (!snap.valid() || snap.owner != this || snap.replica != replica) return false;
+  if (!adopt_replica(replica, snap.saved.get())) return false;
+  network_->drop_inbound(replica);
+  return true;
+}
+
 }  // namespace erpi::subjects

@@ -43,6 +43,31 @@ class SubjectBase : public proxy::Rdl {
 
   net::SimNetwork& network() noexcept { return *network_; }
 
+  // ---- crash-fault support (faults:: CrashRestart plans) ------------------
+
+  /// A single replica's checkpoint, taken by snapshot_replica(). Invalid
+  /// (valid() == false) when the subject does not override the per-replica
+  /// clone/adopt hooks; the fault layer then reports the plan's crash action
+  /// as unsupported instead of faulting the process.
+  struct ReplicaSnapshotState {
+    const SubjectBase* owner = nullptr;  // guards against cross-subject restore
+    net::ReplicaId replica = -1;
+    std::shared_ptr<const void> saved;
+
+    bool valid() const noexcept { return owner != nullptr && saved != nullptr; }
+  };
+
+  /// Checkpoint one replica's state (the "periodic durable snapshot" a real
+  /// deployment would restart from).
+  ReplicaSnapshotState snapshot_replica(net::ReplicaId replica) const;
+
+  /// Crash the replica and restart it from `snap`: its live state is replaced
+  /// by the checkpoint and every queued network message addressed to it is
+  /// discarded (the crashed process's inbox dies with it, counted as dropped
+  /// in network stats). Returns false when the snapshot does not belong to
+  /// this subject/replica or per-replica hooks are unsupported.
+  bool crash_restore_replica(net::ReplicaId replica, const ReplicaSnapshotState& snap);
+
  protected:
   /// Subject-specific operation dispatch (sync ops are handled by the base).
   virtual util::Result<util::Json> do_invoke(net::ReplicaId replica, const std::string& op,
@@ -87,6 +112,22 @@ class SubjectBase : public proxy::Rdl {
   /// every replica's JSON-rendered state.
   virtual uint64_t replica_state_bytes() const;
 
+  /// Deep copy of one replica's state (crash-restart support). nullptr =
+  /// per-replica snapshots unsupported; crash plans degrade gracefully.
+  virtual std::shared_ptr<const void> clone_replica(net::ReplicaId replica) const {
+    (void)replica;
+    return nullptr;
+  }
+
+  /// Replace one replica's live state with a copy previously produced by
+  /// clone_replica() for the same replica. Must deep-copy. Returns false
+  /// when unsupported.
+  virtual bool adopt_replica(net::ReplicaId replica, const void* saved) {
+    (void)replica;
+    (void)saved;
+    return false;
+  }
+
   /// Boilerplate for the common `std::vector<ReplicaCtx>` subject layout.
   template <typename Ctx>
   static std::shared_ptr<const void> clone_ctx_vector(const std::vector<Ctx>& contexts) {
@@ -95,6 +136,17 @@ class SubjectBase : public proxy::Rdl {
   template <typename Ctx>
   static bool adopt_ctx_vector(std::vector<Ctx>& contexts, const void* saved) {
     contexts = *static_cast<const std::vector<Ctx>*>(saved);
+    return true;
+  }
+  template <typename Ctx>
+  static std::shared_ptr<const void> clone_ctx_at(const std::vector<Ctx>& contexts,
+                                                  net::ReplicaId replica) {
+    return std::make_shared<const Ctx>(contexts.at(static_cast<size_t>(replica)));
+  }
+  template <typename Ctx>
+  static bool adopt_ctx_at(std::vector<Ctx>& contexts, net::ReplicaId replica,
+                           const void* saved) {
+    contexts.at(static_cast<size_t>(replica)) = *static_cast<const Ctx*>(saved);
     return true;
   }
 

@@ -33,6 +33,14 @@ bool TownApp::adopt_replicas(const void* saved) {
   return adopt_ctx_vector(replicas_, saved);
 }
 
+std::shared_ptr<const void> TownApp::clone_replica(net::ReplicaId replica) const {
+  return clone_ctx_at(replicas_, replica);
+}
+
+bool TownApp::adopt_replica(net::ReplicaId replica, const void* saved) {
+  return adopt_ctx_at(replicas_, replica, saved);
+}
+
 util::Result<util::Json> TownApp::do_invoke(net::ReplicaId replica, const std::string& op,
                                             const util::Json& args) {
   auto& ctx = replicas_[static_cast<size_t>(replica)];

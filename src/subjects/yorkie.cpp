@@ -57,6 +57,27 @@ bool Yorkie::adopt_replicas(const void* saved) {
   return true;
 }
 
+std::shared_ptr<const void> Yorkie::clone_replica(net::ReplicaId replica) const {
+  const auto& src = replicas_.at(static_cast<size_t>(replica));
+  auto copy = std::make_shared<ReplicaCtx>();
+  copy->doc = std::make_unique<crdt::JsonDoc>(src.doc->clone());
+  copy->known_ops = src.known_ops;
+  copy->applied = src.applied;
+  copy->next_local_seq = src.next_local_seq;
+  return copy;
+}
+
+bool Yorkie::adopt_replica(net::ReplicaId replica, const void* saved) {
+  const auto& src = *static_cast<const ReplicaCtx*>(saved);
+  ReplicaCtx fresh;
+  fresh.doc = std::make_unique<crdt::JsonDoc>(src.doc->clone());
+  fresh.known_ops = src.known_ops;
+  fresh.applied = src.applied;
+  fresh.next_local_seq = src.next_local_seq;
+  replicas_.at(static_cast<size_t>(replica)) = std::move(fresh);
+  return true;
+}
+
 crdt::DocPath Yorkie::parse_path(const util::Json& args) {
   crdt::DocPath path;
   if (args.contains("path")) {

@@ -1,0 +1,266 @@
+// Crash-safe run-journal tests: append/load round-trips, torn-tail and
+// out-of-order truncation, checkpoint compaction — and the headline
+// robustness property: a run resumed from a truncated journal (the on-disk
+// state a SIGKILL leaves behind) reproduces the uninterrupted run's report,
+// skipping at least the journaled pairs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/persist.hpp"
+#include "core/session.hpp"
+#include "faults/explorer.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::faults {
+namespace {
+
+using core::ReplayReport;
+using core::RunJournal;
+using core::Session;
+
+std::string tmp_journal(const char* name) {
+  const std::string path = std::string(::testing::TempDir()) + "erpi_" + name + ".journal";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+RunJournal::Record make_record(const std::string& plan, uint64_t ordinal) {
+  RunJournal::Record record;
+  record.plan = plan;
+  record.interleaving = ordinal;
+  record.key = "0,1,2";
+  return record;
+}
+
+std::vector<std::string> file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path, const std::vector<std::string>& lines,
+                 const std::string& tail = "") {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  for (const auto& line : lines) out << line << '\n';
+  out << tail;
+}
+
+// ---------------------------------------------------------------------------
+// RunJournal primitive
+// ---------------------------------------------------------------------------
+
+TEST(RunJournal, AppendLoadRoundTrip) {
+  const std::string path = tmp_journal("roundtrip");
+  {
+    RunJournal journal = RunJournal::create(path, 0xabcdef0123456789ull);
+    RunJournal::Record first = make_record("none", 1);
+    RunJournal::Record second = make_record("none", 2);
+    second.violations.push_back({"replicas_converge", "diverged at replica 1"});
+    RunJournal::Record third = make_record("drop:1", 1);
+    third.timed_out = true;
+    journal.append(first);
+    journal.append(second);
+    journal.append(third);
+    EXPECT_EQ(journal.appended(), 3u);
+  }
+  const auto loaded = RunJournal::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->fingerprint, 0xabcdef0123456789ull);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  EXPECT_EQ(loaded->records[0], make_record("none", 1));
+  EXPECT_EQ(loaded->records[1].violations.size(), 1u);
+  EXPECT_EQ(loaded->records[1].violations[0].message, "diverged at replica 1");
+  EXPECT_TRUE(loaded->records[2].timed_out);
+}
+
+TEST(RunJournal, LoadReturnsNulloptForMissingOrHeaderlessFile) {
+  EXPECT_FALSE(RunJournal::load(tmp_journal("missing")).has_value());
+  const std::string path = tmp_journal("headerless");
+  write_lines(path, {"this is not a journal"});
+  EXPECT_FALSE(RunJournal::load(path).has_value());
+}
+
+TEST(RunJournal, ToleratesTornTail) {
+  const std::string path = tmp_journal("torn");
+  {
+    RunJournal journal = RunJournal::create(path, 42);
+    journal.append(make_record("none", 1));
+    journal.append(make_record("none", 2));
+  }
+  // A SIGKILL mid-write leaves a partial trailing line; the valid prefix
+  // before it must load intact.
+  auto lines = file_lines(path);
+  write_lines(path, lines, R"({"plan":"none","il":3,"ke)");
+  const auto loaded = RunJournal::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->records.size(), 2u);
+  EXPECT_EQ(loaded->records[1].interleaving, 2u);
+}
+
+TEST(RunJournal, TruncatesAtPerPlanOrdinalGap) {
+  const std::string path = tmp_journal("gap");
+  {
+    RunJournal journal = RunJournal::create(path, 42);
+    journal.append(make_record("none", 1));
+  }
+  auto lines = file_lines(path);
+  // Hand-corrupt the tail: ordinal 3 skips 2, and everything after the gap
+  // is discarded even if well-formed.
+  lines.push_back(R"({"plan":"none","il":3,"key":"0,1","timed_out":false,"violations":[]})");
+  lines.push_back(R"({"plan":"none","il":4,"key":"0,1","timed_out":false,"violations":[]})");
+  write_lines(path, lines);
+  const auto loaded = RunJournal::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), 1u);
+  // Per-plan sequences are independent: a second plan restarts at 1.
+  lines = file_lines(path);
+  lines.resize(2);  // header + none:1
+  lines.push_back(R"({"plan":"drop:1","il":1,"key":"0,1","timed_out":false,"violations":[]})");
+  write_lines(path, lines);
+  const auto reloaded = RunJournal::load(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->records.size(), 2u);
+}
+
+TEST(RunJournal, CheckpointCompactsAtomically) {
+  const std::string path = tmp_journal("checkpoint");
+  RunJournal journal = RunJournal::create(path, 7);
+  for (uint64_t i = 1; i <= 3; ++i) journal.append(make_record("none", i));
+  journal.checkpoint();
+  // The tmp staging file never survives a successful checkpoint.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  EXPECT_EQ(file_lines(path).size(), 4u);  // header + 3 records
+  // Appends keep working after the rename swapped the file out.
+  journal.append(make_record("none", 4));
+  const auto loaded = RunJournal::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), 4u);
+}
+
+TEST(RunJournal, AutoCheckpointsEveryBatch) {
+  const std::string path = tmp_journal("autocheckpoint");
+  RunJournal journal = RunJournal::create(path, 7);
+  for (uint64_t i = 1; i <= RunJournal::kCheckpointEvery + 5; ++i) {
+    journal.append(make_record("none", i));
+  }
+  const auto loaded = RunJournal::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), RunJournal::kCheckpointEvery + 5);
+}
+
+// ---------------------------------------------------------------------------
+// Kill + resume through the fault explorer
+// ---------------------------------------------------------------------------
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+void fault_workload(proxy::RdlProxy& proxy) {
+  (void)proxy.update(0, "report", problem("lamp"));
+  (void)proxy.sync_req(0, 1);
+  (void)proxy.exec_sync(0, 1);
+  (void)proxy.update(1, "report", problem("ph"));
+  (void)proxy.sync_req(1, 0);
+  (void)proxy.exec_sync(1, 0);
+  (void)proxy.update(0, "report", problem("otb"));
+  (void)proxy.sync_req(0, 1);
+  (void)proxy.exec_sync(0, 1);
+}
+
+ReplayReport run_journaled(const std::string& journal_path, int parallelism,
+                           uint64_t seed = 0) {
+  Session::Config config;
+  config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+  config.spec_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 100'000;
+  config.max_snapshot_depth = 16;
+  config.parallelism = parallelism;
+  config.random_seed = seed;
+  config.resume_journal = journal_path;
+  config.subject_factory = [] { return std::make_unique<subjects::TownApp>(2); };
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  fault_workload(proxy);
+  return explore_with_faults(session, [](proxy::Rdl&) -> core::AssertionList {
+    return {core::replicas_converge({0, 1})};
+  });
+}
+
+void expect_same_outcome(const ReplayReport& resumed, const ReplayReport& full,
+                         const std::string& label) {
+  EXPECT_EQ(resumed.explored, full.explored) << label;
+  EXPECT_EQ(resumed.violations, full.violations) << label;
+  EXPECT_EQ(resumed.reproduced, full.reproduced) << label;
+  EXPECT_EQ(resumed.first_violation_index, full.first_violation_index) << label;
+  EXPECT_EQ(resumed.first_violation_plan, full.first_violation_plan) << label;
+  EXPECT_EQ(resumed.first_violation_plan_interleaving,
+            full.first_violation_plan_interleaving)
+      << label;
+  EXPECT_EQ(resumed.plans_explored, full.plans_explored) << label;
+  EXPECT_EQ(resumed.quarantined, full.quarantined) << label;
+  EXPECT_EQ(resumed.messages, full.messages) << label;
+  EXPECT_EQ(resumed.exhausted, full.exhausted) << label;
+  EXPECT_EQ(resumed.hit_cap, full.hit_cap) << label;
+}
+
+TEST(RunJournal, ResumeFromTruncatedJournalReproducesUninterruptedReport) {
+  const std::string path = tmp_journal("resume");
+  const ReplayReport full = run_journaled(path, 4);
+  ASSERT_GT(full.explored, 20u);
+  EXPECT_EQ(full.pairs_skipped_from_journal, 0u);
+  const auto complete = RunJournal::load(path);
+  ASSERT_TRUE(complete.has_value());
+  ASSERT_EQ(complete->records.size(), full.explored);
+
+  // Chop the journal to what a SIGKILL partway through would have durably
+  // left behind (any line-aligned prefix is reachable: appends are
+  // flushed per record).
+  const auto lines = file_lines(path);
+  for (const size_t keep : {size_t{5}, size_t{13}, lines.size() - 1}) {
+    std::vector<std::string> prefix(lines.begin(), lines.begin() + 1 + keep);
+    write_lines(path, prefix);
+    const ReplayReport resumed = run_journaled(path, 4);
+    expect_same_outcome(resumed, full, "keep=" + std::to_string(keep));
+    EXPECT_EQ(resumed.pairs_skipped_from_journal, keep) << "keep=" << keep;
+  }
+}
+
+TEST(RunJournal, ResumeIsParallelismIndependent) {
+  // The fingerprint deliberately excludes parallelism: a run journaled at
+  // p=1 may resume at p=8 and vice versa.
+  const std::string path = tmp_journal("resume_par");
+  const ReplayReport full = run_journaled(path, 1);
+  const auto lines = file_lines(path);
+  std::vector<std::string> prefix(lines.begin(), lines.begin() + 1 + 9);
+  write_lines(path, prefix);
+  const ReplayReport resumed = run_journaled(path, 8);
+  expect_same_outcome(resumed, full, "p=1 -> p=8");
+  EXPECT_EQ(resumed.pairs_skipped_from_journal, 9u);
+}
+
+TEST(RunJournal, FingerprintMismatchStartsFresh) {
+  const std::string path = tmp_journal("mismatch");
+  const ReplayReport full = run_journaled(path, 4, /*seed=*/0);
+  ASSERT_GT(full.explored, 0u);
+  // Same journal, different run configuration (seed feeds the fingerprint):
+  // the stale journal must be ignored, not merged.
+  const ReplayReport other = run_journaled(path, 4, /*seed=*/99);
+  EXPECT_EQ(other.pairs_skipped_from_journal, 0u);
+  EXPECT_EQ(other.explored, full.explored);  // same universe, fully re-explored
+}
+
+}  // namespace
+}  // namespace erpi::faults

@@ -113,5 +113,99 @@ TEST(SimNetwork, SequenceNumbersAreUniqueAndIncreasing) {
   EXPECT_LT(*s1, *s2);
 }
 
+// Regression: a send that is lost for two reasons at once (severed link AND a
+// probability/scripted drop) is one loss, counted once — and a duplicate
+// fault never conjures a copy across a severed link.
+TEST(SimNetwork, CoincidingDropCausesCountOnce) {
+  SimNetwork net(2, /*seed=*/7);
+  net.set_faults({.drop_probability = 1.0, .duplicate_probability = 0.0});
+  net.partition(0, 1);
+  EXPECT_FALSE(net.send(0, 1, "t", "doomed twice over"));
+  EXPECT_EQ(net.stats().sent, 1u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().duplicated, 0u);
+}
+
+TEST(SimNetwork, DuplicateFaultNeverCrossesSeveredLink) {
+  SimNetwork net(2, /*seed=*/7);
+  net.set_faults({.drop_probability = 0.0, .duplicate_probability = 1.0});
+  net.partition(0, 1);
+  EXPECT_FALSE(net.send(0, 1, "t", "x"));
+  EXPECT_EQ(net.total_pending(), 0u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().duplicated, 0u);
+  // Healing restores both delivery and the duplicate fault.
+  net.heal(0, 1);
+  EXPECT_TRUE(net.send(0, 1, "t", "y"));
+  EXPECT_EQ(net.pending(0, 1), 2u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(SimNetwork, ScriptedDropAndDuplicateTargetSendOrdinals) {
+  SimNetwork net(2);
+  net.set_script({.drop = {2}, .duplicate = {3}});
+  EXPECT_TRUE(net.send(0, 1, "t", "first"));
+  EXPECT_FALSE(net.send(0, 1, "t", "second"));  // scripted drop of send #2
+  EXPECT_TRUE(net.send(0, 1, "t", "third"));    // scripted duplicate of send #3
+  EXPECT_EQ(net.pending(0, 1), 3u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  // reset() rewinds the ordinal counter but keeps the script installed, so
+  // every interleaving of a fault-schedule replay sees the same faults.
+  net.reset();
+  EXPECT_TRUE(net.send(0, 1, "t", "first again"));
+  EXPECT_FALSE(net.send(0, 1, "t", "second again"));
+  EXPECT_EQ(net.script(), (SimNetwork::Script{.drop = {2}, .duplicate = {3}}));
+}
+
+// Snapshot/restore must round-trip every piece of fault state: live
+// partitions, the fault RNG mid-stream, queued duplicates, and the scripted
+// fault cursor. After restoring, the network must behave byte-for-byte like
+// the original from the snapshot point.
+TEST(SimNetwork, StateRoundTripPreservesFaultMachinery) {
+  SimNetwork net(3, /*seed=*/42);
+  net.set_faults({.drop_probability = 0.3, .duplicate_probability = 0.3});
+  net.set_script({.drop = {9}, .duplicate = {10}});
+  net.partition(1, 2);
+  // Burn some RNG stream and queue traffic (including possible duplicates).
+  for (int i = 0; i < 8; ++i) net.send(0, 1, "t", "warm" + std::to_string(i));
+
+  const SimNetwork::State snapshot = net.save_state();
+
+  // Drive the original forward and record everything observable.
+  std::vector<std::pair<uint64_t, std::string>> first_run;
+  for (int i = 0; i < 12; ++i) net.send(i % 2, (i % 2) ^ 1, "t", "m" + std::to_string(i));
+  while (auto m = net.deliver_any(1)) first_run.push_back({m->seq, m->payload});
+  const NetworkStats first_stats = net.stats();
+  const bool first_partitioned = net.partitioned(1, 2);
+
+  // Rewind and repeat: identical sends must produce identical deliveries.
+  net.restore_state(snapshot);
+  EXPECT_TRUE(net.partitioned(1, 2));
+  std::vector<std::pair<uint64_t, std::string>> second_run;
+  for (int i = 0; i < 12; ++i) net.send(i % 2, (i % 2) ^ 1, "t", "m" + std::to_string(i));
+  while (auto m = net.deliver_any(1)) second_run.push_back({m->seq, m->payload});
+
+  EXPECT_EQ(first_run, second_run);
+  EXPECT_EQ(net.stats().sent, first_stats.sent);
+  EXPECT_EQ(net.stats().dropped, first_stats.dropped);
+  EXPECT_EQ(net.stats().duplicated, first_stats.duplicated);
+  EXPECT_EQ(net.stats().delivered, first_stats.delivered);
+  EXPECT_EQ(net.partitioned(1, 2), first_partitioned);
+  EXPECT_EQ(net.script(), (SimNetwork::Script{.drop = {9}, .duplicate = {10}}));
+}
+
+TEST(SimNetwork, DropInboundDiscardsOnlyThatReplicasQueues) {
+  SimNetwork net(3);
+  net.send(0, 1, "t", "a");
+  net.send(2, 1, "t", "b");
+  net.send(0, 2, "t", "c");
+  EXPECT_EQ(net.drop_inbound(1), 2u);
+  EXPECT_EQ(net.pending(0, 1), 0u);
+  EXPECT_EQ(net.pending(2, 1), 0u);
+  EXPECT_EQ(net.pending(0, 2), 1u);
+  EXPECT_EQ(net.stats().dropped, 2u);
+}
+
 }  // namespace
 }  // namespace erpi::net
