@@ -80,14 +80,23 @@ ConstraintWatcher::ConstraintWatcher(std::string directory)
 
 Constraints ConstraintWatcher::poll() {
   Constraints merged;
+  last_errors_.clear();
   std::error_code ec;
   if (directory_.empty() || !fs::is_directory(directory_, ec)) return merged;
 
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
     if (ec) break;
     if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
-    const std::string key =
-        entry.path().string() + ":" + std::to_string(entry.file_size(ec));
+    // Key on size AND mtime: an in-place edit that happens to preserve the
+    // byte count (e.g. swapping one event id for another) must still be
+    // re-consumed on the next poll.
+    std::error_code meta_ec;
+    const auto mtime = fs::last_write_time(entry.path(), meta_ec);
+    const auto mtime_ticks =
+        meta_ec ? 0 : static_cast<long long>(mtime.time_since_epoch().count());
+    const std::string key = entry.path().string() + ":" +
+                            std::to_string(entry.file_size(ec)) + ":" +
+                            std::to_string(mtime_ticks);
     if (!consumed_.insert(key).second) continue;
 
     std::ifstream in(entry.path());
@@ -97,12 +106,15 @@ Constraints ConstraintWatcher::poll() {
     if (!doc) {
       ERPI_WARN("constraints") << "skipping malformed " << entry.path().string() << ": "
                                << doc.error().message;
+      last_errors_.push_back({entry.path().string(),
+                              util::Error{"malformed JSON: " + doc.error().message}});
       continue;
     }
     auto parsed = parse_constraints(doc.value());
     if (!parsed) {
       ERPI_WARN("constraints") << "skipping invalid " << entry.path().string() << ": "
                                << parsed.error().message;
+      last_errors_.push_back({entry.path().string(), parsed.error()});
       continue;
     }
     merged.merge(std::move(parsed).take());

@@ -36,20 +36,38 @@ struct Constraints {
 util::Result<Constraints> parse_constraints(const util::Json& doc);
 
 /// Watches a directory for *.json constraint files; each file is consumed
-/// once (tracked by path + size so an appended file is re-read).
+/// once (tracked by path + size + mtime, so both an appended file and a
+/// same-size in-place edit are re-read).
 class ConstraintWatcher {
  public:
+  /// A file the last poll() skipped, with the structured reason (JSON parse
+  /// failure or constraint-schema violation from parse_constraints).
+  struct FileError {
+    std::string path;
+    util::Error error;
+
+    bool operator==(const FileError&) const = default;
+  };
+
   explicit ConstraintWatcher(std::string directory);
 
   /// Scan for unconsumed files; returns the merged new constraints (empty
-  /// Constraints if nothing new). Malformed files are skipped with a log.
+  /// Constraints if nothing new). Malformed files are skipped with a log and
+  /// recorded in last_errors() until the next poll.
   Constraints poll();
+
+  /// Structured errors from the most recent poll(), in directory-scan order.
+  /// Cleared at the start of each poll; a skipped file's consumed key is
+  /// still recorded, so fixing the file (which changes size or mtime) makes
+  /// the next poll pick it up again.
+  const std::vector<FileError>& last_errors() const noexcept { return last_errors_; }
 
   const std::string& directory() const noexcept { return directory_; }
 
  private:
   std::string directory_;
-  std::set<std::string> consumed_;  // "path:size" keys
+  std::set<std::string> consumed_;  // "path:size:mtime" keys
+  std::vector<FileError> last_errors_;
 };
 
 }  // namespace erpi::core

@@ -154,6 +154,10 @@ std::string journal_record_line(const RunJournal::Record& record) {
   j["il"] = static_cast<int64_t>(record.interleaving);
   j["key"] = record.key;
   j["timed_out"] = record.timed_out;
+  // Crash-isolation fields are only written when set, keeping crash-free
+  // journals byte-compatible with the pre-sandbox format.
+  if (record.crash_signal != 0) j["crash_signal"] = static_cast<int64_t>(record.crash_signal);
+  if (record.oom) j["oom"] = record.oom;
   util::Json violations = util::Json::array();
   for (const auto& violation : record.violations) {
     util::Json v = util::Json::object();
@@ -182,6 +186,14 @@ std::optional<RunJournal::Record> parse_record_line(const std::string& line) {
   record.interleaving = static_cast<uint64_t>(ordinal);
   record.key = j["key"].as_string();
   record.timed_out = j["timed_out"].as_bool();
+  if (j.contains("crash_signal")) {
+    if (!j["crash_signal"].is_int()) return std::nullopt;
+    record.crash_signal = static_cast<int>(j["crash_signal"].as_int());
+  }
+  if (j.contains("oom")) {
+    if (!j["oom"].is_bool()) return std::nullopt;
+    record.oom = j["oom"].as_bool();
+  }
   for (const auto& v : j["violations"].as_array()) {
     if (!v.is_object() || !v.contains("assertion") || !v["assertion"].is_string() ||
         !v.contains("message") || !v["message"].is_string()) {

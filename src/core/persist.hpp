@@ -99,6 +99,13 @@ class RunJournal {
     std::string key;           // Interleaving::key()
     std::vector<Violation> violations;
     bool timed_out = false;
+    /// Sandbox outcomes (Isolation::Process): the pair deterministically
+    /// killed its child with this signal / tripped the memory cap. Journaling
+    /// these is what lets a resumed run skip known-crashing pairs instead of
+    /// re-executing them. Absent fields read back as 0/false, so journals
+    /// written before crash isolation stay loadable.
+    int crash_signal = 0;
+    bool oom = false;
 
     bool operator==(const Record&) const = default;
   };

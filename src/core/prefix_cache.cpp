@@ -11,6 +11,7 @@ util::Json PrefixReplayStats::to_json() const {
   j["snapshots_taken"] = static_cast<int64_t>(snapshots_taken);
   j["snapshots_restored"] = static_cast<int64_t>(snapshots_restored);
   j["snapshots_evicted"] = static_cast<int64_t>(snapshots_evicted);
+  j["snapshot_alloc_failures"] = static_cast<int64_t>(snapshot_alloc_failures);
   j["cache_bytes_peak"] = static_cast<int64_t>(cache_bytes_peak);
   return j;
 }
@@ -68,7 +69,17 @@ void PrefixCache::note_executed(proxy::Rdl& subject, const Interleaving& il, siz
   // position n-1, so snapshots at depth n-1 or n can never be restored.
   if (depth + 2 > il.size()) return;
 
-  proxy::Snapshot snap = subject.snapshot();
+  proxy::Snapshot snap;
+  try {
+    snap = subject.snapshot();
+  } catch (const std::bad_alloc&) {
+    // Checkpointing is an optimisation, never worth the run: skip this
+    // entry, latch the counter, and let the next interleaving fall back to
+    // whatever shallower snapshot (or full reset) still fits in memory. The
+    // subject itself is unchanged — snapshot() is a read.
+    ++stats_->snapshot_alloc_failures;
+    return;
+  }
   if (!snap.valid()) {
     // Subject has no snapshot support: disable for the whole run rather than
     // probing again on every event.

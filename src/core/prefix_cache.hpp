@@ -41,6 +41,10 @@ struct PrefixReplayStats {
   uint64_t snapshots_taken = 0;
   uint64_t snapshots_restored = 0;
   uint64_t snapshots_evicted = 0;
+  /// snapshot() threw std::bad_alloc mid-cache-fill: the entry was dropped
+  /// and replay fell back to shallower snapshots / full resets instead of
+  /// letting the exception escape the worker.
+  uint64_t snapshot_alloc_failures = 0;
   /// High-water mark of retained snapshot bytes. Merging sums the peaks:
   /// caches are concurrently resident, so the sum bounds the joint footprint.
   uint64_t cache_bytes_peak = 0;
@@ -51,6 +55,7 @@ struct PrefixReplayStats {
     snapshots_taken += other.snapshots_taken;
     snapshots_restored += other.snapshots_restored;
     snapshots_evicted += other.snapshots_evicted;
+    snapshot_alloc_failures += other.snapshot_alloc_failures;
     cache_bytes_peak += other.cache_bytes_peak;
   }
 

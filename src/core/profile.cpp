@@ -81,4 +81,10 @@ PrefixReplayStats merge_prefix_stats(const std::vector<PrefixReplayStats>& shard
   return merged;
 }
 
+SandboxStats merge_sandbox_stats(const std::vector<SandboxStats>& shards) {
+  SandboxStats merged;
+  for (const auto& shard : shards) merged.merge(shard);
+  return merged;
+}
+
 }  // namespace erpi::core

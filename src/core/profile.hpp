@@ -101,4 +101,10 @@ ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profil
 /// workers' concurrently resident snapshot footprint.
 PrefixReplayStats merge_prefix_stats(const std::vector<PrefixReplayStats>& shards);
 
+/// Merge the per-worker fork-server anomaly counters (each sandbox
+/// supervisor owns one SandboxStats shard — crashes, oom kills, supervisor
+/// SIGKILLs, respawns, retries) into the run-wide tally reported through
+/// ReplayReport::sandbox. All-zero under Isolation::None.
+SandboxStats merge_sandbox_stats(const std::vector<SandboxStats>& shards);
+
 }  // namespace erpi::core

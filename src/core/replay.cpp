@@ -8,6 +8,25 @@
 
 namespace erpi::core {
 
+const char* isolation_name(Isolation isolation) noexcept {
+  switch (isolation) {
+    case Isolation::None: return "none";
+    case Isolation::Process: return "process";
+  }
+  return "?";
+}
+
+util::Json SandboxStats::to_json() const {
+  util::Json j = util::Json::object();
+  j["crashes"] = static_cast<int64_t>(crashes);
+  j["oom_kills"] = static_cast<int64_t>(oom_kills);
+  j["timeouts"] = static_cast<int64_t>(timeouts);
+  j["respawns"] = static_cast<int64_t>(respawns);
+  j["retries"] = static_cast<int64_t>(retries);
+  j["retry_successes"] = static_cast<int64_t>(retry_successes);
+  return j;
+}
+
 util::Json ReplayReport::to_json() const {
   util::Json j = util::Json::object();
   j["explored"] = static_cast<int64_t>(explored);
@@ -21,9 +40,23 @@ util::Json ReplayReport::to_json() const {
   j["crashed"] = crashed;
   j["budget_exhausted"] = budget_exhausted;
   j["timed_out"] = static_cast<int64_t>(timed_out);
+  j["crashed_replays"] = static_cast<int64_t>(crashed_replays);
+  j["oom_replays"] = static_cast<int64_t>(oom_replays);
   util::Json quarantine = util::Json::array();
   for (const auto& key : quarantined) quarantine.push_back(key);
   j["quarantined"] = std::move(quarantine);
+  util::Json records = util::Json::array();
+  for (const auto& record : quarantine_records) {
+    util::Json r = util::Json::object();
+    r["key"] = record.key;
+    r["reason"] = record.reason;
+    r["signal"] = static_cast<int64_t>(record.signal);
+    records.push_back(std::move(r));
+  }
+  j["quarantine_records"] = std::move(records);
+  // Omitted when all-zero so crash-free sandboxed reports serialize
+  // byte-identically to Isolation::None reports.
+  if (sandbox.any()) j["sandbox"] = sandbox.to_json();
   j["plans_explored"] = static_cast<int64_t>(plans_explored);
   j["pairs_skipped_from_journal"] = static_cast<int64_t>(pairs_skipped_from_journal);
   j["first_violation_plan"] = first_violation_plan;
@@ -206,9 +239,16 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
 
     const InterleavingOutcome outcome =
         replay_one(*il, events, assertions, enumerator.last_common_prefix());
-    if (outcome.timed_out) {
-      ++report.timed_out;
+    if (outcome.quarantine()) {
+      // In-process replay only ever times out (crash/oom outcomes need the
+      // sandbox), but the aggregation is shared so the taxonomy stays in one
+      // place.
+      if (outcome.timed_out) ++report.timed_out;
+      if (outcome.crashed) ++report.crashed_replays;
+      if (outcome.oom) ++report.oom_replays;
       report.quarantined.push_back(il->key());
+      report.quarantine_records.push_back(
+          {il->key(), outcome.quarantine_reason(), outcome.term_signal});
     }
     for (const auto& violation : outcome.violations) {
       ++report.violations;

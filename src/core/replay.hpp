@@ -96,6 +96,50 @@ using AssertionFactory = std::function<AssertionList(proxy::Rdl& subject)>;
 /// at most n-2 snapshots alive) while capping memory on deeper workloads.
 inline constexpr size_t kDefaultMaxSnapshotDepth = 16;
 
+/// Where a replay executes (DESIGN.md §9).
+///
+///  * None    — in the exploring process, on the worker's thread (the
+///    historical engine; fastest, but a subject that segfaults/aborts or
+///    allocates without bound takes the whole exploration down with it).
+///  * Process — in a per-worker sandbox child behind an AFL-style fork
+///    server (src/sandbox/). A child death (signal), memory-cap trip, or
+///    blown watchdog deadline becomes a structured crashed/oom/timed_out
+///    outcome; the child is respawned, the item retried once in a fresh
+///    child, and deterministic failures are quarantined while exploration
+///    completes. Crash-free runs produce reports identical to None.
+enum class Isolation { None, Process };
+
+const char* isolation_name(Isolation isolation) noexcept;
+
+/// Sandbox anomaly counters (crash-isolated replay, DESIGN.md §9). One shard
+/// per fork-server worker; core::merge_sandbox_stats sums them into the run
+/// report. Every field is zero on a crash-free run — and always zero under
+/// Isolation::None — which keeps sandboxed reports byte-identical to
+/// in-process reports when nothing misbehaves.
+struct SandboxStats {
+  uint64_t crashes = 0;          // child deaths on a signal (SIGSEGV, ...)
+  uint64_t oom_kills = 0;        // structured oom exits (RLIMIT_AS tripped)
+  uint64_t timeouts = 0;         // supervisor SIGKILLs for a blown deadline
+  uint64_t respawns = 0;         // fresh children forked after a death
+  uint64_t retries = 0;          // items re-executed in a fresh child
+  uint64_t retry_successes = 0;  // retries that came back clean (collateral)
+
+  void merge(const SandboxStats& other) noexcept {
+    crashes += other.crashes;
+    oom_kills += other.oom_kills;
+    timeouts += other.timeouts;
+    respawns += other.respawns;
+    retries += other.retries;
+    retry_successes += other.retry_successes;
+  }
+
+  bool any() const noexcept {
+    return crashes | oom_kills | timeouts | respawns | retries | retry_successes;
+  }
+
+  util::Json to_json() const;
+};
+
 /// Observes replay execution at interleaving positions. This is the hook the
 /// fault-schedule layer (src/faults) uses to fire scheduled actions — core
 /// stays ignorant of fault plans and only promises *when* the hooks run:
@@ -160,7 +204,26 @@ struct ReplayOptions {
   /// recorded as a structured `timed_out` outcome (not a crash), its key is
   /// quarantined in the report, the worker's fixture is rebuilt, and
   /// exploration continues. The sequential ReplayEngine::run ignores it.
+  /// Under Isolation::Process the supervisor escalates from the cooperative
+  /// in-process cancel to SIGKILLing the sandbox child — a replay stuck
+  /// inside subject code (unreachable by the cooperative flag) is reclaimed
+  /// instead of leaking a hung thread.
   uint64_t watchdog_timeout_ms = 0;
+  /// Crash isolation (DESIGN.md §9). Process mode is driven through
+  /// sched::ParallelExplorer: each worker owns a fork-server sandbox child
+  /// and ships work items to it over a pipe-based protocol instead of
+  /// replaying on its own thread. Session::Config::isolation plumbs through
+  /// here.
+  Isolation isolation = Isolation::None;
+  /// Process mode only: RLIMIT_AS cap installed in every sandbox child, in
+  /// bytes (0 = unlimited). An allocation pushed over the cap surfaces as a
+  /// structured `oom` outcome instead of taking the exploration down.
+  uint64_t sandbox_memory_limit_bytes = 0;
+  /// Process mode only: how many times a crashed/oomed work item is retried
+  /// in a fresh child before being quarantined as deterministic. The default
+  /// single retry separates deterministic crashes from collateral damage a
+  /// previous item left in the child.
+  int sandbox_max_retries = 1;
   /// Per-interleaving outcome tap: index, interleaving, and everything the
   /// replay observed (violations, timed_out). Same threading contract as
   /// on_interleaving_done — serialized, ascending index order — and delivered
@@ -197,9 +260,30 @@ struct ReplayReport {
   bool budget_exhausted = false;
   /// Replays the watchdog cut off (quarantined, not counted as violations).
   uint64_t timed_out = 0;
-  /// Keys of watchdog-quarantined interleavings, in exploration order. Under
-  /// fault exploration each key is prefixed with the plan ("plan/il-key").
+  /// Sandboxed replays that died on a signal twice in a row (deterministic
+  /// crash; quarantined). Only ever nonzero under Isolation::Process.
+  uint64_t crashed_replays = 0;
+  /// Sandboxed replays that tripped the RLIMIT_AS memory cap twice in a row
+  /// (deterministic blow-up; quarantined). Isolation::Process only.
+  uint64_t oom_replays = 0;
+  /// Keys of quarantined interleavings (watchdog timeouts, deterministic
+  /// crashes, deterministic ooms), in exploration order. Under fault
+  /// exploration each key is prefixed with the plan ("plan/il-key").
   std::vector<std::string> quarantined;
+  /// Structured view of `quarantined`, same order: why each key was pulled
+  /// from the run, and for crashes the terminating signal number.
+  struct Quarantine {
+    std::string key;
+    std::string reason;  // "timed_out" | "crashed" | "oom"
+    int signal = 0;      // crashes only (SIGSEGV, SIGABRT, SIGKILL, ...)
+
+    bool operator==(const Quarantine&) const = default;
+  };
+  std::vector<Quarantine> quarantine_records;
+  /// Fork-server anomaly counters, merged across sandbox workers. All-zero
+  /// (and omitted from to_json) outside Isolation::Process and on crash-free
+  /// sandboxed runs, keeping crash-free reports identical across modes.
+  SandboxStats sandbox;
   /// Fault-schedule dimensions (zero/empty outside faults:: runs). `explored`
   /// then counts (interleaving, plan) pairs in plan-major order, and the
   /// first violation is additionally named as a pair: the plan's key() plus
@@ -227,8 +311,23 @@ struct InterleavingOutcome {
   std::vector<Violation> violations;
   /// The watchdog cancelled this replay (hung lock protocol / deadlocked
   /// subject). No violations are reported for a timed-out replay; the run
-  /// quarantines it and keeps exploring.
+  /// quarantines it and keeps exploring. Under Isolation::Process this means
+  /// the supervisor SIGKILLed a child that blew the deadline.
   bool timed_out = false;
+  /// Sandbox child died on a signal replaying this item — twice, in fresh
+  /// children, so the crash is deterministic. `term_signal` is the signal
+  /// that killed the child. Isolation::Process only.
+  bool crashed = false;
+  int term_signal = 0;
+  /// Sandbox child exceeded the RLIMIT_AS memory cap twice in a row.
+  bool oom = false;
+
+  /// Anything that pulls the item from normal aggregation (no violations are
+  /// reported; the run quarantines the key and keeps exploring).
+  bool quarantine() const noexcept { return timed_out || crashed || oom; }
+  const char* quarantine_reason() const noexcept {
+    return timed_out ? "timed_out" : crashed ? "crashed" : "oom";
+  }
 };
 
 class ReplayEngine {

@@ -110,6 +110,9 @@ Session::PreparedRun Session::prepare_run() {
   if (config_.max_snapshot_depth) {
     prepared.replay.max_snapshot_depth = *config_.max_snapshot_depth;
   }
+  if (config_.isolation != Isolation::None) {
+    prepared.replay.isolation = config_.isolation;
+  }
   auto user_hook = prepared.replay.on_interleaving_done;
   auto* pruned = prepared.pruned;
   prepared.replay.on_interleaving_done = [this, pruned, user_hook](uint64_t index,
@@ -154,6 +157,13 @@ ReplayReport Session::end(const AssertionList& assertions) {
         "parallelism > 1 needs end(AssertionFactory) so each worker owns its "
         "assertion state");
   }
+  if (config_.isolation == Isolation::Process ||
+      config_.replay.isolation == Isolation::Process) {
+    throw std::invalid_argument(
+        "process isolation needs end(AssertionFactory) and a subject factory: "
+        "the sandbox children rebuild the fixture and its assertions from the "
+        "factories");
+  }
   PreparedRun prepared = prepare_run();
   ReplayEngine engine(*proxy_, prepared.replay);
   ReplayReport report = engine.run(*prepared.enumerator, events_, assertions);
@@ -162,7 +172,9 @@ ReplayReport Session::end(const AssertionList& assertions) {
 }
 
 ReplayReport Session::end_with_factory(const AssertionFactory& assertion_factory) {
-  if (config_.parallelism <= 1) {
+  const bool sandboxed = config_.isolation == Isolation::Process ||
+                         config_.replay.isolation == Isolation::Process;
+  if (config_.parallelism <= 1 && !sandboxed) {
     // Delegate to the sequential path — bit-for-bit today's behavior.
     AssertionList assertions;
     if (assertion_factory) assertions = assertion_factory(proxy_->target());
@@ -172,6 +184,8 @@ ReplayReport Session::end_with_factory(const AssertionFactory& assertion_factory
     config_.parallelism = saved_parallelism;
     return report;
   }
+  // Sandboxed runs always go through the explorer (even at parallelism 1):
+  // the fixture must be rebuilt from the factory inside each child.
   if (!config_.subject_factory) {
     throw std::invalid_argument(
         "parallel exploration requires a subject factory "

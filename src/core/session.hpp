@@ -81,6 +81,18 @@ class Session {
     /// replay.max_snapshot_depth when set. 0 disables the prefix cache and
     /// restores full-reset replay exactly (see ReplayOptions).
     std::optional<size_t> max_snapshot_depth;
+    /// Crash isolation (DESIGN.md §9): Isolation::Process replays every
+    /// interleaving inside per-worker sandbox children behind fork servers,
+    /// so a subject that segfaults/aborts, allocates without bound
+    /// (replay.sandbox_memory_limit_bytes) or hangs
+    /// (replay.watchdog_timeout_ms) is quarantined as a structured
+    /// crashed/oom/timed_out outcome instead of killing the exploration.
+    /// Requires a subject factory and the end(AssertionFactory) overload —
+    /// the children rebuild the fixture from the factory — and works at any
+    /// parallelism (1 included: the run is driven through
+    /// sched::ParallelExplorer with one worker). Overrides replay.isolation
+    /// when set. Crash-free runs report identically to Isolation::None.
+    Isolation isolation = Isolation::None;
     /// Crash-safe resume journal path for fault-schedule exploration
     /// (faults::explore_with_faults). "" disables journaling. When the file
     /// already exists and its fingerprint matches the run configuration, the

@@ -71,6 +71,7 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   // Effective replay options, resolved the way Session::prepare_run does.
   core::ReplayOptions replay = config.replay;
   if (config.max_snapshot_depth) replay.max_snapshot_depth = *config.max_snapshot_depth;
+  if (config.isolation != core::Isolation::None) replay.isolation = config.isolation;
 
   // The catalog needs the replica count; probe one fixture for it.
   int replica_count = 0;
@@ -132,9 +133,18 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
                           const core::InterleavingOutcome& outcome, bool from_journal) {
     ++report.explored;
     if (from_journal) ++report.pairs_skipped_from_journal;
-    if (outcome.timed_out) {
-      ++report.timed_out;
+    if (outcome.quarantine()) {
+      if (outcome.timed_out) {
+        ++report.timed_out;
+      } else if (outcome.crashed) {
+        ++report.crashed_replays;
+      } else {
+        ++report.oom_replays;
+      }
       report.quarantined.push_back(plan.key() + "/" + il.key());
+      report.quarantine_records.push_back({plan.key() + "/" + il.key(),
+                                           outcome.quarantine_reason(),
+                                           outcome.term_signal});
     }
     for (const auto& violation : outcome.violations) {
       ++report.violations;
@@ -164,6 +174,13 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
       for (const auto& record : it->second) {
         core::InterleavingOutcome outcome;
         outcome.timed_out = record.timed_out;
+        // Sandbox outcomes resume as-recorded: a known-crashing pair is
+        // quarantined again without re-executing it.
+        if (record.crash_signal != 0) {
+          outcome.crashed = true;
+          outcome.term_signal = record.crash_signal;
+        }
+        outcome.oom = record.oom;
         for (const auto& violation : record.violations) {
           outcome.violations.push_back({violation.assertion, violation.message});
         }
@@ -210,6 +227,8 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         record.interleaving = plan_ordinal;
         record.key = il.key();
         record.timed_out = outcome.timed_out;
+        if (outcome.crashed) record.crash_signal = outcome.term_signal;
+        record.oom = outcome.oom;
         for (const auto& violation : outcome.violations) {
           record.violations.push_back({violation.assertion, violation.message});
         }
@@ -226,6 +245,7 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
       worker_assertions_.push_back(assertions);
     }
     report.prefix.merge(plan_report.prefix);
+    report.sandbox.merge(plan_report.sandbox);
     if (!plan_report.exhausted) all_exhausted = false;
     if (plan_report.hit_cap) any_hit_cap = true;
     if (plan_report.crashed) {

@@ -1,0 +1,283 @@
+#include "sandbox/protocol.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "util/json.hpp"
+
+namespace erpi::sandbox {
+
+namespace {
+
+/// Upper bound on a frame payload. Responses carry at most a few violations
+/// plus fixed counters; anything bigger means a corrupted length prefix from
+/// a torn write, and treating it as an error beats a multi-gigabyte alloc.
+constexpr uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+bool send_all(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+  };
+  return send_all(fd, header, sizeof(header)) &&
+         send_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  unsigned char header[4];
+  if (!recv_all(fd, header, sizeof(header))) return std::nullopt;
+  const uint32_t len = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) return std::nullopt;
+  std::string payload(len, '\0');
+  if (len > 0 && !recv_all(fd, payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+int wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    return rc > 0 ? 1 : 0;
+  }
+}
+
+int wait_readable2(int fd_a, int fd_b, int timeout_ms, bool& a_ready, bool& b_ready) {
+  a_ready = false;
+  b_ready = false;
+  struct pollfd pfds[2];
+  pfds[0].fd = fd_a;
+  pfds[0].events = POLLIN;
+  pfds[0].revents = 0;
+  pfds[1].fd = fd_b;
+  pfds[1].events = POLLIN;
+  pfds[1].revents = 0;
+  for (;;) {
+    const int rc = ::poll(pfds, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc == 0) return 0;
+    // POLLHUP/POLLERR count as readable: the subsequent read reports the
+    // condition (EOF / error) instead of this poll loop spinning on it.
+    a_ready = (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    b_ready = (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    return 1;
+  }
+}
+
+void drain_nonblocking(int fd) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EAGAIN (empty), EOF, or error — nothing left to discard
+  }
+}
+
+// ---- work items ------------------------------------------------------------
+
+std::string encode_request(const core::Interleaving& il) {
+  util::Json j = util::Json::object();
+  util::Json order = util::Json::array();
+  for (const int event : il.order) order.push_back(static_cast<int64_t>(event));
+  j["order"] = std::move(order);
+  return j.dump();
+}
+
+std::optional<core::Interleaving> decode_request(const std::string& payload) {
+  const auto parsed = util::Json::parse(payload);
+  if (!parsed) return std::nullopt;
+  const util::Json& j = parsed.value();
+  if (!j.is_object() || !j.contains("order") || !j["order"].is_array()) {
+    return std::nullopt;
+  }
+  core::Interleaving il;
+  il.order.reserve(j["order"].size());
+  for (const auto& e : j["order"].as_array()) {
+    if (!e.is_int()) return std::nullopt;
+    il.order.push_back(static_cast<int>(e.as_int()));
+  }
+  return il;
+}
+
+// ---- outcomes --------------------------------------------------------------
+
+namespace {
+
+const char* status_name(WorkResponse::Status status) {
+  switch (status) {
+    case WorkResponse::Status::Ok: return "ok";
+    case WorkResponse::Status::Oom: return "oom";
+    case WorkResponse::Status::Error: return "error";
+  }
+  return "error";
+}
+
+std::optional<WorkResponse::Status> parse_status(const std::string& name) {
+  if (name == "ok") return WorkResponse::Status::Ok;
+  if (name == "oom") return WorkResponse::Status::Oom;
+  if (name == "error") return WorkResponse::Status::Error;
+  return std::nullopt;
+}
+
+bool read_u64(const util::Json& j, const char* key, uint64_t& out) {
+  if (!j.contains(key) || !j[key].is_int()) return false;
+  out = static_cast<uint64_t>(j[key].as_int());
+  return true;
+}
+
+}  // namespace
+
+std::string encode_response(const WorkResponse& response) {
+  util::Json j = util::Json::object();
+  j["status"] = status_name(response.status);
+  if (!response.error.empty()) j["message"] = response.error;
+  util::Json violations = util::Json::array();
+  for (const auto& violation : response.violations) {
+    util::Json v = util::Json::object();
+    v["assertion"] = violation.assertion;
+    v["message"] = violation.message;
+    violations.push_back(std::move(v));
+  }
+  j["violations"] = std::move(violations);
+  util::Json prefix = util::Json::object();
+  prefix["events_executed"] = static_cast<int64_t>(response.prefix.events_executed);
+  prefix["events_skipped"] = static_cast<int64_t>(response.prefix.events_skipped);
+  prefix["snapshots_taken"] = static_cast<int64_t>(response.prefix.snapshots_taken);
+  prefix["snapshots_restored"] = static_cast<int64_t>(response.prefix.snapshots_restored);
+  prefix["snapshots_evicted"] = static_cast<int64_t>(response.prefix.snapshots_evicted);
+  prefix["snapshot_alloc_failures"] =
+      static_cast<int64_t>(response.prefix.snapshot_alloc_failures);
+  prefix["cache_bytes_peak"] = static_cast<int64_t>(response.prefix.cache_bytes_peak);
+  j["prefix"] = std::move(prefix);
+  j["cache_bytes"] = static_cast<int64_t>(response.cache_bytes);
+  return j.dump();
+}
+
+std::optional<WorkResponse> decode_response(const std::string& payload) {
+  const auto parsed = util::Json::parse(payload);
+  if (!parsed) return std::nullopt;
+  const util::Json& j = parsed.value();
+  if (!j.is_object() || !j.contains("status") || !j["status"].is_string()) {
+    return std::nullopt;
+  }
+  WorkResponse response;
+  const auto status = parse_status(j["status"].as_string());
+  if (!status) return std::nullopt;
+  response.status = *status;
+  if (j.contains("message")) {
+    if (!j["message"].is_string()) return std::nullopt;
+    response.error = j["message"].as_string();
+  }
+  if (!j.contains("violations") || !j["violations"].is_array()) return std::nullopt;
+  for (const auto& v : j["violations"].as_array()) {
+    if (!v.is_object() || !v.contains("assertion") || !v["assertion"].is_string() ||
+        !v.contains("message") || !v["message"].is_string()) {
+      return std::nullopt;
+    }
+    response.violations.push_back({v["assertion"].as_string(), v["message"].as_string()});
+  }
+  if (!j.contains("prefix") || !j["prefix"].is_object()) return std::nullopt;
+  const util::Json& prefix = j["prefix"];
+  if (!read_u64(prefix, "events_executed", response.prefix.events_executed) ||
+      !read_u64(prefix, "events_skipped", response.prefix.events_skipped) ||
+      !read_u64(prefix, "snapshots_taken", response.prefix.snapshots_taken) ||
+      !read_u64(prefix, "snapshots_restored", response.prefix.snapshots_restored) ||
+      !read_u64(prefix, "snapshots_evicted", response.prefix.snapshots_evicted) ||
+      !read_u64(prefix, "snapshot_alloc_failures",
+                response.prefix.snapshot_alloc_failures) ||
+      !read_u64(prefix, "cache_bytes_peak", response.prefix.cache_bytes_peak)) {
+    return std::nullopt;
+  }
+  if (!read_u64(j, "cache_bytes", response.cache_bytes)) return std::nullopt;
+  return response;
+}
+
+// ---- fork-server notices ---------------------------------------------------
+
+std::string encode_spawn_notice(const SpawnNotice& notice) {
+  util::Json j = util::Json::object();
+  j["spawned"] = static_cast<int64_t>(notice.pid);
+  return j.dump();
+}
+
+std::string encode_exit_notice(const ExitNotice& notice) {
+  util::Json j = util::Json::object();
+  j["exited"] = static_cast<int64_t>(notice.pid);
+  j["status"] = static_cast<int64_t>(notice.wait_status);
+  return j.dump();
+}
+
+std::optional<ControlNotice> decode_notice(const std::string& payload) {
+  const auto parsed = util::Json::parse(payload);
+  if (!parsed) return std::nullopt;
+  const util::Json& j = parsed.value();
+  if (!j.is_object()) return std::nullopt;
+  ControlNotice notice;
+  if (j.contains("spawned")) {
+    if (!j["spawned"].is_int()) return std::nullopt;
+    notice.spawned = SpawnNotice{static_cast<pid_t>(j["spawned"].as_int())};
+    return notice;
+  }
+  if (j.contains("exited")) {
+    if (!j["exited"].is_int() || !j.contains("status") || !j["status"].is_int()) {
+      return std::nullopt;
+    }
+    notice.exited = ExitNotice{static_cast<pid_t>(j["exited"].as_int()),
+                               static_cast<int>(j["status"].as_int())};
+    return notice;
+  }
+  return std::nullopt;
+}
+
+}  // namespace erpi::sandbox

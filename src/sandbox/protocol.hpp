@@ -1,0 +1,111 @@
+// IPC wire format for the crash-isolated replay sandbox (DESIGN.md §9).
+//
+// Two channels per worker, both AF_UNIX stream socketpairs created before the
+// fork server is spawned:
+//
+//  * control — parent <-> fork server. Parent sends single-byte commands
+//    (kSpawnCommand / kQuitCommand); the server answers with framed JSON
+//    notices: {"spawned": pid} right after forking a runner, and
+//    {"exited": pid, "status": wait_status} once waitpid reaps it. Every
+//    runner produces exactly one exited notice, which is how the supervisor
+//    learns a child died (the server keeps the runner end of the data socket
+//    open for future runners, so the parent never sees EOF there).
+//
+//  * data — parent <-> current runner. Framed JSON work items flow down
+//    ({"order": [event ids...]}) and framed JSON outcomes flow back
+//    ({"status": "ok" | "oom" | "error", "violations": [...], "prefix":
+//    {cumulative counters}, "cache_bytes": n}). A runner that trips the
+//    memory cap best-effort writes the "oom" response and exits with
+//    kOomExitCode so the parent learns the reason even when the write loses
+//    the race with the exit.
+//
+// Framing is a 4-byte little-endian payload length followed by the payload.
+// All parent-side writes use send(MSG_NOSIGNAL) so a dead peer surfaces as
+// an error return instead of SIGPIPE.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/interleaving.hpp"
+#include "core/prefix_cache.hpp"
+#include "core/replay.hpp"
+
+namespace erpi::sandbox {
+
+/// Control-channel command bytes (parent -> fork server).
+inline constexpr char kSpawnCommand = 'S';
+inline constexpr char kQuitCommand = 'Q';
+
+/// Exit code a runner uses for a structured out-of-memory death (RLIMIT_AS
+/// tripped -> std::bad_alloc reached the child loop).
+inline constexpr int kOomExitCode = 66;
+
+// ---- framing ---------------------------------------------------------------
+
+/// Write one length-prefixed frame. False on any error (peer gone, ...).
+bool write_frame(int fd, const std::string& payload);
+
+/// Read one complete frame; nullopt on EOF, error, or a torn frame.
+std::optional<std::string> read_frame(int fd);
+
+/// poll() for readability. Returns 1 when readable, 0 on timeout, -1 on
+/// error. `timeout_ms` < 0 blocks indefinitely.
+int wait_readable(int fd, int timeout_ms);
+
+/// poll() two fds at once (the supervisor watches data + control together).
+/// Sets the out-flags for whichever became readable; same return convention
+/// as wait_readable.
+int wait_readable2(int fd_a, int fd_b, int timeout_ms, bool& a_ready, bool& b_ready);
+
+/// Throw away any buffered bytes without blocking (partial frames a killed
+/// runner left in the data socket).
+void drain_nonblocking(int fd);
+
+// ---- work items ------------------------------------------------------------
+
+std::string encode_request(const core::Interleaving& il);
+std::optional<core::Interleaving> decode_request(const std::string& payload);
+
+// ---- outcomes --------------------------------------------------------------
+
+struct WorkResponse {
+  enum class Status { Ok, Oom, Error };
+
+  Status status = Status::Ok;
+  std::string error;  // Status::Error only
+  std::vector<core::InterleavingOutcome::Violation> violations;
+  /// Cumulative for the runner's lifetime; the supervisor folds the last
+  /// value into its per-worker tally when the runner dies.
+  core::PrefixReplayStats prefix;
+  /// Live snapshot-cache bytes, for the dispatcher's shared-budget polls.
+  uint64_t cache_bytes = 0;
+};
+
+std::string encode_response(const WorkResponse& response);
+std::optional<WorkResponse> decode_response(const std::string& payload);
+
+// ---- fork-server notices ---------------------------------------------------
+
+struct SpawnNotice {
+  pid_t pid = -1;
+};
+struct ExitNotice {
+  pid_t pid = -1;
+  int wait_status = 0;  // waitpid status, classify with WIFSIGNALED/WIFEXITED
+};
+
+std::string encode_spawn_notice(const SpawnNotice& notice);
+std::string encode_exit_notice(const ExitNotice& notice);
+
+/// Decode either notice kind; exactly one optional is set on success.
+struct ControlNotice {
+  std::optional<SpawnNotice> spawned;
+  std::optional<ExitNotice> exited;
+};
+std::optional<ControlNotice> decode_notice(const std::string& payload);
+
+}  // namespace erpi::sandbox

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/profile.hpp"
+#include "sandbox/supervisor.hpp"
 #include "sched/queue.hpp"
 #include "util/stopwatch.hpp"
 
@@ -70,13 +71,25 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
   util::Stopwatch watch;
   core::ReplayReport report;
 
-  // Worker contexts are built up front on this thread so factory failures
-  // throw before any thread exists.
+  // Worker contexts (or their sandbox fork servers) are built up front on
+  // this thread so factory failures throw before any thread exists — and, in
+  // Process isolation, so every fork happens while this process is still
+  // single-threaded (see src/sandbox/supervisor.hpp).
+  const bool sandboxed = options_.replay.isolation == core::Isolation::Process;
   std::vector<std::unique_ptr<WorkerContext>> contexts;
-  contexts.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    contexts.push_back(std::make_unique<WorkerContext>(
-        options_.subject_factory, options_.assertion_factory, options_.replay, budget));
+  std::vector<std::unique_ptr<sandbox::ForkServer>> sandboxes;
+  if (sandboxed) {
+    sandboxes.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      sandboxes.push_back(std::make_unique<sandbox::ForkServer>(
+          options_.subject_factory, options_.assertion_factory, options_.replay, events));
+    }
+  } else {
+    contexts.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      contexts.push_back(std::make_unique<WorkerContext>(
+          options_.subject_factory, options_.assertion_factory, options_.replay, budget));
+    }
   }
 
   BoundedQueue<Batch> work(static_cast<size_t>(workers) * 2);
@@ -125,6 +138,9 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
             uint64_t extra =
                 options_.replay.extra_cache_bytes ? options_.replay.extra_cache_bytes() : 0;
             for (const auto& ctx : contexts) extra += ctx->snapshot_cache_bytes();
+            // Sandboxed workers report their children's cache sizes through
+            // an atomic refreshed on every outcome.
+            for (const auto& sb : sandboxes) extra += sb->snapshot_cache_bytes();
             if (budget->crash_if_exceeded(extra)) {
               dispatch_crashed.store(true);
               stop_dispatch = true;
@@ -152,7 +168,9 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
 
   // ---- workers: isolated replay, shared only through thread-safe state ----
   auto worker_fn = [&](int w) {
-    WorkerContext& ctx = *contexts[static_cast<size_t>(w)];
+    WorkerContext* ctx = sandboxed ? nullptr : contexts[static_cast<size_t>(w)].get();
+    sandbox::ForkServer* sandbox =
+        sandboxed ? sandboxes[static_cast<size_t>(w)].get() : nullptr;
     try {
       while (auto batch = work.pop()) {
         for (auto& item : batch->items) {
@@ -164,7 +182,8 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
           if (cancelled) {
             d.skipped = true;
           } else {
-            d.outcome = ctx.replay_one(item.interleaving, events);
+            d.outcome = sandbox ? sandbox->replay_one(item.interleaving)
+                                : ctx->replay_one(item.interleaving, events);
             if (stop_on_violation && !d.outcome.violations.empty()) {
               lower_floor(violation_floor, item.index);
             }
@@ -199,11 +218,21 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
       reorder.erase(it);
 
       ++report.explored;
-      if (item.outcome.timed_out) {
-        // Watchdog quarantine: counted, keyed, never a violation — and
-        // committed in order, so the quarantine list is deterministic.
-        ++report.timed_out;
+      if (item.outcome.quarantine()) {
+        // Quarantine (watchdog timeout, deterministic sandbox crash or oom):
+        // counted per kind, keyed, never a violation — and committed in
+        // order, so the quarantine list is deterministic.
+        if (item.outcome.timed_out) {
+          ++report.timed_out;
+        } else if (item.outcome.crashed) {
+          ++report.crashed_replays;
+        } else {
+          ++report.oom_replays;
+        }
         report.quarantined.push_back(item.interleaving.key());
+        report.quarantine_records.push_back({item.interleaving.key(),
+                                             item.outcome.quarantine_reason(),
+                                             item.outcome.term_signal});
       }
       for (const auto& violation : item.outcome.violations) {
         ++report.violations;
@@ -250,12 +279,21 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
 
   worker_assertions_.clear();
   std::vector<core::PrefixReplayStats> prefix_shards;
-  prefix_shards.reserve(contexts.size());
+  std::vector<core::SandboxStats> sandbox_shards;
+  prefix_shards.reserve(static_cast<size_t>(workers));
   for (const auto& ctx : contexts) {
     worker_assertions_.push_back(ctx->assertions());
     prefix_shards.push_back(ctx->prefix_stats());
   }
+  // Sandboxed fixtures live in the children, so there are no parent-side
+  // assertion instances to expose (worker_assertions() stays empty); prefix
+  // and anomaly counters are what the supervisors accumulated over IPC.
+  for (const auto& sb : sandboxes) {
+    prefix_shards.push_back(sb->prefix_stats());
+    sandbox_shards.push_back(sb->stats());
+  }
   report.prefix = core::merge_prefix_stats(prefix_shards);
+  report.sandbox = core::merge_sandbox_stats(sandbox_shards);
   return report;
 }
 

@@ -52,7 +52,11 @@ struct ExplorerOptions {
   size_t batch_size = 0;
   /// Run-wide replay options (cap, stop_on_violation, threaded, budget,
   /// extra_cache_bytes, on_interleaving_done). Per-worker fields
-  /// (lock_server) are rewired inside each WorkerContext.
+  /// (lock_server) are rewired inside each WorkerContext. With
+  /// replay.isolation == Isolation::Process each worker drives a
+  /// sandbox::ForkServer instead of an in-process fixture: replays execute
+  /// in per-worker child processes, and child deaths surface as structured
+  /// crashed/oom/timed_out outcomes instead of taking the run down.
   core::ReplayOptions replay;
   /// Builds one isolated subject fixture per worker. Required.
   core::SubjectFactory subject_factory;
@@ -73,6 +77,10 @@ class ParallelExplorer {
 
   /// Post-run: every worker's assertion instances, for merging observer
   /// state (e.g. core::collect_profiles over ResourceProfiler samples).
+  /// Empty under Isolation::Process — the fixtures (and their assertion
+  /// instances) live and die inside the sandbox children, so observer state
+  /// cannot be harvested across the process boundary (documented limitation,
+  /// DESIGN.md §9).
   const std::vector<core::AssertionList>& worker_assertions() const noexcept {
     return worker_assertions_;
   }

@@ -312,5 +312,79 @@ TEST(PrefixReplay, SnapshotMemoryAloneCrashesTheBudget) {
   EXPECT_LT(with_snapshots.report.explored, kCap);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot allocation failure: degrade, don't die
+// ---------------------------------------------------------------------------
+
+/// TownApp with a snapshot() that throws std::bad_alloc — every call, or
+/// every call after the first `succeed_first` — standing in for a subject
+/// whose checkpoint needs more heap than is left. Composition around TownApp
+/// because SubjectBase::snapshot() is final.
+class AllocFailingSnapshotTown : public proxy::Rdl {
+ public:
+  AllocFailingSnapshotTown(int replicas, int succeed_first)
+      : inner_(replicas), succeed_first_(succeed_first) {}
+
+  std::string name() const override { return inner_.name(); }
+  int replica_count() const override { return inner_.replica_count(); }
+  util::Result<util::Json> invoke(net::ReplicaId replica, const std::string& op,
+                                  const util::Json& args) override {
+    return inner_.invoke(replica, op, args);
+  }
+  util::Json replica_state(net::ReplicaId replica) const override {
+    return inner_.replica_state(replica);
+  }
+  void reset() override { inner_.reset(); }
+  proxy::Snapshot snapshot() override {
+    if (calls_++ >= succeed_first_) throw std::bad_alloc();
+    return inner_.snapshot();
+  }
+  bool restore(const proxy::Snapshot& snap) override { return inner_.restore(snap); }
+
+ private:
+  subjects::TownApp inner_;
+  int succeed_first_;
+  int calls_ = 0;  // per-fixture, like any real memory pressure would be
+};
+
+TEST(PrefixReplay, SnapshotBadAllocFallsBackToFullResetAndLatchesCounter) {
+  const Scenario baseline_sc = town_scenario();
+  auto failing_sc = [&](int succeed_first) {
+    Scenario sc = baseline_sc;
+    sc.make_subject = [succeed_first] {
+      return std::make_unique<AllocFailingSnapshotTown>(2, succeed_first);
+    };
+    return sc;
+  };
+  const RunOutput baseline = run_scenario(baseline_sc, 0, 1);
+  ASSERT_GT(baseline.report.explored, 0u);
+
+  for (const int parallelism : {1, 4}) {
+    // Every snapshot() call fails: the run must behave exactly like
+    // depth 0 (all events executed from full resets), latch the counter,
+    // and never let the bad_alloc escape a worker.
+    const RunOutput out =
+        run_scenario(failing_sc(0), /*max_snapshot_depth=*/SIZE_MAX, parallelism);
+    const std::string label = "always-failing p=" + std::to_string(parallelism);
+    if (parallelism > 1) {
+      expect_invariant_fields_equal(out.report, baseline.report, label);
+    } else {
+      expect_reports_equal(out.report, baseline.report, label);
+    }
+    EXPECT_GT(out.report.prefix.snapshot_alloc_failures, 0u) << label;
+    EXPECT_EQ(out.report.prefix.snapshots_taken, 0u) << label;
+    EXPECT_EQ(out.report.prefix.snapshots_restored, 0u) << label;
+    EXPECT_EQ(out.report.prefix.events_skipped, 0u) << label;
+    EXPECT_EQ(out.report.prefix.cache_bytes_peak, 0u) << label;
+  }
+
+  // Memory pressure arriving mid-run: the first few snapshots land, later
+  // ones fail. Cached prefixes keep getting reused; the report still matches.
+  const RunOutput degraded = run_scenario(failing_sc(4), SIZE_MAX, 1);
+  expect_reports_equal(degraded.report, baseline.report, "degrading");
+  EXPECT_GT(degraded.report.prefix.snapshot_alloc_failures, 0u);
+  EXPECT_GT(degraded.report.prefix.snapshots_taken, 0u);
+}
+
 }  // namespace
 }  // namespace erpi::core

@@ -3,6 +3,7 @@
 // the motivating example's exact §3.1 arithmetic, and the constraints parser.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -211,6 +212,59 @@ TEST(ConstraintWatcher, MissingDirectoryIsHarmless) {
   EXPECT_TRUE(watcher.poll().empty());
   ConstraintWatcher disabled("");
   EXPECT_TRUE(disabled.poll().empty());
+}
+
+TEST(ConstraintWatcher, SameSizeInPlaceEditIsReconsumed) {
+  const auto dir = fs::temp_directory_path() / "erpi-watcher-mtime-test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ConstraintWatcher watcher(dir.string());
+
+  const auto path = dir / "c.json";
+  std::ofstream(path) << R"({"independent_events": [1, 2]})";
+  ASSERT_EQ(watcher.poll().independence.size(), 1u);
+
+  // Same byte count, different content: the old path:size key would treat
+  // this as already consumed and silently drop the edit. Bump the mtime
+  // explicitly so the test doesn't depend on filesystem timestamp
+  // granularity.
+  std::ofstream(path) << R"({"independent_events": [1, 3]})";
+  fs::last_write_time(path, fs::last_write_time(path) + std::chrono::seconds(2));
+  const auto reread = watcher.poll();
+  ASSERT_EQ(reread.independence.size(), 1u);
+  EXPECT_EQ(reread.independence[0].independent_events, (std::vector<int>{1, 3}));
+  EXPECT_TRUE(watcher.poll().empty());  // unchanged file stays consumed
+  fs::remove_all(dir);
+}
+
+TEST(ConstraintWatcher, LastErrorsReportsSkippedFilesStructured) {
+  const auto dir = fs::temp_directory_path() / "erpi-watcher-errors-test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ConstraintWatcher watcher(dir.string());
+  EXPECT_TRUE(watcher.last_errors().empty());
+
+  std::ofstream(dir / "broken.json") << "{nope";
+  std::ofstream(dir / "invalid.json") << R"({"groups": [[1]]})";
+  std::ofstream(dir / "good.json") << R"({"groups": [[0, 1]]})";
+  const auto merged = watcher.poll();
+  EXPECT_EQ(merged.groups.size(), 1u);  // the good file still lands
+
+  ASSERT_EQ(watcher.last_errors().size(), 2u);
+  for (const auto& error : watcher.last_errors()) {
+    EXPECT_FALSE(error.error.message.empty());
+    if (error.path == (dir / "broken.json").string()) {
+      EXPECT_NE(error.error.message.find("malformed JSON"), std::string::npos);
+    } else {
+      EXPECT_EQ(error.path, (dir / "invalid.json").string());
+      EXPECT_EQ(error.error.message, "a group needs at least two events");
+    }
+  }
+
+  // Errors describe the most recent poll only; a clean scan resets them.
+  EXPECT_TRUE(watcher.poll().empty());
+  EXPECT_TRUE(watcher.last_errors().empty());
+  fs::remove_all(dir);
 }
 
 TEST(Session, RuntimeConstraintsExtendThePipeline) {

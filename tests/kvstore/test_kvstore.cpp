@@ -204,6 +204,44 @@ TEST(DistributedMutex, ExpiredLeaseCannotReleaseNewHolder) {
   EXPECT_TRUE(second.unlock());
 }
 
+TEST(DistributedMutex, ExpiredLeaseUnlockLeavesNewHoldersTokenIntact) {
+  // Regression for the compare-and-delete race in full: after the first
+  // holder's TTL lapses and a second client takes the lock, the first
+  // holder's unlock must not only return false — the key must still hold the
+  // *second* holder's token verbatim, and the expired holder must come back
+  // with a fresh token that round-trips its own lock/unlock.
+  int64_t now = 0;
+  Server server([&now] { return now; });
+  DistributedMutex::Options short_lease;
+  short_lease.ttl_ms = 10;
+  DistributedMutex first(server, "lock", short_lease, 1);
+  DistributedMutex second(server, "lock", short_lease, 2);
+  Client client(server);
+
+  ASSERT_TRUE(first.try_lock());
+  const std::string first_token = client.get("lock").value();
+
+  now += 11;  // first's lease lapses; nothing has touched the key since
+  ASSERT_TRUE(second.try_lock());
+  const std::string second_token = client.get("lock").value();
+  ASSERT_NE(second_token, first_token);
+
+  // The stale release must be a no-op on the new holder's lease.
+  EXPECT_FALSE(first.unlock());
+  EXPECT_EQ(client.get("lock"), second_token);
+  EXPECT_FALSE(first.held());
+
+  // The expired holder can contend again — with a fresh token, so its new
+  // acquisition (after second releases) is independently releasable.
+  EXPECT_FALSE(first.try_lock());  // second still holds
+  EXPECT_TRUE(second.unlock());
+  EXPECT_TRUE(first.try_lock());
+  const std::string reacquired_token = client.get("lock").value();
+  EXPECT_NE(reacquired_token, first_token);
+  EXPECT_TRUE(first.unlock());
+  EXPECT_FALSE(client.exists("lock"));
+}
+
 TEST(DistributedMutex, MutualExclusionUnderContention) {
   Server server;
   std::atomic<int> inside{0};
