@@ -1,14 +1,28 @@
-// Reproduces the worked pruning numbers of §3.2-§3.5:
+// Pruning benchmarks, two halves:
 //
-//  * Figure 3 (Event Grouping): 8 events with two sync pairs -> 6 units,
-//    8!/6! = 56x reduction.
-//  * Figure 5 (Event Independence): 3 independent events -> 3! - 1 = 5
-//    interleavings merged per position pattern.
-//  * Figure 6 (Failed Ops): 3 doomed set operations -> their 3! = 6 orders
-//    collapse to 1 (5 pruned).
+//  1. The worked pruning numbers of §3.2-§3.5 (Figure 3 grouping 56x,
+//     Figure 5 independence, Figure 6 failed ops) — printed for reference.
+//  2. A generation-time subtree-pruning sweep (DESIGN.md §10): for 6..9
+//     events x pruner combos, one exhaustive DFS enumeration with the legacy
+//     generate-then-test pipeline and one with the prefix-oracle chain,
+//     comparing wall time, raw candidates materialized, candidates/sec,
+//     subtrees cut and dedup-cache bytes — while asserting the admitted
+//     sequences and pipeline stats are byte-identical. The ISSUE acceptance
+//     gate is >= 5x fewer generated candidates for grouping + failed-ops at
+//     8+ events.
+//
+// --smoke runs the parity guard alone on the small sizes and exits non-zero
+// on any divergence (CI wires this next to the prefix-replay smoke).
+//
+// Usage: bench_pruning [--out BENCH_pruning.json] [--smoke]
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "core/pruning.hpp"
 #include "proxy/proxy.hpp"
@@ -38,24 +52,22 @@ uint64_t count_admitted(int event_count, PruningPipeline& pipeline) {
   return admitted;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("=== Pruning micro-benchmarks (paper §3.2-§3.5) ===\n\n");
+void print_worked_examples() {
+  std::printf("=== Pruning worked examples (paper §3.2-§3.5) ===\n\n");
 
   // ---- Figure 3: Event Grouping ----
   {
     subjects::CrdtCollection app(2);
     proxy::RdlProxy capture(app);
     capture.start_capture();
-    capture.update(0, "counter_inc", jobj({}));                      // ev1
-    capture.update(0, "set_add", jobj({{"element", "x"}}));          // ev2
-    capture.sync_req(0, 1);                                          // ev3
-    capture.exec_sync(0, 1);                                         // ev4
-    capture.update(1, "counter_inc", jobj({}));                      // ev5
-    capture.update(1, "set_add", jobj({{"element", "y"}}));          // ev6
-    capture.sync_req(1, 0);                                          // ev7
-    capture.exec_sync(1, 0);                                         // ev8
+    capture.update(0, "counter_inc", jobj({}));              // ev1
+    capture.update(0, "set_add", jobj({{"element", "x"}}));  // ev2
+    capture.sync_req(0, 1);                                  // ev3
+    capture.exec_sync(0, 1);                                 // ev4
+    capture.update(1, "counter_inc", jobj({}));              // ev5
+    capture.update(1, "set_add", jobj({{"element", "y"}}));  // ev6
+    capture.sync_req(1, 0);                                  // ev7
+    capture.exec_sync(1, 0);                                 // ev8
     const auto events = capture.end_capture();
     const auto units = build_units(events);
     std::printf("Figure 3 (Event Grouping): %zu events -> %zu units\n", events.size(),
@@ -68,8 +80,6 @@ int main() {
 
   // ---- Figure 5: Event Independence ----
   {
-    // five events; 0, 2, 4 are declared mutually independent, 1 and 3 are
-    // declared neutral (they do not affect the independent ones)
     PruningPipeline pipeline;
     IndependencePruner::Spec spec;
     spec.independent_events = {0, 2, 4};
@@ -84,8 +94,6 @@ int main() {
 
   // ---- Figure 6: Failed Ops ----
   {
-    // events 0 and 1 fill the set; events 2, 3, 4 are doomed to fail once
-    // both predecessors executed, so their relative order is irrelevant
     PruningPipeline pipeline;
     FailedOpsPruner::Spec spec;
     spec.predecessor_events = {0, 1};
@@ -96,14 +104,234 @@ int main() {
     std::printf("  interleavings: %" PRIu64 " -> %" PRIu64
                 "  (the all-predecessors-first classes collapse 6 -> 1; paper: 5 pruned)\n",
                 factorial_saturated(5), admitted);
-    // demonstrate on the real 2P-Set: removed elements cannot return
     subjects::CrdtCollection app(2);
     proxy::RdlProxy capture(app);
     auto first = capture.update(0, "twopset_add", jobj({{"element", "x"}}));
     auto removed = capture.update(0, "twopset_remove", jobj({{"element", "x"}}));
     auto doomed = capture.update(0, "twopset_add", jobj({{"element", "x"}}));
-    std::printf("  2P-Set check: add ok=%d, remove ok=%d, re-add fails=%d\n",
+    std::printf("  2P-Set check: add ok=%d, remove ok=%d, re-add fails=%d\n\n",
                 first.has_value(), removed.has_value(), !doomed.has_value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generation-time sweep
+// ---------------------------------------------------------------------------
+
+/// One pruner combination over n events. Every combo keeps the oracle
+/// guards satisfiable (ascending-id ranks, disjoint moved sets).
+PruningPipeline make_combo(const std::string& combo, int n) {
+  PruningPipeline pipeline;
+  const auto add_grouping = [&] {
+    std::vector<EventUnit> units;
+    units.push_back({{0, 1}});
+    units.push_back({{2, 3}});
+    for (int id = 4; id < n; ++id) units.push_back({{id}});
+    pipeline.add(std::make_unique<GroupPruner>(units));
+  };
+  const auto add_failed_ops = [&](std::vector<int> preds, std::vector<int> succs) {
+    FailedOpsPruner::Spec spec;
+    spec.predecessor_events = std::move(preds);
+    spec.successor_events = std::move(succs);
+    pipeline.add(std::make_unique<FailedOpsPruner>(spec));
+  };
+  if (combo == "grouping") {
+    add_grouping();
+  } else if (combo == "failed_ops") {
+    add_failed_ops({0, 1}, {n - 3, n - 2, n - 1});
+  } else if (combo == "independence") {
+    IndependencePruner::Spec spec;
+    spec.independent_events = {1, 3, 5};
+    for (int id = 0; id < n; ++id) {
+      if (id != 1 && id != 3 && id != 5) spec.neutral_events.insert(id);
+    }
+    pipeline.add(std::make_unique<IndependencePruner>(spec));
+  } else if (combo == "grouping+failed_ops") {
+    add_grouping();
+    add_failed_ops({0}, {n - 2, n - 1});
+  } else {  // "all": grouping + independence + failed-ops
+    std::vector<EventUnit> units;
+    units.push_back({{0, 1}});
+    for (int id = 2; id < n; ++id) units.push_back({{id}});
+    pipeline.add(std::make_unique<GroupPruner>(units));
+    IndependencePruner::Spec ind;
+    ind.independent_events = {2, 3};
+    for (int id = 0; id < n; ++id) {
+      if (id != 2 && id != 3) ind.neutral_events.insert(id);
+    }
+    pipeline.add(std::make_unique<IndependencePruner>(ind));
+    add_failed_ops({0}, {n - 2, n - 1});
+  }
+  return pipeline;
+}
+
+struct SweepRun {
+  std::vector<std::string> admitted;
+  PruningPipeline::Stats stats;
+  uint64_t cache_bytes = 0;
+  uint64_t generated = 0;  // raw candidates the inner enumerator materialized
+  uint64_t subtrees_cut = 0;
+  double seconds = 0;
+  bool oracle_attached = false;
+};
+
+SweepRun run_sweep(const std::string& combo, int n, bool generation_pruning) {
+  std::vector<int> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  PrunedEnumerator pruned(std::make_unique<DfsEnumerator>(std::move(ids)),
+                          make_combo(combo, n));
+  pruned.set_generation_pruning(generation_pruning);
+  SweepRun run;
+  const auto start = std::chrono::steady_clock::now();
+  std::string key;
+  while (auto il = pruned.next()) {
+    key.clear();
+    il->append_key(key);
+    run.admitted.push_back(key);
+  }
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  run.stats = pruned.pipeline().stats();
+  run.cache_bytes = pruned.pipeline().cache_bytes();
+  run.generated = pruned.inner().emitted();
+  if (const auto* chain = pruned.oracle_chain()) {
+    run.oracle_attached = true;
+    run.subtrees_cut = chain->telemetry().subtrees_cut;
+  }
+  return run;
+}
+
+bool parity_ok(const SweepRun& legacy, const SweepRun& oracle, const std::string& combo,
+               int n) {
+  const bool same = legacy.admitted == oracle.admitted &&
+                    legacy.stats.admitted == oracle.stats.admitted &&
+                    legacy.stats.pruned == oracle.stats.pruned &&
+                    legacy.stats.pruned_by == oracle.stats.pruned_by &&
+                    legacy.cache_bytes == oracle.cache_bytes;
+  if (!same) {
+    std::fprintf(stderr,
+                 "bench_pruning: PARITY DIVERGENCE for %s n=%d: legacy admitted %zu "
+                 "pruned %" PRIu64 " vs oracle admitted %zu pruned %" PRIu64 "\n",
+                 combo.c_str(), n, legacy.admitted.size(), legacy.stats.pruned,
+                 oracle.admitted.size(), oracle.stats.pruned);
+  }
+  return same;
+}
+
+const std::vector<std::string> kCombos = {"grouping", "failed_ops", "independence",
+                                          "grouping+failed_ops", "all"};
+
+int run_smoke() {
+  bool ok = true;
+  for (int n = 6; n <= 7; ++n) {
+    for (const auto& combo : kCombos) {
+      const SweepRun legacy = run_sweep(combo, n, false);
+      const SweepRun oracle = run_sweep(combo, n, true);
+      ok &= parity_ok(legacy, oracle, combo, n);
+      ok &= oracle.oracle_attached && oracle.subtrees_cut > 0;
+      if (!oracle.oracle_attached || oracle.subtrees_cut == 0) {
+        std::fprintf(stderr, "bench_pruning: oracle chain idle for %s n=%d\n",
+                     combo.c_str(), n);
+      }
+      std::printf("  smoke %-20s n=%d  admitted %5zu  generated %6" PRIu64 " -> %6" PRIu64
+                  "  cuts %5" PRIu64 "  %s\n",
+                  combo.c_str(), n, oracle.admitted.size(), legacy.generated,
+                  oracle.generated, oracle.subtrees_cut,
+                  parity_ok(legacy, oracle, combo, n) ? "ok" : "DIVERGED");
+    }
+  }
+  std::printf("bench_pruning --smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) return run_smoke();
+
+  print_worked_examples();
+
+  std::printf("=== Generation-time subtree pruning sweep (DESIGN.md §10) ===\n\n");
+  util::Json rows = util::Json::array();
+  bool parity = true;
+  bool acceptance_met = true;
+  for (int n = 6; n <= 9; ++n) {
+    for (const auto& combo : kCombos) {
+      const SweepRun legacy = run_sweep(combo, n, false);
+      const SweepRun oracle = run_sweep(combo, n, true);
+      parity &= parity_ok(legacy, oracle, combo, n);
+
+      const double reduction = oracle.generated == 0
+                                   ? 0.0
+                                   : static_cast<double>(legacy.generated) /
+                                         static_cast<double>(oracle.generated);
+      // ISSUE acceptance: grouping + failed-ops at 8+ events must generate
+      // at least 5x fewer raw candidates with the oracle chain on.
+      if (combo == "grouping+failed_ops" && n >= 8 && reduction < 5.0) {
+        acceptance_met = false;
+      }
+      const auto rate = [](uint64_t candidates, double seconds) {
+        return seconds > 0 ? static_cast<double>(candidates) / seconds : 0.0;
+      };
+      std::printf("  n=%d %-20s admitted %5" PRIu64 "  generated %7" PRIu64 " -> %7" PRIu64
+                  " (%5.1fx)  cuts %6" PRIu64 "  dedup %7" PRIu64 " B  %7.4fs -> %7.4fs\n",
+                  n, combo.c_str(), oracle.stats.admitted, legacy.generated,
+                  oracle.generated, reduction, oracle.subtrees_cut, oracle.cache_bytes,
+                  legacy.seconds, oracle.seconds);
+
+      util::Json row = util::Json::object();
+      row["events"] = static_cast<int64_t>(n);
+      row["combo"] = combo;
+      row["universe"] = static_cast<int64_t>(factorial_saturated(static_cast<uint64_t>(n)));
+      row["admitted"] = static_cast<int64_t>(oracle.stats.admitted);
+      row["pruned"] = static_cast<int64_t>(oracle.stats.pruned);
+      util::Json legacy_j = util::Json::object();
+      legacy_j["seconds"] = legacy.seconds;
+      legacy_j["generated"] = static_cast<int64_t>(legacy.generated);
+      legacy_j["candidates_per_sec"] = rate(legacy.generated, legacy.seconds);
+      row["legacy"] = std::move(legacy_j);
+      util::Json oracle_j = util::Json::object();
+      oracle_j["seconds"] = oracle.seconds;
+      oracle_j["generated"] = static_cast<int64_t>(oracle.generated);
+      oracle_j["candidates_per_sec"] = rate(oracle.generated, oracle.seconds);
+      oracle_j["subtrees_cut"] = static_cast<int64_t>(oracle.subtrees_cut);
+      row["oracle"] = std::move(oracle_j);
+      row["dedup_cache_bytes"] = static_cast<int64_t>(oracle.cache_bytes);
+      row["generated_reduction_x"] = reduction;
+      row["wall_clock_speedup_x"] =
+          oracle.seconds > 0 ? legacy.seconds / oracle.seconds : 0.0;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  util::Json doc = util::Json::object();
+  doc["bench"] = "pruning";
+  doc["enumerator"] = "dfs";
+  doc["rows"] = std::move(rows);
+  doc["parity"] = parity;
+  doc["acceptance_5x_grouping_failed_ops_met"] = acceptance_met;
+
+  std::printf("\n%s\n", doc.dump().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc.dump() << "\n";
+    if (out.good()) {
+      std::printf("(written to %s)\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_pruning: could not write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+  if (!parity || !acceptance_met) {
+    std::fprintf(stderr, "bench_pruning: %s\n",
+                 !parity ? "oracle runs diverged from generate-then-test"
+                         : "5x generated-candidate reduction target missed");
+    return 1;
   }
   return 0;
 }

@@ -4,6 +4,23 @@
 #include <numeric>
 
 namespace erpi::core {
+namespace {
+
+/// Build the by-event-id rank table shared by both domains. Returns false
+/// when the ids are unfit for table indexing (negative or absurdly sparse),
+/// in which case no oracle domain is offered.
+bool build_rank_table(const std::vector<int>& ids, std::vector<int>& rank_of_event) {
+  constexpr int kMaxEventId = 1 << 16;
+  int max_id = -1;
+  for (const int id : ids) {
+    if (id < 0 || id >= kMaxEventId) return false;
+    max_id = std::max(max_id, id);
+  }
+  rank_of_event.assign(static_cast<size_t>(max_id) + 1, -1);
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // GroupedEnumerator
@@ -25,12 +42,59 @@ void GroupedEnumerator::reset() {
   exhausted_ = units_.empty();
   first_ = true;
   emitted_ = 0;
+  use_walk_ = oracle_ != nullptr;
+  walk_stack_.assign(1, 0);
+  walk_path_.clear();
+  walk_used_.assign(units_.size(), false);
+  prev_unit_order_.clear();
 }
 
 uint64_t GroupedEnumerator::cache_bytes() const noexcept {
   // each cached key packs one unit id per key_width_ bytes, plus set overhead
   return seen_.size() *
-         (units_.size() * static_cast<uint64_t>(key_width_) + 48);
+         (units_.size() * static_cast<uint64_t>(key_width_) + kDedupEntryOverheadBytes);
+}
+
+std::optional<OracleDomain> GroupedEnumerator::prefix_domain() const {
+  if (emit_order_ != Order::Lexicographic) return std::nullopt;
+  std::vector<int> all_ids;
+  for (const auto& unit : units_) {
+    all_ids.insert(all_ids.end(), unit.events.begin(), unit.events.end());
+  }
+  OracleDomain domain;
+  if (!build_rank_table(all_ids, domain.rank_of_event)) return std::nullopt;
+  domain.unit_generation = true;
+  domain.slot_count = units_.size();
+  domain.event_count = all_ids.size();
+  domain.units = units_;
+  domain.unit_of_event.assign(domain.rank_of_event.size(), -1);
+  domain.pos_in_unit.assign(domain.rank_of_event.size(), -1);
+  for (size_t u = 0; u < units_.size(); ++u) {
+    for (size_t p = 0; p < units_[u].events.size(); ++p) {
+      const auto id = static_cast<size_t>(units_[u].events[p]);
+      domain.rank_of_event[id] = static_cast<int>(u);
+      domain.unit_of_event[id] = static_cast<int>(u);
+      domain.pos_in_unit[id] = static_cast<int>(p);
+    }
+  }
+  return domain;
+}
+
+bool GroupedEnumerator::attach_prefix_oracle(OracleChain* chain) {
+  if (emit_order_ != Order::Lexicographic) return false;
+  oracle_ = chain;
+  if (chain != nullptr) {
+    // Start (or restart) the explicit walk from the root; callers attach
+    // before the first next() after construction/reset, so the walk and the
+    // chain agree on an empty prefix. A later detach keeps the walk as the
+    // source of truth so the emission stream is continuous.
+    use_walk_ = true;
+    walk_stack_.assign(1, 0);
+    walk_path_.clear();
+    walk_used_.assign(units_.size(), false);
+    prev_unit_order_.clear();
+  }
+  return true;
 }
 
 uint64_t GroupedEnumerator::universe_size() const {
@@ -45,6 +109,7 @@ std::optional<Interleaving> GroupedEnumerator::next() {
 }
 
 std::optional<Interleaving> GroupedEnumerator::next_lexicographic() {
+  if (use_walk_) return next_lexicographic_walk();
   if (!first_) {
     const std::vector<size_t> prev = order_;
     if (!std::next_permutation(order_.begin(), order_.end())) {
@@ -66,6 +131,57 @@ std::optional<Interleaving> GroupedEnumerator::next_lexicographic() {
     last_common_prefix_.reset();  // nothing emitted before the first
   }
   return flatten(units_, order_);
+}
+
+std::optional<Interleaving> GroupedEnumerator::next_lexicographic_walk() {
+  // Explicit DFS over unit indices, trying unused indices in ascending order
+  // at every depth — which emits exactly the std::next_permutation sequence —
+  // while giving the oracle chain a chance to cut each extension's subtree.
+  const size_t k = units_.size();
+  while (!walk_stack_.empty()) {
+    size_t choice = walk_stack_.back();
+    while (choice < k && walk_used_[choice]) ++choice;
+    if (choice >= k) {
+      // no more children: backtrack
+      walk_stack_.pop_back();
+      if (!walk_path_.empty()) {
+        const size_t last = walk_path_.back();
+        walk_path_.pop_back();
+        walk_used_[last] = false;
+        if (oracle_ != nullptr) oracle_->pop_unit(last);
+      }
+      continue;
+    }
+    walk_stack_.back() = choice + 1;
+    if (oracle_ != nullptr &&
+        oracle_->push_unit(choice) == OracleChain::Verdict::Cut) {
+      continue;  // whole subtree accounted as pruned; chain already unwound
+    }
+    walk_used_[choice] = true;
+    walk_path_.push_back(choice);
+    if (walk_path_.size() == k) {
+      // leaf: emit, then immediately backtrack this choice
+      Interleaving il = flatten(units_, walk_path_);
+      if (prev_unit_order_.empty()) {
+        last_common_prefix_.reset();  // nothing emitted before the first
+      } else {
+        size_t events = 0;
+        for (size_t u = 0; u < k && walk_path_[u] == prev_unit_order_[u]; ++u) {
+          events += units_[walk_path_[u]].events.size();
+        }
+        last_common_prefix_ = events;
+      }
+      prev_unit_order_ = walk_path_;
+      walk_path_.pop_back();
+      walk_used_[choice] = false;
+      if (oracle_ != nullptr) oracle_->pop_unit(choice);
+      return il;
+    }
+    walk_stack_.push_back(0);
+  }
+  exhausted_ = true;
+  last_common_prefix_.reset();
+  return std::nullopt;
 }
 
 std::optional<Interleaving> GroupedEnumerator::next_shuffled() {
@@ -125,6 +241,24 @@ uint64_t DfsEnumerator::universe_size() const {
   return factorial_saturated(event_ids_.size());
 }
 
+std::optional<OracleDomain> DfsEnumerator::prefix_domain() const {
+  OracleDomain domain;
+  if (!build_rank_table(event_ids_, domain.rank_of_event)) return std::nullopt;
+  domain.unit_generation = false;
+  domain.slot_count = event_ids_.size();
+  domain.event_count = event_ids_.size();
+  // Rank = child-try order, i.e. the (possibly branch-seed-shuffled) index.
+  for (size_t i = 0; i < event_ids_.size(); ++i) {
+    domain.rank_of_event[static_cast<size_t>(event_ids_[i])] = static_cast<int>(i);
+  }
+  return domain;
+}
+
+bool DfsEnumerator::attach_prefix_oracle(OracleChain* chain) {
+  oracle_ = chain;
+  return true;
+}
+
 std::optional<Interleaving> DfsEnumerator::next() {
   if (exhausted_) return std::nullopt;
   const size_t n = event_ids_.size();
@@ -143,10 +277,15 @@ std::optional<Interleaving> DfsEnumerator::next() {
         path_.pop_back();
         const auto it = std::find(event_ids_.begin(), event_ids_.end(), last);
         used_[static_cast<size_t>(it - event_ids_.begin())] = false;
+        if (oracle_ != nullptr) oracle_->pop_event();
       }
       continue;
     }
     frame.next_choice = choice + 1;
+    if (oracle_ != nullptr &&
+        oracle_->push_event(event_ids_[choice]) == OracleChain::Verdict::Cut) {
+      continue;  // whole subtree accounted as pruned; chain already unwound
+    }
     used_[choice] = true;
     path_.push_back(event_ids_[choice]);
     ++nodes_expanded_;
@@ -164,6 +303,7 @@ std::optional<Interleaving> DfsEnumerator::next() {
       prev_order_ = il.order;
       path_.pop_back();
       used_[choice] = false;
+      if (oracle_ != nullptr) oracle_->pop_event();
       ++emitted_;
       return il;
     }
@@ -202,7 +342,7 @@ uint64_t RandomEnumerator::universe_size() const {
 uint64_t RandomEnumerator::cache_bytes() const noexcept {
   // each cached key packs one event id per key_width_ bytes, plus set overhead
   return seen_.size() *
-         (event_ids_.size() * static_cast<uint64_t>(key_width_) + 48);
+         (event_ids_.size() * static_cast<uint64_t>(key_width_) + kDedupEntryOverheadBytes);
 }
 
 std::optional<Interleaving> RandomEnumerator::next() {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/interleaving.hpp"
+#include "core/pruning_incremental.hpp"
 #include "util/rng.hpp"
 
 namespace erpi::core {
@@ -49,9 +50,29 @@ class Enumerator {
   /// nullopt.
   virtual std::optional<size_t> last_common_prefix() const { return std::nullopt; }
 
+  /// Generation-time subtree pruning (DESIGN.md §10): enumerators whose
+  /// emission order is a deterministic tree walk describe that tree here so
+  /// PrunedEnumerator can build a matching oracle chain. nullopt = no
+  /// tree structure (randomized orders) — the legacy generate-then-test path
+  /// is used unchanged.
+  virtual std::optional<OracleDomain> prefix_domain() const { return std::nullopt; }
+
+  /// Attach (or detach, with nullptr) an oracle chain consulted at every
+  /// extension of the generation tree. Must be called before the first
+  /// next() after construction or reset(); detaching mid-run is allowed and
+  /// simply stops further cuts. Returns false if this enumerator cannot
+  /// consult oracles (then the chain must not be attached).
+  virtual bool attach_prefix_oracle(OracleChain* /*chain*/) { return false; }
+
  protected:
   uint64_t emitted_ = 0;
 };
+
+/// Per-entry overhead charged for one dedup-set node (hash bucket pointer,
+/// node header, string header) on top of the packed key payload — shared by
+/// every dedup cache (Random, Grouped-shuffled, PruningPipeline) so their
+/// cache_bytes() formulas stay consistent with each other.
+inline constexpr uint64_t kDedupEntryOverheadBytes = 48;
 
 /// Narrowest per-id byte width able to represent every id in [0, max_id].
 inline int packed_key_width(uint64_t max_id) noexcept {
@@ -64,16 +85,21 @@ inline int packed_key_width(uint64_t max_id) noexcept {
 /// key. One reserve + one allocation per key (and SSO for small sequences),
 /// unlike the old "3,0,1,2" text rendering which reallocated while growing.
 template <typename Seq>
-std::string packed_dedup_key(const Seq& order, int width) {
-  std::string key;
-  key.reserve(order.size() * static_cast<size_t>(width));
+void append_packed_dedup_key(const Seq& order, int width, std::string& out) {
+  out.reserve(out.size() + order.size() * static_cast<size_t>(width));
   for (const auto id : order) {
     auto value = static_cast<uint64_t>(id);
     for (int byte = 0; byte < width; ++byte) {
-      key.push_back(static_cast<char>(value & 0xff));
+      out.push_back(static_cast<char>(value & 0xff));
       value >>= 8;
     }
   }
+}
+
+template <typename Seq>
+std::string packed_dedup_key(const Seq& order, int width) {
+  std::string key;
+  append_packed_dedup_key(order, width, key);
   return key;
 }
 
@@ -98,12 +124,17 @@ class GroupedEnumerator : public Enumerator {
   void reset() override;
   std::optional<size_t> last_common_prefix() const override { return last_common_prefix_; }
 
+  /// Lexicographic mode is a deterministic tree walk over unit indices.
+  std::optional<OracleDomain> prefix_domain() const override;
+  bool attach_prefix_oracle(OracleChain* chain) override;
+
   const std::vector<EventUnit>& units() const noexcept { return units_; }
   /// Approximate bytes held by the Shuffled-mode dedup cache.
   uint64_t cache_bytes() const noexcept;
 
  private:
   std::optional<Interleaving> next_lexicographic();
+  std::optional<Interleaving> next_lexicographic_walk();
   std::optional<Interleaving> next_shuffled();
 
   std::vector<EventUnit> units_;
@@ -116,6 +147,17 @@ class GroupedEnumerator : public Enumerator {
   int key_width_ = 1;
   bool exhausted_ = false;
   bool first_ = true;
+  // Oracle-mode lexicographic walk: an explicit DFS over unit indices that
+  // emits the exact std::next_permutation sequence (ascending unused index at
+  // every depth) while letting the chain cut subtrees. Once a chain has been
+  // attached the walk stays the source of truth even after a mid-run detach,
+  // so the emission stream is continuous.
+  OracleChain* oracle_ = nullptr;
+  bool use_walk_ = false;
+  std::vector<size_t> walk_stack_;       // next unit index to try, per depth
+  std::vector<size_t> walk_path_;        // chosen unit indices
+  std::vector<bool> walk_used_;
+  std::vector<size_t> prev_unit_order_;  // previous emission, for hints
 };
 
 /// Explicit DFS over the permutation tree of raw event ids.
@@ -130,6 +172,9 @@ class DfsEnumerator : public Enumerator {
   uint64_t universe_size() const override;
   void reset() override;
   std::optional<size_t> last_common_prefix() const override { return last_common_prefix_; }
+
+  std::optional<OracleDomain> prefix_domain() const override;
+  bool attach_prefix_oracle(OracleChain* chain) override;
 
   /// Tree nodes expanded so far (a cost proxy for the baseline's bookkeeping).
   uint64_t nodes_expanded() const noexcept { return nodes_expanded_; }
@@ -147,6 +192,7 @@ class DfsEnumerator : public Enumerator {
   std::optional<size_t> last_common_prefix_;
   bool exhausted_ = false;
   uint64_t nodes_expanded_ = 0;
+  OracleChain* oracle_ = nullptr;
 };
 
 /// Random shuffling with a seen-cache ("caching the composed interleavings to

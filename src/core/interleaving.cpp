@@ -15,11 +15,26 @@ std::optional<size_t> Interleaving::position_of(int id) const {
 std::string Interleaving::key() const {
   std::string out;
   out.reserve(order.size() * 3);
+  append_key(out);
+  return out;
+}
+
+void Interleaving::append_key(std::string& out) const {
+  char digits[12];
   for (size_t i = 0; i < order.size(); ++i) {
     if (i > 0) out.push_back(',');
-    out += std::to_string(order[i]);
+    int value = order[i];
+    if (value < 0) {
+      out.push_back('-');
+      value = -value;
+    }
+    size_t len = 0;
+    do {
+      digits[len++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    } while (value > 0);
+    while (len > 0) out.push_back(digits[--len]);
   }
-  return out;
 }
 
 size_t common_prefix_len(const Interleaving& a, const Interleaving& b) noexcept {

@@ -37,6 +37,11 @@ struct Interleaving {
 
   /// Compact rendering "3,0,1,2" for reports and dedup keys.
   std::string key() const;
+
+  /// key() appended into a caller-owned buffer — the hot-path form used by
+  /// dedup and persistence so per-candidate key construction reuses one
+  /// allocation across the whole run.
+  void append_key(std::string& out) const;
 };
 
 /// Length of the longest shared prefix of two interleavings, in events.

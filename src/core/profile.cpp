@@ -39,11 +39,19 @@ std::vector<InterleavingProfile> collect_profiles(
       merged.insert(merged.end(), profiler->profiles().begin(), profiler->profiles().end());
     }
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const InterleavingProfile& a, const InterleavingProfile& b) {
-              return a.interleaving.key() < b.interleaving.key();
-            });
-  return merged;
+  // Decorate-sort-undecorate on the dedup key: one key build per profile
+  // instead of two allocations per comparison.
+  std::vector<std::pair<std::string, size_t>> keyed;
+  keyed.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    keyed.emplace_back(std::string(), i);
+    merged[i].interleaving.append_key(keyed.back().first);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<InterleavingProfile> sorted;
+  sorted.reserve(merged.size());
+  for (const auto& [key, index] : keyed) sorted.push_back(std::move(merged[index]));
+  return sorted;
 }
 
 ProfileSummary summarize_profiles(const std::vector<InterleavingProfile>& profiles) {

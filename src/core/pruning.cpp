@@ -199,38 +199,84 @@ bool FailedOpsPruner::canonicalize(Interleaving& il) const {
 
 void PruningPipeline::add(std::unique_ptr<Pruner> pruner) {
   pruners_.push_back(std::move(pruner));
+  ++version_;
 }
 
 bool PruningPipeline::admit(const Interleaving& il) {
-  Interleaving canonical = il;
-  std::vector<std::string> changed_names;
+  canonical_scratch_ = il;  // copy-assign reuses the scratch capacity
+  changed_scratch_.clear();
   for (const auto& pruner : pruners_) {
-    if (pruner->canonicalize(canonical)) changed_names.push_back(pruner->name());
+    if (pruner->canonicalize(canonical_scratch_)) changed_scratch_.push_back(pruner.get());
   }
-  if (seen_.insert(canonical.key()).second) {
+  if (key_width_ == 0) {
+    // Every candidate permutes the same id set, so the width fixed by the
+    // first one holds for the whole run (and cache_bytes() stays exact).
+    uint64_t max_id = 0;
+    for (const int id : il.order) {
+      max_id = std::max(max_id, static_cast<uint64_t>(std::max(id, 0)));
+    }
+    key_width_ = packed_key_width(max_id);
+    key_events_ = il.order.size();
+  }
+  key_scratch_.clear();
+  append_packed_dedup_key(canonical_scratch_.order, key_width_, key_scratch_);
+  if (seen_.insert(key_scratch_).second) {
     ++stats_.admitted;
     return true;
   }
   ++stats_.pruned;
-  for (const auto& name : changed_names) ++stats_.pruned_by[name];
+  for (const Pruner* pruner : changed_scratch_) ++stats_.pruned_by[pruner->name()];
   return false;
 }
 
+void PruningPipeline::account_subtree(uint64_t subtree, const std::vector<uint64_t>& changed) {
+  stats_.pruned += subtree;
+  for (size_t i = 0; i < pruners_.size() && i < changed.size(); ++i) {
+    // Only touched names get a map entry, exactly like the per-candidate path.
+    if (changed[i] > 0) stats_.pruned_by[pruners_[i]->name()] += changed[i];
+  }
+}
+
 uint64_t PruningPipeline::cache_bytes() const noexcept {
-  size_t key_len = 0;
-  if (!seen_.empty()) key_len = seen_.begin()->size();
-  return seen_.size() * (key_len + 48);
+  return seen_.size() *
+         (static_cast<uint64_t>(key_events_) * static_cast<uint64_t>(key_width_) +
+          kDedupEntryOverheadBytes);
 }
 
 void PruningPipeline::reset() {
   seen_.clear();
   stats_ = Stats{};
+  key_width_ = 0;
+  key_events_ = 0;
 }
 
 PrunedEnumerator::PrunedEnumerator(std::unique_ptr<Enumerator> inner, PruningPipeline pipeline)
     : inner_(std::move(inner)), pipeline_(std::move(pipeline)) {}
 
+void PrunedEnumerator::ensure_oracle() {
+  if (oracle_setup_done_) return;
+  oracle_setup_done_ = true;
+  if (!generation_pruning_ || pipeline_.pruner_count() == 0) return;
+  const auto domain = inner_->prefix_domain();
+  if (!domain) return;
+  auto chain = pipeline_.make_oracle_chain(*domain);
+  if (chain == nullptr) return;
+  if (!inner_->attach_prefix_oracle(chain.get())) return;
+  oracle_ = std::move(chain);
+  pipeline_version_at_attach_ = pipeline_.version();
+}
+
 std::optional<Interleaving> PrunedEnumerator::next() {
+  ensure_oracle();
+  if (oracle_ != nullptr && pipeline_.version() != pipeline_version_at_attach_) {
+    // Runtime constraints extended the pipeline mid-run. Keys already in the
+    // dedup set were computed with the *old* pipeline, so a cut's
+    // earlier-witness guarantee no longer implies a key hit — detach and
+    // filter candidates individually for the rest of the run, exactly like
+    // the legacy path does from this point.
+    inner_->attach_prefix_oracle(nullptr);
+    oracle_.reset();
+  }
   // Min-accumulate the inner hints across every pull of this call: the last
   // inner pull of the previous call was our previous emission, and common
   // prefixes satisfy cp(a, c) >= min(cp(a, b), cp(b, c)), so the minimum
@@ -259,6 +305,9 @@ std::optional<Interleaving> PrunedEnumerator::next() {
 }
 
 void PrunedEnumerator::reset() {
+  if (oracle_ != nullptr) inner_->attach_prefix_oracle(nullptr);
+  oracle_.reset();
+  oracle_setup_done_ = false;  // rebuilt lazily on the next pull
   inner_->reset();
   pipeline_.reset();
   last_common_prefix_.reset();

@@ -29,6 +29,7 @@
 
 #include "core/enumerate.hpp"
 #include "core/interleaving.hpp"
+#include "core/pruning_incremental.hpp"
 
 namespace erpi::core {
 
@@ -40,6 +41,15 @@ class Pruner {
 
   /// Rewrite `il` into its class representative. Returns true if changed.
   virtual bool canonicalize(Interleaving& il) const = 0;
+
+  /// Incremental form of this pruner for generation-time subtree pruning
+  /// (DESIGN.md §10), or nullptr when no oracle upholds the
+  /// soundness/exactness contract for this pruner over `domain` (the chain
+  /// then falls back to generate-then-test). Default: no oracle.
+  virtual std::unique_ptr<PrefixOracle> make_prefix_oracle(const OracleDomain& domain) const {
+    (void)domain;
+    return nullptr;
+  }
 };
 
 /// Event Grouping as a canonicalizer over the raw-event universe: each
@@ -50,6 +60,13 @@ class GroupPruner : public Pruner {
 
   std::string name() const override { return "event_grouping"; }
   bool canonicalize(Interleaving& il) const override;
+  std::unique_ptr<PrefixOracle> make_prefix_oracle(const OracleDomain& domain) const override;
+
+  bool trivial() const noexcept { return followers_.empty(); }
+  const std::unordered_set<int>& follower_ids() const noexcept { return follower_ids_; }
+  const std::unordered_map<int, std::vector<int>>& followers() const noexcept {
+    return followers_;
+  }
 
  private:
   std::unordered_map<int, std::vector<int>> followers_;  // leader -> followers
@@ -76,6 +93,13 @@ class ReplicaSpecificPruner : public Pruner {
 
   std::string name() const override { return "replica_specific"; }
   bool canonicalize(Interleaving& il) const override;
+  /// Conservative mode only: the observation-first classes collapse to one
+  /// canonical sequence, which the oracle predicts exactly. The
+  /// dependency-closure mode has no closed prefix form — no oracle, so its
+  /// presence in a pipeline disables generation-time cuts entirely.
+  std::unique_ptr<PrefixOracle> make_prefix_oracle(const OracleDomain& domain) const override;
+
+  const Options& options() const noexcept { return options_; }
 
   /// Positions (into `il`) of the causal past of the observation event —
   /// exposed for tests and for the Datalog cross-check.
@@ -101,6 +125,9 @@ class IndependencePruner : public Pruner {
 
   std::string name() const override { return "event_independence"; }
   bool canonicalize(Interleaving& il) const override;
+  std::unique_ptr<PrefixOracle> make_prefix_oracle(const OracleDomain& domain) const override;
+
+  const Spec& spec() const noexcept { return spec_; }
 
  private:
   Spec spec_;
@@ -119,6 +146,9 @@ class FailedOpsPruner : public Pruner {
 
   std::string name() const override { return "failed_ops"; }
   bool canonicalize(Interleaving& il) const override;
+  std::unique_ptr<PrefixOracle> make_prefix_oracle(const OracleDomain& domain) const override;
+
+  const Spec& spec() const noexcept { return spec_; }
 
  private:
   Spec spec_;
@@ -142,8 +172,30 @@ class PruningPipeline {
   /// True if `il` is its class representative (first seen); false = prune it.
   bool admit(const Interleaving& il);
 
+  /// Build the generation-time oracle chain for this pipeline over `domain`
+  /// (DESIGN.md §10), or nullptr when any pruner lacks an oracle or the
+  /// composition guards reject the combination — the caller then keeps the
+  /// exact generate-then-test behavior. The chain accounts cut subtrees into
+  /// this pipeline's Stats, so it must not outlive the pipeline.
+  std::unique_ptr<OracleChain> make_oracle_chain(const OracleDomain& domain);
+
+  /// Cut-subtree accounting (called by OracleChain): `subtree` completions
+  /// skipped wholesale, `changed[i]` of them would have been rewritten by
+  /// pruner i. Charges stats_ exactly as admit() would have, one candidate
+  /// at a time.
+  void account_subtree(uint64_t subtree, const std::vector<uint64_t>& changed);
+
+  /// Bumped by add(); lets an attached oracle chain detect mid-run pipeline
+  /// mutations (runtime constraints), after which cuts become unsound —
+  /// PrunedEnumerator detaches the chain and falls back to filtering.
+  uint64_t version() const noexcept { return version_; }
+
+  const std::vector<std::unique_ptr<Pruner>>& pruners() const noexcept { return pruners_; }
+
   const Stats& stats() const noexcept { return stats_; }
-  /// Approximate bytes held by the dedup set (Fig. 10 resource accounting).
+  /// Exact bytes held by the dedup set: one packed key (key_width bytes per
+  /// event) plus kDedupEntryOverheadBytes per admitted class (Fig. 10
+  /// resource accounting; the set only grows on admit).
   uint64_t cache_bytes() const noexcept;
   void reset();
 
@@ -151,9 +203,21 @@ class PruningPipeline {
   std::vector<std::unique_ptr<Pruner>> pruners_;
   std::unordered_set<std::string> seen_;
   Stats stats_;
+  uint64_t version_ = 0;
+  int key_width_ = 0;        // 0 until the first admit() fixes it
+  size_t key_events_ = 0;    // events per key, fixed with key_width_
+  // admit() scratch: steady-state admission of a duplicate allocates nothing.
+  Interleaving canonical_scratch_;
+  std::string key_scratch_;
+  std::vector<const Pruner*> changed_scratch_;
 };
 
-/// Lazy enumerator = inner enumerator + pruning pipeline.
+/// Lazy enumerator = inner enumerator + pruning pipeline. When the inner
+/// enumerator exposes a generation tree (DFS, Grouped-lex) and every pruner
+/// supports an oracle, subtrees of guaranteed-duplicates are cut at the
+/// source instead of being generated and filtered — with byte-identical
+/// admitted sequence, stats, hints and budget charges either way (DESIGN.md
+/// §10). set_generation_pruning(false) forces the legacy filter path.
 class PrunedEnumerator : public Enumerator {
  public:
   PrunedEnumerator(std::unique_ptr<Enumerator> inner, PruningPipeline pipeline);
@@ -166,10 +230,22 @@ class PrunedEnumerator : public Enumerator {
   PruningPipeline& pipeline() noexcept { return pipeline_; }
   Enumerator& inner() noexcept { return *inner_; }
 
+  /// Toggle generation-time cuts (default on; takes effect before the first
+  /// next() after construction or reset()).
+  void set_generation_pruning(bool enabled) noexcept { generation_pruning_ = enabled; }
+  /// The live oracle chain, if one is attached (telemetry/testing).
+  const OracleChain* oracle_chain() const noexcept { return oracle_.get(); }
+
  private:
+  void ensure_oracle();
+
   std::unique_ptr<Enumerator> inner_;
   PruningPipeline pipeline_;
   std::optional<size_t> last_common_prefix_;
+  bool generation_pruning_ = true;
+  bool oracle_setup_done_ = false;
+  std::unique_ptr<OracleChain> oracle_;
+  uint64_t pipeline_version_at_attach_ = 0;
 };
 
 }  // namespace erpi::core

@@ -1,0 +1,1108 @@
+// Generation-time subtree pruning: the four prefix oracles, the composition
+// guards, and the oracle chain (DESIGN.md §10).
+//
+// Every oracle answers one question about the prefix the enumerator is
+// building: "can any completion still be the first-generated member of its
+// equivalence class?" — in *rank space*, the enumerator's child-try order,
+// not id space, because the legacy pipeline admits whichever class member is
+// generated first. Each oracle also counts, in closed form, how many
+// completions of the prefix its pruner would rewrite, so a cut charges
+// pruned_by[] exactly what the generate-then-test path would have.
+
+#include "core/pruning_incremental.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/pruning.hpp"
+
+namespace erpi::core {
+namespace {
+
+// 0! .. 20! — every value exact in uint64_t. Subtrees deeper than 20 slots
+// saturate factorial_saturated(), so the chain declines those cuts instead of
+// charging an approximate count (exactness over speed).
+constexpr size_t kMaxExactSlots = 20;
+constexpr uint64_t kFact[kMaxExactSlots + 1] = {
+    1ull,
+    1ull,
+    2ull,
+    6ull,
+    24ull,
+    120ull,
+    720ull,
+    5040ull,
+    40320ull,
+    362880ull,
+    3628800ull,
+    39916800ull,
+    479001600ull,
+    6227020800ull,
+    87178291200ull,
+    1307674368000ull,
+    20922789888000ull,
+    355687428096000ull,
+    6402373705728000ull,
+    121645100408832000ull,
+    2432902008176640000ull};
+
+uint64_t fact(uint64_t n) { return kFact[n]; }
+
+bool id_in_domain(const OracleDomain& domain, int id) {
+  return id >= 0 && static_cast<size_t>(id) < domain.rank_of_event.size() &&
+         domain.rank_of_event[static_cast<size_t>(id)] >= 0;
+}
+
+/// Ranks strictly ascending when the ids are visited in ascending order —
+/// the precondition for "sorted by id" and "generated earlier" to coincide.
+bool rank_matches_id_order(const OracleDomain& domain, const std::set<int>& ids) {
+  int prev = -1;
+  for (const int id : ids) {
+    const int rank = domain.rank_of_event[static_cast<size_t>(id)];
+    if (rank <= prev) return false;
+    prev = rank;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TrivialOracle — a pruner that provably never rewrites any candidate of this
+// domain (its spec does not bite). Always viable, zero changed.
+// ---------------------------------------------------------------------------
+
+class TrivialOracle final : public PrefixOracle {
+ public:
+  explicit TrivialOracle(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  bool push(int) override { return true; }
+  void pop() override {}
+  void reset() override {}
+  std::optional<uint64_t> changed_in_subtree(uint64_t) const override { return 0; }
+
+ private:
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// GroupOracle — Event Grouping over the raw-event (DFS) domain.
+//
+// A candidate's class is determined by its non-follower subsequence; the
+// rank-min member of a class is built greedily: at every step emit the
+// rank-smaller of (next non-follower of the class, minimum remaining
+// follower). A prefix survives iff each of its steps is such a greedy choice
+// for *some* class, which gives three per-push constraints:
+//   * follower f: f must be the rank-minimum remaining follower, and some
+//     remaining non-follower must out-rank every follower placed since the
+//     last non-follower (that non-follower can serve as the class's next
+//     element, making the follower run greedy);
+//   * non-follower y: y must out-rank every follower placed since the last
+//     non-follower (y *is* the class's next element those followers were
+//     chosen against), and y must rank below the minimum remaining follower
+//     (else greedy would emit that follower first).
+// Changed count: a completion is rewritten iff it is not unit-contiguous, so
+// changed = (rem)! - u_rem! when the prefix is contiguous-consistent (the
+// open unit's tail must come first, then whole units in any order), and
+// (rem)! outright once contiguity is broken.
+// ---------------------------------------------------------------------------
+
+class GroupOracle final : public PrefixOracle {
+ public:
+  GroupOracle(std::string name, const OracleDomain& domain,
+              std::vector<std::vector<int>> groups)
+      : name_(std::move(name)), rank_(domain.rank_of_event), groups_(std::move(groups)) {
+    const size_t ids = rank_.size();
+    unit_of_.assign(ids, -1);
+    pos_in_.assign(ids, 0);
+    is_follower_.assign(ids, false);
+    // every grouped event belongs to its group; every other domain event is a
+    // singleton unit of its own
+    int next_unit = 0;
+    for (const auto& group : groups_) {
+      for (size_t p = 0; p < group.size(); ++p) {
+        const auto id = static_cast<size_t>(group[p]);
+        unit_of_[id] = next_unit;
+        pos_in_[id] = static_cast<int>(p);
+        if (p > 0) is_follower_[id] = true;
+      }
+      unit_size_.push_back(group.size());
+      ++next_unit;
+    }
+    for (size_t id = 0; id < ids; ++id) {
+      if (rank_[id] < 0 || unit_of_[id] >= 0) continue;
+      unit_of_[id] = next_unit++;
+      unit_size_.push_back(1);
+    }
+    reset();
+  }
+
+  const std::string& name() const override { return name_; }
+
+  bool push(int event_id) override {
+    const auto id = static_cast<size_t>(event_id);
+    const int rank = rank_[id];
+    const bool follower = is_follower_[id];
+    Undo undo;
+    undo.rank = rank;
+    undo.follower = follower;
+    undo.prev_max_since = max_since_;
+    undo.prev_open_unit = open_unit_;
+    undo.prev_open_pos = open_pos_;
+    undo.prev_broken = broken_;
+
+    bool viable;
+    if (follower) {
+      viable = !followers_rem_.empty() && rank == *followers_rem_.begin() &&
+               (nonfollowers_rem_.empty() ||
+                *nonfollowers_rem_.rbegin() > std::max(max_since_, rank));
+      followers_rem_.erase(rank);
+      max_since_ = std::max(max_since_, rank);
+    } else {
+      viable = rank > max_since_ &&
+               (followers_rem_.empty() || rank < *followers_rem_.begin());
+      nonfollowers_rem_.erase(rank);
+      max_since_ = -1;
+    }
+
+    const int unit = unit_of_[id];
+    const auto u = static_cast<size_t>(unit);
+    if (!broken_) {
+      if (placed_in_unit_[u] == 0) {
+        if (open_unit_ >= 0 || pos_in_[id] != 0) {
+          broken_ = true;
+        } else if (unit_size_[u] > 1) {
+          open_unit_ = unit;
+          open_pos_ = 1;
+        }
+      } else {
+        if (open_unit_ != unit || pos_in_[id] != open_pos_) {
+          broken_ = true;
+        } else if (++open_pos_ == static_cast<int>(unit_size_[u])) {
+          open_unit_ = -1;
+          open_pos_ = 0;
+        }
+      }
+    }
+    if (placed_in_unit_[u]++ == 0) --units_unplaced_;
+    undo_.push_back(undo);
+    return viable;
+  }
+
+  void pop() override {
+    const Undo undo = undo_.back();
+    undo_.pop_back();
+    const size_t u =
+        static_cast<size_t>(unit_of_[static_cast<size_t>(rank_to_id(undo.rank))]);
+    if (--placed_in_unit_[u] == 0) ++units_unplaced_;
+    broken_ = undo.prev_broken;
+    open_unit_ = undo.prev_open_unit;
+    open_pos_ = undo.prev_open_pos;
+    max_since_ = undo.prev_max_since;
+    (undo.follower ? followers_rem_ : nonfollowers_rem_).insert(undo.rank);
+  }
+
+  void reset() override {
+    followers_rem_.clear();
+    nonfollowers_rem_.clear();
+    for (size_t id = 0; id < rank_.size(); ++id) {
+      if (rank_[id] < 0) continue;
+      (is_follower_[id] ? followers_rem_ : nonfollowers_rem_).insert(rank_[id]);
+    }
+    placed_in_unit_.assign(unit_size_.size(), 0);
+    units_unplaced_ = unit_size_.size();
+    open_unit_ = -1;
+    open_pos_ = 0;
+    max_since_ = -1;
+    broken_ = false;
+    undo_.clear();
+  }
+
+  std::optional<uint64_t> changed_in_subtree(uint64_t remaining_slots) const override {
+    const uint64_t contiguous = broken_ ? 0 : fact(units_unplaced_);
+    return fact(remaining_slots) - contiguous;
+  }
+
+ private:
+  struct Undo {
+    int rank = 0;
+    bool follower = false;
+    int prev_max_since = -1;
+    int prev_open_unit = -1;
+    int prev_open_pos = 0;
+    bool prev_broken = false;
+  };
+
+  int rank_to_id(int rank) const {
+    // ranks are unique; undo paths are cold relative to push, so a linear
+    // scan over the (small) id table is fine — but cache it anyway
+    return id_of_rank_[static_cast<size_t>(rank)];
+  }
+
+ public:
+  // Populated once after construction (needs rank_ final).
+  void build_rank_index() {
+    id_of_rank_.assign(rank_.size(), -1);
+    for (size_t id = 0; id < rank_.size(); ++id) {
+      if (rank_[id] >= 0) {
+        if (static_cast<size_t>(rank_[id]) >= id_of_rank_.size()) {
+          id_of_rank_.resize(static_cast<size_t>(rank_[id]) + 1, -1);
+        }
+        id_of_rank_[static_cast<size_t>(rank_[id])] = static_cast<int>(id);
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<int> rank_;
+  std::vector<int> id_of_rank_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<int> unit_of_;
+  std::vector<int> pos_in_;
+  std::vector<bool> is_follower_;
+  std::vector<size_t> unit_size_;
+
+  std::set<int> followers_rem_;     // ranks of unplaced followers
+  std::set<int> nonfollowers_rem_;  // ranks of unplaced non-followers
+  std::vector<uint32_t> placed_in_unit_;
+  size_t units_unplaced_ = 0;
+  int open_unit_ = -1;
+  int open_pos_ = 0;
+  int max_since_ = -1;  // max follower rank since the last non-follower
+  bool broken_ = false;
+  std::vector<Undo> undo_;
+};
+
+// ---------------------------------------------------------------------------
+// IndependenceOracle — Event-Independence (Alg. 3).
+//
+// Items are events (DFS) or units (Grouped-lex; independent events must be
+// singleton-hosted, checked at build). A completion is rewritten iff it is
+// *mergeable* (no blocker strictly between the first and last independent
+// event) and its independent subsequence is not id-sorted. Cut when both are
+// guaranteed for every completion; counted by splitting the (m+b) remaining
+// relevant items' relative orders into mergeable / sorted fractions.
+// ---------------------------------------------------------------------------
+
+class IndependenceOracle final : public PrefixOracle {
+ public:
+  enum class Role : uint8_t { None, Independent, Blocker, Other };
+
+  IndependenceOracle(std::string name, const OracleDomain& domain,
+                     std::vector<Role> role_of_event, std::set<int> independent_ids)
+      : name_(std::move(name)),
+        unit_domain_(domain.unit_generation),
+        pos_in_unit_(domain.pos_in_unit),
+        role_of_event_(std::move(role_of_event)),
+        independent_ids_(std::move(independent_ids)) {
+    reset();
+  }
+
+  const std::string& name() const override { return name_; }
+
+  bool push(int event_id) override {
+    const auto id = static_cast<size_t>(event_id);
+    Undo undo;
+    undo.role = Role::None;
+    if (!unit_domain_ || pos_in_unit_[id] == 0) undo.role = role_of_event_[id];
+    undo.prev_max_placed = max_placed_;
+    undo.prev_unsorted = placed_unsorted_;
+    undo.prev_between = blocker_between_;
+    undo.id = event_id;
+    switch (undo.role) {
+      case Role::Independent:
+        if (placed_ > 0 && event_id < max_placed_) placed_unsorted_ = true;
+        if (pending_after_ > 0) blocker_between_ = true;
+        max_placed_ = std::max(max_placed_, event_id);
+        remaining_.erase(event_id);
+        ++placed_;
+        break;
+      case Role::Blocker:
+        if (placed_ > 0) ++pending_after_;
+        --blockers_rem_;
+        break;
+      default:
+        break;
+    }
+    undo_.push_back(undo);
+    return !cut_condition();
+  }
+
+  void pop() override {
+    const Undo undo = undo_.back();
+    undo_.pop_back();
+    switch (undo.role) {
+      case Role::Independent:
+        --placed_;
+        remaining_.insert(undo.id);
+        max_placed_ = undo.prev_max_placed;
+        placed_unsorted_ = undo.prev_unsorted;
+        blocker_between_ = undo.prev_between;
+        break;
+      case Role::Blocker:
+        if (placed_ > 0) --pending_after_;
+        ++blockers_rem_;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void reset() override {
+    remaining_ = independent_ids_;
+    placed_ = 0;
+    blockers_rem_ = 0;
+    for (size_t id = 0; id < role_of_event_.size(); ++id) {
+      if (role_of_event_[id] == Role::Blocker &&
+          (!unit_domain_ || pos_in_unit_[id] == 0)) {
+        ++blockers_rem_;
+      }
+    }
+    max_placed_ = -1;
+    pending_after_ = 0;
+    placed_unsorted_ = false;
+    blocker_between_ = false;
+    undo_.clear();
+  }
+
+  std::optional<uint64_t> changed_in_subtree(uint64_t remaining_slots) const override {
+    if (blocker_between_) return 0;  // unmergeable for every completion
+    const uint64_t m = remaining_.size();
+    const uint64_t b = blockers_rem_;
+    if (m == 0) return placed_unsorted_ ? fact(remaining_slots) : 0;
+    if (pending_after_ > 0) return 0;  // the next independent event seals a blocker in
+    const uint64_t q = fact(remaining_slots) / fact(m + b);
+    if (placed_ > 0) {
+      const uint64_t mergeable = q * fact(m) * fact(b);
+      const bool sorted_possible = !placed_unsorted_ && *remaining_.begin() > max_placed_;
+      return mergeable - (sorted_possible ? q * fact(b) : 0);
+    }
+    // No independent event placed yet: remaining blockers may sit before or
+    // after the whole independent run — (b+1) gaps — hence the extra factor.
+    return q * fact(b) * (b + 1) * (fact(m) - 1);
+  }
+
+ private:
+  struct Undo {
+    Role role = Role::None;
+    int id = -1;
+    int prev_max_placed = -1;
+    bool prev_unsorted = false;
+    bool prev_between = false;
+  };
+
+  bool cut_condition() const {
+    const bool merge_guaranteed =
+        !blocker_between_ &&
+        (remaining_.empty() || (pending_after_ == 0 && blockers_rem_ == 0));
+    if (!merge_guaranteed) return false;
+    return placed_unsorted_ ||
+           (!remaining_.empty() && max_placed_ >= 0 && *remaining_.begin() < max_placed_);
+  }
+
+  std::string name_;
+  bool unit_domain_;
+  std::vector<int> pos_in_unit_;
+  std::vector<Role> role_of_event_;  // by event id (unit roles live on pos-0 events)
+  std::set<int> independent_ids_;
+
+  std::set<int> remaining_;  // unplaced independent ids
+  uint32_t placed_ = 0;
+  uint64_t blockers_rem_ = 0;  // unplaced blocker items (events or host units)
+  int max_placed_ = -1;
+  uint32_t pending_after_ = 0;  // blockers placed after the first independent
+  bool placed_unsorted_ = false;
+  bool blocker_between_ = false;
+  std::vector<Undo> undo_;
+};
+
+// ---------------------------------------------------------------------------
+// FailedOpsOracle — Failed-Ops (Alg. 4).
+//
+// A completion is rewritten iff every predecessor precedes every successor
+// and the successor subsequence is not id-sorted. Same mergeable/sorted
+// fraction counting as IndependenceOracle, with predecessors in the blocker
+// seat (they must all land before the first successor instead of outside the
+// range).
+// ---------------------------------------------------------------------------
+
+class FailedOpsOracle final : public PrefixOracle {
+ public:
+  enum class Role : uint8_t { None, Predecessor, Successor, Other };
+
+  FailedOpsOracle(std::string name, const OracleDomain& domain,
+                  std::vector<Role> role_of_event, std::set<int> successor_ids,
+                  uint64_t predecessor_items)
+      : name_(std::move(name)),
+        unit_domain_(domain.unit_generation),
+        pos_in_unit_(domain.pos_in_unit),
+        role_of_event_(std::move(role_of_event)),
+        successor_ids_(std::move(successor_ids)),
+        predecessor_items_(predecessor_items) {
+    reset();
+  }
+
+  const std::string& name() const override { return name_; }
+
+  bool push(int event_id) override {
+    const auto id = static_cast<size_t>(event_id);
+    Undo undo;
+    undo.role = Role::None;
+    if (!unit_domain_ || pos_in_unit_[id] == 0) undo.role = role_of_event_[id];
+    undo.prev_max_placed = max_placed_;
+    undo.prev_unsorted = placed_unsorted_;
+    undo.prev_pred_after = pred_after_succ_;
+    undo.id = event_id;
+    switch (undo.role) {
+      case Role::Predecessor:
+        if (placed_succs_ > 0) pred_after_succ_ = true;
+        --preds_rem_;
+        break;
+      case Role::Successor:
+        if (placed_succs_ > 0 && event_id < max_placed_) placed_unsorted_ = true;
+        max_placed_ = std::max(max_placed_, event_id);
+        remaining_.erase(event_id);
+        ++placed_succs_;
+        break;
+      default:
+        break;
+    }
+    undo_.push_back(undo);
+    return !cut_condition();
+  }
+
+  void pop() override {
+    const Undo undo = undo_.back();
+    undo_.pop_back();
+    switch (undo.role) {
+      case Role::Predecessor:
+        ++preds_rem_;
+        pred_after_succ_ = undo.prev_pred_after;
+        break;
+      case Role::Successor:
+        --placed_succs_;
+        remaining_.insert(undo.id);
+        max_placed_ = undo.prev_max_placed;
+        placed_unsorted_ = undo.prev_unsorted;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void reset() override {
+    remaining_ = successor_ids_;
+    preds_rem_ = predecessor_items_;
+    placed_succs_ = 0;
+    max_placed_ = -1;
+    placed_unsorted_ = false;
+    pred_after_succ_ = false;
+    undo_.clear();
+  }
+
+  std::optional<uint64_t> changed_in_subtree(uint64_t remaining_slots) const override {
+    if (pred_after_succ_) return 0;  // a successor already ran before some pred
+    const uint64_t s = remaining_.size();
+    const uint64_t p = preds_rem_;
+    if (p == 0) {
+      const bool sorted_possible =
+          !placed_unsorted_ && (remaining_.empty() || *remaining_.begin() > max_placed_);
+      return fact(remaining_slots) - (sorted_possible ? fact(remaining_slots) / fact(s) : 0);
+    }
+    if (placed_succs_ > 0) return 0;  // remaining preds must trail that successor
+    const uint64_t q = fact(remaining_slots) / fact(p + s);
+    return q * fact(p) * (fact(s) - 1);
+  }
+
+ private:
+  struct Undo {
+    Role role = Role::None;
+    int id = -1;
+    int prev_max_placed = -1;
+    bool prev_unsorted = false;
+    bool prev_pred_after = false;
+  };
+
+  bool cut_condition() const {
+    if (preds_rem_ != 0 || pred_after_succ_) return false;  // merge not guaranteed
+    return placed_unsorted_ ||
+           (!remaining_.empty() && max_placed_ >= 0 && *remaining_.begin() < max_placed_);
+  }
+
+  std::string name_;
+  bool unit_domain_;
+  std::vector<int> pos_in_unit_;
+  std::vector<Role> role_of_event_;
+  std::set<int> successor_ids_;
+  uint64_t predecessor_items_ = 0;
+
+  std::set<int> remaining_;  // unplaced successor ids
+  uint64_t preds_rem_ = 0;   // unplaced predecessor items (events or host units)
+  uint32_t placed_succs_ = 0;
+  int max_placed_ = -1;
+  bool placed_unsorted_ = false;
+  bool pred_after_succ_ = false;
+  std::vector<Undo> undo_;
+};
+
+// ---------------------------------------------------------------------------
+// ReplicaOracle — Replica-Specific, paper-faithful conservative mode only.
+//
+// Conservative merging rewrites exactly the observation-first candidates, all
+// into one canonical sequence [obs, rest sorted by id]. The sole surviving
+// observation-first path is the rank-minimum one (obs item first, then
+// remaining items by ascending rank); any deviation cuts. Changed count:
+// every completion of an observation-first prefix is rewritten except the one
+// equal to the canonical sequence — tracked by matching the prefix against
+// the canonical item sequence (which, in the unit domain, may not be
+// expressible as a unit order at all).
+// ---------------------------------------------------------------------------
+
+class ReplicaOracle final : public PrefixOracle {
+ public:
+  ReplicaOracle(std::string name, const OracleDomain& domain, int obs_event,
+                std::vector<int> canonical_items /*empty = unreachable*/)
+      : name_(std::move(name)),
+        unit_domain_(domain.unit_generation),
+        pos_in_unit_(domain.pos_in_unit),
+        unit_of_event_(domain.unit_of_event),
+        rank_of_event_(domain.rank_of_event),
+        canonical_items_(std::move(canonical_items)) {
+    obs_item_ = unit_domain_ ? domain.unit_of_event[static_cast<size_t>(obs_event)]
+                             : obs_event;
+    all_item_ranks_.clear();
+    if (unit_domain_) {
+      for (size_t u = 0; u < domain.units.size(); ++u) {
+        all_item_ranks_.insert(static_cast<int>(u));
+      }
+    } else {
+      for (size_t id = 0; id < rank_of_event_.size(); ++id) {
+        if (rank_of_event_[id] >= 0) all_item_ranks_.insert(rank_of_event_[id]);
+      }
+    }
+    reset();
+  }
+
+  const std::string& name() const override { return name_; }
+
+  bool push(int event_id) override {
+    const auto id = static_cast<size_t>(event_id);
+    Undo undo;
+    if (unit_domain_ && pos_in_unit_[id] != 0) {
+      undo.item = -1;  // interior of a unit: no item transition
+      undo_.push_back(undo);
+      return !(first_is_obs_ && deviated_);
+    }
+    const int item = unit_domain_ ? unit_of_event_[id] : event_id;
+    const int rank = unit_domain_ ? item : rank_of_event_[id];
+    undo.item = item;
+    undo.rank = rank;
+    undo.prev_deviated = deviated_;
+    undo.prev_matches = matches_canonical_;
+    if (items_placed_ == 0) {
+      first_is_obs_ = (item == obs_item_);
+    } else if (first_is_obs_ && !deviated_ && rank != *remaining_ranks_.begin()) {
+      deviated_ = true;
+    }
+    if (matches_canonical_) {
+      matches_canonical_ = items_placed_ < canonical_items_.size() &&
+                           canonical_items_[items_placed_] == item;
+    }
+    remaining_ranks_.erase(rank);
+    ++items_placed_;
+    undo_.push_back(undo);
+    return !(first_is_obs_ && deviated_);
+  }
+
+  void pop() override {
+    const Undo undo = undo_.back();
+    undo_.pop_back();
+    if (undo.item < 0) return;
+    --items_placed_;
+    remaining_ranks_.insert(undo.rank);
+    deviated_ = undo.prev_deviated;
+    matches_canonical_ = undo.prev_matches;
+    if (items_placed_ == 0) first_is_obs_ = false;
+  }
+
+  void reset() override {
+    remaining_ranks_ = all_item_ranks_;
+    items_placed_ = 0;
+    first_is_obs_ = false;
+    deviated_ = false;
+    matches_canonical_ = !canonical_items_.empty();
+    undo_.clear();
+  }
+
+  std::optional<uint64_t> changed_in_subtree(uint64_t remaining_slots) const override {
+    if (items_placed_ == 0) return std::nullopt;  // never consulted at the root
+    if (!first_is_obs_) return 0;  // conservative merging never fires
+    return fact(remaining_slots) - (matches_canonical_ ? 1 : 0);
+  }
+
+ private:
+  struct Undo {
+    int item = -1;
+    int rank = -1;
+    bool prev_deviated = false;
+    bool prev_matches = false;
+  };
+
+  std::string name_;
+  bool unit_domain_;
+  std::vector<int> pos_in_unit_;
+  std::vector<int> unit_of_event_;
+  std::vector<int> rank_of_event_;
+  std::vector<int> canonical_items_;
+  int obs_item_ = -1;
+  std::set<int> all_item_ranks_;
+
+  std::set<int> remaining_ranks_;
+  size_t items_placed_ = 0;
+  bool first_is_obs_ = false;
+  bool deviated_ = false;
+  bool matches_canonical_ = false;
+  std::vector<Undo> undo_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-pruner oracle builders
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PrefixOracle> GroupPruner::make_prefix_oracle(
+    const OracleDomain& domain) const {
+  if (trivial()) return std::make_unique<TrivialOracle>(name());
+  // Presence must be all-or-none per group: canonicalize() reinserts every
+  // follower after its leader regardless of what the candidate contained, so
+  // a partially-present group has no sane prefix form.
+  std::vector<std::vector<int>> groups;
+  for (const auto& [leader, followers] : followers()) {
+    size_t present = id_in_domain(domain, leader) ? 1 : 0;
+    for (const int f : followers) present += id_in_domain(domain, f) ? 1 : 0;
+    if (present == 0) continue;  // absent groups never touch this domain
+    if (present != followers.size() + 1) return nullptr;
+    std::vector<int> group;
+    group.push_back(leader);
+    group.insert(group.end(), followers.begin(), followers.end());
+    groups.push_back(std::move(group));
+  }
+  if (groups.empty()) return std::make_unique<TrivialOracle>(name());
+  if (domain.unit_generation) {
+    // Flattened unit orders keep this pruner's groups contiguous — hence the
+    // pruner never rewrites — iff each group IS a generation unit.
+    for (const auto& group : groups) {
+      const int unit = domain.unit_of_event[static_cast<size_t>(group.front())];
+      if (unit < 0 || domain.units[static_cast<size_t>(unit)].events != group) {
+        return nullptr;
+      }
+    }
+    return std::make_unique<TrivialOracle>(name());
+  }
+  auto oracle = std::make_unique<GroupOracle>(name(), domain, std::move(groups));
+  oracle->build_rank_index();
+  return oracle;
+}
+
+std::unique_ptr<PrefixOracle> IndependencePruner::make_prefix_oracle(
+    const OracleDomain& domain) const {
+  if (independent_set_.size() < 2) return std::make_unique<TrivialOracle>(name());
+  std::set<int> independent_present;
+  for (const int id : independent_set_) {
+    if (id_in_domain(domain, id)) independent_present.insert(id);
+  }
+  if (independent_present.size() < 2) return std::make_unique<TrivialOracle>(name());
+  // "Sorted by id" must coincide with "generated earlier" on the independent
+  // events, or the legacy changed flag is not reproducible from rank space.
+  if (!rank_matches_id_order(domain, independent_present)) return nullptr;
+
+  std::vector<IndependenceOracle::Role> role(domain.rank_of_event.size(),
+                                             IndependenceOracle::Role::None);
+  for (size_t id = 0; id < role.size(); ++id) {
+    if (domain.rank_of_event[id] < 0) continue;
+    const int event = static_cast<int>(id);
+    if (independent_present.count(event) > 0) {
+      role[id] = IndependenceOracle::Role::Independent;
+    } else if (spec_.neutral_events.count(event) > 0) {
+      role[id] = IndependenceOracle::Role::Other;
+    } else {
+      role[id] = IndependenceOracle::Role::Blocker;
+    }
+  }
+  if (domain.unit_generation) {
+    // Independent events must be singleton-hosted (their flattened positions
+    // are then their units'), and unit items inherit the strongest member
+    // role: any blocker member makes the whole unit a blocker.
+    for (const int id : independent_present) {
+      const int unit = domain.unit_of_event[static_cast<size_t>(id)];
+      if (unit < 0 || domain.units[static_cast<size_t>(unit)].events.size() != 1) {
+        return nullptr;
+      }
+    }
+    for (const auto& unit : domain.units) {
+      bool any_blocker = false;
+      for (const int id : unit.events) {
+        if (role[static_cast<size_t>(id)] == IndependenceOracle::Role::Blocker) {
+          any_blocker = true;
+        }
+      }
+      const auto lead = static_cast<size_t>(unit.events.front());
+      if (role[lead] != IndependenceOracle::Role::Independent) {
+        role[lead] = any_blocker ? IndependenceOracle::Role::Blocker
+                                 : IndependenceOracle::Role::Other;
+      }
+    }
+  }
+  return std::make_unique<IndependenceOracle>(name(), domain, std::move(role),
+                                              std::move(independent_present));
+}
+
+std::unique_ptr<PrefixOracle> FailedOpsPruner::make_prefix_oracle(
+    const OracleDomain& domain) const {
+  if (spec_.successor_events.size() < 2) return std::make_unique<TrivialOracle>(name());
+  std::set<int> succs_present;
+  std::set<int> preds_present;
+  for (const int id : spec_.successor_events) {
+    if (id_in_domain(domain, id)) succs_present.insert(id);
+  }
+  for (const int id : spec_.predecessor_events) {
+    if (id_in_domain(domain, id)) preds_present.insert(id);
+  }
+  if (succs_present.size() < 2 || preds_present.empty()) {
+    return std::make_unique<TrivialOracle>(name());
+  }
+  for (const int id : succs_present) {
+    if (preds_present.count(id) > 0) return nullptr;  // pathological overlap
+  }
+  if (!rank_matches_id_order(domain, succs_present)) return nullptr;
+
+  std::vector<FailedOpsOracle::Role> role(domain.rank_of_event.size(),
+                                          FailedOpsOracle::Role::None);
+  for (size_t id = 0; id < role.size(); ++id) {
+    if (domain.rank_of_event[id] < 0) continue;
+    const int event = static_cast<int>(id);
+    if (succs_present.count(event) > 0) {
+      role[id] = FailedOpsOracle::Role::Successor;
+    } else if (preds_present.count(event) > 0) {
+      role[id] = FailedOpsOracle::Role::Predecessor;
+    } else {
+      role[id] = FailedOpsOracle::Role::Other;
+    }
+  }
+  uint64_t pred_items = preds_present.size();
+  if (domain.unit_generation) {
+    for (const int id : succs_present) {
+      const int unit = domain.unit_of_event[static_cast<size_t>(id)];
+      if (unit < 0 || domain.units[static_cast<size_t>(unit)].events.size() != 1) {
+        return nullptr;
+      }
+    }
+    // Predecessors collapse to host units: a unit with any predecessor member
+    // is one predecessor item (all its events precede whatever follows it).
+    pred_items = 0;
+    for (const auto& unit : domain.units) {
+      bool any_pred = false;
+      for (const int id : unit.events) {
+        if (role[static_cast<size_t>(id)] == FailedOpsOracle::Role::Predecessor) {
+          any_pred = true;
+        }
+      }
+      const auto lead = static_cast<size_t>(unit.events.front());
+      if (role[lead] != FailedOpsOracle::Role::Successor) {
+        role[lead] =
+            any_pred ? FailedOpsOracle::Role::Predecessor : FailedOpsOracle::Role::Other;
+        if (any_pred) ++pred_items;
+      }
+    }
+    if (pred_items == 0) return std::make_unique<TrivialOracle>(name());
+  }
+  return std::make_unique<FailedOpsOracle>(name(), domain, std::move(role),
+                                           std::move(succs_present), pred_items);
+}
+
+std::unique_ptr<PrefixOracle> ReplicaSpecificPruner::make_prefix_oracle(
+    const OracleDomain& domain) const {
+  // Dependency-closure mode has no closed prefix form: whether a candidate is
+  // rewritten depends on the full causal closure of the completed order.
+  if (!options_.conservative) return nullptr;
+  const int obs = options_.observation_event;
+  if (!id_in_domain(domain, obs) || domain.event_count < 2) {
+    return std::make_unique<TrivialOracle>(name());
+  }
+  // The canonical sequence: observation first, every other event by id.
+  std::vector<int> canonical_events;
+  canonical_events.push_back(obs);
+  for (size_t id = 0; id < domain.rank_of_event.size(); ++id) {
+    if (domain.rank_of_event[id] >= 0 && static_cast<int>(id) != obs) {
+      canonical_events.push_back(static_cast<int>(id));
+    }
+  }
+  std::vector<int> canonical_items;
+  if (domain.unit_generation) {
+    if (domain.pos_in_unit[static_cast<size_t>(obs)] != 0) {
+      // obs can never be the first flattened event — merging never fires.
+      return std::make_unique<TrivialOracle>(name());
+    }
+    // Parse the canonical event sequence into a unit order, if one exists;
+    // when it does not, no completion equals the canonical form and every
+    // observation-first candidate in a cut subtree counts as rewritten.
+    size_t at = 0;
+    while (at < canonical_events.size()) {
+      const int unit = domain.unit_of_event[static_cast<size_t>(canonical_events[at])];
+      const auto& events = domain.units[static_cast<size_t>(unit)].events;
+      bool matches = at + events.size() <= canonical_events.size();
+      for (size_t p = 0; matches && p < events.size(); ++p) {
+        matches = canonical_events[at + p] == events[p];
+      }
+      if (!matches) {
+        canonical_items.clear();
+        break;
+      }
+      canonical_items.push_back(unit);
+      at += events.size();
+    }
+  } else {
+    canonical_items = canonical_events;
+  }
+  return std::make_unique<ReplicaOracle>(name(), domain, obs, std::move(canonical_items));
+}
+
+// ---------------------------------------------------------------------------
+// Composition guards + chain construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// What the guards need to know about one pipeline member. `active` = the
+/// pruner can rewrite candidates of this domain at all.
+struct PrunerMeta {
+  enum class Kind { Group, Replica, Independence, FailedOps };
+  Kind kind;
+  bool active = false;
+  std::set<int> moved;      // events this pruner relocates when it fires
+  std::set<int> leaders;    // Group only: leaders of multi-event groups
+  std::set<int> preds;      // FailedOps only
+  const std::set<int>* neutral = nullptr;  // Independence only
+};
+
+bool subset(const std::set<int>& inner, const std::set<int>& outer) {
+  for (const int id : inner) {
+    if (outer.count(id) == 0) return false;
+  }
+  return true;
+}
+
+bool disjoint(const std::set<int>& a, const std::set<int>& b) {
+  for (const int id : a) {
+    if (b.count(id) > 0) return false;
+  }
+  return true;
+}
+
+/// The cross-pruner conditions under which (a) classmates of any one pruner
+/// share their final composite key and (b) each pruner's changed flag is
+/// invariant under the others' rewrites — the two facts that make per-pruner
+/// cut votes and closed-form multi-attribution exact for the whole chain
+/// (DESIGN.md §10.3). Any failure falls back to generate-then-test.
+bool composition_ok(const std::vector<std::unique_ptr<Pruner>>& pruners,
+                    const OracleDomain& domain) {
+  std::vector<PrunerMeta> metas;
+  size_t group_count = 0;
+  for (const auto& pruner : pruners) {
+    PrunerMeta meta;
+    if (const auto* g = dynamic_cast<const GroupPruner*>(pruner.get())) {
+      meta.kind = PrunerMeta::Kind::Group;
+      for (const auto& [leader, followers] : g->followers()) {
+        bool any_present = id_in_domain(domain, leader);
+        for (const int f : followers) any_present = any_present || id_in_domain(domain, f);
+        if (!any_present) continue;
+        meta.leaders.insert(leader);
+        for (const int f : followers) meta.moved.insert(f);
+      }
+      meta.active = !meta.moved.empty();
+      if (meta.active && ++group_count > 1) return false;  // G/G re-seating interferes
+    } else if (dynamic_cast<const ReplicaSpecificPruner*>(pruner.get()) != nullptr) {
+      // Replica-specific merging rewrites whole sequences; no disjointness
+      // argument covers another pruner running beside it.
+      if (pruners.size() > 1) return false;
+      meta.kind = PrunerMeta::Kind::Replica;
+    } else if (const auto* i = dynamic_cast<const IndependencePruner*>(pruner.get())) {
+      meta.kind = PrunerMeta::Kind::Independence;
+      for (const int id : i->spec().independent_events) {
+        if (id_in_domain(domain, id)) meta.moved.insert(id);
+      }
+      meta.neutral = &i->spec().neutral_events;
+      meta.active = meta.moved.size() >= 2 && i->spec().independent_events.size() >= 2;
+      if (!meta.active) meta.moved.clear();
+    } else if (const auto* f = dynamic_cast<const FailedOpsPruner*>(pruner.get())) {
+      meta.kind = PrunerMeta::Kind::FailedOps;
+      std::set<int> succs;
+      for (const int id : f->spec().successor_events) {
+        if (id_in_domain(domain, id)) succs.insert(id);
+      }
+      for (const int id : f->spec().predecessor_events) {
+        if (id_in_domain(domain, id)) meta.preds.insert(id);
+      }
+      meta.active = f->spec().successor_events.size() >= 2 && succs.size() >= 2 &&
+                    !meta.preds.empty();
+      if (meta.active) meta.moved = std::move(succs);
+    } else {
+      return false;  // unknown pruner type: no guard analysis possible
+    }
+    metas.push_back(std::move(meta));
+  }
+
+  for (size_t i = 0; i < metas.size(); ++i) {
+    if (!metas[i].active) continue;
+    for (size_t j = 0; j < metas.size(); ++j) {
+      if (i == j || !metas[j].active) continue;
+      const auto& a = metas[i];
+      const auto& b = metas[j];
+      if (!disjoint(a.moved, b.moved)) return false;
+      switch (b.kind) {
+        case PrunerMeta::Kind::Independence: {
+          if (a.kind == PrunerMeta::Kind::Group) {
+            // Re-seated followers may land inside b's independent range, so
+            // they must be declared harmless there.
+            if (!subset(a.moved, *b.neutral)) return false;
+          } else {
+            // a's moves permute values among fixed slots; b's blocker test
+            // stays stable iff those values are uniformly neutral or
+            // uniformly blocking for b.
+            size_t in_neutral = 0;
+            for (const int id : a.moved) in_neutral += b.neutral->count(id);
+            if (in_neutral != 0 && in_neutral != a.moved.size()) return false;
+          }
+          break;
+        }
+        case PrunerMeta::Kind::FailedOps:
+          if (!disjoint(a.moved, b.preds)) return false;
+          break;
+        case PrunerMeta::Kind::Group:
+          // A moved event that leads a multi-event group would drag its
+          // followers along, changing b's output across a's classmates.
+          if (!disjoint(a.moved, b.leaders)) return false;
+          break;
+        case PrunerMeta::Kind::Replica:
+          return false;  // unreachable: Replica is sole-pruner only
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<OracleChain> PruningPipeline::make_oracle_chain(const OracleDomain& domain) {
+  if (pruners_.empty() || domain.slot_count == 0 || domain.event_count == 0) {
+    return nullptr;
+  }
+  if (!composition_ok(pruners_, domain)) return nullptr;
+  std::vector<std::unique_ptr<PrefixOracle>> oracles;
+  oracles.reserve(pruners_.size());
+  for (const auto& pruner : pruners_) {
+    auto oracle = pruner->make_prefix_oracle(domain);
+    if (oracle == nullptr) return nullptr;
+    oracles.push_back(std::move(oracle));
+  }
+  return std::make_unique<OracleChain>(this, domain, std::move(oracles));
+}
+
+// ---------------------------------------------------------------------------
+// OracleChain
+// ---------------------------------------------------------------------------
+
+OracleChain::OracleChain(PruningPipeline* pipeline, OracleDomain domain,
+                         std::vector<std::unique_ptr<PrefixOracle>> oracles)
+    : pipeline_(pipeline), domain_(std::move(domain)), oracles_(std::move(oracles)) {
+  violation_depth_.assign(oracles_.size(), 0);
+  violation_log_.resize(oracles_.size());
+}
+
+OracleChain::~OracleChain() = default;
+
+void OracleChain::push_oracles(int event_id) {
+  for (size_t i = 0; i < oracles_.size(); ++i) {
+    const bool viable = oracles_[i]->push(event_id);
+    violation_log_[i].push_back(!viable);
+    if (!viable) ++violation_depth_[i];
+  }
+}
+
+void OracleChain::pop_oracles(size_t events) {
+  for (size_t i = 0; i < oracles_.size(); ++i) {
+    for (size_t k = 0; k < events; ++k) {
+      if (violation_log_[i].back()) --violation_depth_[i];
+      violation_log_[i].pop_back();
+      oracles_[i]->pop();
+    }
+  }
+}
+
+bool OracleChain::try_cut() {
+  const uint64_t remaining = domain_.slot_count - depth_;
+  if (remaining > kMaxExactSlots) {
+    // factorial would saturate; decline rather than charge approximate counts
+    ++telemetry_.blocked_cuts;
+    return false;
+  }
+  const uint64_t subtree = fact(remaining);
+  changed_scratch_.clear();
+  for (const auto& oracle : oracles_) {
+    const auto changed = oracle->changed_in_subtree(remaining);
+    if (!changed) {
+      ++telemetry_.blocked_cuts;
+      return false;
+    }
+    changed_scratch_.push_back(*changed);
+  }
+  pipeline_->account_subtree(subtree, changed_scratch_);
+  ++telemetry_.subtrees_cut;
+  telemetry_.candidates_skipped += subtree;
+  return true;
+}
+
+OracleChain::Verdict OracleChain::finish_extension(size_t events_pushed) {
+  bool latched = false;
+  for (const uint32_t depth : violation_depth_) latched = latched || depth > 0;
+  if (!latched || !try_cut()) return Verdict::Descend;
+  pop_oracles(events_pushed);
+  --depth_;
+  return Verdict::Cut;
+}
+
+OracleChain::Verdict OracleChain::push_event(int event_id) {
+  ++telemetry_.extensions;
+  push_oracles(event_id);
+  ++depth_;
+  return finish_extension(1);
+}
+
+void OracleChain::pop_event() {
+  pop_oracles(1);
+  --depth_;
+}
+
+OracleChain::Verdict OracleChain::push_unit(size_t unit_index) {
+  ++telemetry_.extensions;
+  const auto& events = domain_.units[unit_index].events;
+  for (const int id : events) push_oracles(id);
+  ++depth_;
+  return finish_extension(events.size());
+}
+
+void OracleChain::pop_unit(size_t unit_index) {
+  pop_oracles(domain_.units[unit_index].events.size());
+  --depth_;
+}
+
+void OracleChain::reset() {
+  for (const auto& oracle : oracles_) oracle->reset();
+  violation_depth_.assign(oracles_.size(), 0);
+  for (auto& log : violation_log_) log.clear();
+  depth_ = 0;
+  telemetry_ = Telemetry{};
+}
+
+}  // namespace erpi::core

@@ -199,9 +199,11 @@ InterleavingOutcome ReplayEngine::replay_one(const Interleaving& il, const Event
   for (const auto& assertion : assertions) {
     const auto status = assertion->check(ctx);
     if (!status.is_ok()) {
-      outcome.violations.push_back(
-          {assertion->name(), assertion->name() + ": " + status.error().message +
-                                  " [interleaving " + il.key() + "]"});
+      std::string message = assertion->name() + ": " + status.error().message +
+                            " [interleaving ";
+      il.append_key(message);
+      message += ']';
+      outcome.violations.push_back({assertion->name(), std::move(message)});
     }
   }
   return outcome;

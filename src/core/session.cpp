@@ -55,6 +55,7 @@ std::unique_ptr<Enumerator> Session::make_enumerator() {
                                                        config_.random_seed);
       auto pruned =
           std::make_unique<PrunedEnumerator>(std::move(inner), build_pipeline());
+      pruned->set_generation_pruning(config_.generation_pruning);
       return pruned;
     }
     case ExplorationMode::Dfs: {

@@ -67,6 +67,11 @@ class Session {
     /// experimental default; Lexicographic gives deterministic exhaustive
     /// sweeps for counting.
     GroupedEnumerator::Order generation_order = GroupedEnumerator::Order::Shuffled;
+    /// Generation-time subtree pruning (DESIGN.md §10). Default on; the
+    /// oracle chain only engages when every configured pruner supports it,
+    /// and produces byte-identical reports either way — this switch exists
+    /// for A/B benchmarking and parity tests, not correctness.
+    bool generation_pruning = true;
     /// Persist events/units and every replayed interleaving into Datalog.
     bool persist = false;
     /// Worker count for parallel exploration (sched::ParallelExplorer).

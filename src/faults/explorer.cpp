@@ -141,10 +141,12 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
       } else {
         ++report.oom_replays;
       }
-      report.quarantined.push_back(plan.key() + "/" + il.key());
-      report.quarantine_records.push_back({plan.key() + "/" + il.key(),
-                                           outcome.quarantine_reason(),
-                                           outcome.term_signal});
+      std::string qkey = plan.key();
+      qkey += '/';
+      il.append_key(qkey);
+      report.quarantine_records.push_back(
+          {qkey, outcome.quarantine_reason(), outcome.term_signal});
+      report.quarantined.push_back(std::move(qkey));
     }
     for (const auto& violation : outcome.violations) {
       ++report.violations;
@@ -225,7 +227,7 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         core::RunJournal::Record record;
         record.plan = plan.key();
         record.interleaving = plan_ordinal;
-        record.key = il.key();
+        il.append_key(record.key);
         record.timed_out = outcome.timed_out;
         if (outcome.crashed) record.crash_signal = outcome.term_signal;
         record.oom = outcome.oom;

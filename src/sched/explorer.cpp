@@ -229,10 +229,11 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
         } else {
           ++report.oom_replays;
         }
-        report.quarantined.push_back(item.interleaving.key());
-        report.quarantine_records.push_back({item.interleaving.key(),
-                                             item.outcome.quarantine_reason(),
-                                             item.outcome.term_signal});
+        std::string qkey;
+        item.interleaving.append_key(qkey);
+        report.quarantine_records.push_back(
+            {qkey, item.outcome.quarantine_reason(), item.outcome.term_signal});
+        report.quarantined.push_back(std::move(qkey));
       }
       for (const auto& violation : item.outcome.violations) {
         ++report.violations;

@@ -1,6 +1,8 @@
 // Event grouping (Algorithm 1), unit flattening, interleaving helpers.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "core/interleaving.hpp"
 #include "proxy/proxy.hpp"
 #include "subjects/town.hpp"
@@ -87,6 +89,39 @@ TEST(Interleaving, PositionAndKeyAndLamport) {
   EXPECT_FALSE(il.position_of(9));
   EXPECT_EQ(il.lamport(0), 1);
   EXPECT_EQ(il.lamport(3), 4);
+}
+
+TEST(Interleaving, AppendKeyMatchesKeyIncludingMultiDigitIds) {
+  Interleaving il;
+  il.order = {10, 3, 0, 127, 9};
+  std::string out = "prefix:";
+  il.append_key(out);
+  EXPECT_EQ(out, "prefix:" + il.key());
+  EXPECT_EQ(il.key(), "10,3,0,127,9");
+  Interleaving empty;
+  std::string untouched = "x";
+  empty.append_key(untouched);
+  EXPECT_EQ(untouched, "x");
+}
+
+// Allocation regression for the hot dedup/persistence path: appending into a
+// buffer with enough spare capacity must not reallocate (capacity and data
+// pointer unchanged), unlike key() which builds a fresh string per call.
+TEST(Interleaving, AppendKeyReusesCallerBuffer) {
+  Interleaving il;
+  il.order.resize(32);
+  std::iota(il.order.begin(), il.order.end(), 0);
+  std::string buffer;
+  buffer.reserve(256);
+  const char* data_before = buffer.data();
+  const size_t capacity_before = buffer.capacity();
+  for (int round = 0; round < 8; ++round) {
+    buffer.clear();
+    il.append_key(buffer);
+    EXPECT_EQ(buffer.data(), data_before) << "round " << round;
+    EXPECT_EQ(buffer.capacity(), capacity_before) << "round " << round;
+  }
+  EXPECT_EQ(buffer, il.key());
 }
 
 TEST(Factorial, SaturatesInsteadOfOverflowing) {
