@@ -1,0 +1,101 @@
+// corpus_query: open a persistent outcome corpus, export it into the Datalog
+// engine through corpus::DatalogBridge, and answer questions about it.
+//
+//   corpus_query DIR                      per-fingerprint summary (run_meta/3)
+//   corpus_query DIR violations           every violation/4 fact
+//   corpus_query DIR part REPLICA         violations under partition plans
+//                                         involving REPLICA (the DESIGN.md §11
+//                                         worked query)
+//   corpus_query DIR eval "RULES" PRED    evaluate user-supplied Datalog rules
+//                                         over the bridge relations and dump
+//                                         the PRED relation
+//
+// The bridge schema: outcome(Fp, Plan, Il, Kind, Signal),
+// violation(Fp, Plan, Il, Assertion), plan_fault(Plan, FaultKind, Replica),
+// run_meta(Fp, Key, Value).
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "corpus/bridge.hpp"
+#include "corpus/store.hpp"
+#include "datalog/evaluator.hpp"
+#include "datalog/parser.hpp"
+
+using namespace erpi;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: corpus_query DIR [violations | part REPLICA | eval RULES PRED]\n");
+  return 2;
+}
+
+void dump_relation(const datalog::Database& db, const std::string& predicate) {
+  const datalog::Relation* rel = db.find(predicate);
+  if (rel == nullptr || rel->empty()) {
+    std::printf("  (no %s facts)\n", predicate.c_str());
+    return;
+  }
+  for (const auto& tuple : rel->tuples()) {
+    std::printf("  %s%s\n", predicate.c_str(), db.render(tuple).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string dir = argv[1];
+  const std::string command = argc > 2 ? argv[2] : "summary";
+
+  corpus::Store store = corpus::Store::open(dir);
+  datalog::Database db;
+  corpus::DatalogBridge bridge(db);
+  const auto stats = bridge.export_store(store);
+  std::printf("corpus %s: %zu records -> %" PRIu64 " outcome, %" PRIu64
+              " violation, %" PRIu64 " plan_fault, %" PRIu64 " run_meta facts\n\n",
+              dir.c_str(), store.size(), static_cast<uint64_t>(stats.outcome_facts),
+              static_cast<uint64_t>(stats.violation_facts),
+              static_cast<uint64_t>(stats.plan_fault_facts),
+              static_cast<uint64_t>(stats.run_meta_facts));
+
+  if (command == "summary") {
+    dump_relation(db, "run_meta");
+    return 0;
+  }
+  if (command == "violations") {
+    dump_relation(db, "violation");
+    return 0;
+  }
+  if (command == "part") {
+    if (argc < 4) return usage();
+    const std::string rule = "part_viol(Plan, Il, Assertion) :- "
+                             "violation(Fp, Plan, Il, Assertion), "
+                             "plan_fault(Plan, part, " +
+                             std::string(argv[3]) + ").";
+    auto program = datalog::parse_program(rule, db.symbols());
+    if (!program.has_value()) {
+      std::fprintf(stderr, "corpus_query: %s\n", program.error().message.c_str());
+      return 1;
+    }
+    datalog::evaluate(db, program.value());
+    std::printf("violations under partition plans involving replica %s:\n", argv[3]);
+    dump_relation(db, "part_viol");
+    return 0;
+  }
+  if (command == "eval") {
+    if (argc < 5) return usage();
+    auto program = datalog::parse_program(argv[3], db.symbols());
+    if (!program.has_value()) {
+      std::fprintf(stderr, "corpus_query: %s\n", program.error().message.c_str());
+      return 1;
+    }
+    datalog::evaluate(db, program.value());
+    dump_relation(db, argv[4]);
+    return 0;
+  }
+  return usage();
+}

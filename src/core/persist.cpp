@@ -206,13 +206,16 @@ std::optional<RunJournal::Record> parse_record_line(const std::string& line) {
 
 }  // namespace
 
-RunJournal::RunJournal(std::string path, uint64_t fingerprint)
-    : path_(std::move(path)), fingerprint_(fingerprint) {
+RunJournal::RunJournal(std::string path, uint64_t fingerprint, size_t checkpoint_every)
+    : path_(std::move(path)),
+      fingerprint_(fingerprint),
+      checkpoint_every_(checkpoint_every < 1 ? 1 : checkpoint_every) {
   lines_.push_back(journal_header_line(fingerprint_));
 }
 
-RunJournal RunJournal::create(std::string path, uint64_t fingerprint) {
-  RunJournal journal(std::move(path), fingerprint);
+RunJournal RunJournal::create(std::string path, uint64_t fingerprint,
+                              size_t checkpoint_every) {
+  RunJournal journal(std::move(path), fingerprint, checkpoint_every);
   journal.checkpoint();  // atomically materialize the header
   return journal;
 }
@@ -245,7 +248,7 @@ void RunJournal::append(const Record& record) {
   ++records_;
   out_ << lines_.back() << '\n';
   out_.flush();
-  if (++since_checkpoint_ >= kCheckpointEvery) checkpoint();
+  if (++since_checkpoint_ >= checkpoint_every_) checkpoint();
 }
 
 std::optional<RunJournal::Loaded> RunJournal::load(const std::string& path) {

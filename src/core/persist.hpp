@@ -115,11 +115,15 @@ class RunJournal {
     std::vector<Record> records;  // the valid prefix, in commit order
   };
 
+  /// Default records-per-checkpoint; override via create()'s
+  /// checkpoint_every (Session::Config::journal_checkpoint_every).
   static constexpr size_t kCheckpointEvery = 64;
 
   /// Start a fresh journal at `path` (atomically replacing any existing
-  /// file) and leave it open for appending.
-  static RunJournal create(std::string path, uint64_t fingerprint);
+  /// file) and leave it open for appending. `checkpoint_every` sets the
+  /// records between atomic-rename checkpoints (clamped to >= 1).
+  static RunJournal create(std::string path, uint64_t fingerprint,
+                           size_t checkpoint_every = kCheckpointEvery);
 
   /// Read back the valid prefix of a journal. nullopt when the file is
   /// missing or its header is unreadable; torn/out-of-order tails are
@@ -142,13 +146,15 @@ class RunJournal {
   size_t appended() const noexcept { return records_; }
   const std::string& path() const noexcept { return path_; }
   uint64_t fingerprint() const noexcept { return fingerprint_; }
+  size_t checkpoint_every() const noexcept { return checkpoint_every_; }
 
  private:
-  RunJournal(std::string path, uint64_t fingerprint);
+  RunJournal(std::string path, uint64_t fingerprint, size_t checkpoint_every);
   void reopen_append();
 
   std::string path_;
   uint64_t fingerprint_ = 0;
+  size_t checkpoint_every_ = kCheckpointEvery;
   std::vector<std::string> lines_;  // header + every record, for checkpoints
   std::ofstream out_;
   size_t records_ = 0;

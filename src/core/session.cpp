@@ -17,6 +17,14 @@ const char* exploration_mode_name(ExplorationMode mode) noexcept {
   return "?";
 }
 
+const char* corpus_mode_name(CorpusMode mode) noexcept {
+  switch (mode) {
+    case CorpusMode::Reuse: return "reuse";
+    case CorpusMode::Diff: return "diff";
+  }
+  return "?";
+}
+
 Session::Session(proxy::RdlProxy& proxy, Config config)
     : proxy_(&proxy),
       config_(std::move(config)),

@@ -46,6 +46,16 @@ enum class ExplorationMode { ErPi, Dfs, Rand };
 
 const char* exploration_mode_name(ExplorationMode mode) noexcept;
 
+/// What a cross-run outcome corpus (Config::corpus_path) is used for.
+///   Reuse — skip replaying (interleaving, plan) classes already proven
+///           under a compatible fingerprint; the merged report stays
+///           byte-identical to an uncached run.
+///   Diff  — replay everything and compare each live outcome against the
+///           stored record, surfacing regressions as a corpus::OutcomeDiff.
+enum class CorpusMode { Reuse, Diff };
+
+const char* corpus_mode_name(CorpusMode mode) noexcept;
+
 class Session {
  public:
   struct Config {
@@ -105,6 +115,18 @@ class Session {
     /// outcomes merged into the final report — so a SIGKILLed run picks up
     /// where it left off; otherwise a fresh journal is started at this path.
     std::string resume_journal;
+    /// Records between RunJournal atomic-rename checkpoints (and corpus
+    /// segment rolls). Smaller values bound post-crash recovery work at the
+    /// cost of more rewrites; values < 1 are clamped to 1.
+    size_t journal_checkpoint_every = RunJournal::kCheckpointEvery;
+    /// Directory of the cross-run persistent outcome corpus
+    /// (corpus::Store; DESIGN.md §11). "" disables the corpus. Unlike
+    /// resume_journal (one run's crash-safety), the corpus accumulates
+    /// proven outcomes across runs and machines under per-configuration
+    /// fingerprints.
+    std::string corpus_path;
+    /// How the corpus is consulted (ignored unless corpus_path is set).
+    CorpusMode corpus_mode = CorpusMode::Reuse;
   };
 
   Session(proxy::RdlProxy& proxy, Config config);

@@ -1,0 +1,141 @@
+#include "corpus/bridge.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+namespace erpi::corpus {
+
+namespace {
+
+std::string fingerprint_symbol(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+/// Parse the decimal integer at `pos`; returns nullopt (leaving pos alone)
+/// when no digit is present.
+std::optional<int> parse_int(const std::string& s, size_t& pos) {
+  size_t start = pos;
+  int value = 0;
+  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    value = value * 10 + (s[pos] - '0');
+    ++pos;
+  }
+  if (pos == start) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+DatalogBridge::DatalogBridge(datalog::Database& db) : db_(&db) {
+  db_->relation("outcome", 5);
+  db_->relation("violation", 4);
+  db_->relation("plan_fault", 3);
+  db_->relation("run_meta", 3);
+}
+
+std::vector<std::pair<std::string, int>> DatalogBridge::plan_fault_entries(
+    const std::string& plan_key) {
+  // FaultPlan::key() grammar (src/faults/plan.cpp):
+  //   "none" | "drop:K" | "dup:K" | "part:A-B@I..J" | "crash:rN@S->C"
+  // drop/dup target a message ordinal, not a replica, so they carry -1;
+  // partitions involve both endpoints, one row each.
+  if (plan_key == "none") return {{"none", -1}};
+  size_t colon = plan_key.find(':');
+  if (colon == std::string::npos || colon == 0) return {{"unknown", -1}};
+  std::string kind = plan_key.substr(0, colon);
+  std::string rest = plan_key.substr(colon + 1);
+  if (kind == "drop" || kind == "dup") {
+    size_t pos = 0;
+    if (parse_int(rest, pos) && pos == rest.size()) return {{kind, -1}};
+    return {{"unknown", -1}};
+  }
+  if (kind == "part") {
+    // A-B@I..J → {(part, A), (part, B)}
+    size_t pos = 0;
+    auto a = parse_int(rest, pos);
+    if (!a || pos >= rest.size() || rest[pos] != '-') return {{"unknown", -1}};
+    ++pos;
+    auto b = parse_int(rest, pos);
+    if (!b || pos >= rest.size() || rest[pos] != '@') return {{"unknown", -1}};
+    return {{"part", *a}, {"part", *b}};
+  }
+  if (kind == "crash") {
+    // rN@S->C → {(crash, N)}
+    if (rest.empty() || rest[0] != 'r') return {{"unknown", -1}};
+    size_t pos = 1;
+    auto n = parse_int(rest, pos);
+    if (!n || pos >= rest.size() || rest[pos] != '@') return {{"unknown", -1}};
+    return {{"crash", *n}};
+  }
+  return {{"unknown", -1}};
+}
+
+DatalogBridge::Stats DatalogBridge::export_store(
+    const Store& store, std::optional<uint64_t> fingerprint) {
+  Stats stats;
+  // Per-fingerprint aggregates, keyed by hex symbol so the map iterates in
+  // the same lexicographic order for_each_sorted visits fingerprints in.
+  struct Meta {
+    int64_t records = 0;
+    int64_t violations = 0;
+    int64_t last_seq = 0;
+  };
+  std::map<std::string, Meta> meta;
+
+  store.for_each_sorted([&](const Record& record) {
+    if (fingerprint && record.fingerprint != *fingerprint) return;
+    std::string fp = fingerprint_symbol(record.fingerprint);
+    datalog::Value fp_sym = db_->sym(fp);
+    datalog::Value plan_sym = db_->sym(record.plan);
+    datalog::Value il_sym = db_->sym(record.il);
+    if (db_->insert_fact("outcome",
+                         {fp_sym, plan_sym, il_sym,
+                          db_->sym(outcome_kind_name(record.kind)),
+                          datalog::Database::num(record.signal)})) {
+      ++stats.outcome_facts;
+    }
+    for (const auto& violation : record.violations) {
+      if (db_->insert_fact("violation",
+                           {fp_sym, plan_sym, il_sym,
+                            db_->sym(violation.assertion)})) {
+        ++stats.violation_facts;
+      }
+    }
+    for (const auto& [kind, replica] : plan_fault_entries(record.plan)) {
+      if (db_->insert_fact("plan_fault",
+                           {plan_sym, db_->sym(kind),
+                            datalog::Database::num(replica)})) {
+        ++stats.plan_fault_facts;
+      }
+    }
+    Meta& m = meta[fp];
+    ++m.records;
+    if (record.kind == OutcomeKind::Violation) ++m.violations;
+    if (static_cast<int64_t>(record.seq) > m.last_seq) {
+      m.last_seq = static_cast<int64_t>(record.seq);
+    }
+  });
+
+  for (const auto& [fp, m] : meta) {
+    datalog::Value fp_sym = db_->sym(fp);
+    if (db_->insert_fact("run_meta", {fp_sym, db_->sym("records"),
+                                      datalog::Database::num(m.records)})) {
+      ++stats.run_meta_facts;
+    }
+    if (db_->insert_fact("run_meta", {fp_sym, db_->sym("violations"),
+                                      datalog::Database::num(m.violations)})) {
+      ++stats.run_meta_facts;
+    }
+    if (db_->insert_fact("run_meta", {fp_sym, db_->sym("last_seq"),
+                                      datalog::Database::num(m.last_seq)})) {
+      ++stats.run_meta_facts;
+    }
+  }
+  return stats;
+}
+
+}  // namespace erpi::corpus

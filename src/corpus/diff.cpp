@@ -1,0 +1,44 @@
+#include "corpus/diff.hpp"
+
+namespace erpi::corpus {
+
+namespace {
+
+util::Json record_side_json(const Record& record) {
+  util::Json j = util::Json::object();
+  j["outcome"] = std::string(outcome_kind_name(record.kind));
+  if (record.signal != 0) j["signal"] = static_cast<int64_t>(record.signal);
+  if (!record.violations.empty()) {
+    util::Json violations = util::Json::array();
+    for (const auto& violation : record.violations) {
+      util::Json v = util::Json::object();
+      v["assertion"] = violation.assertion;
+      v["message"] = violation.message;
+      violations.push_back(std::move(v));
+    }
+    j["violations"] = std::move(violations);
+  }
+  return j;
+}
+
+}  // namespace
+
+util::Json OutcomeDiff::to_json() const {
+  util::Json j = util::Json::object();
+  j["compared"] = static_cast<int64_t>(compared);
+  j["unchanged"] = static_cast<int64_t>(unchanged);
+  j["missing"] = static_cast<int64_t>(missing);
+  util::Json changes = util::Json::array();
+  for (const auto& change : changed) {
+    util::Json c = util::Json::object();
+    c["plan"] = change.plan;
+    c["il"] = change.il;
+    c["before"] = record_side_json(change.before);
+    c["after"] = record_side_json(change.after);
+    changes.push_back(std::move(c));
+  }
+  j["changed"] = std::move(changes);
+  return j;
+}
+
+}  // namespace erpi::corpus

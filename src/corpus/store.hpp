@@ -1,0 +1,206 @@
+// Cross-run persistent outcome corpus (DESIGN.md §11).
+//
+// A corpus::Store remembers what prior explorations proved: one Record per
+// (run-configuration fingerprint, fault-plan key, interleaving key) class,
+// carrying the replay outcome — pass, violation (with the assertion
+// messages), crashed{signal}, oom, timed_out, or budget_exhausted. Where the
+// PR 3 RunJournal survives a single resumed run, the corpus survives across
+// runs and machines: CI fleets and nightly sweeps that re-explore the same
+// universe skip already-proven classes (reuse mode) or detect regressions as
+// outcome *diffs* against the accumulated history (diff mode) instead of
+// re-proving millions of pairs from scratch.
+//
+// On-disk layout (a directory):
+//   seg-000001.jsonl ...  append-only segment files. Line 1 is a header
+//                         {"erpi_corpus_segment":1,"created_seq":N}; every
+//                         further line is one Record, written and flushed
+//                         per append (a SIGKILL can at worst tear the
+//                         trailing line of the newest segment). A segment
+//                         rolls over after `segment_roll_records` appends —
+//                         the same knob as the RunJournal checkpoint
+//                         interval (Session::Config::journal_checkpoint_every).
+//   index.jsonl           the compacted form: all records, deduplicated
+//                         last-wins and sorted by (fingerprint, plan, il),
+//                         written to a temp file and atomically renamed.
+//                         compact() folds every segment into the index and
+//                         deletes the segments, so the directory stays
+//                         O(index + recent appends) even after millions of
+//                         records.
+//
+// Recency + eviction: every record carries the sequence number of the last
+// run that proved or re-confirmed it (lookup hits refresh it in memory;
+// compaction persists the refresh). When the store exceeds `max_records`,
+// compaction evicts least-recently-confirmed records first — outcomes for
+// run configurations nobody sweeps anymore age out, the live fleet's
+// namespaces survive.
+//
+// Thread contract: a Store is confined to the exploration control threads —
+// the scheduler's dispatcher consults lookup() and the committer appends,
+// both under the explorer's enumerator mutex (see sched::ExplorerOptions::
+// outcome_cache). The Store itself takes no locks.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/replay.hpp"
+
+namespace erpi::corpus {
+
+/// The outcome taxonomy persisted per (fingerprint, plan, interleaving)
+/// class. The first five mirror core::InterleavingOutcome; BudgetExhausted is
+/// the run-level sentinel for pairs a caller had to abandon when the Fig. 10
+/// budget latched mid-pair (the fault explorer never commits such pairs, so
+/// it never writes this kind — it exists for drivers that do, and round-trips
+/// through the store and the Datalog bridge like any other kind).
+enum class OutcomeKind { Pass, Violation, Crashed, Oom, TimedOut, BudgetExhausted };
+
+const char* outcome_kind_name(OutcomeKind kind) noexcept;
+std::optional<OutcomeKind> outcome_kind_from_name(std::string_view name) noexcept;
+
+/// One proven (interleaving, plan) class under one run-configuration
+/// fingerprint.
+struct Record {
+  struct Violation {
+    std::string assertion;
+    std::string message;
+
+    bool operator==(const Violation&) const = default;
+  };
+
+  uint64_t fingerprint = 0;  // corpus fingerprint (faults::run_fingerprint)
+  std::string plan;          // FaultPlan::key()
+  std::string il;            // Interleaving::key()
+  OutcomeKind kind = OutcomeKind::Pass;
+  int signal = 0;                     // Crashed only (SIGSEGV, SIGABRT, ...)
+  std::vector<Violation> violations;  // Violation only
+  /// Sequence of the run that last proved or re-confirmed this record
+  /// (eviction recency; see Store::begin_run).
+  uint64_t seq = 0;
+
+  bool operator==(const Record&) const = default;
+
+  /// Outcome equality, ignoring recency: kind, signal, and the violation
+  /// list. This is what diff mode compares.
+  bool same_outcome(const Record& other) const noexcept;
+
+  /// Rebuild the replay outcome a reuse-mode run commits instead of
+  /// re-executing the pair (exact inverse of from_outcome for the five
+  /// per-pair kinds).
+  core::InterleavingOutcome to_outcome() const;
+
+  static Record from_outcome(uint64_t fingerprint, std::string plan, std::string il,
+                             const core::InterleavingOutcome& outcome);
+};
+
+struct StoreOptions {
+  /// Records per segment before rolling to a fresh file. Shares the
+  /// RunJournal checkpoint knob (Session::Config::journal_checkpoint_every).
+  size_t segment_roll_records = 64;
+  /// Eviction cap enforced at compaction (0 = unbounded): when the store
+  /// holds more records, the least-recently-confirmed are dropped first.
+  size_t max_records = 1'000'000;
+  /// open() compacts eagerly when the directory has accumulated at least
+  /// this many segments, so repeated short runs cannot grow the directory
+  /// without bound. 0 disables auto-compaction on open.
+  size_t auto_compact_segments = 8;
+};
+
+struct StoreStats {
+  uint64_t loaded = 0;     // records read back at open()
+  uint64_t appended = 0;   // records written this session
+  uint64_t evicted = 0;    // records dropped by compaction eviction
+  uint64_t compactions = 0;
+  uint64_t torn_lines = 0;  // malformed tails skipped at open()
+};
+
+class Store {
+ public:
+  /// Open (creating the directory if needed) and load the index plus every
+  /// segment, last-wins. Auto-compacts per StoreOptions::auto_compact_segments.
+  static Store open(std::string dir, StoreOptions options = {});
+
+  Store(Store&&) = default;
+  Store& operator=(Store&&) = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Start a run epoch: returns a fresh sequence number stamped on every
+  /// record appended or re-confirmed (lookup hit) until the next begin_run.
+  /// Opening a store starts an implicit first epoch.
+  uint64_t begin_run();
+
+  /// The proven record for this class, or nullptr. A hit refreshes the
+  /// record's recency to the current epoch (persisted at the next
+  /// compaction), which is what keeps actively-reused namespaces out of the
+  /// eviction shortlist.
+  const Record* lookup(uint64_t fingerprint, const std::string& plan,
+                       const std::string& il);
+
+  /// Insert or overwrite (last-wins) the class's record, stamped with the
+  /// current epoch, written and flushed to the active segment before
+  /// returning.
+  void append(Record record);
+
+  /// Fold index + segments into a fresh sorted index.jsonl (atomic rename),
+  /// evict past max_records, delete the segments.
+  void compact();
+
+  /// compact() only when the segment count or record count warrants it —
+  /// the end-of-run call sites use this so short runs don't rewrite a large
+  /// index every time.
+  void maybe_compact();
+
+  /// Visit every record sorted by (fingerprint, plan, il) — the
+  /// deterministic order the Datalog bridge exports in.
+  void for_each_sorted(const std::function<void(const Record&)>& fn) const;
+
+  size_t size() const noexcept { return records_.size(); }
+  /// Segment files currently on disk (the active one included once it has a
+  /// record).
+  size_t segment_count() const;
+  const std::string& dir() const noexcept { return dir_; }
+  const StoreOptions& options() const noexcept { return options_; }
+  const StoreStats& stats() const noexcept { return stats_; }
+  uint64_t current_seq() const noexcept { return current_seq_; }
+
+ private:
+  Store(std::string dir, StoreOptions options);
+
+  void load();
+  size_t load_file(const std::string& path, bool is_index);
+  void roll_segment();
+  void write_record(const Record& record);
+  std::string index_path() const;
+  std::vector<std::string> segment_paths() const;
+
+  std::string dir_;
+  StoreOptions options_;
+  std::unordered_map<std::string, Record> records_;  // key: fp-hex/plan/il
+  uint64_t next_seq_ = 1;     // next begin_run epoch
+  uint64_t current_seq_ = 0;  // active epoch
+  uint64_t next_segment_ = 1;
+  std::ofstream active_;
+  std::string active_path_;
+  size_t active_records_ = 0;
+  StoreStats stats_;
+};
+
+/// Reuse-mode accounting the fault explorer keeps *outside* the
+/// ReplayReport, so warm and cold reports stay byte-identical
+/// (FaultExplorer::corpus_stats).
+struct ReuseStats {
+  uint64_t hits = 0;      // pairs resolved from the corpus without replaying
+  uint64_t misses = 0;    // pairs replayed and newly proven
+  uint64_t appended = 0;  // records written this run (== misses in reuse mode)
+
+  bool operator==(const ReuseStats&) const = default;
+};
+
+}  // namespace erpi::corpus

@@ -28,13 +28,13 @@ core::Interleaving interleaving_from_key(const std::string& key) {
   return il;
 }
 
-/// The run-configuration fingerprint guarding journal resumes: everything
-/// that shapes the (interleaving, plan) stream and its outcomes — events,
-/// units, enumerator configuration, caps, catalog — but NOT parallelism or
-/// the watchdog deadline, so a resume may use a different worker count.
+}  // namespace
+
 uint64_t run_fingerprint(const core::Session& session,
                          const std::vector<FaultPlan>& plans,
-                         const core::ReplayOptions& replay) {
+                         const CatalogOptions& catalog,
+                         const core::ReplayOptions& replay,
+                         FingerprintPurpose purpose) {
   util::Fnv1aHasher hasher;
   const auto& config = session.config();
   hasher.bytes(core::exploration_mode_name(config.mode));
@@ -43,7 +43,10 @@ uint64_t run_fingerprint(const core::Session& session,
   hasher.u64(config.dfs_branch_seed);
   hasher.u64(replay.max_interleavings);
   hasher.u64(replay.stop_on_violation ? 1 : 0);
-  hasher.u64(replay.max_snapshot_depth);
+  // Snapshot depth shapes the budget trajectory a resumed run must recreate,
+  // but not replay outcomes — the corpus namespace drops it so sweeps at
+  // different depths share proven classes.
+  if (purpose == FingerprintPurpose::Journal) hasher.u64(replay.max_snapshot_depth);
   hasher.u64(replay.threaded ? 1 : 0);
   for (const auto& event : session.events()) hasher.bytes(event.to_json().dump());
   for (const auto& unit : session.units()) {
@@ -51,10 +54,20 @@ uint64_t run_fingerprint(const core::Session& session,
     hasher.bytes("/");
   }
   for (const auto& plan : plans) hasher.bytes(plan.key());
+  // Catalog options are hashed even though the plan keys already are:
+  // two option sets can compose the *same* catalog today (e.g.
+  // partition_window_length with max_partition_windows == 0) yet diverge on
+  // the next capture, and a stale journal/corpus entry under the old options
+  // must never be silently reused.
+  hasher.u64(catalog.baseline ? 1 : 0);
+  hasher.u64(catalog.max_drops);
+  hasher.u64(catalog.max_duplicates);
+  hasher.u64(catalog.max_partition_windows);
+  hasher.u64(catalog.partition_window_length);
+  hasher.u64(catalog.max_crash_restarts);
+  hasher.u64(catalog.max_plans);
   return hasher.digest();
 }
-
-}  // namespace
 
 FaultExplorer::FaultExplorer(core::Session& session, CatalogOptions catalog)
     : session_(&session), catalog_options_(catalog) {}
@@ -93,7 +106,10 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   core::BudgetAccount* budget = replay.budget != nullptr ? replay.budget : &local_budget;
 
   // ---- crash-safe journal: load what a killed run already explored --------
-  const uint64_t fingerprint = run_fingerprint(*session_, plans_, replay);
+  const size_t checkpoint_every =
+      config.journal_checkpoint_every < 1 ? 1 : config.journal_checkpoint_every;
+  const uint64_t fingerprint = run_fingerprint(*session_, plans_, catalog_options_, replay,
+                                               FingerprintPurpose::Journal);
   std::map<std::string, std::vector<core::RunJournal::Record>> journaled;
   if (!config.resume_journal.empty()) {
     if (auto loaded = core::RunJournal::load(config.resume_journal)) {
@@ -109,7 +125,7 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   }
   std::optional<core::RunJournal> journal;
   if (!config.resume_journal.empty()) {
-    journal = core::RunJournal::create(config.resume_journal, fingerprint);
+    journal = core::RunJournal::create(config.resume_journal, fingerprint, checkpoint_every);
     // Re-seed the fresh journal with the resumed prefix so a second kill
     // resumes from at least this far, then compact it in one atomic rename.
     for (const auto& plan : plans_) {
@@ -119,6 +135,51 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
     }
     journal->checkpoint();
   }
+
+  // ---- cross-run outcome corpus (DESIGN.md §11) ---------------------------
+  corpus_stats_ = {};
+  outcome_diff_ = {};
+  std::optional<corpus::Store> store;
+  uint64_t corpus_fp = 0;
+  if (!config.corpus_path.empty()) {
+    corpus::StoreOptions store_options;
+    store_options.segment_roll_records = checkpoint_every;
+    store.emplace(corpus::Store::open(config.corpus_path, store_options));
+    store->begin_run();
+    corpus_fp = run_fingerprint(*session_, plans_, catalog_options_, replay,
+                                FingerprintPurpose::Corpus);
+  }
+  const bool reuse = store && config.corpus_mode == core::CorpusMode::Reuse;
+
+  // Offer one committed outcome to the corpus — live replays, cache hits and
+  // journal-merged pairs all pass through here (on the control threads, under
+  // the explorer's enumerator mutex while a plan run is live). Reuse mode
+  // proves new classes; diff mode compares against the stored record and
+  // persists last-wins so the corpus tracks the current library behavior.
+  const auto offer_to_corpus = [&](const std::string& plan_key, const std::string& il_key,
+                                   const core::InterleavingOutcome& outcome) {
+    if (!store) return;
+    const corpus::Record* prior = store->lookup(corpus_fp, plan_key, il_key);
+    if (reuse) {
+      if (prior != nullptr) return;  // already proven (a cache hit lands here)
+      store->append(corpus::Record::from_outcome(corpus_fp, plan_key, il_key, outcome));
+      ++corpus_stats_.appended;
+      return;
+    }
+    corpus::Record live = corpus::Record::from_outcome(corpus_fp, plan_key, il_key, outcome);
+    if (prior == nullptr) {
+      ++outcome_diff_.missing;
+      store->append(std::move(live));
+      return;
+    }
+    ++outcome_diff_.compared;
+    if (prior->same_outcome(live)) {
+      ++outcome_diff_.unchanged;  // the lookup above refreshed its recency
+      return;
+    }
+    outcome_diff_.changed.push_back({plan_key, il_key, *prior, live});
+    store->append(std::move(live));
+  };
 
   // ---- plan-major sweep ----------------------------------------------------
   bool stopped = false;         // stop_on_violation hit
@@ -186,6 +247,9 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         for (const auto& violation : record.violations) {
           outcome.violations.push_back({violation.assertion, violation.message});
         }
+        // Journal-merged pairs are proven outcomes of this configuration —
+        // the corpus learns them (or diffs against them) like live commits.
+        offer_to_corpus(plan.key(), record.key, outcome);
         commit(plan, record.interleaving, interleaving_from_key(record.key), outcome,
                /*from_journal=*/true);
         skip = record.interleaving;
@@ -223,11 +287,13 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
     options.replay.on_outcome = [&](uint64_t index, const core::Interleaving& il,
                                     const core::InterleavingOutcome& outcome) {
       const uint64_t plan_ordinal = skip + index;
+      std::string il_key;
+      il.append_key(il_key);
       if (journal) {
         core::RunJournal::Record record;
         record.plan = plan.key();
         record.interleaving = plan_ordinal;
-        il.append_key(record.key);
+        record.key = il_key;
         record.timed_out = outcome.timed_out;
         if (outcome.crashed) record.crash_signal = outcome.term_signal;
         record.oom = outcome.oom;
@@ -236,10 +302,27 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         }
         journal->append(record);
       }
+      offer_to_corpus(plan.key(), il_key, outcome);
       commit(plan, plan_ordinal, il, outcome, /*from_journal=*/false);
     };
     options.subject_factory = config.subject_factory;
     options.assertion_factory = assertion_factory;
+    if (reuse) {
+      // The dispatcher resolves already-proven classes straight from the
+      // corpus; misses replay normally and are appended via offer_to_corpus.
+      options.outcome_cache = [&, plan_key = plan.key()](const core::Interleaving& il)
+          -> std::optional<core::InterleavingOutcome> {
+        std::string il_key;
+        il.append_key(il_key);
+        const corpus::Record* record = store->lookup(corpus_fp, plan_key, il_key);
+        if (record != nullptr && record->kind != corpus::OutcomeKind::BudgetExhausted) {
+          ++corpus_stats_.hits;
+          return record->to_outcome();
+        }
+        ++corpus_stats_.misses;
+        return std::nullopt;
+      };
+    }
 
     sched::ParallelExplorer explorer(std::move(options));
     const core::ReplayReport plan_report = explorer.run(*enumerator, session_->events());
@@ -258,6 +341,9 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   }
 
   if (journal) journal->checkpoint();
+  // Fold this run's segments into the sorted index when they have piled up
+  // (persisting recency refreshes along the way); cheap runs skip the rewrite.
+  if (store) store->maybe_compact();
 
   if (!stopped && !report.crashed) {
     report.exhausted = all_exhausted;

@@ -28,9 +28,29 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "corpus/diff.hpp"
+#include "corpus/store.hpp"
 #include "faults/plan.hpp"
 
 namespace erpi::faults {
+
+/// What a run-configuration fingerprint guards. Both hash everything that
+/// shapes the (interleaving, plan) stream and its outcomes — events, units,
+/// enumerator configuration, caps, catalog options — and neither hashes
+/// parallelism or the watchdog deadline. They differ on snapshot depth:
+///   Journal — includes max_snapshot_depth (a resumed run must recreate the
+///             exact budget trajectory, which snapshot caches feed into).
+///   Corpus  — excludes it: replay outcomes are depth-independent, so a
+///             depth-0 sweep may reuse classes proven by a depth-16 sweep.
+enum class FingerprintPurpose { Journal, Corpus };
+
+/// The fingerprint namespacing journal resumes and corpus records. Exposed
+/// for tests and tooling; session must have finished capture.
+uint64_t run_fingerprint(const core::Session& session,
+                         const std::vector<FaultPlan>& plans,
+                         const CatalogOptions& catalog,
+                         const core::ReplayOptions& replay,
+                         FingerprintPurpose purpose);
 
 class FaultExplorer {
  public:
@@ -55,11 +75,23 @@ class FaultExplorer {
     return worker_assertions_;
   }
 
+  /// Corpus reuse accounting for the last run() (zeroes when no corpus is
+  /// configured). Kept out of the ReplayReport on purpose: a warm run's
+  /// report stays byte-identical to a cold run's.
+  const corpus::ReuseStats& corpus_stats() const noexcept { return corpus_stats_; }
+
+  /// Diff-mode result of the last run() (empty in reuse mode / no corpus):
+  /// every (interleaving, plan) class whose live outcome differs from the
+  /// corpus record, plus compared/unchanged/missing totals.
+  const corpus::OutcomeDiff& outcome_diff() const noexcept { return outcome_diff_; }
+
  private:
   core::Session* session_;
   CatalogOptions catalog_options_;
   std::vector<FaultPlan> plans_;
   std::vector<core::AssertionList> worker_assertions_;
+  corpus::ReuseStats corpus_stats_;
+  corpus::OutcomeDiff outcome_diff_;
 };
 
 /// One-call convenience mirroring Session::end_with_factory:

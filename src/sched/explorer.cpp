@@ -153,6 +153,24 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
               break;
             }
             budget->charge(core::explored_log_entry_bytes(*il));
+            // Corpus reuse: a cached outcome bypasses the worker pool and is
+            // committed at its stream position like any worker result. The
+            // budget was charged above exactly as for a replayed pair, and a
+            // cached violation lowers the floor just as a worker would.
+            if (options_.outcome_cache) {
+              if (auto cached = options_.outcome_cache(*il)) {
+                Done d;
+                d.index = next_index;
+                d.outcome = std::move(*cached);
+                d.interleaving = std::move(*il);
+                if (stop_on_violation && !d.outcome.violations.empty()) {
+                  lower_floor(violation_floor, d.index);
+                }
+                done.push(std::move(d));
+                ++next_index;
+                continue;
+              }
+            }
             batch.items.push_back({next_index, std::move(*il)});
             ++next_index;
           }

@@ -34,6 +34,8 @@
 // only. Per-interleaving assertions are bit-for-bit identical to sequential.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/replay.hpp"
@@ -62,6 +64,16 @@ struct ExplorerOptions {
   core::SubjectFactory subject_factory;
   /// Builds one assertion set per worker (may be empty).
   core::AssertionFactory assertion_factory;
+  /// Cross-run outcome cache consulted by the dispatcher before handing an
+  /// interleaving to the worker pool (corpus reuse mode; DESIGN.md §11).
+  /// Called under the enumerator mutex, after the budget is charged exactly
+  /// as for a replayed pair. Returning an outcome resolves the pair without
+  /// replaying it: the outcome is committed at its stream position through
+  /// the same in-order path as worker results, so explored counts,
+  /// first_violation_index, stop_on_violation semantics and callback order
+  /// are identical to an uncached run.
+  std::function<std::optional<core::InterleavingOutcome>(const core::Interleaving&)>
+      outcome_cache;
 };
 
 class ParallelExplorer {

@@ -331,5 +331,84 @@ TEST(Negation, ParserAcceptsBangAtoms) {
   EXPECT_EQ(program.value().rules[0].constraints.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Bridge relation shapes (corpus::DatalogBridge exports outcome/5,
+// violation/4, plan_fault/3 — wide tuples, string-heavy keys, negation over
+// the outcome relation; see DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// Insert an outcome/5 fact the way the corpus bridge does: four interned
+/// symbols and one integer column.
+void insert_outcome(Database& db, const char* fp, const char* plan, const char* il,
+                    const char* kind, int64_t sig) {
+  db.relation("outcome", 5);
+  db.insert_fact("outcome", {db.sym(fp), db.sym(plan), db.sym(il), db.sym(kind),
+                             Database::num(sig)});
+}
+
+TEST(BridgeShapes, WideTuplesJoinAcrossSharedColumns) {
+  Database db;
+  insert_outcome(db, "aa", "none", "0,1,2", "pass", 0);
+  insert_outcome(db, "aa", "drop:1", "0,1,2", "violation", 0);
+  insert_outcome(db, "aa", "drop:1", "2,1,0", "crashed", 11);
+  insert_outcome(db, "bb", "drop:1", "0,1,2", "pass", 0);
+  // Same class under two fingerprints with different outcomes — the arity-5
+  // self-join that diff-style queries lean on.
+  const auto program = parse_ok(
+      "disagrees(Plan, Il) :- outcome(F1, Plan, Il, K1, S1),\n"
+      "                       outcome(F2, Plan, Il, K2, S2), F1 != F2, K1 != K2.\n",
+      db.symbols());
+  evaluate(db, program);
+  const auto rows = query(db, {"disagrees", {Term::var("Plan"), Term::var("Il")}});
+  // Derived from both join directions, deduplicated to the one real class.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(db.symbols().name(rows[0].at("Plan").payload), "drop:1");
+  EXPECT_EQ(db.symbols().name(rows[0].at("Il").payload), "0,1,2");
+}
+
+TEST(BridgeShapes, QuotedStringConstantsMatchBridgeKeys) {
+  // Plan and interleaving keys ("part:0-1@2..4", "0,1,2") are not bare
+  // identifiers — the parser must take them as quoted symbol constants and
+  // join them against programmatically interned facts.
+  Database db;
+  insert_outcome(db, "aa", "part:0-1@2..4", "0,1,2", "violation", 0);
+  insert_outcome(db, "aa", "part:0-1@2..4", "2,1,0", "pass", 0);
+  insert_outcome(db, "aa", "crash:r1@1->3", "0,1,2", "pass", 0);
+  const auto program = parse_ok(
+      "partition_outcome(Il, K) :- outcome(Fp, \"part:0-1@2..4\", Il, K, S).\n"
+      "this_il(Plan) :- outcome(Fp, Plan, \"0,1,2\", K, S).\n",
+      db.symbols());
+  evaluate(db, program);
+  EXPECT_EQ(db.find("partition_outcome")->size(), 2u);
+  EXPECT_EQ(db.find("this_il")->size(), 2u);
+  const auto viol = query(db, {"partition_outcome",
+                               {Term::var("Il"),
+                                Term::constant_sym(db.symbols().intern("violation"))}});
+  ASSERT_EQ(viol.size(), 1u);
+  EXPECT_EQ(db.symbols().name(viol[0].at("Il").payload), "0,1,2");
+}
+
+TEST(BridgeShapes, StratifiedNegationOverOutcome) {
+  // "Plans with a pass but no violation anywhere" — negation over the wide
+  // relation through a projected helper (negated atoms must be safe: every
+  // variable bound by the positive body).
+  Database db;
+  insert_outcome(db, "aa", "none", "0,1", "pass", 0);
+  insert_outcome(db, "aa", "none", "1,0", "pass", 0);
+  insert_outcome(db, "aa", "drop:1", "0,1", "pass", 0);
+  insert_outcome(db, "aa", "drop:1", "1,0", "violation", 0);
+  insert_outcome(db, "aa", "dup:2", "0,1", "crashed", 6);
+  const auto program = parse_ok(
+      "violating_plan(Plan) :- outcome(Fp, Plan, Il, violation, S).\n"
+      "clean_plan(Plan) :- outcome(Fp, Plan, Il, pass, S), !violating_plan(Plan).\n",
+      db.symbols());
+  evaluate(db, program);
+  const auto strata = stratify(program);
+  EXPECT_LT(strata.at("violating_plan"), strata.at("clean_plan"));
+  const auto clean = query(db, {"clean_plan", {Term::var("Plan")}});
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_EQ(db.symbols().name(clean[0].at("Plan").payload), "none");
+}
+
 }  // namespace
 }  // namespace erpi::datalog

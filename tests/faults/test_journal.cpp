@@ -5,6 +5,7 @@
 // skipping at least the journaled pairs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -155,6 +156,40 @@ TEST(RunJournal, AutoCheckpointsEveryBatch) {
   EXPECT_EQ(loaded->records.size(), RunJournal::kCheckpointEvery + 5);
 }
 
+TEST(RunJournal, CheckpointIntervalIsConfigurable) {
+  // The interval is clamped to >= 1 and drives when the atomic rewrite runs:
+  // a checkpoint rebuilds the file from the in-memory lines, expunging
+  // anything a crashed writer left behind, so external garbage is the
+  // observable difference between a tight and a loose interval.
+  EXPECT_EQ(RunJournal::create(tmp_journal("clamp"), 7, 0).checkpoint_every(), 1u);
+
+  const std::string tight_path = tmp_journal("tight");
+  RunJournal tight = RunJournal::create(tight_path, 7, 1);
+  EXPECT_EQ(tight.checkpoint_every(), 1u);
+  tight.append(make_record("none", 1));
+  {
+    std::ofstream out(tight_path, std::ios::app);
+    out << "GARBAGE\n";
+  }
+  tight.append(make_record("none", 2));  // interval 1: checkpoint rewrites now
+  for (const auto& line : file_lines(tight_path)) EXPECT_NE(line, "GARBAGE");
+
+  const std::string loose_path = tmp_journal("loose");
+  RunJournal loose = RunJournal::create(loose_path, 7, 100);
+  loose.append(make_record("none", 1));
+  {
+    std::ofstream out(loose_path, std::ios::app);
+    out << "GARBAGE\n";
+  }
+  loose.append(make_record("none", 2));  // interval 100: no checkpoint yet
+  const auto lines = file_lines(loose_path);
+  EXPECT_NE(std::find(lines.begin(), lines.end(), "GARBAGE"), lines.end());
+  // load() still sees the valid prefix up to the garbage line.
+  const auto loaded = RunJournal::load(loose_path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Kill + resume through the fault explorer
 // ---------------------------------------------------------------------------
@@ -178,7 +213,7 @@ void fault_workload(proxy::RdlProxy& proxy) {
 }
 
 ReplayReport run_journaled(const std::string& journal_path, int parallelism,
-                           uint64_t seed = 0) {
+                           uint64_t seed = 0, const CatalogOptions& catalog = {}) {
   Session::Config config;
   config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
   config.spec_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
@@ -194,9 +229,10 @@ ReplayReport run_journaled(const std::string& journal_path, int parallelism,
   Session session(proxy, std::move(config));
   session.start();
   fault_workload(proxy);
-  return explore_with_faults(session, [](proxy::Rdl&) -> core::AssertionList {
-    return {core::replicas_converge({0, 1})};
-  });
+  return explore_with_faults(
+      session,
+      [](proxy::Rdl&) -> core::AssertionList { return {core::replicas_converge({0, 1})}; },
+      catalog);
 }
 
 void expect_same_outcome(const ReplayReport& resumed, const ReplayReport& full,
@@ -260,6 +296,26 @@ TEST(RunJournal, FingerprintMismatchStartsFresh) {
   const ReplayReport other = run_journaled(path, 4, /*seed=*/99);
   EXPECT_EQ(other.pairs_skipped_from_journal, 0u);
   EXPECT_EQ(other.explored, full.explored);  // same universe, fully re-explored
+}
+
+TEST(RunJournal, ChangedCatalogOptionsInvalidateTheJournal) {
+  // Regression guard: two CatalogOptions can compose the *same* plan catalog
+  // (partition_window_length is irrelevant while max_partition_windows == 0),
+  // so hashing only the plan keys would let the second configuration silently
+  // merge the first one's journal. The fingerprint hashes the options
+  // themselves, so the stale journal must be ignored.
+  CatalogOptions narrow;
+  narrow.max_partition_windows = 0;
+  narrow.partition_window_length = 2;
+  CatalogOptions wide = narrow;
+  wide.partition_window_length = 5;
+
+  const std::string path = tmp_journal("catalog_options");
+  const ReplayReport first = run_journaled(path, 4, 0, narrow);
+  ASSERT_GT(first.explored, 0u);
+  const ReplayReport second = run_journaled(path, 4, 0, wide);
+  EXPECT_EQ(second.pairs_skipped_from_journal, 0u);  // not resumed
+  EXPECT_EQ(second.explored, first.explored);        // same composed catalog
 }
 
 }  // namespace
