@@ -20,7 +20,68 @@ bool build_rank_table(const std::vector<int>& ids, std::vector<int>& rank_of_eve
   return true;
 }
 
+/// One recursion step of split_tree_order over [begin, end) at prefix depth
+/// `depth`: emit the range whole if it fits, otherwise break it into maximal
+/// consecutive runs agreeing on order[depth] and recurse into each run.
+void split_range(const std::vector<Interleaving>& items, size_t begin, size_t end,
+                 size_t depth, size_t max_items, std::vector<SubtreeSpan>& out) {
+  while (true) {
+    if (begin == end) return;
+    if (end - begin <= max_items) {
+      out.push_back({begin, end, depth});
+      return;
+    }
+    // Items too short to branch at this depth (duplicates of the shared
+    // prefix) lead the range in tree order; peel them off as singleton spans.
+    while (begin < end && items[begin].order.size() <= depth) {
+      out.push_back({begin, begin + 1, depth});
+      ++begin;
+    }
+    if (end - begin <= max_items) continue;
+
+    // Count the runs first: a stream with no tree structure at this depth
+    // (adjacent items almost never agree on order[depth]) would shatter into
+    // per-item spans, so fall back to fixed-size chunking there — guided
+    // exploration still works on e.g. shuffled streams, just without
+    // prefix-locality in the handles.
+    size_t runs = 1;
+    for (size_t i = begin + 1; i < end; ++i) {
+      if (items[i].order.size() <= depth || items[i].order[depth] != items[i - 1].order[depth]) {
+        ++runs;
+      }
+    }
+    const size_t target_spans = (end - begin + max_items - 1) / max_items;
+    if (runs == 1) {
+      ++depth;  // every item agrees at this position; descend a level
+      continue;
+    }
+    if (runs > 4 * target_spans && runs > 8) {
+      for (size_t i = begin; i < end; i += max_items) {
+        out.push_back({i, std::min(i + max_items, end), depth});
+      }
+      return;
+    }
+    size_t run_begin = begin;
+    for (size_t i = begin + 1; i <= end; ++i) {
+      if (i == end || items[i].order.size() <= depth ||
+          items[i].order[depth] != items[i - 1].order[depth]) {
+        split_range(items, run_begin, i, depth + 1, max_items, out);
+        run_begin = i;
+      }
+    }
+    return;
+  }
+}
+
 }  // namespace
+
+std::vector<SubtreeSpan> split_tree_order(const std::vector<Interleaving>& items,
+                                          size_t max_items) {
+  std::vector<SubtreeSpan> out;
+  if (items.empty()) return out;
+  split_range(items, 0, items.size(), 0, std::max<size_t>(max_items, 1), out);
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // GroupedEnumerator

@@ -68,6 +68,31 @@ class Enumerator {
   uint64_t emitted_ = 0;
 };
 
+/// A contiguous span of a materialized enumeration stream whose members all
+/// share an event prefix of at least `prefix_len` positions — one subtree of
+/// the enumeration tree, the hand-out unit of guided exploration's
+/// work-stealing frontier (DESIGN.md §12). Spans are half-open [begin, end)
+/// indices into the materialized item vector, in stream order.
+struct SubtreeSpan {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t prefix_len = 0;
+
+  size_t size() const noexcept { return end - begin; }
+  bool operator==(const SubtreeSpan&) const = default;
+};
+
+/// Partition a materialized enumeration stream into subtree spans of at most
+/// `max_items` items each by recursively descending the shared-prefix tree:
+/// a span too large to hand out whole is split into its children — maximal
+/// consecutive runs agreeing on the event at the next position. Works on any
+/// stream; tree-ordered streams (lexicographic, DFS) split along real subtree
+/// boundaries (so span members share replay prefixes and a worker draining a
+/// span keeps its snapshot cache hot), while unstructured streams degrade to
+/// fixed-size chunks. Deterministic: depends only on the items and max_items.
+std::vector<SubtreeSpan> split_tree_order(const std::vector<Interleaving>& items,
+                                          size_t max_items);
+
 /// Per-entry overhead charged for one dedup-set node (hash bucket pointer,
 /// node header, string header) on top of the packed key payload — shared by
 /// every dedup cache (Random, Grouped-shuffled, PruningPipeline) so their

@@ -37,6 +37,18 @@ void Interleaving::append_key(std::string& out) const {
   }
 }
 
+Interleaving Interleaving::from_key(const std::string& key) {
+  Interleaving il;
+  size_t start = 0;
+  while (start < key.size()) {
+    size_t end = key.find(',', start);
+    if (end == std::string::npos) end = key.size();
+    il.order.push_back(std::stoi(key.substr(start, end - start)));
+    start = end + 1;
+  }
+  return il;
+}
+
 size_t common_prefix_len(const Interleaving& a, const Interleaving& b) noexcept {
   const size_t limit = std::min(a.size(), b.size());
   size_t len = 0;

@@ -42,6 +42,11 @@ struct Interleaving {
   /// dedup and persistence so per-candidate key construction reuses one
   /// allocation across the whole run.
   void append_key(std::string& out) const;
+
+  /// Inverse of key(): parse "3,0,1,2" back into an interleaving. Used when
+  /// orders round-trip through the run journal and the outcome corpus (e.g.
+  /// rehydrating violation priors for guided search). Malformed input throws.
+  static Interleaving from_key(const std::string& key);
 };
 
 /// Length of the longest shared prefix of two interleavings, in events.

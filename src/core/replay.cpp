@@ -16,6 +16,28 @@ const char* isolation_name(Isolation isolation) noexcept {
   return "?";
 }
 
+const char* search_strategy_name(SearchStrategy strategy) noexcept {
+  switch (strategy) {
+    case SearchStrategy::LexOrder: return "lex";
+    case SearchStrategy::RandomPath: return "random_path";
+    case SearchStrategy::ViolationFirst: return "violation_first";
+    case SearchStrategy::CoverageWeighted: return "coverage_weighted";
+    case SearchStrategy::Interleaved: return "interleaved";
+  }
+  return "?";
+}
+
+util::Json ExplorerStats::to_json() const {
+  util::Json j = util::Json::object();
+  j["batch_size"] = static_cast<int64_t>(batch_size);
+  j["subtrees"] = static_cast<int64_t>(subtrees);
+  j["steals"] = static_cast<int64_t>(steals);
+  j["splits"] = static_cast<int64_t>(splits);
+  j["queue_wait_seconds"] = queue_wait_seconds;
+  j["max_idle_fraction"] = max_idle_fraction;
+  return j;
+}
+
 util::Json SandboxStats::to_json() const {
   util::Json j = util::Json::object();
   j["crashes"] = static_cast<int64_t>(crashes);
@@ -57,6 +79,9 @@ util::Json ReplayReport::to_json() const {
   // Omitted when all-zero so crash-free sandboxed reports serialize
   // byte-identically to Isolation::None reports.
   if (sandbox.any()) j["sandbox"] = sandbox.to_json();
+  // Likewise omitted by default: explorer stats carry wall-clock timing, so
+  // they only appear when stats collection was explicitly requested.
+  if (explorer.any()) j["explorer"] = explorer.to_json();
   j["plans_explored"] = static_cast<int64_t>(plans_explored);
   j["pairs_skipped_from_journal"] = static_cast<int64_t>(pairs_skipped_from_journal);
   j["first_violation_plan"] = first_violation_plan;

@@ -24,6 +24,7 @@
 // BudgetAccount.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -95,6 +96,93 @@ using AssertionFactory = std::function<AssertionList(proxy::Rdl& subject)>;
 /// every useful depth at the unit counts the experiments sweep (n <= 9 keeps
 /// at most n-2 snapshots alive) while capping memory on deeper workloads.
 inline constexpr size_t kDefaultMaxSnapshotDepth = 16;
+
+/// Guided-exploration searcher strategies (DESIGN.md §12). A searcher ranks
+/// the frontier of enumeration subtrees before replay; the *commit* order (and
+/// with it explored counts, the violation floor and stop_on_violation
+/// semantics) follows that rank deterministically at any worker count.
+///
+///  * LexOrder        — the enumerator's native stream order. With
+///    SearchOptions::deterministic_order (the default) this is the historical
+///    streaming engine, byte-identical to prior releases.
+///  * RandomPath      — seeded pseudo-random subtree order (klee-style random
+///    tree descent, collapsed to a deterministic priority). Same seed ⇒ same
+///    order on every run and worker count.
+///  * ViolationFirst  — subtrees whose prefixes sit closest to previously
+///    violating interleavings go first. Priors come from
+///    SearchOptions-independent channels: explicit Session::Config::
+///    violation_priors and the outcome corpus's violation records (the
+///    Datalog bridge's violation/4 relation). With no priors it degenerates
+///    to lex order.
+///  * CoverageWeighted — greedy max-new-coverage order over (context,
+///    prefix-position, operation) features, so early replays spread across
+///    untouched fault-plan × subject-operation pairs instead of grinding one
+///    corner of the tree.
+///  * Interleaved     — klee-mc style round-robin over several searchers
+///    (SearchOptions::interleaved; defaults to ViolationFirst / RandomPath /
+///    CoverageWeighted).
+enum class SearchStrategy { LexOrder, RandomPath, ViolationFirst, CoverageWeighted, Interleaved };
+
+const char* search_strategy_name(SearchStrategy strategy) noexcept;
+
+/// Guided-exploration knobs (Session::Config::search, sched::ExplorerOptions).
+struct SearchOptions {
+  SearchStrategy strategy = SearchStrategy::LexOrder;
+  /// Force lex (enumerator stream) commit order. Defaults on: LexOrder with
+  /// deterministic_order runs the historical streaming dispatcher and its
+  /// reports are byte-identical to prior releases. Clearing it routes even
+  /// LexOrder through the subtree frontier + work stealing (same report
+  /// fields; the budget is charged at generation instead of interleaved with
+  /// replay — see DESIGN.md §12 for the exact parity limits).
+  bool deterministic_order = true;
+  /// RandomPath / Interleaved seed. Same seed + same searcher ⇒ identical
+  /// ReplayReport at any parallelism and snapshot depth.
+  uint64_t seed = 42;
+  /// Interleaved constituents, in rotation order. Empty = the default trio
+  /// {ViolationFirst, RandomPath, CoverageWeighted}.
+  std::vector<SearchStrategy> interleaved;
+  /// Frontier granularity: largest item count per subtree handle before the
+  /// splitter recurses a level deeper. 0 = auto (≈ stream / 64 — a pure
+  /// function of the stream, so the partition and every searcher ranking are
+  /// identical at any worker count).
+  size_t max_subtree_items = 0;
+
+  /// True when these options route exploration through the guided frontier
+  /// instead of the historical streaming dispatcher.
+  bool guided() const noexcept {
+    return strategy != SearchStrategy::LexOrder || !deterministic_order;
+  }
+};
+
+/// Explorer scheduling telemetry (guided exploration, DESIGN.md §12): the
+/// chosen dispatch batch size, frontier shape, steal traffic and worker idle
+/// time. Collected only when ExplorerOptions::collect_stats is set (timing
+/// fields are wall-clock noise, so reports stay byte-stable by default) and
+/// omitted from to_json when all-zero, SandboxStats-style.
+struct ExplorerStats {
+  uint64_t batch_size = 0;        // streaming mode: chosen dispatch batch
+  uint64_t subtrees = 0;          // frontier handles after ranking
+  uint64_t steals = 0;            // steal operations across the frontier
+  uint64_t splits = 0;            // steals that split the victim's handle
+  double queue_wait_seconds = 0;  // summed worker wait for work
+  double max_idle_fraction = 0;   // max over workers of idle / wall-clock
+
+  void merge(const ExplorerStats& other) noexcept {
+    batch_size = std::max(batch_size, other.batch_size);
+    subtrees += other.subtrees;
+    steals += other.steals;
+    splits += other.splits;
+    queue_wait_seconds += other.queue_wait_seconds;
+    max_idle_fraction = std::max(max_idle_fraction, other.max_idle_fraction);
+  }
+
+  bool any() const noexcept {
+    return batch_size != 0 || subtrees != 0 || steals != 0 || splits != 0 ||
+           queue_wait_seconds != 0 || max_idle_fraction != 0;
+  }
+
+  util::Json to_json() const;
+};
 
 /// Where a replay executes (DESIGN.md §9).
 ///
@@ -284,6 +372,12 @@ struct ReplayReport {
   /// (and omitted from to_json) outside Isolation::Process and on crash-free
   /// sandboxed runs, keeping crash-free reports identical across modes.
   SandboxStats sandbox;
+  /// Explorer scheduling telemetry (batch sizing, frontier shape, steal
+  /// traffic, idle time). All-zero — and omitted from to_json — unless stats
+  /// collection was explicitly enabled (Session::Config::
+  /// collect_explorer_stats), because its timing fields are wall-clock noise
+  /// and would perturb otherwise byte-stable reports.
+  ExplorerStats explorer;
   /// Fault-schedule dimensions (zero/empty outside faults:: runs). `explored`
   /// then counts (interleaving, plan) pairs in plan-major order, and the
   /// first violation is additionally named as a pair: the plan's key() plus

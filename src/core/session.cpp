@@ -173,6 +173,12 @@ ReplayReport Session::end(const AssertionList& assertions) {
         "the sandbox children rebuild the fixture and its assertions from the "
         "factories");
   }
+  if (config_.search.guided()) {
+    throw std::invalid_argument(
+        "guided search needs end(AssertionFactory) and a subject factory: the "
+        "run is driven through sched::ParallelExplorer, whose workers rebuild "
+        "the fixture and its assertions from the factories");
+  }
   PreparedRun prepared = prepare_run();
   ReplayEngine engine(*proxy_, prepared.replay);
   ReplayReport report = engine.run(*prepared.enumerator, events_, assertions);
@@ -183,7 +189,7 @@ ReplayReport Session::end(const AssertionList& assertions) {
 ReplayReport Session::end_with_factory(const AssertionFactory& assertion_factory) {
   const bool sandboxed = config_.isolation == Isolation::Process ||
                          config_.replay.isolation == Isolation::Process;
-  if (config_.parallelism <= 1 && !sandboxed) {
+  if (config_.parallelism <= 1 && !sandboxed && !config_.search.guided()) {
     // Delegate to the sequential path — bit-for-bit today's behavior.
     AssertionList assertions;
     if (assertion_factory) assertions = assertion_factory(proxy_->target());
@@ -193,12 +199,18 @@ ReplayReport Session::end_with_factory(const AssertionFactory& assertion_factory
     config_.parallelism = saved_parallelism;
     return report;
   }
-  // Sandboxed runs always go through the explorer (even at parallelism 1):
-  // the fixture must be rebuilt from the factory inside each child.
+  // Sandboxed and guided runs always go through the explorer (even at
+  // parallelism 1): sandboxed fixtures must be rebuilt from the factory
+  // inside each child, and guided search is the explorer's frontier engine.
   if (!config_.subject_factory) {
     throw std::invalid_argument(
         "parallel exploration requires a subject factory "
         "(Session::start(factory) or Config::subject_factory)");
+  }
+  if (config_.search.guided() && !config_.resume_journal.empty()) {
+    throw std::invalid_argument(
+        "guided search cannot resume from a journal: journal skip-and-merge "
+        "assumes the enumerator's stream order, which a searcher reorders");
   }
 
   PreparedRun prepared = prepare_run();
@@ -207,6 +219,12 @@ ReplayReport Session::end_with_factory(const AssertionFactory& assertion_factory
   options.replay = prepared.replay;
   options.subject_factory = config_.subject_factory;
   options.assertion_factory = assertion_factory;
+  options.search = config_.search;
+  options.collect_stats = config_.collect_explorer_stats;
+  if (!config_.violation_priors.empty()) {
+    options.violation_priors = std::make_shared<const std::vector<Interleaving>>(
+        config_.violation_priors);
+  }
   sched::ParallelExplorer explorer(std::move(options));
   ReplayReport report = explorer.run(*prepared.enumerator, events_);
   worker_assertions_ = explorer.worker_assertions();

@@ -127,6 +127,22 @@ class Session {
     std::string corpus_path;
     /// How the corpus is consulted (ignored unless corpus_path is set).
     CorpusMode corpus_mode = CorpusMode::Reuse;
+    /// Guided exploration (DESIGN.md §12). The default — LexOrder with
+    /// deterministic_order — keeps today's engines bit-for-bit. Any other
+    /// setting routes the run through sched::ParallelExplorer's subtree
+    /// frontier (even at parallelism 1, which therefore needs a subject
+    /// factory and the end(AssertionFactory) overload, like
+    /// Isolation::Process) and replays in the searcher's order.
+    SearchOptions search;
+    /// Previously violating interleavings fed to the ViolationFirst
+    /// searcher as priors, in addition to the corpus's violation records
+    /// (corpus::violation_priors loads them from a store directory).
+    std::vector<Interleaving> violation_priors;
+    /// Record scheduling telemetry into ReplayReport::explorer (chosen
+    /// batch size, frontier shape, steal traffic, queue-wait/idle time).
+    /// Off by default: the timing fields are wall-clock noise and would
+    /// perturb otherwise byte-stable reports.
+    bool collect_explorer_stats = false;
   };
 
   Session(proxy::RdlProxy& proxy, Config config);

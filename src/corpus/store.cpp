@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/json.hpp"
 
@@ -377,6 +378,19 @@ void Store::for_each_sorted(const std::function<void(const Record&)>& fn) const 
   std::sort(keys.begin(), keys.end(),
             [](const std::string* a, const std::string* b) { return *a < *b; });
   for (const std::string* key : keys) fn(records_.at(*key));
+}
+
+std::vector<core::Interleaving> violation_priors(const std::string& dir) {
+  std::vector<core::Interleaving> priors;
+  if (dir.empty() || !fs::exists(dir)) return priors;
+  Store store = Store::open(dir);
+  std::unordered_set<std::string> seen;  // dedup across fingerprints/plans
+  store.for_each_sorted([&](const Record& record) {
+    if (record.kind != OutcomeKind::Violation) return;
+    if (!seen.insert(record.il).second) return;
+    priors.push_back(core::Interleaving::from_key(record.il));
+  });
+  return priors;
 }
 
 }  // namespace erpi::corpus

@@ -192,6 +192,15 @@ class Store {
   StoreStats stats_;
 };
 
+/// Load the distinct violating interleavings recorded anywhere in the corpus
+/// at `dir` (every fingerprint and plan — a violation's *neighborhood* in the
+/// interleaving tree transfers across configurations even when outcome reuse
+/// must not), in deterministic (fingerprint, plan, il) order. These seed the
+/// ViolationFirst searcher's priors — the corpus-side view of the Datalog
+/// bridge's violation/4 relation. Returns empty when the directory does not
+/// exist or holds no violations.
+std::vector<core::Interleaving> violation_priors(const std::string& dir);
+
 /// Reuse-mode accounting the fault explorer keeps *outside* the
 /// ReplayReport, so warm and cold reports stay byte-identical
 /// (FaultExplorer::corpus_stats).

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "core/persist.hpp"
@@ -12,23 +13,6 @@
 #include "util/stopwatch.hpp"
 
 namespace erpi::faults {
-namespace {
-
-/// Inverse of Interleaving::key() ("3,0,1,2"), used to rehydrate the first
-/// violation when it is merged back out of the journal.
-core::Interleaving interleaving_from_key(const std::string& key) {
-  core::Interleaving il;
-  size_t start = 0;
-  while (start < key.size()) {
-    size_t end = key.find(',', start);
-    if (end == std::string::npos) end = key.size();
-    il.order.push_back(std::stoi(key.substr(start, end - start)));
-    start = end + 1;
-  }
-  return il;
-}
-
-}  // namespace
 
 uint64_t run_fingerprint(const core::Session& session,
                          const std::vector<FaultPlan>& plans,
@@ -85,6 +69,13 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   core::ReplayOptions replay = config.replay;
   if (config.max_snapshot_depth) replay.max_snapshot_depth = *config.max_snapshot_depth;
   if (config.isolation != core::Isolation::None) replay.isolation = config.isolation;
+
+  const bool guided = config.search.guided();
+  if (guided && !config.resume_journal.empty()) {
+    throw std::invalid_argument(
+        "guided search cannot resume from a journal: journal skip-and-merge "
+        "assumes the enumerator's stream order, which a searcher reorders");
+  }
 
   // The catalog needs the replica count; probe one fixture for it.
   int replica_count = 0;
@@ -150,6 +141,31 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
                                 FingerprintPurpose::Corpus);
   }
   const bool reuse = store && config.corpus_mode == core::CorpusMode::Reuse;
+
+  // ---- guided-search inputs, shared across the whole plan sweep -----------
+  // ViolationFirst priors: explicit config priors plus every distinct
+  // violating interleaving the corpus has recorded under ANY fingerprint or
+  // plan — a violation's neighborhood transfers across configurations even
+  // when outcome reuse must not (the violation/4 relation's corpus-side view).
+  std::shared_ptr<const std::vector<core::Interleaving>> priors;
+  std::shared_ptr<sched::CoverageState> coverage;
+  if (guided) {
+    auto combined = std::make_shared<std::vector<core::Interleaving>>(
+        config.violation_priors);
+    if (store) {
+      std::unordered_set<std::string> seen;
+      for (const auto& prior : *combined) seen.insert(prior.key());
+      store->for_each_sorted([&](const corpus::Record& record) {
+        if (record.kind != corpus::OutcomeKind::Violation) return;
+        if (!seen.insert(record.il).second) return;
+        combined->push_back(core::Interleaving::from_key(record.il));
+      });
+    }
+    if (!combined->empty()) priors = std::move(combined);
+    // One CoverageState across every plan's sweep: later plans' searchers
+    // rank still-uncovered fault-plan × operation pairs first.
+    coverage = std::make_shared<sched::CoverageState>();
+  }
 
   // Offer one committed outcome to the corpus — live replays, cache hits and
   // journal-merged pairs all pass through here (on the control threads, under
@@ -250,8 +266,8 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         // Journal-merged pairs are proven outcomes of this configuration —
         // the corpus learns them (or diffs against them) like live commits.
         offer_to_corpus(plan.key(), record.key, outcome);
-        commit(plan, record.interleaving, interleaving_from_key(record.key), outcome,
-               /*from_journal=*/true);
+        commit(plan, record.interleaving, core::Interleaving::from_key(record.key),
+               outcome, /*from_journal=*/true);
         skip = record.interleaving;
         if (stopped) break;
       }
@@ -307,6 +323,11 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
     };
     options.subject_factory = config.subject_factory;
     options.assertion_factory = assertion_factory;
+    options.search = config.search;
+    options.collect_stats = config.collect_explorer_stats;
+    options.violation_priors = priors;
+    options.coverage = coverage;
+    options.context_key = plan.key();
     if (reuse) {
       // The dispatcher resolves already-proven classes straight from the
       // corpus; misses replay normally and are appended via offer_to_corpus.
@@ -331,6 +352,7 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
     }
     report.prefix.merge(plan_report.prefix);
     report.sandbox.merge(plan_report.sandbox);
+    report.explorer.merge(plan_report.explorer);
     if (!plan_report.exhausted) all_exhausted = false;
     if (plan_report.hit_cap) any_hit_cap = true;
     if (plan_report.crashed) {

@@ -32,14 +32,31 @@
 // Caveat (documented in DESIGN.md): assertions are instantiated per worker,
 // so *cross-interleaving* assertions compare state within one worker's shard
 // only. Per-interleaving assertions are bit-for-bit identical to sequential.
+//
+// Guided exploration (DESIGN.md §12): when ExplorerOptions::search asks for a
+// non-default searcher (or clears deterministic_order), run() switches from
+// the streaming dispatcher above to a two-phase engine: the capped stream is
+// first materialized on the calling thread (same budget protocol, same
+// outcome-cache resolution), partitioned into enumeration subtrees and ranked
+// by the searcher; workers then drain a work-stealing frontier of subtree
+// handles while the committer merges outcomes in *rank* order. The report is
+// a pure function of (stream, SearchOptions) — identical at every worker
+// count — it just walks the space in the searcher's order instead of lex.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/replay.hpp"
+#include "sched/searcher.hpp"
 #include "sched/worker.hpp"
+
+namespace erpi::sandbox {
+class ForkServer;
+}
 
 namespace erpi::sched {
 
@@ -74,6 +91,24 @@ struct ExplorerOptions {
   /// are identical to an uncached run.
   std::function<std::optional<core::InterleavingOutcome>(const core::Interleaving&)>
       outcome_cache;
+  /// Guided exploration (DESIGN.md §12): searcher strategy and determinism
+  /// knobs. The default (LexOrder + deterministic_order) is the streaming
+  /// dispatcher, byte-identical to prior releases.
+  core::SearchOptions search;
+  /// ViolationFirst priors: previously violating interleavings (explicit
+  /// session config plus the outcome corpus's violation records).
+  std::shared_ptr<const std::vector<core::Interleaving>> violation_priors;
+  /// CoverageWeighted feature memory, shared across explorations — the fault
+  /// explorer shares one instance across its per-plan sweeps so later plans
+  /// steer toward still-uncovered fault-plan × operation pairs.
+  std::shared_ptr<CoverageState> coverage;
+  /// Context tag mixed into coverage features (e.g. the fault plan's key).
+  std::string context_key;
+  /// Record scheduling telemetry into ReplayReport::explorer (chosen batch
+  /// size, frontier shape, steal traffic, queue-wait and idle time). Off by
+  /// default: the timing fields are wall-clock noise and would perturb
+  /// otherwise byte-stable reports.
+  bool collect_stats = false;
 };
 
 class ParallelExplorer {
@@ -98,6 +133,25 @@ class ParallelExplorer {
   }
 
  private:
+  /// Per-worker scheduling telemetry, filled only when collect_stats is set.
+  struct WorkerTelemetry {
+    double wait_seconds = 0;
+    double idle_fraction = 0;
+  };
+
+  void run_streaming(core::Enumerator& enumerator, const core::EventSet& events,
+                     int workers, core::BudgetAccount* budget,
+                     std::vector<std::unique_ptr<WorkerContext>>& contexts,
+                     std::vector<std::unique_ptr<sandbox::ForkServer>>& sandboxes,
+                     core::ReplayReport& report, bool& crashed, bool& exhausted,
+                     std::vector<WorkerTelemetry>& telemetry);
+  void run_guided(core::Enumerator& enumerator, const core::EventSet& events,
+                  int workers, core::BudgetAccount* budget,
+                  std::vector<std::unique_ptr<WorkerContext>>& contexts,
+                  std::vector<std::unique_ptr<sandbox::ForkServer>>& sandboxes,
+                  core::ReplayReport& report, bool& crashed, bool& exhausted,
+                  std::vector<WorkerTelemetry>& telemetry);
+
   ExplorerOptions options_;
   std::vector<core::AssertionList> worker_assertions_;
 };

@@ -1,0 +1,79 @@
+#include "sched/frontier.hpp"
+
+#include <algorithm>
+
+namespace erpi::sched {
+
+Frontier::Frontier(std::vector<Handle> ranges, int workers)
+    : owned_(static_cast<size_t>(std::max(1, workers))) {
+  for (const auto& range : ranges) {
+    if (range.remaining() > 0) unclaimed_.push_back(range);
+  }
+}
+
+std::optional<size_t> Frontier::take(int worker) {
+  std::lock_guard lock(mu_);
+  const size_t w =
+      std::min(static_cast<size_t>(std::max(0, worker)), owned_.size() - 1);
+  return take_locked(w);
+}
+
+uint64_t Frontier::steals() const {
+  std::lock_guard lock(mu_);
+  return steals_;
+}
+
+uint64_t Frontier::splits() const {
+  std::lock_guard lock(mu_);
+  return splits_;
+}
+
+std::optional<size_t> Frontier::take_locked(size_t w) {
+  auto& own = owned_[w];
+  while (!own.empty()) {
+    Handle& handle = own.front();
+    if (handle.remaining() == 0) {
+      own.pop_front();
+      continue;
+    }
+    return handle.next++;
+  }
+  if (!unclaimed_.empty()) {
+    own.push_back(unclaimed_.front());
+    unclaimed_.pop_front();
+    return take_locked(w);
+  }
+  // Steal: the largest remaining handle across every other worker, so the
+  // split amortizes and stragglers shed the most work first.
+  std::deque<Handle>* victim_queue = nullptr;
+  size_t victim_index = 0;
+  size_t best = 0;
+  for (auto& queue : owned_) {
+    if (&queue == &own) continue;
+    for (size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].remaining() > best) {
+        best = queue[i].remaining();
+        victim_queue = &queue;
+        victim_index = i;
+      }
+    }
+  }
+  if (victim_queue == nullptr) return std::nullopt;  // drained
+  Handle& victim = (*victim_queue)[victim_index];
+  ++steals_;
+  if (best == 1) {
+    // Nothing to split: move the last item wholesale.
+    own.push_back(victim);
+    victim.next = victim.end;
+  } else {
+    // Victim keeps the contiguous front (prefix-cache locality); the thief
+    // takes the tail half.
+    const size_t mid = victim.next + best / 2;
+    own.push_back({mid, victim.end});
+    victim.end = mid;
+    ++splits_;
+  }
+  return take_locked(w);
+}
+
+}  // namespace erpi::sched

@@ -1,0 +1,60 @@
+// Work-stealing frontier for guided exploration (DESIGN.md §12).
+//
+// The frontier owns the ranked replay order as a set of subtree *handles* —
+// half-open ranges over commit ordinals, one per ranked subtree. Each worker
+// drains its own deque of handles front-to-back (so consecutive takes walk
+// one subtree in stream order and the worker's prefix-snapshot cache stays
+// hot); an empty worker first claims the next unclaimed subtree in rank
+// order, and only then steals: the victim's largest remaining handle is split
+// in half, the victim keeping the contiguous front (its locality is
+// preserved) and the thief taking the tail. take() never blocks — all work is
+// materialized before workers start — so nullopt means the run is drained.
+//
+// Protected by one mutex: a take is a few pointer operations against replays
+// that each cost orders of magnitude more, so contention is irrelevant at the
+// worker counts this project targets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace erpi::sched {
+
+class Frontier {
+ public:
+  /// A half-open range of commit ordinals [next, end) still to hand out.
+  struct Handle {
+    size_t next = 0;
+    size_t end = 0;
+
+    size_t remaining() const noexcept { return end - next; }
+  };
+
+  /// `ranges` are the ranked subtrees, in rank (= commit) order; `workers`
+  /// is the pool size (clamped to >= 1). Empty ranges are dropped.
+  Frontier(std::vector<Handle> ranges, int workers);
+
+  /// The next ordinal for `worker`, or nullopt once every ordinal has been
+  /// handed out (exactly-once, across all workers).
+  std::optional<size_t> take(int worker);
+
+  /// Steal operations performed (a claim of another worker's handle).
+  uint64_t steals() const;
+  /// Steals that split the victim's handle (remaining >= 2). A steal of a
+  /// single-item handle moves it whole and is not counted here.
+  uint64_t splits() const;
+
+ private:
+  std::optional<size_t> take_locked(size_t w);
+
+  mutable std::mutex mu_;
+  std::deque<Handle> unclaimed_;           // rank order
+  std::vector<std::deque<Handle>> owned_;  // per worker
+  uint64_t steals_ = 0;
+  uint64_t splits_ = 0;
+};
+
+}  // namespace erpi::sched

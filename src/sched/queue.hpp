@@ -18,6 +18,12 @@
 
 namespace erpi::sched {
 
+/// What happened to a push(): accepted, or refused because the queue was
+/// closed (shutdown). The two used to be conflated in a bool, which made a
+/// stop-on-violation cancellation indistinguishable from backpressure for
+/// the dispatcher — an enum forces callers to name the shutdown case.
+enum class QueuePush { Pushed, Closed };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -26,15 +32,16 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocks while the queue is full. Returns false (dropping the item) once
-  /// the queue has been closed.
-  bool push(T item) {
+  /// Blocks while the queue is full (backpressure). Returns QueuePush::Closed
+  /// — dropping the item — once the queue has been closed, including when the
+  /// close() arrives while this push is blocked on a full queue.
+  QueuePush push(T item) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return QueuePush::Closed;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
-    return true;
+    return QueuePush::Pushed;
   }
 
   /// Blocks while the queue is empty. Returns nullopt once the queue is

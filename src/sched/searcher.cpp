@@ -1,0 +1,236 @@
+#include "sched/searcher.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/hash.hpp"
+
+namespace erpi::sched {
+namespace {
+
+std::vector<size_t> identity_order(size_t n) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  return order;
+}
+
+/// Sort subtree indices by (score, begin): `begin` breaks every tie in
+/// stream order, keeping the rank a deterministic total order.
+template <typename Score>
+std::vector<size_t> order_by(const std::vector<core::SubtreeSpan>& subtrees, Score score) {
+  std::vector<size_t> order = identity_order(subtrees.size());
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto sa = score(a);
+    const auto sb = score(b);
+    if (sa != sb) return sa < sb;
+    return subtrees[a].begin < subtrees[b].begin;
+  });
+  return order;
+}
+
+class LexOrderSearcher final : public Searcher {
+ public:
+  const char* name() const noexcept override { return "lex"; }
+  std::vector<size_t> select(const std::vector<core::Interleaving>&,
+                             const std::vector<core::SubtreeSpan>& subtrees) override {
+    return identity_order(subtrees.size());
+  }
+};
+
+/// Seeded pseudo-random descent, collapsed to a deterministic priority: each
+/// subtree's representative (first member) is hashed with the seed and
+/// subtrees replay in ascending hash order. Same seed ⇒ same order at every
+/// worker count; different seeds ⇒ independent orders, which is what gives
+/// random search its expected-case advantage on dense violating sets.
+class RandomPathSearcher final : public Searcher {
+ public:
+  explicit RandomPathSearcher(uint64_t seed) : seed_(seed) {}
+
+  const char* name() const noexcept override { return "random_path"; }
+
+  std::vector<size_t> select(const std::vector<core::Interleaving>& items,
+                             const std::vector<core::SubtreeSpan>& subtrees) override {
+    return order_by(subtrees, [&](size_t s) {
+      util::Fnv1aHasher h;
+      h.u64(seed_);
+      for (const int id : items[subtrees[s].begin].order) h.i64(id);
+      return h.digest();
+    });
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Subtrees closest (by longest shared event prefix over *all* members, so a
+/// subtree containing an exact prior always scores its full length) to a
+/// previously violating interleaving replay first. With no priors this is lex
+/// order.
+class ViolationFirstSearcher final : public Searcher {
+ public:
+  explicit ViolationFirstSearcher(
+      std::shared_ptr<const std::vector<core::Interleaving>> priors)
+      : priors_(std::move(priors)) {}
+
+  const char* name() const noexcept override { return "violation_first"; }
+
+  std::vector<size_t> select(const std::vector<core::Interleaving>& items,
+                             const std::vector<core::SubtreeSpan>& subtrees) override {
+    if (!priors_ || priors_->empty()) return identity_order(subtrees.size());
+    return order_by(subtrees, [&](size_t s) {
+      size_t best = 0;
+      for (size_t i = subtrees[s].begin; i < subtrees[s].end; ++i) {
+        for (const auto& prior : *priors_) {
+          best = std::max(best, core::common_prefix_len(items[i], prior));
+        }
+      }
+      // order_by sorts ascending; negate so deeper matches rank first.
+      return -static_cast<int64_t>(best);
+    });
+  }
+
+ private:
+  std::shared_ptr<const std::vector<core::Interleaving>> priors_;
+};
+
+/// Greedy max-new-coverage: repeatedly pick the subtree introducing the most
+/// features not yet in the shared CoverageState (ties → stream order), then
+/// record them. A subtree's features come from its representative: one
+/// (context, position, operation) hash per prefix position.
+class CoverageWeightedSearcher final : public Searcher {
+ public:
+  CoverageWeightedSearcher(const core::EventSet* events,
+                           std::shared_ptr<CoverageState> coverage,
+                           std::string context_key)
+      : events_(events), coverage_(std::move(coverage)), context_key_(std::move(context_key)) {
+    if (!coverage_) coverage_ = std::make_shared<CoverageState>();
+  }
+
+  const char* name() const noexcept override { return "coverage_weighted"; }
+
+  std::vector<size_t> select(const std::vector<core::Interleaving>& items,
+                             const std::vector<core::SubtreeSpan>& subtrees) override {
+    std::vector<std::vector<uint64_t>> features(subtrees.size());
+    for (size_t s = 0; s < subtrees.size(); ++s) {
+      const auto& rep = items[subtrees[s].begin];
+      features[s].reserve(rep.order.size());
+      for (size_t pos = 0; pos < rep.order.size(); ++pos) {
+        util::Fnv1aHasher h;
+        h.bytes(context_key_);
+        h.u64(pos);
+        const int id = rep.order[pos];
+        if (events_ != nullptr && id >= 0 && static_cast<size_t>(id) < events_->size()) {
+          h.bytes((*events_)[static_cast<size_t>(id)].op);
+        } else {
+          h.i64(id);
+        }
+        features[s].push_back(h.digest());
+      }
+    }
+
+    std::vector<size_t> order;
+    order.reserve(subtrees.size());
+    std::vector<bool> taken(subtrees.size(), false);
+    for (size_t round = 0; round < subtrees.size(); ++round) {
+      size_t pick = subtrees.size();
+      size_t pick_new = 0;
+      for (size_t s = 0; s < subtrees.size(); ++s) {
+        if (taken[s]) continue;
+        size_t fresh = 0;
+        for (const uint64_t f : features[s]) fresh += coverage_->contains(f) ? 0 : 1;
+        if (pick == subtrees.size() || fresh > pick_new ||
+            (fresh == pick_new && subtrees[s].begin < subtrees[pick].begin)) {
+          pick = s;
+          pick_new = fresh;
+        }
+      }
+      taken[pick] = true;
+      for (const uint64_t f : features[pick]) coverage_->insert(f);
+      order.push_back(pick);
+    }
+    return order;
+  }
+
+ private:
+  const core::EventSet* events_;
+  std::shared_ptr<CoverageState> coverage_;
+  std::string context_key_;
+};
+
+/// klee-mc style rotation: each constituent produces its full ranking, and
+/// the merged order takes the next not-yet-taken subtree from each
+/// constituent in turn.
+class InterleavedSearcher final : public Searcher {
+ public:
+  explicit InterleavedSearcher(std::vector<std::unique_ptr<Searcher>> parts)
+      : parts_(std::move(parts)) {}
+
+  const char* name() const noexcept override { return "interleaved"; }
+
+  std::vector<size_t> select(const std::vector<core::Interleaving>& items,
+                             const std::vector<core::SubtreeSpan>& subtrees) override {
+    std::vector<std::vector<size_t>> rankings;
+    rankings.reserve(parts_.size());
+    for (auto& part : parts_) rankings.push_back(part->select(items, subtrees));
+
+    std::vector<size_t> order;
+    order.reserve(subtrees.size());
+    std::vector<bool> taken(subtrees.size(), false);
+    std::vector<size_t> cursor(parts_.size(), 0);
+    while (order.size() < subtrees.size()) {
+      for (size_t p = 0; p < rankings.size() && order.size() < subtrees.size(); ++p) {
+        auto& c = cursor[p];
+        while (c < rankings[p].size() && taken[rankings[p][c]]) ++c;
+        if (c < rankings[p].size()) {
+          taken[rankings[p][c]] = true;
+          order.push_back(rankings[p][c]);
+        }
+      }
+    }
+    return order;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Searcher>> parts_;
+};
+
+std::unique_ptr<Searcher> make_one(core::SearchStrategy strategy,
+                                   const core::SearchOptions& options,
+                                   const SearcherDeps& deps) {
+  switch (strategy) {
+    case core::SearchStrategy::LexOrder:
+      return std::make_unique<LexOrderSearcher>();
+    case core::SearchStrategy::RandomPath:
+      return std::make_unique<RandomPathSearcher>(options.seed);
+    case core::SearchStrategy::ViolationFirst:
+      return std::make_unique<ViolationFirstSearcher>(deps.violation_priors);
+    case core::SearchStrategy::CoverageWeighted:
+      return std::make_unique<CoverageWeightedSearcher>(deps.events, deps.coverage,
+                                                        deps.context_key);
+    case core::SearchStrategy::Interleaved:
+      break;  // handled by make_searcher; nested rotations collapse below
+  }
+  // A rotation nested inside a rotation adds nothing; stand in a seeded
+  // random order instead of recursing.
+  return std::make_unique<RandomPathSearcher>(options.seed);
+}
+
+}  // namespace
+
+std::unique_ptr<Searcher> make_searcher(const core::SearchOptions& options,
+                                        SearcherDeps deps) {
+  if (options.strategy != core::SearchStrategy::Interleaved) {
+    return make_one(options.strategy, options, deps);
+  }
+  std::vector<core::SearchStrategy> parts = options.interleaved;
+  if (parts.empty()) {
+    parts = {core::SearchStrategy::ViolationFirst, core::SearchStrategy::RandomPath,
+             core::SearchStrategy::CoverageWeighted};
+  }
+  std::vector<std::unique_ptr<Searcher>> built;
+  built.reserve(parts.size());
+  for (const auto part : parts) built.push_back(make_one(part, options, deps));
+  return std::make_unique<InterleavedSearcher>(std::move(built));
+}
+
+}  // namespace erpi::sched

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "core/profile.hpp"
@@ -305,12 +306,36 @@ TEST(ParallelExplorer, StartOverloadRegistersTheFactory) {
 
 TEST(BoundedQueue, FifoAndDrainAfterClose) {
   BoundedQueue<int> queue(4);
-  EXPECT_TRUE(queue.push(1));
-  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.push(1), QueuePush::Pushed);
+  EXPECT_EQ(queue.push(2), QueuePush::Pushed);
   queue.close();
-  EXPECT_FALSE(queue.push(3));  // closed: dropped
-  EXPECT_EQ(queue.pop(), 1);    // remaining items still drain
+  EXPECT_EQ(queue.push(3), QueuePush::Closed);  // closed: refused, item dropped
+  EXPECT_EQ(queue.pop(), 1);                    // remaining items still drain
   EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseWhileFullWakesBlockedPushAsClosed) {
+  // Regression: a push blocked on a full queue must observe a concurrent
+  // close() as QueuePush::Closed — under the old bool return the drop was
+  // indistinguishable from a successful push, so the dispatcher could
+  // silently lose a batch on stop_on_violation shutdown.
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(queue.push(1), QueuePush::Pushed);  // queue now full
+  std::atomic<bool> blocked_result_ready{false};
+  QueuePush blocked_result = QueuePush::Pushed;
+  std::thread pusher([&] {
+    blocked_result = queue.push(2);  // blocks: capacity 1, nothing popped
+    blocked_result_ready.store(true);
+  });
+  // Give the pusher time to block, then close while the queue is still full.
+  while (queue.size() != 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_result_ready.load());
+  queue.close();
+  pusher.join();
+  EXPECT_EQ(blocked_result, QueuePush::Closed);
+  EXPECT_EQ(queue.pop(), 1);  // the accepted item drains; the dropped one doesn't
   EXPECT_EQ(queue.pop(), std::nullopt);
 }
 
@@ -332,7 +357,7 @@ TEST(BoundedQueue, BlockingProducersAndConsumersSeeEveryItem) {
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+        ASSERT_EQ(queue.push(p * kPerProducer + i), QueuePush::Pushed);
       }
     });
   }

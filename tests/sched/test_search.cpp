@@ -1,0 +1,575 @@
+// Guided exploration tests (DESIGN.md §12): the work-stealing Frontier, the
+// split_tree_order subtree partition, the searcher strategies, and the
+// report-determinism guarantees of the guided engine — same (stream,
+// SearchOptions) ⇒ same ReplayReport at parallelism ∈ {1, 4, 8} × snapshot
+// depth ∈ {0, 16}, with and without fault plans — plus the ViolationFirst
+// prior-guided speedup gate and the corpus prior loader.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "corpus/store.hpp"
+#include "faults/explorer.hpp"
+#include "sched/frontier.hpp"
+#include "sched/searcher.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::sched {
+namespace {
+
+using core::Interleaving;
+using core::ReplayReport;
+using core::SearchOptions;
+using core::SearchStrategy;
+using core::Session;
+using core::SubtreeSpan;
+
+// ---------------------------------------------------------------------------
+// Frontier
+// ---------------------------------------------------------------------------
+
+std::vector<Frontier::Handle> ranges(std::initializer_list<std::pair<size_t, size_t>> rs) {
+  std::vector<Frontier::Handle> out;
+  for (const auto& [next, end] : rs) out.push_back({next, end});
+  return out;
+}
+
+TEST(Frontier, HandsOutEveryOrdinalExactlyOnceSingleThreaded) {
+  Frontier frontier(ranges({{0, 7}, {7, 8}, {8, 20}, {20, 20}, {20, 33}}), 3);
+  std::multiset<size_t> seen;
+  // Round-robin the workers so claims, own-deque drains and steals all mix.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int w = 0; w < 3; ++w) {
+      if (auto slot = frontier.take(w)) {
+        seen.insert(*slot);
+        any = true;
+      }
+    }
+  }
+  ASSERT_EQ(seen.size(), 33u);
+  for (size_t i = 0; i < 33; ++i) EXPECT_EQ(seen.count(i), 1u) << "ordinal " << i;
+  EXPECT_FALSE(frontier.take(0).has_value());
+}
+
+TEST(Frontier, HandsOutEveryOrdinalExactlyOnceUnderContention) {
+  constexpr size_t kTotal = 10'000;
+  Frontier frontier(ranges({{0, kTotal}}), 4);
+  std::vector<std::vector<size_t>> per_worker(4);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      while (auto slot = frontier.take(w)) per_worker[static_cast<size_t>(w)].push_back(*slot);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<size_t> all;
+  for (const auto& v : per_worker) all.insert(all.end(), v.begin(), v.end());
+  ASSERT_EQ(all.size(), kTotal);
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < kTotal; ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(Frontier, StealSplitsLargestRemainingHandleVictimKeepsFront) {
+  // Worker 0 owns [0, 10); worker 1 drains its own [10, 12) then must steal.
+  Frontier frontier(ranges({{0, 10}, {10, 12}}), 2);
+  EXPECT_EQ(frontier.take(0), std::optional<size_t>(0));  // w0 claims [0,10)
+  EXPECT_EQ(frontier.take(1), std::optional<size_t>(10)); // w1 claims [10,12)
+  EXPECT_EQ(frontier.take(1), std::optional<size_t>(11));
+  EXPECT_EQ(frontier.steals(), 0u);
+
+  // w1 is empty; the only victim handle is w0's [1, 10) (9 remaining). The
+  // split hands the thief the tail [5, 10) and leaves the victim the
+  // contiguous front [1, 5).
+  EXPECT_EQ(frontier.take(1), std::optional<size_t>(5));
+  EXPECT_EQ(frontier.steals(), 1u);
+  EXPECT_EQ(frontier.splits(), 1u);
+
+  // Alternate takes so neither side runs dry and steals back: the victim
+  // walks its contiguous front, the thief its tail half.
+  std::vector<size_t> victim, thief;
+  for (int round = 0; round < 4; ++round) {
+    victim.push_back(*frontier.take(0));
+    thief.push_back(*frontier.take(1));
+  }
+  EXPECT_EQ(victim, (std::vector<size_t>{1, 2, 3, 4}));
+  EXPECT_EQ(thief, (std::vector<size_t>{6, 7, 8, 9}));
+  EXPECT_EQ(frontier.steals(), 1u);
+  EXPECT_FALSE(frontier.take(0).has_value());
+  EXPECT_FALSE(frontier.take(1).has_value());
+}
+
+TEST(Frontier, StealOfSingleItemHandleMovesItWholeWithoutSplit) {
+  Frontier frontier(ranges({{0, 2}}), 2);
+  EXPECT_EQ(frontier.take(0), std::optional<size_t>(0));  // w0 claims, 1 left
+  EXPECT_EQ(frontier.take(1), std::optional<size_t>(1));  // w1 steals it whole
+  EXPECT_EQ(frontier.steals(), 1u);
+  EXPECT_EQ(frontier.splits(), 0u);
+  EXPECT_FALSE(frontier.take(0).has_value());
+  EXPECT_FALSE(frontier.take(1).has_value());
+}
+
+TEST(Frontier, DropsEmptyRangesAndClampsWorkerIndex) {
+  Frontier frontier(ranges({{3, 3}, {5, 6}}), 1);
+  EXPECT_EQ(frontier.take(7), std::optional<size_t>(5));  // out-of-range worker
+  EXPECT_FALSE(frontier.take(-2).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// split_tree_order
+// ---------------------------------------------------------------------------
+
+std::vector<Interleaving> lex_permutations_of_three() {
+  return {{{0, 1, 2}}, {{0, 2, 1}}, {{1, 0, 2}}, {{1, 2, 0}}, {{2, 0, 1}}, {{2, 1, 0}}};
+}
+
+void expect_tiles(const std::vector<SubtreeSpan>& spans, size_t total) {
+  size_t next = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.begin, next);
+    EXPECT_GT(span.end, span.begin);
+    next = span.end;
+  }
+  EXPECT_EQ(next, total);
+}
+
+TEST(SplitTreeOrder, PartitionsLexStreamByFirstEvent) {
+  const auto items = lex_permutations_of_three();
+  const auto spans = core::split_tree_order(items, 2);
+  expect_tiles(spans, items.size());
+  ASSERT_EQ(spans.size(), 3u);
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.size(), 2u);
+    EXPECT_EQ(span.prefix_len, 1u);  // split one level below the root
+    EXPECT_EQ(items[span.begin].order[0], items[span.end - 1].order[0]);
+  }
+}
+
+TEST(SplitTreeOrder, WholeStreamFitsInOneSpan) {
+  const auto items = lex_permutations_of_three();
+  const auto spans = core::split_tree_order(items, 100);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (SubtreeSpan{0, items.size(), 0}));
+}
+
+TEST(SplitTreeOrder, ChunksStructurelessStreams) {
+  // Adjacent items never agree on order[0]: a run per item. The splitter must
+  // fall back to fixed-size chunks instead of shattering into singletons.
+  std::vector<Interleaving> items;
+  for (int i = 0; i < 24; ++i) items.push_back({{i % 2 == 0 ? 100 + i : -i, i}});
+  const auto spans = core::split_tree_order(items, 8);
+  expect_tiles(spans, items.size());
+  ASSERT_EQ(spans.size(), 3u);
+  for (const auto& span : spans) EXPECT_EQ(span.size(), 8u);
+}
+
+TEST(SplitTreeOrder, EmptyAndZeroMaxAreSafe) {
+  EXPECT_TRUE(core::split_tree_order({}, 4).empty());
+  // max_items 0 is clamped to 1; every span is a singleton tile.
+  const auto spans = core::split_tree_order(lex_permutations_of_three(), 0);
+  expect_tiles(spans, 6);
+  for (const auto& span : spans) EXPECT_EQ(span.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Searchers (unit level)
+// ---------------------------------------------------------------------------
+
+bool is_permutation_of_all(const std::vector<size_t>& order, size_t n) {
+  if (order.size() != n) return false;
+  std::set<size_t> seen(order.begin(), order.end());
+  return seen.size() == n && (n == 0 || *seen.rbegin() == n - 1);
+}
+
+TEST(Searchers, RandomPathIsSeedDeterministic) {
+  const auto items = lex_permutations_of_three();
+  const auto spans = core::split_tree_order(items, 2);
+
+  SearchOptions options;
+  options.strategy = SearchStrategy::RandomPath;
+  options.seed = 7;
+  auto a = make_searcher(options, {})->select(items, spans);
+  auto b = make_searcher(options, {})->select(items, spans);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(is_permutation_of_all(a, spans.size()));
+
+  options.seed = 8;
+  auto c = make_searcher(options, {})->select(items, spans);
+  EXPECT_TRUE(is_permutation_of_all(c, spans.size()));
+  // Distinct seeds hash every subtree differently; identical rankings would
+  // defeat the strategy's point. (Deterministic inputs, so no flake risk.)
+  EXPECT_NE(a, c);
+}
+
+TEST(Searchers, ViolationFirstRanksPriorSubtreeFirstAndDegeneratesWithout) {
+  const auto items = lex_permutations_of_three();
+  const auto spans = core::split_tree_order(items, 2);
+  SearchOptions options;
+  options.strategy = SearchStrategy::ViolationFirst;
+
+  SearcherDeps no_priors;
+  EXPECT_EQ(make_searcher(options, no_priors)->select(items, spans),
+            (std::vector<size_t>{0, 1, 2}));
+
+  SearcherDeps deps;
+  deps.violation_priors = std::make_shared<const std::vector<Interleaving>>(
+      std::vector<Interleaving>{{{2, 1, 0}}});
+  const auto order = make_searcher(options, deps)->select(items, spans);
+  ASSERT_TRUE(is_permutation_of_all(order, spans.size()));
+  // The prior lives in the third span ([4,6): first event 2); it must lead.
+  EXPECT_EQ(order[0], 2u);
+}
+
+TEST(Searchers, CoverageWeightedSharedStateFallsBackToStreamOrderWhenSaturated) {
+  const auto items = lex_permutations_of_three();
+  const auto spans = core::split_tree_order(items, 2);
+  SearchOptions options;
+  options.strategy = SearchStrategy::CoverageWeighted;
+
+  SearcherDeps deps;
+  deps.coverage = std::make_shared<CoverageState>();
+  auto searcher = make_searcher(options, deps);
+  const auto first = searcher->select(items, spans);
+  EXPECT_TRUE(is_permutation_of_all(first, spans.size()));
+  EXPECT_GT(deps.coverage->size(), 0u);
+
+  // Every feature is now covered: the greedy pass sees zero freshness
+  // everywhere and ties break in stream order.
+  const auto second = searcher->select(items, spans);
+  EXPECT_EQ(second, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(Searchers, InterleavedRotationIsDeterministicAndComplete) {
+  const auto items = lex_permutations_of_three();
+  const auto spans = core::split_tree_order(items, 1);  // 6 singleton spans
+  SearchOptions options;
+  options.strategy = SearchStrategy::Interleaved;
+  options.seed = 11;
+
+  SearcherDeps deps;
+  deps.violation_priors = std::make_shared<const std::vector<Interleaving>>(
+      std::vector<Interleaving>{{{1, 2, 0}}});
+  auto a = make_searcher(options, deps)->select(items, spans);
+  auto b = make_searcher(options, deps)->select(items, spans);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(is_permutation_of_all(a, spans.size()));
+  // The default trio leads with ViolationFirst: the prior's span first.
+  EXPECT_EQ(a[0], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Guided engine: report determinism across parallelism × depth
+// ---------------------------------------------------------------------------
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+// The test_parallel stress workload: 11 events, two spec groups plus the
+// auto-paired (e7,e8) sync -> 6 units -> a 720-interleaving universe whose
+// lex-last block (first event = e10, the last unit's leader) is 120 items.
+void stress_workload(proxy::RdlProxy& proxy) {
+  (void)proxy.update(0, "report", problem("otb"));   // e0
+  (void)proxy.sync_req(0, 1);                        // e1
+  (void)proxy.exec_sync(0, 1);                       // e2
+  (void)proxy.update(1, "report", problem("ph"));    // e3
+  (void)proxy.sync_req(1, 0);                        // e4
+  (void)proxy.exec_sync(1, 0);                       // e5
+  (void)proxy.update(1, "resolve", problem("otb"));  // e6
+  (void)proxy.sync_req(1, 0);                        // e7
+  (void)proxy.exec_sync(1, 0);                       // e8
+  (void)proxy.update(0, "report", problem("lamp"));  // e9
+  (void)proxy.query(0, "transmit");                  // e10
+}
+
+Session::Config guided_config(int parallelism, size_t snapshot_depth) {
+  Session::Config config;
+  config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+  config.spec_groups = {{0, 1, 2}, {3, 4, 5}};
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 100'000;
+  config.max_snapshot_depth = snapshot_depth;
+  config.parallelism = parallelism;
+  config.subject_factory = [] { return std::make_unique<subjects::TownApp>(2); };
+  return config;
+}
+
+// The planted bug: any schedule that runs the final unit (leader e10) first
+// "violates". Purely order-dependent, so it is cheap, deterministic, and its
+// violating set is exactly the lex-LAST 120 of the 720 interleavings — the
+// worst case for lex order, the natural target for guided strategies.
+core::AssertionFactory planted_assertions() {
+  return [](proxy::Rdl&) -> core::AssertionList {
+    return {core::custom("planted-tail-block", [](const core::TestContext& ctx) {
+      if (!ctx.interleaving.order.empty() && ctx.interleaving.order.front() == 10) {
+        return util::Status::fail("planted: last unit scheduled first");
+      }
+      return util::Status::ok();
+    })};
+  };
+}
+
+ReplayReport run_guided(Session::Config config) {
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  stress_workload(proxy);
+  return session.end(planted_assertions());
+}
+
+void expect_reports_equal(const ReplayReport& a, const ReplayReport& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.explored, b.explored) << label;
+  EXPECT_EQ(a.violations, b.violations) << label;
+  EXPECT_EQ(a.reproduced, b.reproduced) << label;
+  EXPECT_EQ(a.first_violation_index, b.first_violation_index) << label;
+  EXPECT_EQ(a.first_violation_assertion, b.first_violation_assertion) << label;
+  ASSERT_EQ(a.first_violation.has_value(), b.first_violation.has_value()) << label;
+  if (a.first_violation.has_value()) {
+    EXPECT_EQ(a.first_violation->key(), b.first_violation->key()) << label;
+  }
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.exhausted, b.exhausted) << label;
+  EXPECT_EQ(a.hit_cap, b.hit_cap) << label;
+  EXPECT_EQ(a.crashed, b.crashed) << label;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << label;
+}
+
+TEST(GuidedSearch, ReportsIdenticalAcrossParallelismAndDepthPerStrategy) {
+  for (const SearchStrategy strategy :
+       {SearchStrategy::RandomPath, SearchStrategy::ViolationFirst,
+        SearchStrategy::CoverageWeighted, SearchStrategy::Interleaved}) {
+    auto config_for = [&](int parallelism, size_t depth) {
+      Session::Config config = guided_config(parallelism, depth);
+      config.search.strategy = strategy;
+      config.search.seed = 99;
+      config.violation_priors = {Interleaving{{10, 9, 7, 8, 6, 3, 4, 5, 0, 1, 2}}};
+      return config;
+    };
+    const std::string name = core::search_strategy_name(strategy);
+    const ReplayReport baseline = run_guided(config_for(1, 16));
+    EXPECT_EQ(baseline.explored, 720u) << name;
+    EXPECT_EQ(baseline.violations, 120u) << name;
+    ASSERT_TRUE(baseline.reproduced) << name;
+
+    for (const int parallelism : {4, 8}) {
+      for (const size_t depth : {size_t{0}, size_t{16}}) {
+        const ReplayReport report = run_guided(config_for(parallelism, depth));
+        expect_reports_equal(report, baseline,
+                             name + " p=" + std::to_string(parallelism) +
+                                 " depth=" + std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST(GuidedSearch, LexFrontierMatchesStreamingByteForByte) {
+  // LexOrder through the frontier engine (deterministic_order = false) must
+  // reproduce the streaming dispatcher's report exactly — same commit order,
+  // same counters — modulo wall-clock noise.
+  auto normalized = [](ReplayReport report) {
+    report.elapsed_seconds = 0.0;
+    report.prefix = {};
+    return report.to_json().dump();
+  };
+  const std::string streaming = normalized(run_guided(guided_config(4, 16)));
+  for (const int parallelism : {1, 4, 8}) {
+    Session::Config config = guided_config(parallelism, 16);
+    config.search.deterministic_order = false;  // LexOrder, frontier engine
+    EXPECT_EQ(normalized(run_guided(std::move(config))), streaming)
+        << "p=" << parallelism;
+  }
+}
+
+TEST(GuidedSearch, ViolationFirstPriorFindsPlantedBugTenTimesFaster) {
+  // Lex order meets the planted tail block only after the first 600 passing
+  // interleavings. A single corpus-style prior steers ViolationFirst's first
+  // ranked subtree into the violating block: first commit ordinal violates.
+  Session::Config lex = guided_config(1, 16);
+  lex.replay.stop_on_violation = true;
+  const ReplayReport lex_report = run_guided(std::move(lex));
+  ASSERT_TRUE(lex_report.reproduced);
+  ASSERT_EQ(lex_report.first_violation_index, 601u);
+
+  Session::Config vf = guided_config(4, 16);
+  vf.replay.stop_on_violation = true;
+  vf.search.strategy = SearchStrategy::ViolationFirst;
+  vf.search.max_subtree_items = 16;
+  vf.violation_priors = {Interleaving{{10, 9, 7, 8, 6, 3, 4, 5, 0, 1, 2}}};
+  const ReplayReport vf_report = run_guided(std::move(vf));
+  ASSERT_TRUE(vf_report.reproduced);
+  EXPECT_EQ(vf_report.first_violation_index, 1u);
+  // The ISSUE's acceptance gate: >= 10x fewer interleavings than lex.
+  EXPECT_LE(vf_report.first_violation_index * 10, lex_report.first_violation_index);
+  ASSERT_TRUE(vf_report.first_violation.has_value());
+  EXPECT_EQ(vf_report.first_violation->order.front(), 10);
+}
+
+TEST(GuidedSearch, ExplorerStatsOmittedByDefaultRecordedWhenEnabled) {
+  // Default: no telemetry, no "explorer" key — reports stay byte-stable.
+  const ReplayReport quiet = run_guided(guided_config(4, 16));
+  EXPECT_FALSE(quiet.explorer.any());
+  EXPECT_EQ(quiet.to_json().dump().find("\"explorer\""), std::string::npos);
+
+  // Streaming engine with stats: the chosen batch size is recorded.
+  Session::Config streaming = guided_config(4, 16);
+  streaming.collect_explorer_stats = true;
+  const ReplayReport streamed = run_guided(std::move(streaming));
+  EXPECT_GT(streamed.explorer.batch_size, 0u);
+  EXPECT_NE(streamed.to_json().dump().find("\"explorer\""), std::string::npos);
+
+  // Guided engine with stats: the frontier shape is recorded.
+  Session::Config guided = guided_config(4, 16);
+  guided.collect_explorer_stats = true;
+  guided.search.strategy = SearchStrategy::RandomPath;
+  const ReplayReport ranked = run_guided(std::move(guided));
+  EXPECT_GT(ranked.explorer.subtrees, 0u);
+  EXPECT_NE(ranked.to_json().dump().find("\"explorer\""), std::string::npos);
+}
+
+TEST(GuidedSearch, GuardsRejectSharedAssertionsAndJournalResume) {
+  {
+    subjects::TownApp town(2);
+    proxy::RdlProxy proxy(town);
+    Session::Config config = guided_config(1, 16);
+    config.search.strategy = SearchStrategy::RandomPath;
+    Session session(proxy, std::move(config));
+    session.start();
+    stress_workload(proxy);
+    // Shared assertion instances cannot be handed to the frontier workers.
+    EXPECT_THROW(session.end(core::AssertionList{}), std::invalid_argument);
+  }
+  {
+    subjects::TownApp town(2);
+    proxy::RdlProxy proxy(town);
+    Session::Config config = guided_config(4, 16);
+    config.search.strategy = SearchStrategy::RandomPath;
+    config.resume_journal =
+        (std::filesystem::temp_directory_path() / "erpi-guided-journal.jsonl").string();
+    Session session(proxy, std::move(config));
+    session.start();
+    stress_workload(proxy);
+    // Journal skip-and-merge assumes stream order; a searcher reorders it.
+    EXPECT_THROW(session.end(planted_assertions()), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guided engine under fault plans
+// ---------------------------------------------------------------------------
+
+void fault_workload(proxy::RdlProxy& proxy) {
+  (void)proxy.update(0, "report", problem("lamp"));  // e0
+  (void)proxy.sync_req(0, 1);                        // e1
+  (void)proxy.exec_sync(0, 1);                       // e2
+  (void)proxy.update(1, "report", problem("ph"));    // e3
+  (void)proxy.sync_req(1, 0);                        // e4
+  (void)proxy.exec_sync(1, 0);                       // e5
+  (void)proxy.update(0, "report", problem("otb"));   // e6
+  (void)proxy.sync_req(0, 1);                        // e7
+  (void)proxy.exec_sync(0, 1);                       // e8
+}
+
+ReplayReport run_guided_faults(int parallelism, SearchStrategy strategy) {
+  Session::Config config;
+  config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+  config.spec_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  config.replay.stop_on_violation = false;
+  config.replay.max_interleavings = 100'000;
+  config.max_snapshot_depth = 16;
+  config.parallelism = parallelism;
+  config.subject_factory = [] { return std::make_unique<subjects::TownApp>(2); };
+  config.search.strategy = strategy;
+  config.search.seed = 5;
+
+  subjects::TownApp town(2);
+  proxy::RdlProxy proxy(town);
+  Session session(proxy, std::move(config));
+  session.start();
+  fault_workload(proxy);
+  faults::FaultExplorer explorer(session);
+  return explorer.run([](proxy::Rdl&) -> core::AssertionList {
+    return {core::replicas_converge({0, 1})};
+  });
+}
+
+TEST(GuidedSearch, FaultPlanSweepsIdenticalAcrossParallelism) {
+  for (const SearchStrategy strategy :
+       {SearchStrategy::RandomPath, SearchStrategy::ViolationFirst}) {
+    const ReplayReport sequential = run_guided_faults(1, strategy);
+    ASSERT_GT(sequential.plans_explored, 1u);
+    ASSERT_GT(sequential.explored, sequential.plans_explored);
+    const ReplayReport parallel = run_guided_faults(4, strategy);
+    expect_reports_equal(parallel, sequential,
+                         std::string("faults ") + core::search_strategy_name(strategy));
+    EXPECT_EQ(parallel.plans_explored, sequential.plans_explored);
+    EXPECT_EQ(parallel.first_violation_plan, sequential.first_violation_plan);
+    EXPECT_EQ(parallel.first_violation_plan_interleaving,
+              sequential.first_violation_plan_interleaving);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus violation priors
+// ---------------------------------------------------------------------------
+
+TEST(CorpusPriors, LoadsDistinctViolationsAcrossFingerprintsAndPlans) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "erpi-priors-store").string();
+  std::filesystem::remove_all(dir);
+  {
+    corpus::Store store = corpus::Store::open(dir);
+    corpus::Record violation;
+    violation.fingerprint = 1;
+    violation.plan = "none";
+    violation.il = "2,1,0";
+    violation.kind = corpus::OutcomeKind::Violation;
+    violation.violations = {{"planted", "boom"}};
+    store.append(violation);
+
+    violation.fingerprint = 2;  // same interleaving, other fingerprint: dedup
+    store.append(violation);
+
+    violation.plan = "drop:1";  // same interleaving, other plan: dedup
+    store.append(violation);
+
+    corpus::Record pass = violation;
+    pass.il = "0,1,2";
+    pass.kind = corpus::OutcomeKind::Pass;
+    pass.violations.clear();
+    store.append(pass);
+
+    corpus::Record other = violation;
+    other.il = "1,0,2";
+    store.append(other);
+  }
+
+  const auto priors = corpus::violation_priors(dir);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].key(), "2,1,0");
+  EXPECT_EQ(priors[1].key(), "1,0,2");
+  std::filesystem::remove_all(dir);
+
+  EXPECT_TRUE(corpus::violation_priors("").empty());
+  EXPECT_TRUE(corpus::violation_priors("/nonexistent/erpi-priors").empty());
+}
+
+TEST(CorpusPriors, InterleavingKeyRoundTrips) {
+  const Interleaving il{{10, 9, 7, 8, 6, 3, 4, 5, 0, 1, 2}};
+  EXPECT_EQ(Interleaving::from_key(il.key()), il);
+  EXPECT_EQ(Interleaving::from_key("3,0,1,2").order, (std::vector<int>{3, 0, 1, 2}));
+  EXPECT_THROW(Interleaving::from_key("3,x,1"), std::exception);
+}
+
+}  // namespace
+}  // namespace erpi::sched
