@@ -11,6 +11,7 @@
 
 #include "bugs/registry.hpp"
 #include "core/session.hpp"
+#include "faults/explorer.hpp"
 
 using namespace erpi;
 
@@ -50,10 +51,21 @@ int main(int argc, char** argv) {
     }
   };
 
+  if (bug.storage_catalog) {
+    // Storage scenarios replay through the fault explorer's worker pool,
+    // which clones the fixture from the factory even at parallelism 1.
+    config.subject_factory = bug.make_subject;
+  }
+
   core::Session session(proxy, config);
   session.start();
   bug.workload(proxy);
-  const auto report = session.end(bug.assertions());
+  const auto report =
+      bug.storage_catalog
+          ? faults::explore_with_faults(
+                session, [&](proxy::Rdl&) { return bug.assertions(); },
+                *bug.storage_catalog)
+          : session.end(bug.assertions());
   const auto pruning = session.pruning_report();
 
   std::printf("bug %s (#%d, %d events, %s)\n", bug.name.c_str(), bug.issue_number,

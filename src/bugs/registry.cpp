@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bugs/scenarios.hpp"
+#include "faults/explorer.hpp"
 
 namespace erpi::bugs {
 
@@ -18,8 +19,16 @@ const std::vector<BugScenario>& all_bugs() {
   return bugs;
 }
 
+const std::vector<BugScenario>& storage_bugs() {
+  static const std::vector<BugScenario> bugs = detail::storage_bugs();
+  return bugs;
+}
+
 const BugScenario& find_bug(const std::string& name) {
   for (const auto& bug : all_bugs()) {
+    if (bug.name == name) return bug;
+  }
+  for (const auto& bug : storage_bugs()) {
     if (bug.name == name) return bug;
   }
   throw std::invalid_argument("unknown bug scenario: " + name);
@@ -46,13 +55,27 @@ BugRunResult run_bug(const BugScenario& bug, core::ExplorationMode mode,
     config.failed_ops.clear();
     config.spec_groups.clear();
   }
+  if (bug.storage_catalog) {
+    // Fault sweeps run through the parallel scheduler, whose worker pool
+    // clones the fixture from the factory even at parallelism 1.
+    config.subject_factory = bug.make_subject;
+  }
 
   core::Session session(proxy, config);
   session.start();
   bug.workload(proxy);
 
   BugRunResult result;
-  result.report = session.end(bug.assertions());
+  if (bug.storage_catalog) {
+    result.report = faults::explore_with_faults(
+        session,
+        [&bug](proxy::Rdl&) {
+          return bug.assertions ? bug.assertions() : core::AssertionList{};
+        },
+        *bug.storage_catalog);
+  } else {
+    result.report = session.end(bug.assertions());
+  }
   result.pruning = session.pruning_report();
   return result;
 }

@@ -9,11 +9,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/assertions.hpp"
 #include "core/session.hpp"
+#include "faults/plan.hpp"
 #include "proxy/proxy.hpp"
 
 namespace erpi::bugs {
@@ -36,12 +38,22 @@ struct BugScenario {
   /// Replica-Specific pruning, plus any independence/failed-ops constraints
   /// the paper's developer would supply.
   std::function<void(core::Session::Config&)> configure;
+  /// Storage-fault scenarios (DESIGN.md §13): when set, run_bug routes the
+  /// replay through faults::explore_with_faults with this catalog instead of
+  /// Session::end, so the bug only manifests when the catalog's durable-log
+  /// damage plans are swept. Unset for the Table 1 network-interleaving bugs.
+  std::optional<faults::CatalogOptions> storage_catalog;
 };
 
 /// All 12 scenarios, in Table 1 order.
 const std::vector<BugScenario>& all_bugs();
 
-/// Lookup by name ("Roshi-1" ... "Yorkie-2"); throws if unknown.
+/// The planted durable-log recovery bugs (storage_catalog set on each).
+/// Kept out of all_bugs() so Table 1 tooling keeps its exact row set.
+const std::vector<BugScenario>& storage_bugs();
+
+/// Lookup by name ("Roshi-1" ... "Yorkie-2", plus the storage scenarios
+/// "Roshi-S1" / "OrbitDB-S1"); throws if unknown.
 const BugScenario& find_bug(const std::string& name);
 
 /// Run one scenario end-to-end in the given exploration mode. Returns the

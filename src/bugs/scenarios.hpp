@@ -25,5 +25,7 @@ std::vector<BugScenario> roshi_bugs();
 std::vector<BugScenario> orbitdb_bugs();
 std::vector<BugScenario> replicadb_bugs();
 std::vector<BugScenario> yorkie_bugs();
+/// Planted durable-log recovery bugs (not part of Table 1).
+std::vector<BugScenario> storage_bugs();
 
 }  // namespace erpi::bugs::detail

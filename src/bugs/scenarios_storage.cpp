@@ -1,0 +1,102 @@
+// Planted durable-log recovery bugs (DESIGN.md §13). Unlike the Table 1
+// scenarios these carry no assertions: detection is the "durable-log-recovery"
+// violation the fault runtime pushes when a replica silently diverges while
+// recovering from a damaged log. Each scenario's storage_catalog enables
+// exactly one damage sweep, so the bug reproduces only when storage plans are
+// in the catalog — under the fault-free baseline (or any network/crash plan)
+// the same workload is clean.
+#include "bugs/scenarios.hpp"
+#include "subjects/orbitdb.hpp"
+#include "subjects/roshi.hpp"
+
+namespace erpi::bugs::detail {
+
+namespace {
+constexpr net::ReplicaId A = 0;
+constexpr net::ReplicaId B = 1;
+
+/// A catalog with every network/crash sweep off: baseline "none" plan plus
+/// only the storage sweep the scenario turns on.
+faults::CatalogOptions storage_only_catalog() {
+  faults::CatalogOptions catalog;
+  catalog.max_drops = 0;
+  catalog.max_duplicates = 0;
+  catalog.max_partition_windows = 0;
+  catalog.max_crash_restarts = 0;
+  return catalog;
+}
+}  // namespace
+
+std::vector<BugScenario> storage_bugs() {
+  std::vector<BugScenario> out;
+
+  // -------------------------------------------------------------------------
+  // Roshi-S1: duplicated WAL segment replayed non-idempotently — 4 events.
+  // A inserts then deletes the same member; a DuplicateSegment plan re-appends
+  // the insert record after the delete in file order. The honest recovery
+  // policy skips the duplicate seqno; the buggy replay applies it again and,
+  // without the LWW guard, the stale insert wins and the member resurrects.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "Roshi-S1";
+    bug.issue_number = 0;
+    bug.event_count = 4;
+    bug.status = "planted";
+    bug.reason = "storage";
+    bug.make_subject = [] {
+      subjects::Roshi::Flags flags;
+      flags.idempotent_wal_replay = false;
+      return std::make_unique<subjects::Roshi>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "insert", jobj({{"key", "s"}, {"member", "x"}, {"ts", 1.0}}));  // e0
+      p.update(A, "delete", jobj({{"key", "s"}, {"member", "x"}, {"ts", 2.0}}));  // e1
+      p.sync_req(A, B);                                                           // e2
+      p.exec_sync(A, B);                                                          // e3
+    };
+    bug.assertions = [] { return core::AssertionList{}; };
+    auto catalog = storage_only_catalog();
+    catalog.max_duplicate_segments = 2;
+    catalog.duplicate_segment_entries = 1;
+    bug.storage_catalog = catalog;
+    out.push_back(std::move(bug));
+  }
+
+  // -------------------------------------------------------------------------
+  // OrbitDB-S1: torn log tail accepted as complete — 4 events. A appends two
+  // entries; a TornTail plan truncates the last log record. The honest policy
+  // trusts the committed high-water mark and reports the gap as
+  // missing_entries; the buggy recovery trusts only the entries present, so
+  // the shortened log replays "cleanly" into a silently diverged head.
+  // -------------------------------------------------------------------------
+  {
+    BugScenario bug;
+    bug.name = "OrbitDB-S1";
+    bug.issue_number = 0;
+    bug.event_count = 4;
+    bug.status = "planted";
+    bug.reason = "storage";
+    bug.make_subject = [] {
+      subjects::OrbitDb::Flags flags;
+      flags.recovery_checks_committed = false;
+      return std::make_unique<subjects::OrbitDb>(2, flags);
+    };
+    bug.workload = [](proxy::RdlProxy& p) {
+      p.update(A, "add", jobj({{"payload", "p1"}}));  // e0
+      p.update(A, "add", jobj({{"payload", "p2"}}));  // e1
+      p.sync_req(A, B);                               // e2
+      p.exec_sync(A, B);                              // e3
+    };
+    bug.assertions = [] { return core::AssertionList{}; };
+    auto catalog = storage_only_catalog();
+    catalog.max_torn_tails = 2;
+    catalog.torn_tail_entries = 1;
+    bug.storage_catalog = catalog;
+    out.push_back(std::move(bug));
+  }
+
+  return out;
+}
+
+}  // namespace erpi::bugs::detail

@@ -158,6 +158,17 @@ std::string journal_record_line(const RunJournal::Record& record) {
   // journals byte-compatible with the pre-sandbox format.
   if (record.crash_signal != 0) j["crash_signal"] = static_cast<int64_t>(record.crash_signal);
   if (record.oom) j["oom"] = record.oom;
+  // Recovery fields are only written for storage-fault pairs, keeping
+  // network/crash-only journals byte-compatible with the pre-storage format.
+  if (!record.recovery.empty()) {
+    j["recovery"] = record.recovery;
+    if (record.recovery_first != 0) {
+      j["recovery_first"] = static_cast<int64_t>(record.recovery_first);
+    }
+    if (record.recovery_count != 0) {
+      j["recovery_count"] = static_cast<int64_t>(record.recovery_count);
+    }
+  }
   util::Json violations = util::Json::array();
   for (const auto& violation : record.violations) {
     util::Json v = util::Json::object();
@@ -193,6 +204,18 @@ std::optional<RunJournal::Record> parse_record_line(const std::string& line) {
   if (j.contains("oom")) {
     if (!j["oom"].is_bool()) return std::nullopt;
     record.oom = j["oom"].as_bool();
+  }
+  if (j.contains("recovery")) {
+    if (!j["recovery"].is_string()) return std::nullopt;
+    record.recovery = j["recovery"].as_string();
+  }
+  if (j.contains("recovery_first")) {
+    if (!j["recovery_first"].is_int() || j["recovery_first"].as_int() < 0) return std::nullopt;
+    record.recovery_first = static_cast<uint64_t>(j["recovery_first"].as_int());
+  }
+  if (j.contains("recovery_count")) {
+    if (!j["recovery_count"].is_int() || j["recovery_count"].as_int() < 0) return std::nullopt;
+    record.recovery_count = static_cast<uint64_t>(j["recovery_count"].as_int());
   }
   for (const auto& v : j["violations"].as_array()) {
     if (!v.is_object() || !v.contains("assertion") || !v["assertion"].is_string() ||

@@ -106,6 +106,13 @@ class RunJournal {
     /// written before crash isolation stay loadable.
     int crash_signal = 0;
     bool oom = false;
+    /// Storage-fault outcomes (faults:: storage plans): the recovery verdict
+    /// injected at the plan's damage position. Empty when the pair carried no
+    /// recovery (non-storage plans, pre-storage journals), so those journals
+    /// stay byte-compatible and loadable.
+    std::string recovery;        // recovery_status_name(), "" = none
+    uint64_t recovery_first = 0; // first missing seqno (missing_entries)
+    uint64_t recovery_count = 0; // missing seqno count (missing_entries)
 
     bool operator==(const Record&) const = default;
   };

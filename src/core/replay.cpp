@@ -16,6 +16,23 @@ const char* isolation_name(Isolation isolation) noexcept {
   return "?";
 }
 
+const char* recovery_status_name(RecoveryVerdict::Status status) noexcept {
+  switch (status) {
+    case RecoveryVerdict::Status::Recovered: return "recovered";
+    case RecoveryVerdict::Status::MissingEntries: return "missing_entries";
+    case RecoveryVerdict::Status::Diverged: return "diverged";
+  }
+  return "?";
+}
+
+std::optional<RecoveryVerdict::Status> recovery_status_from_name(
+    std::string_view name) noexcept {
+  if (name == "recovered") return RecoveryVerdict::Status::Recovered;
+  if (name == "missing_entries") return RecoveryVerdict::Status::MissingEntries;
+  if (name == "diverged") return RecoveryVerdict::Status::Diverged;
+  return std::nullopt;
+}
+
 const char* search_strategy_name(SearchStrategy strategy) noexcept {
   switch (strategy) {
     case SearchStrategy::LexOrder: return "lex";
@@ -82,6 +99,13 @@ util::Json ReplayReport::to_json() const {
   // Likewise omitted by default: explorer stats carry wall-clock timing, so
   // they only appear when stats collection was explicitly requested.
   if (explorer.any()) j["explorer"] = explorer.to_json();
+  // Recovery counters are omitted when all-zero, so reports from runs
+  // without storage-fault plans serialize byte-identically to prior releases.
+  if (recoveries_clean != 0 || recoveries_missing_entries != 0 || recoveries_diverged != 0) {
+    j["recoveries_clean"] = static_cast<int64_t>(recoveries_clean);
+    j["recoveries_missing_entries"] = static_cast<int64_t>(recoveries_missing_entries);
+    j["recoveries_diverged"] = static_cast<int64_t>(recoveries_diverged);
+  }
   j["plans_explored"] = static_cast<int64_t>(plans_explored);
   j["pairs_skipped_from_journal"] = static_cast<int64_t>(pairs_skipped_from_journal);
   j["first_violation_plan"] = first_violation_plan;
@@ -231,6 +255,7 @@ InterleavingOutcome ReplayEngine::replay_one(const Interleaving& il, const Event
       outcome.violations.push_back({assertion->name(), std::move(message)});
     }
   }
+  if (observer_) observer_->finish_outcome(proxy_->target(), il, outcome);
   return outcome;
 }
 
@@ -277,6 +302,7 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
       report.quarantine_records.push_back(
           {il->key(), outcome.quarantine_reason(), outcome.term_signal});
     }
+    count_recovery(report, outcome);
     for (const auto& violation : outcome.violations) {
       ++report.violations;
       if (report.messages.size() < 16) report.messages.push_back(violation.message);

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "core/assertions.hpp"
 #include "core/enumerate.hpp"
@@ -228,6 +229,30 @@ struct SandboxStats {
   util::Json to_json() const;
 };
 
+/// Structured classification of one durable-log recovery driven by a
+/// storage-fault plan (DESIGN.md §13). A damaged replica's recovery is either
+/// faithful (Recovered: the rebuilt state matches the pre-damage state), an
+/// honest structured loss report (MissingEntries: the subject detected the
+/// damage and names the first missing durable entry plus how many are gone),
+/// or a contract violation (Diverged: the subject claimed success while its
+/// rebuilt state silently disagrees with the pre-damage history — a subject
+/// must never silently reconcile past damaged history).
+struct RecoveryVerdict {
+  enum class Status { Recovered, MissingEntries, Diverged };
+
+  Status status = Status::Recovered;
+  /// MissingEntries only: seqno of the first durable entry the subject could
+  /// not find, and the total count of missing entries.
+  uint64_t first_missing = 0;
+  uint64_t missing_count = 0;
+
+  bool operator==(const RecoveryVerdict&) const = default;
+};
+
+const char* recovery_status_name(RecoveryVerdict::Status status) noexcept;
+std::optional<RecoveryVerdict::Status> recovery_status_from_name(
+    std::string_view name) noexcept;
+
 /// Observes replay execution at interleaving positions. This is the hook the
 /// fault-schedule layer (src/faults) uses to fire scheduled actions — core
 /// stays ignorant of fault plans and only promises *when* the hooks run:
@@ -243,15 +268,27 @@ struct SandboxStats {
 /// Observer effects are part of replayed state: whatever a hook does to the
 /// subject/network at or before position p is captured by the prefix snapshot
 /// taken at depth p+1, so snapshot reuse stays consistent with the hooks.
+///
+///  * finish_outcome — after the interleaving's events executed and the
+///    assertions ran, with the outcome the engine is about to hand back. The
+///    fault layer uses it to attach the structured RecoveryVerdict (and, for
+///    a Diverged recovery, a violation) to the outcome. Not called for
+///    cancelled (timed-out) replays.
+struct InterleavingOutcome;
+
 class ReplayObserver {
  public:
   virtual ~ReplayObserver() = default;
   virtual void on_replay_begin(proxy::Rdl& subject, const Interleaving& il,
                                size_t resume_depth) = 0;
   virtual void before_event(proxy::Rdl& subject, const Interleaving& il, size_t pos) = 0;
+  virtual void finish_outcome(proxy::Rdl& subject, const Interleaving& il,
+                              InterleavingOutcome& outcome) {
+    (void)subject;
+    (void)il;
+    (void)outcome;
+  }
 };
-
-struct InterleavingOutcome;
 
 struct ReplayOptions {
   /// Stop after this many interleavings (the paper's 10 K experiment cap).
@@ -386,6 +423,15 @@ struct ReplayReport {
   uint64_t pairs_skipped_from_journal = 0;
   std::string first_violation_plan;
   uint64_t first_violation_plan_interleaving = 0;
+  /// Durable-log recovery verdict counters (storage-fault plans, DESIGN.md
+  /// §13). All-zero — and omitted from to_json, SandboxStats-style — outside
+  /// storage-fault sweeps, keeping non-storage reports byte-identical to
+  /// prior releases. Diverged recoveries additionally count as violations
+  /// (the never-silently-diverge contract), so recoveries_diverged never
+  /// exceeds `violations`.
+  uint64_t recoveries_clean = 0;
+  uint64_t recoveries_missing_entries = 0;
+  uint64_t recoveries_diverged = 0;
   double elapsed_seconds = 0.0;
   /// First few violation messages, for reports.
   std::vector<std::string> messages;
@@ -415,6 +461,10 @@ struct InterleavingOutcome {
   int term_signal = 0;
   /// Sandbox child exceeded the RLIMIT_AS memory cap twice in a row.
   bool oom = false;
+  /// Structured durable-log recovery verdict (storage-fault plans only;
+  /// absent everywhere else). A Diverged verdict always rides with a
+  /// "durable-log-recovery" violation in `violations`.
+  std::optional<RecoveryVerdict> recovery;
 
   /// Anything that pulls the item from normal aggregation (no violations are
   /// reported; the run quarantines the key and keeps exploring).
@@ -423,6 +473,18 @@ struct InterleavingOutcome {
     return timed_out ? "timed_out" : crashed ? "crashed" : "oom";
   }
 };
+
+/// Fold one outcome's recovery verdict into the run-level counters — shared
+/// by every aggregation site (sequential engine, parallel committer, fault
+/// explorer) so all report shapes agree at any parallelism.
+inline void count_recovery(ReplayReport& report, const InterleavingOutcome& outcome) noexcept {
+  if (!outcome.recovery) return;
+  switch (outcome.recovery->status) {
+    case RecoveryVerdict::Status::Recovered: ++report.recoveries_clean; break;
+    case RecoveryVerdict::Status::MissingEntries: ++report.recoveries_missing_entries; break;
+    case RecoveryVerdict::Status::Diverged: ++report.recoveries_diverged; break;
+  }
+}
 
 class ReplayEngine {
  public:

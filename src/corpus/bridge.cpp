@@ -1,8 +1,9 @@
 #include "corpus/bridge.hpp"
 
-#include <cctype>
 #include <cstdio>
 #include <map>
+
+#include "faults/plan.hpp"
 
 namespace erpi::corpus {
 
@@ -13,19 +14,6 @@ std::string fingerprint_symbol(uint64_t fingerprint) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(fingerprint));
   return std::string(buf);
-}
-
-/// Parse the decimal integer at `pos`; returns nullopt (leaving pos alone)
-/// when no digit is present.
-std::optional<int> parse_int(const std::string& s, size_t& pos) {
-  size_t start = pos;
-  int value = 0;
-  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
-    value = value * 10 + (s[pos] - '0');
-    ++pos;
-  }
-  if (pos == start) return std::nullopt;
-  return value;
 }
 
 }  // namespace
@@ -39,37 +27,34 @@ DatalogBridge::DatalogBridge(datalog::Database& db) : db_(&db) {
 
 std::vector<std::pair<std::string, int>> DatalogBridge::plan_fault_entries(
     const std::string& plan_key) {
-  // FaultPlan::key() grammar (src/faults/plan.cpp):
-  //   "none" | "drop:K" | "dup:K" | "part:A-B@I..J" | "crash:rN@S->C"
-  // drop/dup target a message ordinal, not a replica, so they carry -1;
-  // partitions involve both endpoints, one row each.
-  if (plan_key == "none") return {{"none", -1}};
-  size_t colon = plan_key.find(':');
-  if (colon == std::string::npos || colon == 0) return {{"unknown", -1}};
-  std::string kind = plan_key.substr(0, colon);
-  std::string rest = plan_key.substr(colon + 1);
-  if (kind == "drop" || kind == "dup") {
-    size_t pos = 0;
-    if (parse_int(rest, pos) && pos == rest.size()) return {{kind, -1}};
-    return {{"unknown", -1}};
-  }
-  if (kind == "part") {
-    // A-B@I..J → {(part, A), (part, B)}
-    size_t pos = 0;
-    auto a = parse_int(rest, pos);
-    if (!a || pos >= rest.size() || rest[pos] != '-') return {{"unknown", -1}};
-    ++pos;
-    auto b = parse_int(rest, pos);
-    if (!b || pos >= rest.size() || rest[pos] != '@') return {{"unknown", -1}};
-    return {{"part", *a}, {"part", *b}};
-  }
-  if (kind == "crash") {
-    // rN@S->C → {(crash, N)}
-    if (rest.empty() || rest[0] != 'r') return {{"unknown", -1}};
-    size_t pos = 1;
-    auto n = parse_int(rest, pos);
-    if (!n || pos >= rest.size() || rest[pos] != '@') return {{"unknown", -1}};
-    return {{"crash", *n}};
+  // Decomposed via FaultPlan::parse — the exact inverse of FaultPlan::key()
+  // — instead of re-implementing the key grammar here. Drop/dup target a
+  // message ordinal, not a replica, so they carry -1; partitions involve
+  // both endpoints, one row each; crash and the storage kinds carry the
+  // damaged replica.
+  const auto plan = faults::FaultPlan::parse(plan_key);
+  if (!plan) return {{"unknown", -1}};
+  using Kind = faults::FaultPlan::Kind;
+  switch (plan->kind) {
+    case Kind::None:
+      return {{"none", -1}};
+    case Kind::DropSync:
+      return {{"drop", -1}};
+    case Kind::DuplicateSync:
+      return {{"dup", -1}};
+    case Kind::PartitionWindow:
+      return {{"part", static_cast<int>(plan->replica_a)},
+              {"part", static_cast<int>(plan->replica_b)}};
+    case Kind::CrashRestart:
+      return {{"crash", static_cast<int>(plan->replica_a)}};
+    case Kind::TornTail:
+      return {{"torn", static_cast<int>(plan->replica_a)}};
+    case Kind::DropLogEntry:
+      return {{"droplog", static_cast<int>(plan->replica_a)}};
+    case Kind::DuplicateSegment:
+      return {{"dupseg", static_cast<int>(plan->replica_a)}};
+    case Kind::StaleSnapshotRecovery:
+      return {{"stale", static_cast<int>(plan->replica_a)}};
   }
   return {{"unknown", -1}};
 }

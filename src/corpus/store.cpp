@@ -51,6 +51,15 @@ std::string record_line(const Record& record) {
     }
     j["v"] = std::move(violations);
   }
+  if (record.recovery) {
+    j["rk"] = std::string(core::recovery_status_name(record.recovery->status));
+    if (record.recovery->first_missing != 0) {
+      j["rf"] = static_cast<int64_t>(record.recovery->first_missing);
+    }
+    if (record.recovery->missing_count != 0) {
+      j["rc"] = static_cast<int64_t>(record.recovery->missing_count);
+    }
+  }
   return j.dump();
 }
 
@@ -92,6 +101,22 @@ std::optional<Record> parse_record_line(const std::string& line) {
       record.violations.push_back({v["a"].as_string(), v["m"].as_string()});
     }
   }
+  if (j.contains("rk")) {
+    if (!j["rk"].is_string()) return std::nullopt;
+    const auto status = core::recovery_status_from_name(j["rk"].as_string());
+    if (!status) return std::nullopt;
+    core::RecoveryVerdict verdict;
+    verdict.status = *status;
+    if (j.contains("rf")) {
+      if (!j["rf"].is_int() || j["rf"].as_int() < 0) return std::nullopt;
+      verdict.first_missing = static_cast<uint64_t>(j["rf"].as_int());
+    }
+    if (j.contains("rc")) {
+      if (!j["rc"].is_int() || j["rc"].as_int() < 0) return std::nullopt;
+      verdict.missing_count = static_cast<uint64_t>(j["rc"].as_int());
+    }
+    record.recovery = verdict;
+  }
   return record;
 }
 
@@ -127,7 +152,8 @@ std::optional<OutcomeKind> outcome_kind_from_name(std::string_view name) noexcep
 }
 
 bool Record::same_outcome(const Record& other) const noexcept {
-  return kind == other.kind && signal == other.signal && violations == other.violations;
+  return kind == other.kind && signal == other.signal &&
+         violations == other.violations && recovery == other.recovery;
 }
 
 core::InterleavingOutcome Record::to_outcome() const {
@@ -155,6 +181,7 @@ core::InterleavingOutcome Record::to_outcome() const {
       // as an outcome is a caller error.
       throw std::logic_error("corpus: budget_exhausted records carry no replay outcome");
   }
+  outcome.recovery = recovery;
   return outcome;
 }
 
@@ -179,6 +206,7 @@ Record Record::from_outcome(uint64_t fingerprint, std::string plan, std::string 
   } else {
     record.kind = OutcomeKind::Pass;
   }
+  record.recovery = outcome.recovery;
   return record;
 }
 

@@ -80,6 +80,9 @@ struct Record {
   OutcomeKind kind = OutcomeKind::Pass;
   int signal = 0;                     // Crashed only (SIGSEGV, SIGABRT, ...)
   std::vector<Violation> violations;  // Violation only
+  /// Storage-fault pairs: the durable-log recovery verdict (absent for
+  /// network/crash plans and for records written before the storage family).
+  std::optional<core::RecoveryVerdict> recovery;
   /// Sequence of the run that last proved or re-confirmed this record
   /// (eviction recency; see Store::begin_run).
   uint64_t seq = 0;

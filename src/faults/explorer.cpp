@@ -49,6 +49,13 @@ uint64_t run_fingerprint(const core::Session& session,
   hasher.u64(catalog.max_partition_windows);
   hasher.u64(catalog.partition_window_length);
   hasher.u64(catalog.max_crash_restarts);
+  hasher.u64(catalog.max_torn_tails);
+  hasher.u64(catalog.torn_tail_entries);
+  hasher.u64(catalog.max_drop_log_entries);
+  hasher.u64(catalog.max_duplicate_segments);
+  hasher.u64(catalog.duplicate_segment_entries);
+  hasher.u64(catalog.max_stale_snapshot_recoveries);
+  hasher.u64(catalog.stale_suffix_keep);
   hasher.u64(catalog.max_plans);
   return hasher.digest();
 }
@@ -225,6 +232,7 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
           {qkey, outcome.quarantine_reason(), outcome.term_signal});
       report.quarantined.push_back(std::move(qkey));
     }
+    core::count_recovery(report, outcome);
     for (const auto& violation : outcome.violations) {
       ++report.violations;
       if (report.messages.size() < 16) {
@@ -262,6 +270,15 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         outcome.oom = record.oom;
         for (const auto& violation : record.violations) {
           outcome.violations.push_back({violation.assertion, violation.message});
+        }
+        if (!record.recovery.empty()) {
+          if (const auto status = core::recovery_status_from_name(record.recovery)) {
+            core::RecoveryVerdict verdict;
+            verdict.status = *status;
+            verdict.first_missing = record.recovery_first;
+            verdict.missing_count = record.recovery_count;
+            outcome.recovery = verdict;
+          }
         }
         // Journal-merged pairs are proven outcomes of this configuration —
         // the corpus learns them (or diffs against them) like live commits.
@@ -315,6 +332,11 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
         record.oom = outcome.oom;
         for (const auto& violation : outcome.violations) {
           record.violations.push_back({violation.assertion, violation.message});
+        }
+        if (outcome.recovery) {
+          record.recovery = core::recovery_status_name(outcome.recovery->status);
+          record.recovery_first = outcome.recovery->first_missing;
+          record.recovery_count = outcome.recovery->missing_count;
         }
         journal->append(record);
       }

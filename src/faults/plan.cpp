@@ -1,6 +1,7 @@
 #include "faults/plan.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 namespace erpi::faults {
 
@@ -18,8 +19,130 @@ std::string FaultPlan::key() const {
     case Kind::CrashRestart:
       return "crash:r" + std::to_string(replica_a) + "@" + std::to_string(snapshot_pos) +
              "->" + std::to_string(crash_pos);
+    case Kind::TornTail:
+      return "torn:r" + std::to_string(replica_a) + "@" + std::to_string(damage_pos) + "-" +
+             std::to_string(entry_count);
+    case Kind::DropLogEntry:
+      return "droplog:r" + std::to_string(replica_a) + "@" + std::to_string(damage_pos);
+    case Kind::DuplicateSegment:
+      return "dupseg:r" + std::to_string(replica_a) + "@" + std::to_string(damage_pos) + "x" +
+             std::to_string(entry_count);
+    case Kind::StaleSnapshotRecovery:
+      return "stale:r" + std::to_string(replica_a) + "@" + std::to_string(snapshot_pos) +
+             "->" + std::to_string(crash_pos) + "+" + std::to_string(suffix_keep);
   }
   return "?";
+}
+
+namespace {
+
+/// Consume an unsigned decimal number from the front of `s`. Returns false on
+/// empty/non-numeric input; on success advances `s` past the digits.
+bool eat_number(std::string_view& s, uint64_t& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin) return false;
+  s.remove_prefix(static_cast<size_t>(ptr - begin));
+  return true;
+}
+
+/// Consume a literal prefix. Returns false (leaving `s` untouched) otherwise.
+bool eat(std::string_view& s, std::string_view literal) {
+  if (!s.starts_with(literal)) return false;
+  s.remove_prefix(literal.size());
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view key) {
+  FaultPlan plan;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  if (key == "none") return plan;
+  if (eat(key, "drop:")) {
+    if (!eat_number(key, a) || !key.empty()) return std::nullopt;
+    plan.kind = Kind::DropSync;
+    plan.sync_index = a;
+    return plan;
+  }
+  if (eat(key, "dup:")) {
+    if (!eat_number(key, a) || !key.empty()) return std::nullopt;
+    plan.kind = Kind::DuplicateSync;
+    plan.sync_index = a;
+    return plan;
+  }
+  if (eat(key, "part:")) {
+    uint64_t d = 0;
+    if (!eat_number(key, a) || !eat(key, "-") || !eat_number(key, b) || !eat(key, "@") ||
+        !eat_number(key, c) || !eat(key, "..") || !eat_number(key, d) || !key.empty()) {
+      return std::nullopt;
+    }
+    plan.kind = Kind::PartitionWindow;
+    plan.replica_a = static_cast<net::ReplicaId>(a);
+    plan.replica_b = static_cast<net::ReplicaId>(b);
+    plan.window_begin = static_cast<size_t>(c);
+    plan.window_end = static_cast<size_t>(d);
+    return plan;
+  }
+  if (eat(key, "crash:r")) {
+    if (!eat_number(key, a) || !eat(key, "@") || !eat_number(key, b) || !eat(key, "->") ||
+        !eat_number(key, c) || !key.empty()) {
+      return std::nullopt;
+    }
+    plan.kind = Kind::CrashRestart;
+    plan.replica_a = static_cast<net::ReplicaId>(a);
+    plan.snapshot_pos = static_cast<size_t>(b);
+    plan.crash_pos = static_cast<size_t>(c);
+    return plan;
+  }
+  if (eat(key, "torn:r")) {
+    if (!eat_number(key, a) || !eat(key, "@") || !eat_number(key, b) || !eat(key, "-") ||
+        !eat_number(key, c) || !key.empty()) {
+      return std::nullopt;
+    }
+    plan.kind = Kind::TornTail;
+    plan.replica_a = static_cast<net::ReplicaId>(a);
+    plan.damage_pos = static_cast<size_t>(b);
+    plan.entry_count = static_cast<size_t>(c);
+    return plan;
+  }
+  if (eat(key, "droplog:r")) {
+    if (!eat_number(key, a) || !eat(key, "@") || !eat_number(key, b) || !key.empty()) {
+      return std::nullopt;
+    }
+    plan.kind = Kind::DropLogEntry;
+    plan.replica_a = static_cast<net::ReplicaId>(a);
+    plan.damage_pos = static_cast<size_t>(b);
+    return plan;
+  }
+  if (eat(key, "dupseg:r")) {
+    if (!eat_number(key, a) || !eat(key, "@") || !eat_number(key, b) || !eat(key, "x") ||
+        !eat_number(key, c) || !key.empty()) {
+      return std::nullopt;
+    }
+    plan.kind = Kind::DuplicateSegment;
+    plan.replica_a = static_cast<net::ReplicaId>(a);
+    plan.damage_pos = static_cast<size_t>(b);
+    plan.entry_count = static_cast<size_t>(c);
+    return plan;
+  }
+  if (eat(key, "stale:r")) {
+    uint64_t d = 0;
+    if (!eat_number(key, a) || !eat(key, "@") || !eat_number(key, b) || !eat(key, "->") ||
+        !eat_number(key, c) || !eat(key, "+") || !eat_number(key, d) || !key.empty()) {
+      return std::nullopt;
+    }
+    plan.kind = Kind::StaleSnapshotRecovery;
+    plan.replica_a = static_cast<net::ReplicaId>(a);
+    plan.snapshot_pos = static_cast<size_t>(b);
+    plan.crash_pos = static_cast<size_t>(c);
+    plan.suffix_keep = static_cast<size_t>(d);
+    return plan;
+  }
+  return std::nullopt;
 }
 
 std::vector<FaultPlan> build_catalog(const core::EventSet& events, int replica_count,
@@ -84,6 +207,47 @@ std::vector<FaultPlan> build_catalog(const core::EventSet& events, int replica_c
       if (plan.crash_pos <= plan.snapshot_pos) continue;
       // Successive crash plans with identical positions differ only by
       // replica; with one replica the sweep degenerates to a single plan.
+      if (std::find(plans.begin(), plans.end(), plan) != plans.end()) continue;
+      plans.push_back(plan);
+    }
+  }
+
+  // Storage sweeps: damage the durable log late in the interleaving (where it
+  // has the most to lose) and walk the position backwards, cycling replicas,
+  // so raising a cap adds earlier damage points on other replicas. damage_pos
+  // >= 1 keeps at least one logged event before the damage. Plans that
+  // collide after position clamping dedupe via find, like crash-restart.
+  if (n >= 2 && replica_count >= 1) {
+    const auto replicas = static_cast<size_t>(replica_count);
+    auto sweep = [&](size_t cap, FaultPlan::Kind kind, size_t entries) {
+      for (size_t i = 0; i < cap; ++i) {
+        FaultPlan plan;
+        plan.kind = kind;
+        plan.replica_a = static_cast<net::ReplicaId>(i % replicas);
+        plan.damage_pos = std::max<size_t>(1, n - 1 - i / replicas);
+        plan.entry_count = entries;
+        if (std::find(plans.begin(), plans.end(), plan) != plans.end()) continue;
+        plans.push_back(plan);
+      }
+    };
+    sweep(options.max_torn_tails, FaultPlan::Kind::TornTail,
+          std::max<size_t>(1, options.torn_tail_entries));
+    sweep(options.max_drop_log_entries, FaultPlan::Kind::DropLogEntry, 0);
+    sweep(options.max_duplicate_segments, FaultPlan::Kind::DuplicateSegment,
+          std::max<size_t>(1, options.duplicate_segment_entries));
+
+    // Stale-snapshot recovery reuses the crash-restart geometry (checkpoint
+    // at n/3, damage at 2n/3): the checkpoint predates real work, the splice
+    // discards most of what followed, and suffix_keep entries survive — the
+    // classic "old backup plus a partial WAL tail" restore.
+    for (size_t c = 0; c < options.max_stale_snapshot_recoveries; ++c) {
+      FaultPlan plan;
+      plan.kind = FaultPlan::Kind::StaleSnapshotRecovery;
+      plan.replica_a = static_cast<net::ReplicaId>(c % replicas);
+      plan.snapshot_pos = n / 3;
+      plan.crash_pos = std::min(n - 1, std::max(plan.snapshot_pos + 1, (2 * n) / 3));
+      plan.suffix_keep = options.stale_suffix_keep;
+      if (plan.crash_pos <= plan.snapshot_pos) continue;
       if (std::find(plans.begin(), plans.end(), plan) != plans.end()) continue;
       plans.push_back(plan);
     }

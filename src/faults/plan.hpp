@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/interleaving.hpp"
@@ -24,7 +26,22 @@ struct FaultPlan {
     DuplicateSync,    // duplicate the k-th sync send
     PartitionWindow,  // sever one link for positions [window_begin, window_end)
     CrashRestart,     // snapshot a replica, later crash + restore it
+    // Storage faults (DESIGN.md §13): damage a replica's durable log at an
+    // exact interleaving position, then drive recovery from the damaged log
+    // and classify the result (recovered / missing_entries / diverged).
+    TornTail,               // truncate the last entry_count log entries
+    DropLogEntry,           // hide one middle log entry
+    DuplicateSegment,       // re-append a copied entry range
+    StaleSnapshotRecovery,  // old checkpoint + partial log suffix
   };
+
+  /// True for the durable-log damage kinds (TornTail, DropLogEntry,
+  /// DuplicateSegment, StaleSnapshotRecovery) — the plans that require the
+  /// subject's opt-in durable-log model.
+  bool is_storage() const {
+    return kind == Kind::TornTail || kind == Kind::DropLogEntry ||
+           kind == Kind::DuplicateSegment || kind == Kind::StaleSnapshotRecovery;
+  }
 
   Kind kind = Kind::None;
   /// DropSync / DuplicateSync: 1-based ordinal of the targeted send, counted
@@ -44,17 +61,35 @@ struct FaultPlan {
   /// its queued inbox is discarded (SubjectBase::crash_restore_replica).
   size_t snapshot_pos = 0;
   size_t crash_pos = 0;
+  /// Storage kinds: the durable log of replica_a is damaged immediately
+  /// before position damage_pos executes, then recovery runs from the
+  /// damaged log. StaleSnapshotRecovery instead uses snapshot_pos (record
+  /// log length) and crash_pos (splice + recover), with suffix_keep as the
+  /// number of post-checkpoint entries that survive.
+  size_t damage_pos = 0;
+  /// TornTail: entries truncated; DuplicateSegment: entries copied.
+  size_t entry_count = 0;
+  /// StaleSnapshotRecovery: log entries past the checkpoint that survive.
+  size_t suffix_keep = 0;
 
   bool operator==(const FaultPlan&) const = default;
 
   /// Stable id used in reports and the run journal: "none", "drop:2",
-  /// "dup:1", "part:0-1@2..4", "crash:r1@1->3".
+  /// "dup:1", "part:0-1@2..4", "crash:r1@1->3", "torn:r0@3-2",
+  /// "droplog:r1@2", "dupseg:r0@3x1", "stale:r1@1->3+1".
   std::string key() const;
+
+  /// Inverse of key(): parses any id key() can produce (all kinds, old and
+  /// new) back into the plan, so persisted plan keys — journal records,
+  /// corpus entries, Datalog facts — decompose without ad-hoc string
+  /// splitting. Returns nullopt for malformed input.
+  static std::optional<FaultPlan> parse(std::string_view key);
 };
 
 /// Bounded catalog composition. Every knob caps one sweep; the catalog stays
 /// small by construction (|catalog| <= 1 + max_drops + max_duplicates +
-/// max_partition_windows + max_crash_restarts, then clipped to max_plans).
+/// max_partition_windows + max_crash_restarts + the storage sweeps, then
+/// clipped to max_plans).
 struct CatalogOptions {
   bool baseline = true;  /// include the fault-free "none" plan first
   /// Single-drop sweep: plans drop:1 .. drop:k, bounded by the number of
@@ -69,6 +104,18 @@ struct CatalogOptions {
   /// Crash-restart plans, one per replica (cycling) at positions derived
   /// from the event count.
   size_t max_crash_restarts = 2;
+  /// Storage-fault sweeps (all off by default: they require the subject's
+  /// opt-in durable-log model, and enabling them changes the catalog and so
+  /// the journal/corpus fingerprint). Each sweep cycles replicas and slides
+  /// the damage position backwards from the end of the interleaving, where
+  /// the log has the most to lose.
+  size_t max_torn_tails = 0;
+  size_t torn_tail_entries = 2;  /// entries truncated per TornTail plan
+  size_t max_drop_log_entries = 0;
+  size_t max_duplicate_segments = 0;
+  size_t duplicate_segment_entries = 1;  /// entries copied per DuplicateSegment
+  size_t max_stale_snapshot_recoveries = 0;
+  size_t stale_suffix_keep = 1;  /// post-checkpoint entries that survive
   /// Hard cap on the composed catalog.
   size_t max_plans = 32;
 

@@ -10,6 +10,8 @@
 // checkpoint instead of re-firing it.
 #pragma once
 
+#include <optional>
+
 #include "core/replay.hpp"
 #include "faults/plan.hpp"
 #include "subjects/subject_base.hpp"
@@ -28,15 +30,32 @@ class PlanRuntime : public core::ReplayObserver {
                        size_t resume_depth) override;
   void before_event(proxy::Rdl& subject, const core::Interleaving& il,
                     size_t pos) override;
+  /// Storage plans attach the retained recovery verdict to the outcome and,
+  /// on divergence, push the "durable-log-recovery" violation — a subject
+  /// must never silently reconcile past damaged history.
+  void finish_outcome(proxy::Rdl& subject, const core::Interleaving& il,
+                      core::InterleavingOutcome& outcome) override;
 
   const FaultPlan& plan() const noexcept { return plan_; }
 
  private:
+  /// Damage the target replica's durable log per the plan, drive recovery,
+  /// and classify the result into verdict_ (reset on unsupported subjects).
+  void damage_and_recover();
+
   FaultPlan plan_;
   /// Crash/partition actions need SubjectBase machinery; for foreign Rdl
   /// implementations those plans degrade to no-ops (deterministically so).
   subjects::SubjectBase* base_ = nullptr;
   subjects::SubjectBase::ReplicaSnapshotState saved_;  // CrashRestart checkpoint
+  /// Storage plans: verdict of the recovery injected at the damage position,
+  /// retained across prefix-cache resumes past it (same guard discipline as
+  /// saved_ — a resume at depth > damage position shares the prefix that
+  /// produced it).
+  std::optional<core::RecoveryVerdict> verdict_;
+  /// StaleSnapshotRecovery: log length recorded at snapshot_pos (the "old
+  /// checkpoint's" coverage of the log).
+  std::optional<size_t> saved_log_len_;
 };
 
 }  // namespace erpi::faults

@@ -190,6 +190,13 @@ std::string encode_response(const WorkResponse& response) {
     violations.push_back(std::move(v));
   }
   j["violations"] = std::move(violations);
+  if (response.recovery) {
+    util::Json recovery = util::Json::object();
+    recovery["status"] = std::string(core::recovery_status_name(response.recovery->status));
+    recovery["first"] = static_cast<int64_t>(response.recovery->first_missing);
+    recovery["count"] = static_cast<int64_t>(response.recovery->missing_count);
+    j["recovery"] = std::move(recovery);
+  }
   util::Json prefix = util::Json::object();
   prefix["events_executed"] = static_cast<int64_t>(response.prefix.events_executed);
   prefix["events_skipped"] = static_cast<int64_t>(response.prefix.events_skipped);
@@ -226,6 +233,22 @@ std::optional<WorkResponse> decode_response(const std::string& payload) {
       return std::nullopt;
     }
     response.violations.push_back({v["assertion"].as_string(), v["message"].as_string()});
+  }
+  if (j.contains("recovery")) {
+    const util::Json& recovery = j["recovery"];
+    if (!recovery.is_object() || !recovery.contains("status") ||
+        !recovery["status"].is_string()) {
+      return std::nullopt;
+    }
+    const auto status = core::recovery_status_from_name(recovery["status"].as_string());
+    if (!status) return std::nullopt;
+    core::RecoveryVerdict verdict;
+    verdict.status = *status;
+    if (!read_u64(recovery, "first", verdict.first_missing) ||
+        !read_u64(recovery, "count", verdict.missing_count)) {
+      return std::nullopt;
+    }
+    response.recovery = verdict;
   }
   if (!j.contains("prefix") || !j["prefix"].is_object()) return std::nullopt;
   const util::Json& prefix = j["prefix"];

@@ -78,6 +78,10 @@ struct WorkResponse {
   Status status = Status::Ok;
   std::string error;  // Status::Error only
   std::vector<core::InterleavingOutcome::Violation> violations;
+  /// Storage-fault replays: the durable-log recovery verdict the child's
+  /// observer attached to the outcome. Absent for non-storage plans, so
+  /// network/crash responses serialize exactly as before.
+  std::optional<core::RecoveryVerdict> recovery;
   /// Cumulative for the runner's lifetime; the supervisor folds the last
   /// value into its per-worker tally when the runner dies.
   core::PrefixReplayStats prefix;

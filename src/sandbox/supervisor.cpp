@@ -133,6 +133,7 @@ bool is_ready_payload(const std::string& payload) {
       const core::InterleavingOutcome outcome =
           engine->replay_one(*il, config.events, assertions);
       response.violations = outcome.violations;
+      response.recovery = outcome.recovery;
       response.prefix = engine->prefix_stats();
       response.cache_bytes = engine->snapshot_cache_bytes();
     } catch (const std::bad_alloc&) {
@@ -473,6 +474,7 @@ core::InterleavingOutcome ForkServer::replay_one(const core::Interleaving& il) {
         if (attempt > 0) ++stats_.retry_successes;  // collateral, not deterministic
         core::InterleavingOutcome outcome;
         outcome.violations = std::move(last.response.violations);
+        outcome.recovery = last.response.recovery;
         return outcome;
       }
       case AttemptKind::TimedOut: {

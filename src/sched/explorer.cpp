@@ -72,6 +72,7 @@ bool commit_item(Done item, core::ReplayReport& report,
         {qkey, item.outcome.quarantine_reason(), item.outcome.term_signal});
     report.quarantined.push_back(std::move(qkey));
   }
+  core::count_recovery(report, item.outcome);
   for (const auto& violation : item.outcome.violations) {
     ++report.violations;
     if (report.messages.size() < 16) report.messages.push_back(violation.message);

@@ -21,6 +21,17 @@ void OrbitDb::init_replicas() {
 
 void OrbitDb::do_reset() { init_replicas(); }
 
+bool OrbitDb::reset_replica_state(net::ReplicaId replica) {
+  auto& ctx = replicas_[static_cast<size_t>(replica)];
+  ctx = ReplicaCtx{};
+  ctx.log.emplace(identity_of(replica), flags_.log_flags);
+  return true;
+}
+
+bool OrbitDb::is_readonly_op(const std::string& op) const {
+  return op == "get" || op == "verify" || op == "check_head";
+}
+
 std::shared_ptr<const void> OrbitDb::clone_replicas() const {
   return clone_ctx_vector(replicas_);
 }

@@ -15,6 +15,11 @@
 //    granted" depending on the interleaving.
 //  * !release_lock_on_sync_fixed — issue #557: executing a sync between
 //    open() and close() leaves the repo lock held, wedging the next open().
+//  * !recovery_checks_committed — planted log-recovery bug (storage-fault
+//    family, DESIGN.md §13): head reconciliation trusts whatever entries the
+//    on-disk Merkle log holds and never checks the committed high-water mark,
+//    so a torn tail replays as a shorter-but-"complete" history — the replica
+//    silently diverges instead of reporting missing entries.
 #pragma once
 
 #include <map>
@@ -33,6 +38,7 @@ class OrbitDb : public SubjectBase {
     crdt::MerkleLog::Flags log_flags;
     bool buffer_unauthorized = true;
     bool release_lock_on_sync_fixed = true;
+    bool recovery_checks_committed = true;
   };
 
   explicit OrbitDb(int replica_count) : OrbitDb(replica_count, Flags()) {}
@@ -55,6 +61,12 @@ class OrbitDb : public SubjectBase {
   bool adopt_replicas(const void* saved) override;
   std::shared_ptr<const void> clone_replica(net::ReplicaId replica) const override;
   bool adopt_replica(net::ReplicaId replica, const void* saved) override;
+  bool supports_durable_log() const override { return true; }
+  bool reset_replica_state(net::ReplicaId replica) override;
+  bool is_readonly_op(const std::string& op) const override;
+  RecoveryPolicy recovery_policy() const override {
+    return {flags_.recovery_checks_committed, true};
+  }
 
  private:
   struct ReplicaCtx {

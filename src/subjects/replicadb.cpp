@@ -12,6 +12,13 @@ void ReplicaDb::do_reset() {
   replicas_.resize(static_cast<size_t>(replica_count()));
 }
 
+bool ReplicaDb::reset_replica_state(net::ReplicaId replica) {
+  replicas_[static_cast<size_t>(replica)] = ReplicaCtx{};
+  return true;
+}
+
+bool ReplicaDb::is_readonly_op(const std::string& op) const { return op == "sink_count"; }
+
 std::shared_ptr<const void> ReplicaDb::clone_replicas() const {
   return clone_ctx_vector(replicas_);
 }

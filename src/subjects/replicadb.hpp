@@ -52,6 +52,9 @@ class ReplicaDb : public SubjectBase {
   bool adopt_replicas(const void* saved) override;
   std::shared_ptr<const void> clone_replica(net::ReplicaId replica) const override;
   bool adopt_replica(net::ReplicaId replica, const void* saved) override;
+  bool supports_durable_log() const override { return true; }
+  bool reset_replica_state(net::ReplicaId replica) override;
+  bool is_readonly_op(const std::string& op) const override;
 
  private:
   struct Row {

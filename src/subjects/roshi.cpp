@@ -21,6 +21,15 @@ void Roshi::do_reset() {
   replicas_.resize(static_cast<size_t>(replica_count()));
 }
 
+bool Roshi::reset_replica_state(net::ReplicaId replica) {
+  replicas_[static_cast<size_t>(replica)] = ReplicaCtx{};
+  return true;
+}
+
+bool Roshi::is_readonly_op(const std::string& op) const {
+  return op == "select" || op == "select_all";
+}
+
 std::shared_ptr<const void> Roshi::clone_replicas() const {
   return clone_ctx_vector(replicas_);
 }
@@ -57,7 +66,12 @@ bool Roshi::lww_write(ReplicaCtx& ctx, const std::string& key, const std::string
                                  del_score.has_value();
 
   bool wins;
-  if (ts > current) {
+  if (replaying_duplicate() && !flags_.idempotent_wal_replay) {
+    // Planted storage bug: WAL replay applies a duplicated segment verbatim
+    // — no LWW guard — so the stale copy re-fights a battle the live run had
+    // already settled and wins unconditionally.
+    wins = true;
+  } else if (ts > current) {
     wins = true;
   } else if (ts < current) {
     wins = false;

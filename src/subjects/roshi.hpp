@@ -19,6 +19,10 @@
 //    hash map seeded by key-arrival order, like a Go map, so the stream
 //    order varies between replicas/interleavings (issue #40, "roshi-server
 //    golang app select and map order?").
+//  * !idempotent_wal_replay — planted log-recovery bug (storage-fault
+//    family, DESIGN.md §13): WAL replay applies a duplicated log segment
+//    verbatim, skipping the LWW guard, so the second copy of an
+//    already-settled write wins again and the replica silently diverges.
 #pragma once
 
 #include <set>
@@ -35,6 +39,7 @@ class Roshi : public SubjectBase {
     bool lww_tiebreak_fixed = true;
     bool deleted_field_fixed = true;
     bool stable_select_order = true;
+    bool idempotent_wal_replay = true;
   };
 
   explicit Roshi(int replica_count) : Roshi(replica_count, Flags()) {}
@@ -54,6 +59,12 @@ class Roshi : public SubjectBase {
   bool adopt_replicas(const void* saved) override;
   std::shared_ptr<const void> clone_replica(net::ReplicaId replica) const override;
   bool adopt_replica(net::ReplicaId replica, const void* saved) override;
+  bool supports_durable_log() const override { return true; }
+  bool reset_replica_state(net::ReplicaId replica) override;
+  bool is_readonly_op(const std::string& op) const override;
+  RecoveryPolicy recovery_policy() const override {
+    return {true, flags_.idempotent_wal_replay};
+  }
 
  private:
   struct ReplicaCtx {

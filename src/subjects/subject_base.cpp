@@ -1,13 +1,16 @@
 #include "subjects/subject_base.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace erpi::subjects {
 
 SubjectBase::SubjectBase(std::string name, int replica_count)
     : name_(std::move(name)),
       replica_count_(replica_count),
-      network_(std::make_unique<net::SimNetwork>(replica_count)) {}
+      network_(std::make_unique<net::SimNetwork>(replica_count)),
+      logs_(static_cast<size_t>(replica_count)) {}
 
 void SubjectBase::check_replica(net::ReplicaId replica) const {
   if (replica < 0 || replica >= replica_count_) {
@@ -36,18 +39,38 @@ util::Result<util::Json> SubjectBase::invoke(net::ReplicaId replica, const std::
     if (!message) {
       return util::Error{"no pending sync request from replica " + std::to_string(from)};
     }
-    if (auto st = apply_sync_payload(from, replica, message->payload); !st) {
-      return util::Error{st.error()};
+    auto st = apply_sync_payload(from, replica, message->payload);
+    if (durable_logging_) {
+      // Logged whether or not the apply succeeded: a real WAL records the
+      // received update before the outcome is known, and a deterministic
+      // apply fails the same way on recovery replay.
+      util::Json::Object record;
+      record["t"] = "sync";
+      record["f"] = static_cast<int64_t>(from);
+      record["p"] = message->payload;
+      append_log(replica, util::Json(std::move(record)).dump());
     }
+    if (!st) return util::Error{st.error()};
     return util::Json(true);
   }
-  return do_invoke(replica, op, args);
+  auto result = do_invoke(replica, op, args);
+  if (durable_logging_ && result && !is_readonly_op(op)) {
+    util::Json::Object record;
+    record["t"] = "op";
+    record["op"] = op;
+    record["a"] = args;
+    append_log(replica, util::Json(std::move(record)).dump());
+  }
+  return result;
 }
 
 void SubjectBase::reset() {
   network_->reset();
   network_->heal_all();
   do_reset();
+  for (auto& log : logs_) log = DurableLog{};
+  recovering_ = false;
+  replaying_duplicate_ = false;
 }
 
 uint64_t SubjectBase::replica_state_bytes() const {
@@ -65,8 +88,12 @@ proxy::Snapshot SubjectBase::snapshot() {
   state->owner = this;
   state->replicas = std::move(replicas);
   state->network = network_->save_state();
+  state->logs = logs_;
+  state->logging = durable_logging_;
+  uint64_t log_bytes = 0;
+  for (const auto& log : logs_) log_bytes += log.bytes();
   proxy::Snapshot snap;
-  snap.bytes = replica_state_bytes() + state->network.bytes();
+  snap.bytes = replica_state_bytes() + state->network.bytes() + log_bytes;
   snap.state = std::move(state);
   return snap;
 }
@@ -77,6 +104,8 @@ bool SubjectBase::restore(const proxy::Snapshot& snap) {
   if (state->owner != this) return false;
   if (!adopt_replicas(state->replicas.get())) return false;
   network_->restore_state(state->network);
+  logs_ = state->logs;
+  durable_logging_ = state->logging;
   return true;
 }
 
@@ -96,7 +125,154 @@ bool SubjectBase::crash_restore_replica(net::ReplicaId replica,
   if (!snap.valid() || snap.owner != this || snap.replica != replica) return false;
   if (!adopt_replica(replica, snap.saved.get())) return false;
   network_->drop_inbound(replica);
+  // The durable log survives the crash untouched: it is the disk, not the
+  // process. Storage plans damage it separately.
   return true;
+}
+
+uint64_t SubjectBase::DurableLog::bytes() const noexcept {
+  uint64_t total = 0;
+  for (const auto& entry : entries) total += entry.record.size() + sizeof(entry.seqno);
+  return total;
+}
+
+void SubjectBase::set_durable_logging(bool on) {
+  durable_logging_ = on && supports_durable_log();
+  for (auto& log : logs_) log = DurableLog{};
+}
+
+SubjectBase::DurableLog& SubjectBase::log_at(net::ReplicaId replica) {
+  check_replica(replica);
+  return logs_[static_cast<size_t>(replica)];
+}
+
+const SubjectBase::DurableLog& SubjectBase::log_at(net::ReplicaId replica) const {
+  check_replica(replica);
+  return logs_[static_cast<size_t>(replica)];
+}
+
+const SubjectBase::DurableLog& SubjectBase::durable_log(net::ReplicaId replica) const {
+  return log_at(replica);
+}
+
+size_t SubjectBase::log_length(net::ReplicaId replica) const {
+  return log_at(replica).entries.size();
+}
+
+uint64_t SubjectBase::log_committed(net::ReplicaId replica) const {
+  return log_at(replica).committed;
+}
+
+void SubjectBase::append_log(net::ReplicaId replica, std::string record) {
+  auto& log = log_at(replica);
+  log.entries.push_back({log.committed, std::move(record)});
+  ++log.committed;
+}
+
+size_t SubjectBase::truncate_log(net::ReplicaId replica, size_t count) {
+  auto& entries = log_at(replica).entries;
+  const size_t removed = std::min(count, entries.size());
+  entries.resize(entries.size() - removed);
+  return removed;
+}
+
+bool SubjectBase::drop_log_entry(net::ReplicaId replica, size_t index) {
+  auto& entries = log_at(replica).entries;
+  if (index >= entries.size()) return false;
+  entries.erase(entries.begin() + static_cast<ptrdiff_t>(index));
+  return true;
+}
+
+size_t SubjectBase::duplicate_log_segment(net::ReplicaId replica, size_t first, size_t count) {
+  auto& entries = log_at(replica).entries;
+  if (first >= entries.size()) return 0;
+  const size_t copied = std::min(count, entries.size() - first);
+  // Copy out before appending: push_back into the source vector invalidates
+  // the range being copied.
+  const std::vector<DurableLog::Entry> segment(
+      entries.begin() + static_cast<ptrdiff_t>(first),
+      entries.begin() + static_cast<ptrdiff_t>(first + copied));
+  entries.insert(entries.end(), segment.begin(), segment.end());
+  return copied;
+}
+
+size_t SubjectBase::splice_log_suffix(net::ReplicaId replica, size_t from_length, size_t keep) {
+  auto& entries = log_at(replica).entries;
+  const size_t keep_end = std::min(entries.size(), from_length + keep);
+  const size_t removed = entries.size() - keep_end;
+  entries.resize(keep_end);
+  return removed;
+}
+
+void SubjectBase::replay_log_record(net::ReplicaId replica, const std::string& record) {
+  auto parsed = util::Json::parse(record);
+  if (!parsed) return;
+  const auto doc = std::move(parsed).take();
+  if (!doc.is_object() || !doc["t"].is_string()) return;
+  const auto& type = doc["t"].as_string();
+  if (type == "op" && doc["op"].is_string()) {
+    (void)do_invoke(replica, doc["op"].as_string(), doc["a"]);
+  } else if (type == "sync" && doc["f"].is_int() && doc["p"].is_string()) {
+    (void)apply_sync_payload(static_cast<net::ReplicaId>(doc["f"].as_int()), replica,
+                             doc["p"].as_string());
+  }
+}
+
+SubjectBase::RecoveryResult SubjectBase::recover_from_log(net::ReplicaId replica) {
+  check_replica(replica);
+  RecoveryResult result;
+  if (!durable_logging_ || !supports_durable_log()) return result;  // Unsupported
+
+  const auto policy = recovery_policy();
+  const auto& log = log_at(replica);
+
+  // What history does the log claim? An honest subject trusts the committed
+  // mark; a buggy one trusts only the entries present, so a torn tail looks
+  // complete.
+  uint64_t limit = 0;
+  if (policy.check_committed) {
+    limit = log.committed;
+  } else {
+    for (const auto& entry : log.entries) limit = std::max(limit, entry.seqno + 1);
+  }
+
+  std::vector<bool> present(static_cast<size_t>(limit), false);
+  for (const auto& entry : log.entries) {
+    if (entry.seqno < limit) present[static_cast<size_t>(entry.seqno)] = true;
+  }
+  uint64_t first_missing = limit;
+  uint64_t missing_count = 0;
+  for (uint64_t s = 0; s < limit; ++s) {
+    if (!present[static_cast<size_t>(s)]) {
+      if (missing_count == 0) first_missing = s;
+      ++missing_count;
+    }
+  }
+
+  if (!reset_replica_state(replica)) return result;  // Unsupported
+
+  // Replay in file order. Everything at or past the first gap is untrusted —
+  // the recovered prefix is exactly [0, first_missing) — and duplicates are
+  // skipped or replayed per the subject's policy.
+  recovering_ = true;
+  std::vector<bool> applied(static_cast<size_t>(limit), false);
+  for (const auto& entry : log.entries) {
+    if (missing_count > 0 && entry.seqno >= first_missing) continue;
+    const bool duplicate =
+        entry.seqno < limit && applied[static_cast<size_t>(entry.seqno)];
+    if (entry.seqno < limit) applied[static_cast<size_t>(entry.seqno)] = true;
+    if (duplicate && policy.dedup_duplicates) continue;
+    replaying_duplicate_ = duplicate;
+    replay_log_record(replica, entry.record);
+    replaying_duplicate_ = false;
+  }
+  recovering_ = false;
+
+  result.status = missing_count > 0 ? RecoveryResult::Status::MissingEntries
+                                    : RecoveryResult::Status::Ok;
+  result.first_missing = missing_count > 0 ? first_missing : 0;
+  result.missing_count = missing_count;
+  return result;
 }
 
 }  // namespace erpi::subjects

@@ -8,6 +8,7 @@
 // fully controls when replication happens, which is what ER-pi replays.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,72 @@ class SubjectBase : public proxy::Rdl {
   /// in network stats). Returns false when the snapshot does not belong to
   /// this subject/replica or per-replica hooks are unsupported.
   bool crash_restore_replica(net::ReplicaId replica, const ReplicaSnapshotState& snap);
+
+  // ---- durable-log model (faults:: storage plans, DESIGN.md §13) ----------
+
+  /// A replica's write-ahead log. The entry file models the bytes on disk —
+  /// storage damage mutates it freely — while `committed` is the durable
+  /// high-water mark a journal header would carry: damage never touches it,
+  /// so recovery can tell "the log claims 5 entries but holds 3".
+  struct DurableLog {
+    struct Entry {
+      uint64_t seqno = 0;   // commit order; gaps reveal missing entries
+      std::string record;   // self-describing JSON replay record
+      bool operator==(const Entry&) const = default;
+    };
+    std::vector<Entry> entries;
+    uint64_t committed = 0;
+
+    bool operator==(const DurableLog&) const = default;
+    uint64_t bytes() const noexcept;
+  };
+
+  /// Structured recovery verdict. Unsupported = the subject does not opt in
+  /// (or logging is off); Ok = the full committed history replayed;
+  /// MissingEntries = the log is damaged and recovery stopped at the first
+  /// seqno gap, reporting exactly what is lost — never a silent guess.
+  struct RecoveryResult {
+    enum class Status { Unsupported, Ok, MissingEntries };
+    Status status = Status::Unsupported;
+    uint64_t first_missing = 0;
+    uint64_t missing_count = 0;
+  };
+
+  /// Opt-in durable logging: when enabled (and the subject implements the
+  /// recovery hooks), every successful mutating operation and every applied
+  /// sync payload is appended to the acting replica's log. Off by default —
+  /// plain replays carry no logging cost and snapshot byte-identically to
+  /// prior releases. Toggling clears the logs.
+  void set_durable_logging(bool on);
+  bool durable_logging() const noexcept { return durable_logging_; }
+  /// Non-mutating probe: true when the subject implements the recovery hooks.
+  bool durable_log_supported() const { return supports_durable_log(); }
+
+  const DurableLog& durable_log(net::ReplicaId replica) const;
+  size_t log_length(net::ReplicaId replica) const;
+  uint64_t log_committed(net::ReplicaId replica) const;
+
+  // Damage primitives (the fault layer's storage injections). They mutate
+  // the entry file only, never the committed mark — like disk corruption
+  // under a journal header that still claims the full history.
+
+  /// Remove the last `count` entries (torn tail). Returns entries removed.
+  size_t truncate_log(net::ReplicaId replica, size_t count);
+  /// Hide one entry by file index. Returns false when out of range.
+  bool drop_log_entry(net::ReplicaId replica, size_t index);
+  /// Re-append a copy of entries [first, first+count), clamped to the file.
+  /// Returns entries appended.
+  size_t duplicate_log_segment(net::ReplicaId replica, size_t first, size_t count);
+  /// Stale-snapshot restore shape: keep the prefix [0, from_length) plus the
+  /// next `keep` entries, discard the rest. Returns entries removed.
+  size_t splice_log_suffix(net::ReplicaId replica, size_t from_length, size_t keep);
+
+  /// Rebuild the replica from its (possibly damaged) durable log: reset it
+  /// to initial state, then replay entries in file order up to the first
+  /// seqno gap, deduping duplicates per the subject's recovery policy. The
+  /// caller compares the rebuilt state against a pre-damage reference to
+  /// rule out silent divergence.
+  RecoveryResult recover_from_log(net::ReplicaId replica);
 
  protected:
   /// Subject-specific operation dispatch (sync ops are handled by the base).
@@ -150,6 +217,45 @@ class SubjectBase : public proxy::Rdl {
     return true;
   }
 
+  // ---- durable-log hooks --------------------------------------------------
+
+  /// Opt-in probe; must not mutate. A subject returning true must also
+  /// implement reset_replica_state() and is_readonly_op().
+  virtual bool supports_durable_log() const { return false; }
+
+  /// Rebuild one replica to its post-reset() initial state (recovery starts
+  /// here before replaying the log). Returns false when unsupported, without
+  /// mutating anything.
+  virtual bool reset_replica_state(net::ReplicaId replica) {
+    (void)replica;
+    return false;
+  }
+
+  /// Operations that never mutate replica state; they are not logged.
+  virtual bool is_readonly_op(const std::string& op) const {
+    (void)op;
+    return false;
+  }
+
+  /// How recover_from_log() trusts the damaged file.
+  struct RecoveryPolicy {
+    /// Trust the committed high-water mark: a log shorter than it claims is
+    /// reported as missing entries. A subject that only trusts the entries
+    /// present (false) accepts torn tails silently — and diverges, which the
+    /// fault layer flags as a violation.
+    bool check_committed = true;
+    /// Skip entries whose seqno already replayed. A subject replaying
+    /// duplicated segments non-idempotently (false) sees every copy.
+    bool dedup_duplicates = true;
+  };
+  virtual RecoveryPolicy recovery_policy() const { return {}; }
+
+  /// True while recover_from_log() is replaying entries.
+  bool recovering() const noexcept { return recovering_; }
+  /// True while the entry being replayed is a duplicate the policy chose not
+  /// to dedup — the hook where non-idempotent-replay bugs live.
+  bool replaying_duplicate() const noexcept { return replaying_duplicate_; }
+
   void check_replica(net::ReplicaId replica) const;
 
  private:
@@ -157,11 +263,25 @@ class SubjectBase : public proxy::Rdl {
     const SubjectBase* owner = nullptr;  // guards against cross-subject restore
     std::shared_ptr<const void> replicas;
     net::SimNetwork::State network;
+    // Durable logs ride along in prefix-cache snapshots so a resume at any
+    // depth sees exactly the log a from-scratch replay would have written.
+    // Empty (zero bytes) when logging is off.
+    std::vector<DurableLog> logs;
+    bool logging = false;
   };
+
+  void append_log(net::ReplicaId replica, std::string record);
+  void replay_log_record(net::ReplicaId replica, const std::string& record);
+  DurableLog& log_at(net::ReplicaId replica);
+  const DurableLog& log_at(net::ReplicaId replica) const;
 
   std::string name_;
   int replica_count_;
   std::unique_ptr<net::SimNetwork> network_;
+  bool durable_logging_ = false;
+  bool recovering_ = false;
+  bool replaying_duplicate_ = false;
+  std::vector<DurableLog> logs_;
 };
 
 }  // namespace erpi::subjects
