@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -229,48 +230,85 @@ std::optional<RunJournal::Record> parse_record_line(const std::string& line) {
 
 }  // namespace
 
-RunJournal::RunJournal(std::string path, uint64_t fingerprint, size_t checkpoint_every)
+RunJournal::RunJournal(std::string path, uint64_t fingerprint, size_t checkpoint_every,
+                       StreamFactory stream_factory)
     : path_(std::move(path)),
       fingerprint_(fingerprint),
-      checkpoint_every_(checkpoint_every < 1 ? 1 : checkpoint_every) {
+      checkpoint_every_(checkpoint_every < 1 ? 1 : checkpoint_every),
+      stream_factory_(std::move(stream_factory)) {
   lines_.push_back(journal_header_line(fingerprint_));
 }
 
 RunJournal RunJournal::create(std::string path, uint64_t fingerprint,
-                              size_t checkpoint_every) {
-  RunJournal journal(std::move(path), fingerprint, checkpoint_every);
+                              size_t checkpoint_every, StreamFactory stream_factory) {
+  RunJournal journal(std::move(path), fingerprint, checkpoint_every,
+                     std::move(stream_factory));
   journal.checkpoint();  // atomically materialize the header
+  if (journal.degraded()) {
+    throw std::runtime_error("RunJournal: cannot create " + journal.path_);
+  }
   return journal;
 }
 
+std::unique_ptr<std::ostream> RunJournal::open_stream(const std::string& path,
+                                                      bool truncate) {
+  if (stream_factory_) return stream_factory_(path, truncate);
+  auto f = std::make_unique<std::ofstream>(
+      path, truncate ? (std::ios::out | std::ios::trunc) : (std::ios::out | std::ios::app));
+  return f;
+}
+
 void RunJournal::reopen_append() {
-  out_.close();
-  out_.clear();
-  out_.open(path_, std::ios::out | std::ios::app);
-  if (!out_) throw std::runtime_error("RunJournal: cannot open " + path_);
+  out_ = open_stream(path_, /*truncate=*/false);
+  if (!out_ || !*out_) {
+    degraded_ = true;
+    out_.reset();
+  }
 }
 
 void RunJournal::checkpoint() {
+  if (degraded_) return;
   const std::string tmp = path_ + ".tmp";
   {
-    std::ofstream f(tmp, std::ios::out | std::ios::trunc);
-    if (!f) throw std::runtime_error("RunJournal: cannot write " + tmp);
-    for (const auto& line : lines_) f << line << '\n';
-    f.flush();
-    if (!f) throw std::runtime_error("RunJournal: short write to " + tmp);
+    auto f = open_stream(tmp, /*truncate=*/true);
+    if (!f || !*f) {
+      degraded_ = true;
+      out_.reset();
+      return;
+    }
+    for (const auto& line : lines_) *f << line << '\n';
+    f->flush();
+    if (!*f) {
+      degraded_ = true;
+      out_.reset();
+      return;
+    }
   }
+  // Real-filesystem path only: with an injected factory the "file" may not
+  // exist on disk, in which case the rename failing is the degradation
+  // signal the factory's caller wanted to simulate.
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    throw std::runtime_error("RunJournal: rename failed for " + path_);
+    degraded_ = true;
+    out_.reset();
+    return;
   }
   reopen_append();
   since_checkpoint_ = 0;
 }
 
 void RunJournal::append(const Record& record) {
+  // Degraded journals record nothing further: the exploration carries on,
+  // the on-disk file keeps its last good prefix, resume is disabled.
+  if (degraded_) return;
   lines_.push_back(journal_record_line(record));
   ++records_;
-  out_ << lines_.back() << '\n';
-  out_.flush();
+  *out_ << lines_.back() << '\n';
+  out_->flush();
+  if (!*out_) {
+    degraded_ = true;
+    out_.reset();
+    return;
+  }
   if (++since_checkpoint_ >= checkpoint_every_) checkpoint();
 }
 

@@ -17,7 +17,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -126,11 +129,22 @@ class RunJournal {
   /// checkpoint_every (Session::Config::journal_checkpoint_every).
   static constexpr size_t kCheckpointEvery = 64;
 
+  /// Test seam for write-fault injection: builds the output stream the
+  /// journal appends and checkpoints through. The default opens a real
+  /// std::ofstream; tests substitute a stream whose writes start failing
+  /// after N bytes to simulate ENOSPC/EIO.
+  using StreamFactory =
+      std::function<std::unique_ptr<std::ostream>(const std::string& path, bool truncate)>;
+
   /// Start a fresh journal at `path` (atomically replacing any existing
   /// file) and leave it open for appending. `checkpoint_every` sets the
-  /// records between atomic-rename checkpoints (clamped to >= 1).
+  /// records between atomic-rename checkpoints (clamped to >= 1). Throws
+  /// when even the initial header cannot be materialized — a run that can't
+  /// journal its first byte should fail loudly up front; only *mid-run*
+  /// write failures degrade (see degraded()).
   static RunJournal create(std::string path, uint64_t fingerprint,
-                           size_t checkpoint_every = kCheckpointEvery);
+                           size_t checkpoint_every = kCheckpointEvery,
+                           StreamFactory stream_factory = {});
 
   /// Read back the valid prefix of a journal. nullopt when the file is
   /// missing or its header is unreadable; torn/out-of-order tails are
@@ -143,12 +157,21 @@ class RunJournal {
   RunJournal& operator=(const RunJournal&) = delete;
 
   /// Append one completed pair: written and flushed before returning, with a
-  /// periodic atomic-rename checkpoint.
+  /// periodic atomic-rename checkpoint. A write failure (ENOSPC, EIO, ...)
+  /// does NOT throw: the journal flips to degraded, stops touching the disk,
+  /// and the exploration completes in memory — the on-disk file keeps its
+  /// last good prefix, and resuming from it is what's lost, not the run.
+  /// Appends on a degraded journal are no-ops.
   void append(const Record& record);
 
   /// Force the atomic tmp+rename rewrite now (also called by append every
-  /// kCheckpointEvery records, and by create for the header).
+  /// kCheckpointEvery records, and by create for the header). Failures
+  /// degrade rather than throw, same as append.
   void checkpoint();
+
+  /// True once any append or checkpoint hit a write failure. The fault
+  /// explorer surfaces this as ReplayReport::journal_degraded.
+  bool degraded() const noexcept { return degraded_; }
 
   size_t appended() const noexcept { return records_; }
   const std::string& path() const noexcept { return path_; }
@@ -156,16 +179,20 @@ class RunJournal {
   size_t checkpoint_every() const noexcept { return checkpoint_every_; }
 
  private:
-  RunJournal(std::string path, uint64_t fingerprint, size_t checkpoint_every);
+  RunJournal(std::string path, uint64_t fingerprint, size_t checkpoint_every,
+             StreamFactory stream_factory);
   void reopen_append();
+  std::unique_ptr<std::ostream> open_stream(const std::string& path, bool truncate);
 
   std::string path_;
   uint64_t fingerprint_ = 0;
   size_t checkpoint_every_ = kCheckpointEvery;
+  StreamFactory stream_factory_;    // empty = real std::ofstream
   std::vector<std::string> lines_;  // header + every record, for checkpoints
-  std::ofstream out_;
+  std::unique_ptr<std::ostream> out_;
   size_t records_ = 0;
   size_t since_checkpoint_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace erpi::core

@@ -63,6 +63,11 @@ util::Json SandboxStats::to_json() const {
   j["respawns"] = static_cast<int64_t>(respawns);
   j["retries"] = static_cast<int64_t>(retries);
   j["retry_successes"] = static_cast<int64_t>(retry_successes);
+  // Omitted when zero so reports from runs that never saw a failed spawn
+  // serialize byte-identically to prior releases.
+  if (respawn_failures != 0) {
+    j["respawn_failures"] = static_cast<int64_t>(respawn_failures);
+  }
   return j;
 }
 
@@ -78,6 +83,12 @@ util::Json ReplayReport::to_json() const {
   j["hit_cap"] = hit_cap;
   j["crashed"] = crashed;
   j["budget_exhausted"] = budget_exhausted;
+  // Robustness flags are omitted when false so unaffected runs serialize
+  // byte-identically to prior releases (the same discipline as the sandbox
+  // and recovery blocks below).
+  if (cancelled) j["cancelled"] = true;
+  if (journal_degraded) j["journal_degraded"] = true;
+  if (corpus_degraded) j["corpus_degraded"] = true;
   j["timed_out"] = static_cast<int64_t>(timed_out);
   j["crashed_replays"] = static_cast<int64_t>(crashed_replays);
   j["oom_replays"] = static_cast<int64_t>(oom_replays);
@@ -270,6 +281,11 @@ ReplayReport ReplayEngine::run(Enumerator& enumerator, const EventSet& events,
   for (const auto& assertion : assertions) assertion->on_run_start();
 
   while (report.explored < options_.max_interleavings) {
+    // Cooperative cancel: stop pulling and return the committed prefix.
+    if (options_.cancel && options_.cancel->load(std::memory_order_relaxed)) {
+      report.cancelled = true;
+      break;
+    }
     // Resource check first — the explored-interleaving log plus any
     // enumerator/pruner caches plus retained prefix snapshots must fit the
     // configured budget.

@@ -70,6 +70,33 @@ class BudgetAccount {
 
   bool crashed() const noexcept { return crashed_.load(std::memory_order_relaxed); }
 
+  /// Non-latching admission-control reservation (the service daemon charges
+  /// each accepted job's estimated footprint up front). Atomically adds
+  /// `bytes` when the total would stay within budget and returns true;
+  /// returns false — without touching the crash latch — when it would not.
+  bool try_reserve(uint64_t bytes) noexcept {
+    uint64_t current = charged_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current + bytes > budget_bytes_) return false;
+      if (charged_.compare_exchange_weak(current, current + bytes,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Return a reservation made with try_reserve (job finished or rejected
+  /// downstream). Saturates at zero rather than underflowing.
+  void release(uint64_t bytes) noexcept {
+    uint64_t current = charged_.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint64_t next = current > bytes ? current - bytes : 0;
+      if (charged_.compare_exchange_weak(current, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
  private:
   uint64_t budget_bytes_;
   std::atomic<uint64_t> charged_{0};
@@ -212,6 +239,10 @@ struct SandboxStats {
   uint64_t respawns = 0;         // fresh children forked after a death
   uint64_t retries = 0;          // items re-executed in a fresh child
   uint64_t retry_successes = 0;  // retries that came back clean (collateral)
+  /// Runner spawn attempts that failed (fork EAGAIN, handshake timeout) and
+  /// were retried under exponential backoff before one succeeded or the
+  /// supervisor gave up.
+  uint64_t respawn_failures = 0;
 
   void merge(const SandboxStats& other) noexcept {
     crashes += other.crashes;
@@ -220,10 +251,12 @@ struct SandboxStats {
     respawns += other.respawns;
     retries += other.retries;
     retry_successes += other.retry_successes;
+    respawn_failures += other.respawn_failures;
   }
 
   bool any() const noexcept {
-    return crashes | oom_kills | timeouts | respawns | retries | retry_successes;
+    return crashes | oom_kills | timeouts | respawns | retries | retry_successes |
+           respawn_failures;
   }
 
   util::Json to_json() const;
@@ -349,6 +382,24 @@ struct ReplayOptions {
   /// single retry separates deterministic crashes from collateral damage a
   /// previous item left in the child.
   int sandbox_max_retries = 1;
+  /// Process mode only: how many consecutive runner-spawn failures (fork
+  /// EAGAIN, ready-handshake timeout, fixture-build error) the supervisor
+  /// absorbs — backing off exponentially between attempts — before giving up
+  /// on the sandbox. Each failed attempt bumps SandboxStats::respawn_failures.
+  int sandbox_spawn_max_retries = 4;
+  /// First backoff sleep after a failed spawn attempt, doubled per
+  /// consecutive failure and capped at sandbox_spawn_backoff_cap_ms.
+  uint64_t sandbox_spawn_backoff_ms = 10;
+  uint64_t sandbox_spawn_backoff_cap_ms = 1000;
+  /// Cooperative cancellation token. When set and flipped true, dispatch
+  /// stops pulling new interleavings (the streaming and guided explorers
+  /// check it between pulls, the sequential engine between replays, the
+  /// fault explorer additionally between plans) and the run drains to a
+  /// deterministic committed prefix with ReplayReport::cancelled set. The
+  /// service daemon flips it when a job's client disconnects mid-stream or
+  /// its deadline expires; unlike the budget crash latch it carries no
+  /// "crashed" connotation.
+  std::shared_ptr<std::atomic<bool>> cancel;
   /// Per-interleaving outcome tap: index, interleaving, and everything the
   /// replay observed (violations, timed_out). Same threading contract as
   /// on_interleaving_done — serialized, ascending index order — and delivered
@@ -383,6 +434,18 @@ struct ReplayReport {
   /// counters above hold partial results. Never thrown across threads — the
   /// parallel explorer latches it on the shared BudgetAccount and drains.
   bool budget_exhausted = false;
+  /// Cooperative cancellation (ReplayOptions::cancel) stopped the run early:
+  /// the counters hold the deterministic committed prefix up to the point
+  /// the token flipped. Omitted from to_json when false.
+  bool cancelled = false;
+  /// The run journal hit a write failure (ENOSPC/EIO) mid-run and degraded:
+  /// exploration completed but the journal is truncated, so resuming from it
+  /// is disabled. Omitted from to_json when false.
+  bool journal_degraded = false;
+  /// Same for the outcome corpus: a segment write failed, the store stopped
+  /// persisting, and the report's corpus counters cover only the prefix that
+  /// made it to disk. Omitted from to_json when false.
+  bool corpus_degraded = false;
   /// Replays the watchdog cut off (quarantined, not counted as violations).
   uint64_t timed_out = 0;
   /// Sandboxed replays that died on a signal twice in a row (deterministic

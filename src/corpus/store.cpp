@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -213,14 +214,14 @@ Record Record::from_outcome(uint64_t fingerprint, std::string plan, std::string 
 // ---------------------------------------------------------------------------
 // Store
 
-Store::Store(std::string dir, StoreOptions options)
-    : dir_(std::move(dir)), options_(options) {
+Store::Store(std::string dir, StoreOptions options, StreamFactory stream_factory)
+    : dir_(std::move(dir)), options_(options), stream_factory_(std::move(stream_factory)) {
   if (options_.segment_roll_records == 0) options_.segment_roll_records = 1;
 }
 
-Store Store::open(std::string dir, StoreOptions options) {
+Store Store::open(std::string dir, StoreOptions options, StreamFactory stream_factory) {
   fs::create_directories(dir);
-  Store store(std::move(dir), options);
+  Store store(std::move(dir), options, std::move(stream_factory));
   store.load();
   if (options.auto_compact_segments != 0 &&
       store.segment_paths().size() >= options.auto_compact_segments) {
@@ -313,24 +314,45 @@ const Record* Store::lookup(uint64_t fingerprint, const std::string& plan,
 }
 
 void Store::roll_segment() {
-  active_.close();
-  active_.clear();
+  active_.reset();
   active_path_.clear();
   active_records_ = 0;
 }
 
 void Store::write_record(const Record& record) {
-  if (!active_.is_open()) {
+  // A degraded store stops persisting: the in-memory map still serves this
+  // run, the disk keeps whatever prefix made it out before the failure.
+  if (degraded_) {
+    ++stats_.dropped_writes;
+    return;
+  }
+  if (!active_) {
     active_path_ = dir_ + "/" + segment_name(next_segment_++);
-    active_.open(active_path_, std::ios::out | std::ios::trunc);
-    if (!active_) throw std::runtime_error("corpus::Store: cannot write " + active_path_);
+    if (stream_factory_) {
+      active_ = stream_factory_(active_path_);
+    } else {
+      active_ = std::make_unique<std::ofstream>(active_path_,
+                                                std::ios::out | std::ios::trunc);
+    }
+    if (!active_ || !*active_) {
+      degraded_ = true;
+      active_.reset();
+      ++stats_.dropped_writes;
+      return;
+    }
     util::Json header = util::Json::object();
     header["erpi_corpus_segment"] = static_cast<int64_t>(1);
     header["created_seq"] = static_cast<int64_t>(current_seq_);
-    active_ << header.dump() << '\n';
+    *active_ << header.dump() << '\n';
   }
-  active_ << record_line(record) << '\n';
-  active_.flush();
+  *active_ << record_line(record) << '\n';
+  active_->flush();
+  if (!*active_) {
+    degraded_ = true;
+    active_.reset();
+    ++stats_.dropped_writes;
+    return;
+  }
   if (++active_records_ >= options_.segment_roll_records) roll_segment();
 }
 
@@ -372,17 +394,26 @@ void Store::compact() {
   const std::string tmp = index_path() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::out | std::ios::trunc);
-    if (!out) throw std::runtime_error("corpus::Store: cannot write " + tmp);
+    if (!out) {
+      degraded_ = true;
+      return;
+    }
     util::Json header = util::Json::object();
     header["erpi_corpus_index"] = static_cast<int64_t>(1);
     header["next_seq"] = static_cast<int64_t>(next_seq_);
     out << header.dump() << '\n';
     for (const std::string* key : keys) out << record_line(records_.at(*key)) << '\n';
     out.flush();
-    if (!out) throw std::runtime_error("corpus::Store: short write to " + tmp);
+    if (!out) {
+      // The half-written tmp never replaces the index; the rename below is
+      // what commits, so skipping it leaves the last good index in place.
+      degraded_ = true;
+      return;
+    }
   }
   if (std::rename(tmp.c_str(), index_path().c_str()) != 0) {
-    throw std::runtime_error("corpus::Store: rename failed for " + index_path());
+    degraded_ = true;
+    return;
   }
   // The rename is the commit point; a crash before these unlinks only leaves
   // segments whose records the next open() re-merges (last-wins, same data).

@@ -43,7 +43,9 @@
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -121,13 +123,20 @@ struct StoreStats {
   uint64_t evicted = 0;    // records dropped by compaction eviction
   uint64_t compactions = 0;
   uint64_t torn_lines = 0;  // malformed tails skipped at open()
+  uint64_t dropped_writes = 0;  // appends swallowed after the store degraded
 };
 
 class Store {
  public:
+  /// Test seam for write-fault injection: builds the segment stream appends
+  /// go through. The default opens a real std::ofstream; tests substitute a
+  /// stream whose writes start failing after N bytes (ENOSPC/EIO stand-in).
+  using StreamFactory = std::function<std::unique_ptr<std::ostream>(const std::string& path)>;
+
   /// Open (creating the directory if needed) and load the index plus every
   /// segment, last-wins. Auto-compacts per StoreOptions::auto_compact_segments.
-  static Store open(std::string dir, StoreOptions options = {});
+  static Store open(std::string dir, StoreOptions options = {},
+                    StreamFactory stream_factory = {});
 
   Store(Store&&) = default;
   Store& operator=(Store&&) = default;
@@ -148,8 +157,15 @@ class Store {
 
   /// Insert or overwrite (last-wins) the class's record, stamped with the
   /// current epoch, written and flushed to the active segment before
-  /// returning.
+  /// returning. A segment write failure (ENOSPC, EIO, ...) does NOT throw:
+  /// the store flips to degraded, keeps serving the in-memory map for the
+  /// rest of the run, and stops persisting — the disk keeps whatever prefix
+  /// made it out. The fault explorer surfaces this as
+  /// ReplayReport::corpus_degraded.
   void append(Record record);
+
+  /// True once any segment or index write failed; persistence is off.
+  bool degraded() const noexcept { return degraded_; }
 
   /// Fold index + segments into a fresh sorted index.jsonl (atomic rename),
   /// evict past max_records, delete the segments.
@@ -174,7 +190,7 @@ class Store {
   uint64_t current_seq() const noexcept { return current_seq_; }
 
  private:
-  Store(std::string dir, StoreOptions options);
+  Store(std::string dir, StoreOptions options, StreamFactory stream_factory);
 
   void load();
   size_t load_file(const std::string& path, bool is_index);
@@ -185,14 +201,16 @@ class Store {
 
   std::string dir_;
   StoreOptions options_;
+  StreamFactory stream_factory_;  // empty = real std::ofstream
   std::unordered_map<std::string, Record> records_;  // key: fp-hex/plan/il
   uint64_t next_seq_ = 1;     // next begin_run epoch
   uint64_t current_seq_ = 0;  // active epoch
   uint64_t next_segment_ = 1;
-  std::ofstream active_;
+  std::unique_ptr<std::ostream> active_;
   std::string active_path_;
   size_t active_records_ = 0;
   StoreStats stats_;
+  bool degraded_ = false;
 };
 
 /// Load the distinct violating interleavings recorded anywhere in the corpus

@@ -123,7 +123,8 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   }
   std::optional<core::RunJournal> journal;
   if (!config.resume_journal.empty()) {
-    journal = core::RunJournal::create(config.resume_journal, fingerprint, checkpoint_every);
+    journal = core::RunJournal::create(config.resume_journal, fingerprint, checkpoint_every,
+                                       journal_stream_factory_);
     // Re-seed the fresh journal with the resumed prefix so a second kill
     // resumes from at least this far, then compact it in one atomic rename.
     for (const auto& plan : plans_) {
@@ -142,7 +143,8 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   if (!config.corpus_path.empty()) {
     corpus::StoreOptions store_options;
     store_options.segment_roll_records = checkpoint_every;
-    store.emplace(corpus::Store::open(config.corpus_path, store_options));
+    store.emplace(corpus::Store::open(config.corpus_path, store_options,
+                                      corpus_stream_factory_));
     store->begin_run();
     corpus_fp = run_fingerprint(*session_, plans_, catalog_options_, replay,
                                 FingerprintPurpose::Corpus);
@@ -209,6 +211,12 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   bool all_exhausted = true;    // every plan's stream ran dry
   bool any_hit_cap = false;
 
+  // The caller's outcome tap survives the per-plan overwrite below: the
+  // commit lambda re-delivers every pair — live, cache-hit and
+  // journal-merged alike — with the *global* pair index, which is what a
+  // streaming consumer (the service daemon's progress deltas) wants.
+  const auto user_on_outcome = replay.on_outcome;
+
   // Commit one (interleaving, plan) pair into the run report — the single
   // aggregation point both live outcomes and journal-merged outcomes go
   // through, so resumed and uninterrupted runs produce identical reports.
@@ -248,10 +256,17 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
       }
     }
     if (!outcome.violations.empty() && replay.stop_on_violation) stopped = true;
+    if (user_on_outcome) user_on_outcome(report.explored, il, outcome);
   };
 
   for (const auto& plan : plans_) {
     if (stopped || budget->crashed()) break;
+    // Cooperative cancel between plans (the per-plan explorer checks the
+    // same token between interleavings).
+    if (replay.cancel && replay.cancel->load(std::memory_order_relaxed)) {
+      report.cancelled = true;
+      break;
+    }
     ++report.plans_explored;
 
     // Merge the journaled prefix of this plan's sweep (an ascending 1..m
@@ -382,6 +397,10 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
       report.budget_exhausted = true;
       break;
     }
+    if (plan_report.cancelled) {
+      report.cancelled = true;
+      break;
+    }
   }
 
   if (journal) journal->checkpoint();
@@ -389,7 +408,13 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   // (persisting recency refreshes along the way); cheap runs skip the rewrite.
   if (store) store->maybe_compact();
 
-  if (!stopped && !report.crashed) {
+  // Mid-run write failures degrade instead of throwing (satellite: graceful
+  // ENOSPC/EIO): the sweep completed, the flags tell the caller that resume /
+  // reuse coverage is partial.
+  if (journal && journal->degraded()) report.journal_degraded = true;
+  if (store && store->degraded()) report.corpus_degraded = true;
+
+  if (!stopped && !report.crashed && !report.cancelled) {
     report.exhausted = all_exhausted;
     report.hit_cap = any_hit_cap;
   }

@@ -85,6 +85,16 @@ class FaultExplorer {
   /// corpus record, plus compared/unchanged/missing totals.
   const corpus::OutcomeDiff& outcome_diff() const noexcept { return outcome_diff_; }
 
+  /// Write-fault injection seams (tests only): substitute the stream the run
+  /// journal / corpus store writes through, to drive the graceful
+  /// ENOSPC/EIO degradation (report.journal_degraded / corpus_degraded).
+  void set_journal_stream_factory(core::RunJournal::StreamFactory factory) {
+    journal_stream_factory_ = std::move(factory);
+  }
+  void set_corpus_stream_factory(corpus::Store::StreamFactory factory) {
+    corpus_stream_factory_ = std::move(factory);
+  }
+
  private:
   core::Session* session_;
   CatalogOptions catalog_options_;
@@ -92,6 +102,8 @@ class FaultExplorer {
   std::vector<core::AssertionList> worker_assertions_;
   corpus::ReuseStats corpus_stats_;
   corpus::OutcomeDiff outcome_diff_;
+  core::RunJournal::StreamFactory journal_stream_factory_;
+  corpus::Store::StreamFactory corpus_stream_factory_;
 };
 
 /// One-call convenience mirroring Session::end_with_factory:

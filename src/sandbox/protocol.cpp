@@ -1,128 +1,13 @@
 #include "sandbox/protocol.hpp"
 
-#include <errno.h>
-#include <poll.h>
-#include <sys/socket.h>
-
 #include <cstring>
 
 #include "util/json.hpp"
 
 namespace erpi::sandbox {
 
-namespace {
-
-/// Upper bound on a frame payload. Responses carry at most a few violations
-/// plus fixed counters; anything bigger means a corrupted length prefix from
-/// a torn write, and treating it as an error beats a multi-gigabyte alloc.
-constexpr uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
-
-bool send_all(int fd, const void* data, size_t len) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool recv_all(int fd, void* data, size_t len) {
-  char* p = static_cast<char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::recv(fd, p, len, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // EOF mid-frame
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
-
-bool write_frame(int fd, const std::string& payload) {
-  if (payload.size() > kMaxFrameBytes) return false;
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  unsigned char header[4] = {
-      static_cast<unsigned char>(len & 0xff),
-      static_cast<unsigned char>((len >> 8) & 0xff),
-      static_cast<unsigned char>((len >> 16) & 0xff),
-      static_cast<unsigned char>((len >> 24) & 0xff),
-  };
-  return send_all(fd, header, sizeof(header)) &&
-         send_all(fd, payload.data(), payload.size());
-}
-
-std::optional<std::string> read_frame(int fd) {
-  unsigned char header[4];
-  if (!recv_all(fd, header, sizeof(header))) return std::nullopt;
-  const uint32_t len = static_cast<uint32_t>(header[0]) |
-                       (static_cast<uint32_t>(header[1]) << 8) |
-                       (static_cast<uint32_t>(header[2]) << 16) |
-                       (static_cast<uint32_t>(header[3]) << 24);
-  if (len > kMaxFrameBytes) return std::nullopt;
-  std::string payload(len, '\0');
-  if (len > 0 && !recv_all(fd, payload.data(), len)) return std::nullopt;
-  return payload;
-}
-
-int wait_readable(int fd, int timeout_ms) {
-  struct pollfd pfd;
-  pfd.fd = fd;
-  pfd.events = POLLIN;
-  pfd.revents = 0;
-  for (;;) {
-    const int rc = ::poll(&pfd, 1, timeout_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    return rc > 0 ? 1 : 0;
-  }
-}
-
-int wait_readable2(int fd_a, int fd_b, int timeout_ms, bool& a_ready, bool& b_ready) {
-  a_ready = false;
-  b_ready = false;
-  struct pollfd pfds[2];
-  pfds[0].fd = fd_a;
-  pfds[0].events = POLLIN;
-  pfds[0].revents = 0;
-  pfds[1].fd = fd_b;
-  pfds[1].events = POLLIN;
-  pfds[1].revents = 0;
-  for (;;) {
-    const int rc = ::poll(pfds, 2, timeout_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (rc == 0) return 0;
-    // POLLHUP/POLLERR count as readable: the subsequent read reports the
-    // condition (EOF / error) instead of this poll loop spinning on it.
-    a_ready = (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
-    b_ready = (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
-    return 1;
-  }
-}
-
-void drain_nonblocking(int fd) {
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
-    if (n > 0) continue;
-    if (n < 0 && errno == EINTR) continue;
-    return;  // EAGAIN (empty), EOF, or error — nothing left to discard
-  }
-}
+// Framing lives in src/util/frame.cpp (shared with the exploration service);
+// this file only knows the sandbox message vocabulary.
 
 // ---- work items ------------------------------------------------------------
 
@@ -281,6 +166,12 @@ std::string encode_exit_notice(const ExitNotice& notice) {
   return j.dump();
 }
 
+std::string encode_spawn_failed_notice(const SpawnFailedNotice& notice) {
+  util::Json j = util::Json::object();
+  j["spawn_failed"] = static_cast<int64_t>(notice.err);
+  return j.dump();
+}
+
 std::optional<ControlNotice> decode_notice(const std::string& payload) {
   const auto parsed = util::Json::parse(payload);
   if (!parsed) return std::nullopt;
@@ -298,6 +189,11 @@ std::optional<ControlNotice> decode_notice(const std::string& payload) {
     }
     notice.exited = ExitNotice{static_cast<pid_t>(j["exited"].as_int()),
                                static_cast<int>(j["status"].as_int())};
+    return notice;
+  }
+  if (j.contains("spawn_failed")) {
+    if (!j["spawn_failed"].is_int()) return std::nullopt;
+    notice.spawn_failed = SpawnFailedNotice{static_cast<int>(j["spawn_failed"].as_int())};
     return notice;
   }
   return std::nullopt;

@@ -19,9 +19,10 @@
 //    kOomExitCode so the parent learns the reason even when the write loses
 //    the race with the exit.
 //
-// Framing is a 4-byte little-endian payload length followed by the payload.
-// All parent-side writes use send(MSG_NOSIGNAL) so a dead peer surfaces as
-// an error return instead of SIGPIPE.
+// Framing is the shared 4-byte little-endian length prefix from
+// util/frame.hpp (also used by the exploration-service daemon). All
+// parent-side writes use send(MSG_NOSIGNAL) so a dead peer surfaces as an
+// error return instead of SIGPIPE.
 #pragma once
 
 #include <sys/types.h>
@@ -33,6 +34,7 @@
 #include "core/interleaving.hpp"
 #include "core/prefix_cache.hpp"
 #include "core/replay.hpp"
+#include "util/frame.hpp"
 
 namespace erpi::sandbox {
 
@@ -45,25 +47,14 @@ inline constexpr char kQuitCommand = 'Q';
 inline constexpr int kOomExitCode = 66;
 
 // ---- framing ---------------------------------------------------------------
+// Re-exported from util/frame.hpp so existing sandbox call sites keep their
+// unqualified names; the implementations live in src/util/frame.cpp.
 
-/// Write one length-prefixed frame. False on any error (peer gone, ...).
-bool write_frame(int fd, const std::string& payload);
-
-/// Read one complete frame; nullopt on EOF, error, or a torn frame.
-std::optional<std::string> read_frame(int fd);
-
-/// poll() for readability. Returns 1 when readable, 0 on timeout, -1 on
-/// error. `timeout_ms` < 0 blocks indefinitely.
-int wait_readable(int fd, int timeout_ms);
-
-/// poll() two fds at once (the supervisor watches data + control together).
-/// Sets the out-flags for whichever became readable; same return convention
-/// as wait_readable.
-int wait_readable2(int fd_a, int fd_b, int timeout_ms, bool& a_ready, bool& b_ready);
-
-/// Throw away any buffered bytes without blocking (partial frames a killed
-/// runner left in the data socket).
-void drain_nonblocking(int fd);
+using util::drain_nonblocking;
+using util::read_frame;
+using util::wait_readable;
+using util::wait_readable2;
+using util::write_frame;
 
 // ---- work items ------------------------------------------------------------
 
@@ -101,14 +92,23 @@ struct ExitNotice {
   pid_t pid = -1;
   int wait_status = 0;  // waitpid status, classify with WIFSIGNALED/WIFEXITED
 };
+/// fork() itself failed inside the server (EAGAIN under pid pressure, ...).
+/// The server stays alive and the supervisor decides whether to retry with
+/// backoff or give up — this replaces the old behaviour of the server
+/// _exit(1)-ing and taking the whole channel down with it.
+struct SpawnFailedNotice {
+  int err = 0;  // errno from the failed fork()
+};
 
 std::string encode_spawn_notice(const SpawnNotice& notice);
 std::string encode_exit_notice(const ExitNotice& notice);
+std::string encode_spawn_failed_notice(const SpawnFailedNotice& notice);
 
-/// Decode either notice kind; exactly one optional is set on success.
+/// Decode any notice kind; exactly one optional is set on success.
 struct ControlNotice {
   std::optional<SpawnNotice> spawned;
   std::optional<ExitNotice> exited;
+  std::optional<SpawnFailedNotice> spawn_failed;
 };
 std::optional<ControlNotice> decode_notice(const std::string& payload);
 

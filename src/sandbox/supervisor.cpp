@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "kvstore/server.hpp"
@@ -176,7 +178,13 @@ bool is_ready_payload(const std::string& payload) {
     if (command != kSpawnCommand) ::_exit(1);
 
     const pid_t pid = ::fork();
-    if (pid < 0) ::_exit(1);
+    if (pid < 0) {
+      // Transient fork failure (EAGAIN under pid/memory pressure): report it
+      // and keep serving — the supervisor owns the backoff-and-retry policy.
+      // Exiting here would take the whole channel down over a blip.
+      if (!write_frame(control_fd, encode_spawn_failed_notice({errno}))) ::_exit(0);
+      continue;
+    }
     if (pid == 0) {
       ::close(control_fd);
       run_runner_loop(data_fd, config);
@@ -306,19 +314,46 @@ void ForkServer::throw_server_lost(const char* where) const {
   throw std::runtime_error(std::string("sandbox fork server lost (") + where + ")");
 }
 
-void ForkServer::spawn_runner() {
-  const char command = kSpawnCommand;
-  if (::send(control_fd_, &command, 1, MSG_NOSIGNAL) != 1) {
-    throw_server_lost("spawn command");
+void ForkServer::spawn_backoff_sleep(int streak) const {
+  uint64_t delay = options_.sandbox_spawn_backoff_ms;
+  for (int i = 1; i < streak && delay < options_.sandbox_spawn_backoff_cap_ms; ++i) {
+    delay *= 2;
   }
-  const auto frame = read_frame(control_fd_);
-  if (!frame) throw_server_lost("spawn notice");
-  const auto notice = decode_notice(*frame);
-  if (!notice || !notice->spawned) throw_server_lost("spawn notice decode");
-  runner_pid_ = notice->spawned->pid;
-  ready_pending_ = true;
-  if (spawned_once_) ++stats_.respawns;
-  spawned_once_ = true;
+  delay = std::min(delay, options_.sandbox_spawn_backoff_cap_ms);
+  if (delay == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+void ForkServer::spawn_runner() {
+  // fork() failures inside the server come back as structured spawn_failed
+  // notices; back off exponentially and retry instead of hot-looping the
+  // spawn command against a box that just ran out of pids.
+  for (;;) {
+    const char command = kSpawnCommand;
+    if (::send(control_fd_, &command, 1, MSG_NOSIGNAL) != 1) {
+      throw_server_lost("spawn command");
+    }
+    const auto frame = read_frame(control_fd_);
+    if (!frame) throw_server_lost("spawn notice");
+    const auto notice = decode_notice(*frame);
+    if (!notice) throw_server_lost("spawn notice decode");
+    if (notice->spawn_failed) {
+      ++stats_.respawn_failures;
+      if (++spawn_failure_streak_ > std::max(0, options_.sandbox_spawn_max_retries)) {
+        throw std::runtime_error("sandbox: runner spawn failed after " +
+                                 std::to_string(spawn_failure_streak_) + " attempts (errno " +
+                                 std::to_string(notice->spawn_failed->err) + ")");
+      }
+      spawn_backoff_sleep(spawn_failure_streak_);
+      continue;
+    }
+    if (!notice->spawned) throw_server_lost("spawn notice decode");
+    runner_pid_ = notice->spawned->pid;
+    ready_pending_ = true;
+    if (spawned_once_) ++stats_.respawns;
+    spawned_once_ = true;
+    return;
+  }
 }
 
 int ForkServer::reap_runner() {
@@ -378,12 +413,24 @@ std::optional<ForkServer::Attempt> ForkServer::await_ready(int deadline_ms) {
       if (!frame) throw_server_lost("read ready");
       if (is_ready_payload(*frame)) {
         ready_pending_ = false;
+        spawn_failure_streak_ = 0;  // a healthy runner ends the streak
         return std::nullopt;  // runner is live and idle
       }
       const auto response = decode_response(*frame);
       if (!response) throw_server_lost("decode ready");
       if (response->status == WorkResponse::Status::Error) {
-        throw std::runtime_error("sandbox child error: " + response->error);
+        // Fixture build failed and the runner is exiting. Transient factory
+        // failures (resource spikes, dependency warm-up) heal under the same
+        // backoff-and-respawn policy as fork failures; a deterministic one
+        // exhausts the retries and surfaces as the original error.
+        reap_runner();
+        ++stats_.respawn_failures;
+        if (++spawn_failure_streak_ > std::max(0, options_.sandbox_spawn_max_retries)) {
+          throw std::runtime_error("sandbox child error: " + response->error);
+        }
+        spawn_backoff_sleep(spawn_failure_streak_);
+        spawn_runner();
+        continue;
       }
       // Fixture build blew the memory cap: the runner is exiting.
       prefix_live_ = response->prefix;

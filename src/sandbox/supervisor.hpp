@@ -103,6 +103,10 @@ class ForkServer {
   };
 
   void spawn_runner();
+  /// Exponential-backoff sleep for the current spawn-failure streak:
+  /// sandbox_spawn_backoff_ms doubled per consecutive failure, capped at
+  /// sandbox_spawn_backoff_cap_ms. Keeps fork-EAGAIN storms from hot-looping.
+  void spawn_backoff_sleep(int streak) const;
   Attempt attempt_once(const core::Interleaving& il);
   /// Consume the runner's ready handshake (nullopt) or its build-time
   /// failure (the classified attempt).
@@ -120,6 +124,10 @@ class ForkServer {
   pid_t runner_pid_ = -1;
   bool spawned_once_ = false;  // distinguishes first spawn from respawns
   bool ready_pending_ = true;  // handshake not yet consumed for this runner
+  /// Consecutive failed spawn attempts (fork failure or fixture-build error)
+  /// since the last healthy runner; drives the exponential backoff and the
+  /// give-up threshold (options_.sandbox_spawn_max_retries).
+  int spawn_failure_streak_ = 0;
 
   core::SandboxStats stats_;
   core::PrefixReplayStats prefix_dead_;  // folded from dead runners

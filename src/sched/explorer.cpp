@@ -165,13 +165,14 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
 
   bool crashed = false;
   bool exhausted = false;
+  bool cancelled = false;
   std::vector<WorkerTelemetry> telemetry(static_cast<size_t>(workers));
   if (options_.search.guided()) {
     run_guided(enumerator, events, workers, budget, contexts, sandboxes, report,
-               crashed, exhausted, telemetry);
+               crashed, exhausted, cancelled, telemetry);
   } else {
     run_streaming(enumerator, events, workers, budget, contexts, sandboxes, report,
-                  crashed, exhausted, telemetry);
+                  crashed, exhausted, cancelled, telemetry);
   }
 
   // Sequential parity for the terminal flags: a stop_on_violation run that
@@ -184,6 +185,7 @@ core::ReplayReport ParallelExplorer::run(core::Enumerator& enumerator,
   // results with the structured flag set.
   report.budget_exhausted = report.crashed;
   report.exhausted = exhausted && !stopped_at_violation;
+  report.cancelled = cancelled && !stopped_at_violation;
   report.hit_cap = report.explored >= options_.replay.max_interleavings;
   report.elapsed_seconds = watch.elapsed_seconds();
 
@@ -220,12 +222,13 @@ void ParallelExplorer::run_streaming(core::Enumerator& enumerator,
                                      std::vector<std::unique_ptr<WorkerContext>>& contexts,
                                      std::vector<std::unique_ptr<sandbox::ForkServer>>& sandboxes,
                                      core::ReplayReport& report, bool& crashed,
-                                     bool& exhausted,
+                                     bool& exhausted, bool& cancelled,
                                      std::vector<WorkerTelemetry>& telemetry) {
   const uint64_t cap = options_.replay.max_interleavings;
   const bool stop_on_violation = options_.replay.stop_on_violation;
   const bool sandboxed = !sandboxes.empty();
   const bool collect = options_.collect_stats;
+  const std::shared_ptr<std::atomic<bool>> cancel_token = options_.replay.cancel;
   const size_t batch_size =
       options_.batch_size != 0 ? options_.batch_size : auto_batch_size(cap, workers);
   if (collect) report.explorer.batch_size = batch_size;
@@ -237,6 +240,7 @@ void ParallelExplorer::run_streaming(core::Enumerator& enumerator,
   std::atomic<uint64_t> violation_floor{std::numeric_limits<uint64_t>::max()};
   std::atomic<bool> dispatch_crashed{false};
   std::atomic<bool> dispatch_exhausted{false};
+  std::atomic<bool> dispatch_cancelled{false};
   std::atomic<bool> abort{false};
   std::atomic<int> active_workers{workers};
   std::mutex error_mu;
@@ -265,6 +269,13 @@ void ParallelExplorer::run_streaming(core::Enumerator& enumerator,
           while (batch.items.size() < batch_size) {
             if (next_index > cap ||
                 (stop_on_violation && next_index > violation_floor.load())) {
+              break;
+            }
+            // Cooperative cancel sits where the budget check does: between
+            // pulls, so the committed stream stays a deterministic prefix.
+            if (cancel_token && cancel_token->load(std::memory_order_relaxed)) {
+              dispatch_cancelled.store(true);
+              stop_dispatch = true;
               break;
             }
             // Budget check exactly where the sequential engine does it:
@@ -344,6 +355,7 @@ void ParallelExplorer::run_streaming(core::Enumerator& enumerator,
           d.index = item.index;
           const bool cancelled =
               abort.load() ||
+              (cancel_token && cancel_token->load(std::memory_order_relaxed)) ||
               (stop_on_violation && item.index > violation_floor.load());
           if (cancelled) {
             d.skipped = true;
@@ -384,6 +396,10 @@ void ParallelExplorer::run_streaming(core::Enumerator& enumerator,
 
   crashed = dispatch_crashed.load();
   exhausted = dispatch_exhausted.load();
+  // A token that flipped after dispatch ended still marks the run: workers
+  // may have skipped the tail, so the report is a cancelled prefix either way.
+  cancelled = dispatch_cancelled.load() ||
+              (cancel_token && cancel_token->load(std::memory_order_relaxed));
 }
 
 void ParallelExplorer::run_guided(core::Enumerator& enumerator,
@@ -392,12 +408,13 @@ void ParallelExplorer::run_guided(core::Enumerator& enumerator,
                                   std::vector<std::unique_ptr<WorkerContext>>& contexts,
                                   std::vector<std::unique_ptr<sandbox::ForkServer>>& sandboxes,
                                   core::ReplayReport& report, bool& crashed,
-                                  bool& exhausted,
+                                  bool& exhausted, bool& cancelled,
                                   std::vector<WorkerTelemetry>& telemetry) {
   const uint64_t cap = options_.replay.max_interleavings;
   const bool stop_on_violation = options_.replay.stop_on_violation;
   const bool sandboxed = !sandboxes.empty();
   const bool collect = options_.collect_stats;
+  const std::shared_ptr<std::atomic<bool>> cancel_token = options_.replay.cancel;
 
   // ---- phase A: materialize the (capped) stream on this thread, with the
   // same budget protocol the streaming dispatcher runs — check before each
@@ -408,6 +425,10 @@ void ParallelExplorer::run_guided(core::Enumerator& enumerator,
   std::vector<core::Interleaving> items;
   std::vector<std::optional<core::InterleavingOutcome>> cached;
   while (items.size() < cap) {
+    if (cancel_token && cancel_token->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      break;
+    }
     uint64_t extra =
         options_.replay.extra_cache_bytes ? options_.replay.extra_cache_bytes() : 0;
     for (const auto& ctx : contexts) extra += ctx->snapshot_cache_bytes();
@@ -499,9 +520,11 @@ void ParallelExplorer::run_guided(core::Enumerator& enumerator,
         const size_t idx = order[*slot];
         Done d;
         d.index = ordinal;
-        const bool cancelled =
-            abort.load() || (stop_on_violation && ordinal > violation_floor.load());
-        if (cancelled) {
+        const bool cancel_item =
+            abort.load() ||
+            (cancel_token && cancel_token->load(std::memory_order_relaxed)) ||
+            (stop_on_violation && ordinal > violation_floor.load());
+        if (cancel_item) {
           d.skipped = true;
         } else if (cached[idx]) {
           d.outcome = *cached[idx];
@@ -540,6 +563,8 @@ void ParallelExplorer::run_guided(core::Enumerator& enumerator,
   for (auto& worker : pool) worker.join();
   const double section_seconds = section.elapsed_seconds();
   if (first_error) std::rethrow_exception(first_error);
+
+  if (cancel_token && cancel_token->load(std::memory_order_relaxed)) cancelled = true;
 
   if (collect) {
     report.explorer.steals = frontier.steals();

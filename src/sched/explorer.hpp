@@ -144,13 +144,13 @@ class ParallelExplorer {
                      std::vector<std::unique_ptr<WorkerContext>>& contexts,
                      std::vector<std::unique_ptr<sandbox::ForkServer>>& sandboxes,
                      core::ReplayReport& report, bool& crashed, bool& exhausted,
-                     std::vector<WorkerTelemetry>& telemetry);
+                     bool& cancelled, std::vector<WorkerTelemetry>& telemetry);
   void run_guided(core::Enumerator& enumerator, const core::EventSet& events,
                   int workers, core::BudgetAccount* budget,
                   std::vector<std::unique_ptr<WorkerContext>>& contexts,
                   std::vector<std::unique_ptr<sandbox::ForkServer>>& sandboxes,
                   core::ReplayReport& report, bool& crashed, bool& exhausted,
-                  std::vector<WorkerTelemetry>& telemetry);
+                  bool& cancelled, std::vector<WorkerTelemetry>& telemetry);
 
   ExplorerOptions options_;
   std::vector<core::AssertionList> worker_assertions_;

@@ -1,0 +1,168 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "util/frame.hpp"
+
+namespace erpi::service {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Client::connect(const std::string& socket_path) {
+  close();
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::send(const util::Json& request) {
+  if (fd_ < 0) return false;
+  if (!util::write_frame(fd_, request.dump())) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<util::Json> Client::next_frame(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    int slice = 200;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return std::nullopt;
+      slice = static_cast<int>(std::min<int64_t>(left, 200));
+    }
+    const int readable = util::wait_readable(fd_, slice);
+    if (readable == 0) continue;
+    if (readable < 0) {
+      close();
+      return std::nullopt;
+    }
+    auto frame = util::read_frame(fd_);
+    if (!frame) {
+      close();
+      return std::nullopt;
+    }
+    auto parsed = util::Json::parse(*frame);
+    if (!parsed) {
+      close();
+      return std::nullopt;
+    }
+    return std::move(parsed).take();
+  }
+}
+
+std::optional<util::Json> Client::call(const util::Json& request, int timeout_ms) {
+  if (!send(request)) return std::nullopt;
+  return next_frame(timeout_ms);
+}
+
+std::optional<util::Json> Client::submit(const JobSpec& spec, int timeout_ms) {
+  util::Json request = util::Json::object();
+  request["op"] = "submit";
+  request["job"] = spec.to_json();
+  return call(request, timeout_ms);
+}
+
+bool Client::is_terminal(const util::Json& frame) {
+  if (!frame.is_object() || !frame.contains("status")) return false;
+  const std::string& status = frame["status"].as_string();
+  return status == "done" || status == "failed" || status == "cancelled" ||
+         status == "timed_out";
+}
+
+std::optional<util::Json> Client::run(
+    const JobSpec& spec, const std::function<void(const util::Json&)>& on_progress,
+    int timeout_ms) {
+  auto admission = submit(spec, timeout_ms < 0 ? 10'000 : timeout_ms);
+  if (!admission) return std::nullopt;
+  if (!admission->is_object()) return admission;
+  const std::string status =
+      admission->contains("status") ? (*admission)["status"].as_string() : "";
+  if (status != "accepted") return admission;  // rejected, or stored terminal frame
+  for (;;) {
+    auto frame = next_frame(timeout_ms);
+    if (!frame) return std::nullopt;
+    if (!frame->is_object()) continue;
+    if (frame->contains("id") && (*frame)["id"].as_string() != spec.id) continue;
+    if (is_terminal(*frame)) return frame;
+    if (on_progress && frame->contains("progress")) on_progress(*frame);
+  }
+}
+
+std::optional<util::Json> Client::fetch(const std::string& id, int timeout_ms) {
+  util::Json request = util::Json::object();
+  request["op"] = "fetch";
+  request["id"] = id;
+  return call(request, timeout_ms);
+}
+
+std::optional<util::Json> Client::stats(int timeout_ms) {
+  util::Json request = util::Json::object();
+  request["op"] = "stats";
+  return call(request, timeout_ms);
+}
+
+bool Client::cancel(const std::string& id, int timeout_ms) {
+  util::Json request = util::Json::object();
+  request["op"] = "cancel";
+  request["id"] = id;
+  const auto reply = call(request, timeout_ms);
+  return reply && reply->is_object() && reply->contains("status") &&
+         (*reply)["status"].as_string() == "cancel_requested";
+}
+
+bool Client::ping(int timeout_ms) {
+  util::Json request = util::Json::object();
+  request["op"] = "ping";
+  const auto reply = call(request, timeout_ms);
+  return reply && reply->is_object() && reply->contains("status") &&
+         (*reply)["status"].as_string() == "ok";
+}
+
+bool Client::shutdown(int timeout_ms) {
+  util::Json request = util::Json::object();
+  request["op"] = "shutdown";
+  const auto reply = call(request, timeout_ms);
+  return reply.has_value();
+}
+
+}  // namespace erpi::service

@@ -1,0 +1,66 @@
+// Blocking client for the exploration daemon (DESIGN.md §14).
+//
+// Thin: one AF_UNIX connection, framed JSON in both directions, no hidden
+// threads. A submit is answered by exactly one admission frame; an accepted
+// job then streams {"progress"} frames followed by one terminal frame
+// ({"status": "done" | "failed" | "cancelled" | "timed_out"}). run() wraps
+// the whole exchange. Not thread-safe — one Client per thread.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "service/job.hpp"
+#include "util/json.hpp"
+
+namespace erpi::service {
+
+class Client {
+ public:
+  /// Does not connect; call connect() and check the result.
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  bool connect(const std::string& socket_path);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Send one framed request. False on a dead connection.
+  bool send(const util::Json& request);
+  /// Next framed reply. timeout_ms < 0 blocks indefinitely; nullopt on
+  /// timeout or disconnect.
+  std::optional<util::Json> next_frame(int timeout_ms = -1);
+  /// send + next_frame.
+  std::optional<util::Json> call(const util::Json& request, int timeout_ms = 10'000);
+
+  /// Submit and return the admission frame ("accepted" / "rejected" / a
+  /// stored terminal frame for an already-finished id).
+  std::optional<util::Json> submit(const JobSpec& spec, int timeout_ms = 10'000);
+  /// Submit, stream progress (optional callback), return the terminal frame
+  /// — or the rejection/stored frame if the job never started.
+  std::optional<util::Json> run(const JobSpec& spec,
+                                const std::function<void(const util::Json&)>& on_progress = {},
+                                int timeout_ms = -1);
+
+  std::optional<util::Json> fetch(const std::string& id, int timeout_ms = 10'000);
+  std::optional<util::Json> stats(int timeout_ms = 10'000);
+  bool cancel(const std::string& id, int timeout_ms = 10'000);
+  bool ping(int timeout_ms = 10'000);
+  bool shutdown(int timeout_ms = 10'000);
+
+  int fd() const noexcept { return fd_; }
+
+  /// True for "done" / "failed" / "cancelled" / "timed_out" frames.
+  static bool is_terminal(const util::Json& frame);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace erpi::service

@@ -1,0 +1,78 @@
+// Exploration-service daemon configuration (DESIGN.md §14).
+//
+// One struct, value-semantic, fully defaulted: tests construct a config,
+// point socket_path/journal_dir at a temp directory, tighten the knobs they
+// exercise (cap, breaker threshold, backoff) and start a Daemon. Every
+// duration is in milliseconds; every limit of 0 means "disabled".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace erpi::service {
+
+struct ServiceConfig {
+  /// AF_UNIX socket the daemon listens on. Must fit sockaddr_un::sun_path
+  /// (~107 bytes); the daemon unlinks any stale file before binding.
+  std::string socket_path;
+
+  /// Directory for the accepted-job queue journal, the per-job resume
+  /// journals and the persisted final reports. Created if missing. A daemon
+  /// restarted over the same directory resumes every accepted-but-unfinished
+  /// job (ServiceStats::resumed counts them).
+  std::string journal_dir;
+
+  /// Admission cap: jobs in flight (queued + running). A submit past the cap
+  /// is rejected with {"status":"rejected","reason":"overloaded",
+  /// "retry_after_ms":...} — never queued unboundedly, never dropped
+  /// silently.
+  int max_concurrent_jobs = 4;
+
+  /// Executor threads draining the accepted-job queue. 0 = one per
+  /// max_concurrent_jobs.
+  int executor_threads = 0;
+
+  /// Shared admission budget (bytes) all in-flight jobs charge their
+  /// JobSpec::budget_bytes against (core::BudgetAccount::try_reserve).
+  /// Reservations are released when the job leaves the system, so — unlike
+  /// the replay engine's latching budget — rejection here is transient.
+  uint64_t budget_bytes = 256ull * 1024 * 1024;
+
+  /// Suggested client back-off stamped into overload rejections.
+  uint64_t retry_after_ms = 100;
+
+  /// Failed-attempt retry policy: a job whose attempt throws is retried up
+  /// to max_retries times with exponential backoff (base doubled per
+  /// attempt, capped). The backoff sleep polls the job's cancel token.
+  int max_retries = 2;
+  uint64_t retry_backoff_ms = 10;
+  uint64_t retry_backoff_cap_ms = 1000;
+
+  /// Per-tenant circuit breaker: this many *consecutive* exhausted-retry job
+  /// failures quarantine the tenant for breaker_cooldown_ms — submits are
+  /// rejected with {"reason":"quarantined"} while other tenants proceed.
+  /// After the cooldown the breaker half-opens: the next job is admitted,
+  /// and its success resets the streak while another failure re-opens the
+  /// breaker. 0 disables the breaker.
+  int breaker_threshold = 3;
+  uint64_t breaker_cooldown_ms = 5000;
+
+  /// Default per-job wall-clock deadline (JobSpec::timeout_ms overrides when
+  /// nonzero). The deadline monitor flips the job's cancel token; the job
+  /// finishes with {"status":"timed_out"} and its committed-prefix report.
+  /// 0 = no deadline.
+  uint64_t job_timeout_ms = 0;
+
+  /// Backpressure bound: frames buffered per client connection. The writer
+  /// thread drains the queue; when a slow reader lets it fill, the *push*
+  /// blocks — which stalls only the executor streaming that client's job,
+  /// never the accept loop or other tenants' jobs. A disconnected client
+  /// closes the queue, unblocking pushes and cancelling its jobs.
+  size_t max_client_queue_frames = 64;
+
+  /// Stream a progress frame every N committed (interleaving, plan)
+  /// outcomes. 0 disables progress frames (the final report still streams).
+  uint64_t progress_every = 64;
+};
+
+}  // namespace erpi::service

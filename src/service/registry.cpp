@@ -1,0 +1,89 @@
+#include "service/registry.hpp"
+
+#include <stdexcept>
+
+#include "bugs/registry.hpp"
+#include "subjects/town.hpp"
+
+namespace erpi::service {
+
+namespace {
+
+util::Json problem(const char* name) {
+  util::Json j = util::Json::object();
+  j["problem"] = name;
+  return j;
+}
+
+/// The §2.3 motivating workload: three report/sync rounds across two
+/// replicas — 9 events, 3 spec groups, converges under every interleaving.
+void town_workload(proxy::RdlProxy& proxy) {
+  (void)proxy.update(0, "report", problem("lamp"));
+  (void)proxy.sync_req(0, 1);
+  (void)proxy.exec_sync(0, 1);
+  (void)proxy.update(1, "report", problem("pothole"));
+  (void)proxy.sync_req(1, 0);
+  (void)proxy.exec_sync(1, 0);
+  (void)proxy.update(0, "report", problem("graffiti"));
+  (void)proxy.sync_req(0, 1);
+  (void)proxy.exec_sync(0, 1);
+}
+
+Scenario town_scenario() {
+  Scenario s;
+  s.make_subject = [] { return std::make_unique<subjects::TownApp>(2); };
+  s.workload = town_workload;
+  s.assertions = [] { return core::AssertionList{core::replicas_converge({0, 1})}; };
+  s.configure = [](core::Session::Config& config) {
+    config.generation_order = core::GroupedEnumerator::Order::Lexicographic;
+    config.spec_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  };
+  return s;
+}
+
+Scenario bug_scenario(const bugs::BugScenario& bug) {
+  Scenario s;
+  s.make_subject = bug.make_subject;
+  s.workload = bug.workload;
+  s.assertions = bug.assertions;
+  s.configure = bug.configure;
+  if (bug.storage_catalog) s.catalog = *bug.storage_catalog;
+  return s;
+}
+
+}  // namespace
+
+faults::CatalogOptions Scenario::baseline_only() {
+  faults::CatalogOptions catalog;
+  catalog.max_drops = 0;
+  catalog.max_duplicates = 0;
+  catalog.max_partition_windows = 0;
+  catalog.max_crash_restarts = 0;
+  return catalog;
+}
+
+void Registry::add(std::string name, Scenario scenario) {
+  scenarios_[std::move(name)] = std::move(scenario);
+}
+
+const Scenario* Registry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+Registry Registry::with_builtins() {
+  Registry registry;
+  registry.add("town-demo", town_scenario());
+
+  Scenario crashy = town_scenario();
+  crashy.workload = [](proxy::RdlProxy&) {
+    throw std::runtime_error("town-crashy: subject wedged during capture");
+  };
+  registry.add("town-crashy", crashy);
+
+  for (const auto& bug : bugs::all_bugs()) registry.add(bug.name, bug_scenario(bug));
+  for (const auto& bug : bugs::storage_bugs()) registry.add(bug.name, bug_scenario(bug));
+  return registry;
+}
+
+}  // namespace erpi::service

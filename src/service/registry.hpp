@@ -1,0 +1,65 @@
+// Scenario registry: the namespace exploration jobs target (DESIGN.md §14).
+//
+// A daemon cannot accept arbitrary code over a socket, so jobs name
+// *registered* scenarios — a subject factory, a workload, assertions and a
+// default fault catalog. The default registry exposes every Table 1 bug and
+// planted storage bug under its registry name ("Roshi-1", "Roshi-S1", ...)
+// plus two service-native scenarios:
+//   * "town-demo"    — the §2.3 town fixture with a 9-event converging
+//                      workload; small enough that thousands of jobs fit in
+//                      a bench sweep, rich enough to exercise fault plans.
+//   * "town-crashy"  — same fixture, but the workload throws. Every attempt
+//                      fails deterministically, which is what drives the
+//                      retry/backoff path and the per-tenant circuit
+//                      breaker in tests and the chaos drill.
+// Tests register additional scenarios via add().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/assertions.hpp"
+#include "core/session.hpp"
+#include "faults/plan.hpp"
+#include "proxy/proxy.hpp"
+
+namespace erpi::service {
+
+struct Scenario {
+  /// Fresh subject instance; also used as Session::Config::subject_factory
+  /// (the fault explorer's worker pool clones fixtures from it).
+  std::function<std::unique_ptr<proxy::Rdl>()> make_subject;
+  /// Drives the capture through the proxy. Must be deterministic: the
+  /// journal fingerprint that makes kill-and-resume byte-identical hashes
+  /// the captured events.
+  std::function<void(proxy::RdlProxy&)> workload;
+  /// Invariants checked per replay.
+  std::function<core::AssertionList()> assertions;
+  /// Optional session tweaks (spec groups, pruning, generation order).
+  std::function<void(core::Session::Config&)> configure;
+  /// Default fault catalog; JobSpec caps override field-wise. The default
+  /// default is baseline-only (the fault-free plan), keeping unconfigured
+  /// jobs one-plan cheap.
+  faults::CatalogOptions catalog = baseline_only();
+
+  static faults::CatalogOptions baseline_only();
+};
+
+class Registry {
+ public:
+  /// Registers (or replaces) a scenario.
+  void add(std::string name, Scenario scenario);
+  /// nullptr when unknown.
+  const Scenario* find(const std::string& name) const;
+
+  /// "town-demo", "town-crashy", every bugs::all_bugs() and
+  /// bugs::storage_bugs() scenario by name.
+  static Registry with_builtins();
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+}  // namespace erpi::service

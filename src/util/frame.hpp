@@ -1,0 +1,42 @@
+// Length-prefixed JSON framing shared by every socket protocol in the tree:
+// the sandbox fork-server channels (src/sandbox/protocol.cpp) and the
+// exploration-service daemon (src/service/daemon.cpp) speak the same wire
+// format — a 4-byte little-endian payload length followed by the payload.
+//
+// All writes use send(MSG_NOSIGNAL) so a dead peer surfaces as an error
+// return instead of SIGPIPE; reads and polls retry EINTR internally.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace erpi::util {
+
+/// Upper bound on a frame payload. Frames carry job specs, report deltas, or
+/// replay outcomes — a length beyond this means a corrupted prefix from a
+/// torn write, and treating it as an error beats a multi-gigabyte alloc.
+inline constexpr uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+/// Write one length-prefixed frame. False on any error (peer gone, payload
+/// over kMaxFrameBytes, ...).
+bool write_frame(int fd, const std::string& payload);
+
+/// Read one complete frame; nullopt on EOF, error, oversized length, or a
+/// torn frame (EOF mid-payload).
+std::optional<std::string> read_frame(int fd);
+
+/// poll() for readability. Returns 1 when readable, 0 on timeout, -1 on
+/// error. `timeout_ms` < 0 blocks indefinitely.
+int wait_readable(int fd, int timeout_ms);
+
+/// poll() two fds at once (a supervisor watching data + control together).
+/// Sets the out-flags for whichever became readable; same return convention
+/// as wait_readable. POLLHUP/POLLERR count as readable so the subsequent
+/// read reports the condition instead of the poll loop spinning on it.
+int wait_readable2(int fd_a, int fd_b, int timeout_ms, bool& a_ready, bool& b_ready);
+
+/// Throw away any buffered bytes without blocking (partial frames a killed
+/// peer left in the socket).
+void drain_nonblocking(int fd);
+
+}  // namespace erpi::util

@@ -1,0 +1,145 @@
+// Shared 4-byte length-prefixed framing (util/frame.hpp) — the wire format
+// under both the sandbox control/data protocol and the exploration service.
+// Malformed-input coverage: oversized length headers, truncated payloads,
+// zero-length frames, and payloads dribbled across many read() boundaries.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "util/frame.hpp"
+
+namespace erpi::util {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    close_a();
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    if (a >= 0) ::close(a);
+    a = -1;
+  }
+};
+
+void send_all_raw(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+TEST(Frame, RoundTripsPayloads) {
+  SocketPair pair;
+  const std::string payloads[] = {"x", R"({"op":"ping"})", std::string(100'000, 'z')};
+  for (const auto& payload : payloads) {
+    ASSERT_TRUE(write_frame(pair.a, payload));
+    const auto got = read_frame(pair.b);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+}
+
+TEST(Frame, ZeroLengthFrameRoundTrips) {
+  SocketPair pair;
+  ASSERT_TRUE(write_frame(pair.a, ""));
+  const auto got = read_frame(pair.b);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Frame, OversizedLengthHeaderIsRejected) {
+  SocketPair pair;
+  const uint32_t huge = kMaxFrameBytes + 1;
+  send_all_raw(pair.a, &huge, sizeof(huge));
+  EXPECT_FALSE(read_frame(pair.b).has_value());
+}
+
+TEST(Frame, TruncatedHeaderIsEof) {
+  SocketPair pair;
+  const char partial[2] = {0x10, 0x00};  // 2 of the 4 length bytes
+  send_all_raw(pair.a, partial, sizeof(partial));
+  pair.close_a();
+  EXPECT_FALSE(read_frame(pair.b).has_value());
+}
+
+TEST(Frame, TruncatedPayloadIsEof) {
+  SocketPair pair;
+  const uint32_t claimed = 10;
+  send_all_raw(pair.a, &claimed, sizeof(claimed));
+  send_all_raw(pair.a, "abc", 3);  // 3 of the promised 10 bytes
+  pair.close_a();
+  EXPECT_FALSE(read_frame(pair.b).has_value());
+}
+
+TEST(Frame, ReassemblesAcrossManyPartialReads) {
+  // Dribble the frame a byte at a time from another thread: read_frame must
+  // keep recv()ing until the full length-prefixed payload arrives, no matter
+  // where the kernel splits it.
+  SocketPair pair;
+  const std::string payload = "partial-read-reassembly-payload";
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string wire(reinterpret_cast<const char*>(&len), sizeof(len));
+  wire += payload;
+  std::thread dribbler([&] {
+    for (const char byte : wire) {
+      send_all_raw(pair.a, &byte, 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  const auto got = read_frame(pair.b);
+  dribbler.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(Frame, WaitReadableTimesOutThenSignals) {
+  SocketPair pair;
+  EXPECT_EQ(0, wait_readable(pair.b, 10));
+  ASSERT_TRUE(write_frame(pair.a, "ready"));
+  EXPECT_GT(wait_readable(pair.b, 1000), 0);
+  EXPECT_EQ(read_frame(pair.b).value_or(""), "ready");
+}
+
+TEST(Frame, PeerCloseCountsAsReadableEof) {
+  SocketPair pair;
+  pair.close_a();
+  // POLLHUP must count as readable so callers discover the EOF promptly...
+  EXPECT_GT(wait_readable(pair.b, 1000), 0);
+  // ...and the read then reports end-of-stream, not a frame.
+  EXPECT_FALSE(read_frame(pair.b).has_value());
+}
+
+TEST(Frame, WriteToClosedPeerFails) {
+  SocketPair pair;
+  ::close(pair.b);
+  pair.b = -1;
+  // The first write may land in the (now orphaned) buffer; repeated writes
+  // must surface the EPIPE as `false` instead of killing the process
+  // (frames are sent with MSG_NOSIGNAL).
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !write_frame(pair.a, std::string(4096, 'x'));
+  }
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace erpi::util
