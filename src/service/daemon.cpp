@@ -190,9 +190,11 @@ void Daemon::stop() {
     if (!started_ || stopped_) return;
     stopped_ = true;
     stop_requested_ = true;
+    // Set under stop_mu_ so monitor_loop's wait predicate (which reads stop_
+    // while holding stop_mu_) cannot miss the notify below.
+    stop_.store(true);
   }
   stop_cv_.notify_all();
-  stop_.store(true);
 
   // Wind running jobs down and unblock any executor stuck on a full client
   // queue before joining the pool.
@@ -327,7 +329,17 @@ void Daemon::reader_loop(std::shared_ptr<ClientConn> conn) {
     if (readable < 0) break;
     auto frame = util::read_frame(conn->fd);
     if (!frame) break;  // EOF or malformed frame: drop the connection
-    handle_request(conn, *frame);
+    try {
+      handle_request(conn, *frame);
+    } catch (const std::exception&) {
+      // A hostile/buggy frame must never escape a reader thread (that would
+      // std::terminate the whole multi-tenant daemon). Ops type-check their
+      // inputs, so this is a backstop, not the normal rejection path.
+      util::Json reply = util::Json::object();
+      reply["status"] = "rejected";
+      reply["reason"] = "bad_request";
+      send(conn, reply);
+    }
   }
   disconnect(conn);
   conn->reader_done.store(true);
@@ -364,7 +376,8 @@ void Daemon::handle_request(const std::shared_ptr<ClientConn>& conn,
                             const std::string& frame) {
   auto parsed = util::Json::parse(frame);
   util::Json reply = util::Json::object();
-  if (!parsed || !parsed.value().is_object() || !parsed.value().contains("op")) {
+  if (!parsed || !parsed.value().is_object() || !parsed.value().contains("op") ||
+      !parsed.value()["op"].is_string()) {
     reply["status"] = "rejected";
     reply["reason"] = "bad_request";
     send(conn, reply);
@@ -372,6 +385,14 @@ void Daemon::handle_request(const std::shared_ptr<ClientConn>& conn,
   }
   const util::Json& request = parsed.value();
   const std::string& op = request["op"].as_string();
+  // Wrong-typed "id" is a malformed request, not a lookup miss.
+  if ((op == "cancel" || op == "fetch") &&
+      (!request.contains("id") || !request["id"].is_string())) {
+    reply["status"] = "rejected";
+    reply["reason"] = "bad_request";
+    send(conn, reply);
+    return;
+  }
 
   if (op == "ping") {
     reply["status"] = "ok";
@@ -391,7 +412,7 @@ void Daemon::handle_request(const std::shared_ptr<ClientConn>& conn,
   } else if (op == "submit") {
     handle_submit(conn, request["job"]);
   } else if (op == "cancel") {
-    const std::string id = request.contains("id") ? request["id"].as_string() : "";
+    const std::string& id = request["id"].as_string();
     std::shared_ptr<Job> job;
     {
       std::lock_guard lock(mu_);
@@ -408,17 +429,25 @@ void Daemon::handle_request(const std::shared_ptr<ClientConn>& conn,
     }
     send(conn, reply);
   } else if (op == "fetch") {
-    const std::string id = request.contains("id") ? request["id"].as_string() : "";
-    if (auto stored = QueueJournal::read_report(config_.journal_dir, id)) {
+    const std::string& id = request["id"].as_string();
+    // Check in_flight_ BEFORE the report file: finish_job writes the report
+    // and then erases the id, both under mu_, so observing the id absent
+    // guarantees any finished job's report is already on disk. The opposite
+    // order could answer not_found for a job finishing in between.
+    bool pending = false;
+    {
+      std::lock_guard lock(mu_);
+      pending = in_flight_.count(id) > 0;
+    }
+    if (pending) {
+      reply["id"] = id;
+      reply["status"] = "in_flight";
+      send(conn, reply);
+    } else if (auto stored = QueueJournal::read_report(config_.journal_dir, id)) {
       send(conn, *stored);
     } else {
       reply["id"] = id;
-      bool pending = false;
-      {
-        std::lock_guard lock(mu_);
-        pending = in_flight_.count(id) > 0;
-      }
-      reply["status"] = pending ? "in_flight" : "not_found";
+      reply["status"] = "not_found";
       send(conn, reply);
     }
   } else {
@@ -455,15 +484,9 @@ void Daemon::handle_submit(const std::shared_ptr<ClientConn>& conn,
     return;
   }
 
-  // Idempotent resubmission: a finished id replays its persisted final
-  // frame instead of re-running.
-  if (auto stored = QueueJournal::read_report(config_.journal_dir, spec.id)) {
-    send(conn, *stored);
-    return;
-  }
-
   auto job = std::make_shared<Job>();
   bool accepted = false;
+  std::optional<util::Json> stored;
   {
     // Build the reply under the lock, push it after: queue.push can block on
     // a full client queue, and blocking with mu_ held would let one slow
@@ -475,6 +498,12 @@ void Daemon::handle_submit(const std::shared_ptr<ClientConn>& conn,
       ++stats_.rejected_invalid;
       reply["status"] = "rejected";
       reply["reason"] = "duplicate";
+    } else if ((stored = QueueJournal::read_report(config_.journal_dir, spec.id))) {
+      // Idempotent resubmission: a finished id replays its persisted final
+      // frame instead of re-running. Checked under mu_ AFTER the in_flight_
+      // lookup — finish_job writes the report then erases the id under this
+      // same mutex, so an unlocked check could miss both and re-accept a
+      // just-finished job.
     } else if (config_.breaker_threshold > 0 && now < tenant.open_until) {
       ++stats_.rejected_quarantined;
       reply["status"] = "rejected";
@@ -505,6 +534,10 @@ void Daemon::handle_submit(const std::shared_ptr<ClientConn>& conn,
       reply["status"] = "accepted";
       accepted = true;
     }
+  }
+  if (stored) {
+    send(conn, *stored);
+    return;
   }
   // The reply must reach the client's frame queue BEFORE the job becomes
   // runnable: a fast job could otherwise stream its retrying/terminal frames
@@ -551,8 +584,12 @@ void Daemon::monitor_loop() {
   while (!stop_.load()) {
     {
       std::unique_lock lock(stop_mu_);
+      // Predicate on stop_, not stop_requested_: after a client shutdown op
+      // the latter is already true while wait() runs the actual teardown, and
+      // waiting on it would turn every wait_for into an immediate return
+      // (a 100%-CPU spin — forever, if the embedder never calls wait()).
       stop_cv_.wait_for(lock, std::chrono::milliseconds(50),
-                        [&] { return stop_requested_; });
+                        [&] { return stop_.load(); });
     }
     if (stop_.load()) return;
     std::lock_guard lock(mu_);
@@ -675,8 +712,17 @@ void Daemon::finish_job(const std::shared_ptr<Job>& job, const std::string& stat
 
   {
     std::lock_guard lock(mu_);
-    journal_->record_finished(job->spec.id, status);
-    QueueJournal::write_report(config_.journal_dir, job->spec.id, frame);
+    // Persist the report BEFORE marking the job finished, and skip the
+    // finished record when the report can't be written (ENOSPC/EIO): a
+    // finished-but-reportless job would make fetch answer not_found forever
+    // while a restart skips the re-run. Leaving it "accepted" keeps the
+    // durability contract — the next start() runs it again. The in-process
+    // client still gets the final frame, flagged as unpersisted.
+    if (QueueJournal::write_report(config_.journal_dir, job->spec.id, frame)) {
+      journal_->record_finished(job->spec.id, status);
+    } else {
+      frame["report_degraded"] = true;
+    }
 
     TenantState& tenant = tenants_[job->spec.tenant];
     ++tenant.jobs;

@@ -1,5 +1,7 @@
 #include "service/job.hpp"
 
+#include <algorithm>
+
 namespace erpi::service {
 
 namespace {
@@ -60,11 +62,49 @@ util::Json JobSpec::to_json() const {
   return j;
 }
 
+namespace {
+
+/// The id names filesystem artifacts under journal_dir (job-<id>.journal,
+/// job-<id>.report.json), so it must not be able to traverse out of it or
+/// hide as a dotfile.
+bool valid_job_id(const std::string& id) {
+  if (id.empty() || id.size() > 128 || id.front() == '.') return false;
+  return std::all_of(id.begin(), id.end(), [](unsigned char c) {
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+  });
+}
+
+}  // namespace
+
 util::Result<JobSpec> JobSpec::from_json(const util::Json& j) {
   if (!j.is_object()) return util::Result<JobSpec>::fail("job spec must be an object");
+  // Client-supplied JSON: type-check every field up front so the as_* calls
+  // below cannot throw (Json::ensure aborts on mismatch, and a stray
+  // exception here would escape into the daemon's reader thread).
+  for (const char* key : {"id", "tenant", "scenario", "mode"}) {
+    if (j.contains(key) && !j[key].is_string()) {
+      return util::Result<JobSpec>::fail(std::string(key) + " must be a string");
+    }
+  }
+  for (const char* key :
+       {"max_interleavings", "parallelism", "seed", "budget_bytes", "timeout_ms",
+        "max_drops", "max_duplicates", "max_partition_windows",
+        "partition_window_length", "max_crash_restarts", "max_plans"}) {
+    if (j.contains(key) && !j[key].is_int()) {
+      return util::Result<JobSpec>::fail(std::string(key) + " must be an integer");
+    }
+  }
+  if (j.contains("stop_on_violation") && !j["stop_on_violation"].is_bool()) {
+    return util::Result<JobSpec>::fail("stop_on_violation must be a bool");
+  }
   JobSpec spec;
   if (j.contains("id")) spec.id = j["id"].as_string();
   if (spec.id.empty()) return util::Result<JobSpec>::fail("job spec needs a non-empty id");
+  if (!valid_job_id(spec.id)) {
+    return util::Result<JobSpec>::fail(
+        "job id must match [A-Za-z0-9._-]{1,128} and not start with '.'");
+  }
   if (j.contains("tenant")) spec.tenant = j["tenant"].as_string();
   if (spec.tenant.empty()) spec.tenant = "default";
   if (j.contains("scenario")) spec.scenario = j["scenario"].as_string();

@@ -70,18 +70,18 @@ std::string QueueJournal::report_path(const std::string& dir, const std::string&
   return dir + "/job-" + id + ".report.json";
 }
 
-void QueueJournal::write_report(const std::string& dir, const std::string& id,
+bool QueueJournal::write_report(const std::string& dir, const std::string& id,
                                 const util::Json& body) {
   const std::string path = report_path(dir, id);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::out | std::ios::trunc);
-    if (!out.is_open()) return;
+    if (!out.is_open()) return false;
     out << body.dump() << '\n';
     out.flush();
-    if (!out) return;
+    if (!out) return false;
   }
-  std::rename(tmp.c_str(), path.c_str());
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 std::optional<util::Json> QueueJournal::read_report(const std::string& dir,

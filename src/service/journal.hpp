@@ -47,8 +47,11 @@ class QueueJournal {
   static std::string job_journal_path(const std::string& dir, const std::string& id);
   static std::string report_path(const std::string& dir, const std::string& id);
 
-  /// Atomic (tmp + rename) final-report persist / lookup.
-  static void write_report(const std::string& dir, const std::string& id,
+  /// Atomic (tmp + rename) final-report persist / lookup. False when the
+  /// report could not be persisted (ENOSPC/EIO); callers must then NOT mark
+  /// the job finished in queue.journal, or fetch/restart would treat a
+  /// reportless job as done forever.
+  static bool write_report(const std::string& dir, const std::string& id,
                            const util::Json& body);
   static std::optional<util::Json> read_report(const std::string& dir,
                                                const std::string& id);

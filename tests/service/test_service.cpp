@@ -298,6 +298,85 @@ SERVICE_TEST(RejectsUnknownScenarioAndBadSpec) {
   EXPECT_EQ(daemon.daemon->stats().rejected_invalid, 2u);
 }
 
+SERVICE_TEST(WrongTypedFieldsRejectWithoutKillingDaemon) {
+  TestDaemon daemon("hostile");
+  Client client = daemon.connect();
+
+  // Each hostile frame must come back as a structured rejection — never
+  // escape the reader thread as an exception (which would std::terminate
+  // the whole multi-tenant daemon).
+  std::vector<util::Json> hostile;
+  {
+    util::Json f = util::Json::object();
+    f["op"] = 123;  // wrong-typed op
+    hostile.push_back(f);
+  }
+  {
+    util::Json f = util::Json::object();
+    f["op"] = "cancel";
+    f["id"] = 7;  // wrong-typed id
+    hostile.push_back(f);
+  }
+  {
+    util::Json f = util::Json::object();
+    f["op"] = "fetch";  // missing id
+    hostile.push_back(f);
+  }
+  {
+    util::Json job = town_job("j1").to_json();
+    job["id"] = 42;  // non-string id
+    util::Json f = util::Json::object();
+    f["op"] = "submit";
+    f["job"] = job;
+    hostile.push_back(f);
+  }
+  {
+    util::Json job = town_job("j1").to_json();
+    job["seed"] = 1.5;  // double-typed seed
+    util::Json f = util::Json::object();
+    f["op"] = "submit";
+    f["job"] = job;
+    hostile.push_back(f);
+  }
+  {
+    util::Json job = town_job("j1").to_json();
+    job["stop_on_violation"] = "yes";  // non-bool
+    util::Json f = util::Json::object();
+    f["op"] = "submit";
+    f["job"] = job;
+    hostile.push_back(f);
+  }
+  for (const util::Json& frame : hostile) {
+    const auto reply = client.call(frame);
+    ASSERT_TRUE(reply.has_value()) << frame.dump();
+    EXPECT_EQ((*reply)["status"].as_string(), "rejected") << frame.dump();
+    EXPECT_EQ((*reply)["reason"].as_string(), "bad_request") << frame.dump();
+  }
+
+  // The daemon survived all of it, on this and fresh connections.
+  EXPECT_TRUE(client.ping());
+  Client fresh = daemon.connect();
+  EXPECT_TRUE(fresh.ping());
+}
+
+SERVICE_TEST(PathTraversalJobIdIsRejected) {
+  TestDaemon daemon("traversal");
+  Client client = daemon.connect();
+  // The id names files under journal_dir (job-<id>.journal / .report.json);
+  // ids that could escape the directory or hide as dotfiles must bounce.
+  for (const char* id : {"x/../../../../tmp/evil", "a/b", "..", ".hidden",
+                         "sp ace", "nul\tbyte"}) {
+    JobSpec spec = town_job(id);
+    const auto reply = client.submit(spec);
+    ASSERT_TRUE(reply.has_value()) << id;
+    EXPECT_EQ((*reply)["status"].as_string(), "rejected") << id;
+    EXPECT_EQ((*reply)["reason"].as_string(), "bad_request") << id;
+  }
+  EXPECT_FALSE(fs::exists("/tmp/evil.report.json"));
+  EXPECT_FALSE(JobSpec::from_json(town_job("x/../y").to_json()).has_value());
+  EXPECT_TRUE(JobSpec::from_json(town_job("ok-id_1.v2").to_json()).has_value());
+}
+
 // ---------------------------------------------------------------------------
 // Admission control + backpressure
 // ---------------------------------------------------------------------------
@@ -578,6 +657,26 @@ SERVICE_TEST(RestartResumesJournaledJobWithByteIdenticalReport) {
     ASSERT_TRUE(fetched.has_value());
     EXPECT_EQ(fetched->dump(), reference_frame);
   }
+}
+
+SERVICE_TEST(UnpersistableReportDegradesAndStaysPending) {
+  TestDaemon daemon("degraded");
+  // Wedge the report path: write_report's rename onto a directory fails,
+  // simulating the report not reaching disk (ENOSPC-style).
+  fs::create_directories(QueueJournal::report_path(daemon.dir, "degraded-1"));
+
+  Client client = daemon.connect();
+  const auto frame = client.run(town_job("degraded-1"));
+  ASSERT_TRUE(frame.has_value());
+  // The in-process client still gets the full result, flagged unpersisted.
+  EXPECT_EQ((*frame)["status"].as_string(), "done");
+  EXPECT_TRUE((*frame)["report_degraded"].as_bool());
+
+  // Not marked finished in queue.journal: a restart would re-run it instead
+  // of treating a report-less job as done forever.
+  const auto pending = QueueJournal::load_pending(daemon.dir);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].id, "degraded-1");
 }
 
 // ---------------------------------------------------------------------------
