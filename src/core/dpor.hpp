@@ -1,0 +1,254 @@
+// Dynamic partial-order reduction (DESIGN.md §15).
+//
+// The four static pruners canonicalize from developer-declared specs; this
+// layer *learns* event independence from what replays actually touched. A
+// FootprintRecorder (installed on the subject via proxy::Rdl::
+// set_footprint_recorder) captures, per event, the set of replica
+// keys/registers/log entries read and written plus the SimNetwork channels
+// used. The IndependenceLearner unions those footprints per (plan-kind
+// context, event) and answers "do these two events commute?": yes iff both
+// footprints are known, they are disjoint (write/write, write/read), no
+// happens-before edge links them (sync_req/exec_sync on the same channel),
+// and — for sync-flavoured events, whose payloads are composed from replica
+// state and are therefore order-sensitive — the pair has been confirmed
+// across at least kSyncTrustRuns distinct training runs. An optional
+// paranoid mode replays both orders of each candidate pair on a fresh
+// fixture and compares every replica's state; a mismatch permanently forces
+// the pair dependent.
+//
+// The learned relation feeds enumeration as DporOracle : PrefixOracle with
+// classic sleep sets per prefix (Godefroid; Abdulla et al., PAPERS.md): at
+// each node the sleep set holds items whose subtrees were already covered by
+// an earlier sibling, so only one representative per Mazurkiewicz trace
+// class is generated. Same contract as the static oracles — monotone latched
+// viability, exact closed-form subtree accounting (admitted + pruned == n!),
+// decline when unsure, legacy-filter fallback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/pruning_incremental.hpp"
+#include "proxy/event.hpp"
+#include "proxy/rdl.hpp"
+
+namespace erpi::core {
+
+/// Bumped whenever the footprint key grammar or conflict semantics change:
+/// persisted footprints from another schema are never trusted.
+inline constexpr uint32_t kFootprintSchemaVersion = 1;
+
+/// Distinct training runs a sync-flavoured footprint must be confirmed over
+/// before its pairs become cuttable (cold runs stay conservative; warm runs
+/// from a trained corpus unlock the rest of the relation).
+inline constexpr uint32_t kSyncTrustRuns = 2;
+
+/// Session::Config::dynamic_pruning. Default-off A/B toggle this PR.
+struct DporOptions {
+  bool enabled = false;
+  /// Replay-and-compare confirmation: only pairs verified commuting on a
+  /// fresh fixture may be cut. Requires Config::subject_factory; without one
+  /// every pair stays unverified and no dynamic cut fires.
+  bool paranoid = false;
+  uint32_t footprint_schema = kFootprintSchemaVersion;
+
+  bool operator==(const DporOptions&) const = default;
+};
+
+/// Key grammar: "r<replica>/<field...>" for replica state, "chan/<from>-><to>"
+/// for SimNetwork channels, "r<replica>/log" for durable-log appends. A
+/// trailing '*' is a prefix wildcard ("r0/*" conflicts with every r0 key) —
+/// the conservative whole-replica fallback for uninstrumented ops.
+bool footprint_keys_conflict(std::string_view a, std::string_view b) noexcept;
+
+/// One event's observed read/write sets. Keys are kept sorted and unique.
+struct Footprint {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+  /// Event routed through the sync machinery (sync_req/exec_sync): its keys
+  /// depend on replica state at delivery time, so independence involving it
+  /// needs multi-run confirmation (kSyncTrustRuns).
+  bool sync = false;
+
+  bool empty() const noexcept { return reads.empty() && writes.empty() && !sync; }
+  /// Union-widen with another observation. Returns true when keys were added
+  /// (the relation can only have shrunk — the conservative direction).
+  bool merge(const Footprint& other);
+  static void insert_key(std::vector<std::string>& keys, std::string key);
+};
+
+/// Conflict = write/write or write/read overlap (reads commute with reads).
+bool footprints_conflict(const Footprint& a, const Footprint& b) noexcept;
+
+/// Installed on the subject by the replay engine; SubjectBase and the six
+/// subjects call note_read/note_write between begin_event/end_event. Not
+/// thread-safe by itself — replay engines serialize event execution.
+class FootprintRecorder {
+ public:
+  using Sink = std::function<void(int event_id, Footprint&& fp)>;
+
+  explicit FootprintRecorder(Sink sink);
+
+  void begin_event(int event_id);
+  /// Flush the accumulated footprint for the current event into the sink.
+  void end_event();
+
+  bool recording() const noexcept { return event_ >= 0; }
+  /// Notes observed for the current event so far — lets SubjectBase detect an
+  /// uninstrumented do_invoke and fall back to a whole-replica footprint.
+  size_t note_count() const noexcept { return notes_; }
+
+  void note_read(std::string key);
+  void note_write(std::string key);
+  void note_sync() noexcept;
+
+  // Key builders (reserve()d scratch; see the allocation-regression test).
+  void note_read(int replica, std::string_view field);
+  void note_write(int replica, std::string_view field);
+  void note_channel_write(int from, int to);
+  void note_channel_read(int from, int to);
+
+ private:
+  std::string& build_replica_key(int replica, std::string_view field);
+  std::string& build_channel_key(int from, int to);
+
+  Sink sink_;
+  int event_ = -1;
+  size_t notes_ = 0;
+  Footprint scratch_;
+  std::string key_scratch_;
+};
+
+struct DporStats {
+  uint64_t footprints_recorded = 0;
+  /// Observations after freeze() that widened an existing footprint — cuts
+  /// already taken relied on the narrower relation (telemetry; paranoid mode
+  /// is the guard against acting on a lie).
+  uint64_t late_widenings = 0;
+  uint64_t pairs_verified = 0;  // paranoid replay-and-compare confirmations
+  uint64_t pairs_refuted = 0;   // mismatches — pair forced dependent forever
+};
+
+/// Thread-safe accumulator of footprints and pair verdicts; the queries side
+/// is consumed once per enumerator to build the frozen independence matrix.
+class IndependenceLearner {
+ public:
+  explicit IndependenceLearner(DporOptions options = {});
+
+  const DporOptions& options() const noexcept { return options_; }
+
+  /// Static happens-before metadata (sync channel of each event).
+  void set_events(const proxy::EventSet& events);
+
+  // ---- recording (replay engines, any thread) ----
+  /// `context` is the fault-plan kind ("none", "drop", ...) the footprint was
+  /// observed under — plans change what events touch, so footprints are keyed
+  /// per plan kind and queries union across kinds (conservative widening).
+  void observe(const std::string& context, int event_id, Footprint fp);
+  /// Mark that this run observed events first-hand (the priming replay);
+  /// counts one training run on top of corpus-seeded counts.
+  void note_training_run();
+  /// Telemetry boundary: the relation consumed by enumeration is built after
+  /// this point; later widenings are counted as late_widenings.
+  void freeze();
+
+  // ---- warm start / persistence (corpus::FootprintBank) ----
+  void seed(const std::string& context, int event_id, Footprint fp, uint32_t runs);
+  void seed_verdict(int a, int b, bool independent);
+
+  struct Export {
+    struct Entry {
+      std::string context;
+      int event = -1;
+      uint32_t runs = 0;
+      Footprint fp;
+    };
+    struct Verdict {
+      int a = -1;
+      int b = -1;
+      bool independent = false;
+    };
+    std::vector<Entry> footprints;  // deterministic (context, event) order
+    std::vector<Verdict> verdicts;  // deterministic (a, b) order
+  };
+  Export export_state() const;
+
+  // ---- queries ----
+  /// Any footprint observed or seeded at all.
+  bool trained() const;
+  /// Union across plan-kind contexts (the conservative view).
+  Footprint combined(int event_id) const;
+  uint32_t runs_observed(int event_id) const;
+  /// The full commutation check (footprints + hb + sync trust + paranoid
+  /// verdict). Symmetric; false whenever unsure.
+  bool independent(int a, int b) const;
+  std::optional<bool> verdict(int a, int b) const;
+  void record_verdict(int a, int b, bool independent);
+  /// Pairs passing every check except the paranoid verdict — the verifier's
+  /// work list. Deterministic ascending (a, b) order.
+  std::vector<std::pair<int, int>> unverified_candidate_pairs() const;
+
+  /// Stable digest of everything that shapes the cut relation (options,
+  /// footprints, run counts, verdicts) — journal fingerprints include it so a
+  /// resumed run never merges a prefix generated under a different relation.
+  uint64_t relation_digest() const;
+
+  DporStats stats() const;
+
+ private:
+  struct Observed {
+    Footprint fp;
+    uint32_t seeded_runs = 0;
+    bool seen_this_run = false;
+  };
+
+  bool independent_locked(int a, int b, bool require_verdict) const;
+  Footprint combined_locked(int event_id) const;
+  uint32_t runs_locked(int event_id) const;
+  std::optional<bool> verdict_locked(int a, int b) const;
+
+  mutable std::mutex mu_;
+  DporOptions options_;
+  std::map<std::string, std::map<int, Observed>> contexts_;
+  std::map<std::pair<int, int>, bool> verdicts_;
+  // Sync-channel of each sync event, by id: (from << 32 | to), -1 otherwise.
+  std::map<int, int64_t> sync_channel_;
+  bool frozen_ = false;
+  bool trained_this_run_ = false;
+  DporStats stats_;
+};
+
+/// The sleep-set prefix oracle over the learner's frozen relation. Returns
+/// nullptr when the learner is untrained (nothing to cut with) or the domain
+/// is degenerate; the chain then runs static-only or falls back entirely.
+std::unique_ptr<PrefixOracle> make_dpor_oracle(
+    const OracleDomain& domain, const std::shared_ptr<IndependenceLearner>& learner);
+
+/// Name under which dynamic cuts appear in PruningPipeline::Stats::pruned_by.
+inline constexpr const char* kDporOracleName = "dynamic_independence";
+
+/// Paranoid replay-and-compare: for every unverified candidate pair, execute
+/// the capture order twice on fresh fixtures — once with (a, b) adjacent in
+/// that order, once swapped — and compare every replica's state. Equal states
+/// verify the pair; any difference refutes it permanently. Returns the number
+/// of pairs refuted. Without a factory this is a no-op (pairs stay unverified
+/// and paranoid mode cuts nothing).
+uint64_t verify_candidate_pairs(
+    IndependenceLearner& learner, const proxy::EventSet& events,
+    const std::function<std::unique_ptr<proxy::Rdl>()>& subject_factory);
+
+/// Fingerprint of the workload a footprint bank entry belongs to: the events
+/// and the footprint schema. Options like `enabled`/`paranoid` do not change
+/// what a footprint *is*, so they are excluded here (they are hashed into the
+/// journal/corpus run fingerprints instead).
+uint64_t dpor_context_fingerprint(const proxy::EventSet& events, uint32_t schema);
+
+}  // namespace erpi::core

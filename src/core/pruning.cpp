@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/dpor.hpp"
+
 namespace erpi::core {
 
 // ---------------------------------------------------------------------------
@@ -202,6 +204,11 @@ void PruningPipeline::add(std::unique_ptr<Pruner> pruner) {
   ++version_;
 }
 
+void PruningPipeline::set_dynamic_oracle_factory(DynamicOracleFactory factory) {
+  dynamic_factory_ = std::move(factory);
+  ++version_;
+}
+
 bool PruningPipeline::admit(const Interleaving& il) {
   canonical_scratch_ = il;  // copy-assign reuses the scratch capacity
   changed_scratch_.clear();
@@ -231,9 +238,16 @@ bool PruningPipeline::admit(const Interleaving& il) {
 
 void PruningPipeline::account_subtree(uint64_t subtree, const std::vector<uint64_t>& changed) {
   stats_.pruned += subtree;
-  for (size_t i = 0; i < pruners_.size() && i < changed.size(); ++i) {
-    // Only touched names get a map entry, exactly like the per-candidate path.
-    if (changed[i] > 0) stats_.pruned_by[pruners_[i]->name()] += changed[i];
+  for (size_t i = 0; i < changed.size(); ++i) {
+    // Only touched names get a map entry, exactly like the per-candidate
+    // path. Slots beyond the static pruners belong to the appended
+    // dynamic-independence oracle (DESIGN.md §15).
+    if (changed[i] == 0) continue;
+    if (i < pruners_.size()) {
+      stats_.pruned_by[pruners_[i]->name()] += changed[i];
+    } else {
+      stats_.pruned_by[kDporOracleName] += changed[i];
+    }
   }
 }
 
@@ -256,10 +270,12 @@ PrunedEnumerator::PrunedEnumerator(std::unique_ptr<Enumerator> inner, PruningPip
 void PrunedEnumerator::ensure_oracle() {
   if (oracle_setup_done_) return;
   oracle_setup_done_ = true;
-  if (!generation_pruning_ || pipeline_.pruner_count() == 0) return;
+  if (!generation_pruning_) return;
+  const bool want_dynamic = dynamic_pruning_ && pipeline_.has_dynamic_oracle_factory();
+  if (pipeline_.pruner_count() == 0 && !want_dynamic) return;
   const auto domain = inner_->prefix_domain();
   if (!domain) return;
-  auto chain = pipeline_.make_oracle_chain(*domain);
+  auto chain = pipeline_.make_oracle_chain(*domain, want_dynamic);
   if (chain == nullptr) return;
   if (!inner_->attach_prefix_oracle(chain.get())) return;
   oracle_ = std::move(chain);

@@ -19,6 +19,7 @@
 //     certain predecessor operations may be reordered among themselves.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -176,13 +177,33 @@ class PruningPipeline {
   /// (DESIGN.md §10), or nullptr when any pruner lacks an oracle or the
   /// composition guards reject the combination — the caller then keeps the
   /// exact generate-then-test behavior. The chain accounts cut subtrees into
-  /// this pipeline's Stats, so it must not outlive the pipeline.
-  std::unique_ptr<OracleChain> make_oracle_chain(const OracleDomain& domain);
+  /// this pipeline's Stats, so it must not outlive the pipeline. When
+  /// `include_dynamic` is set and a dynamic-oracle factory is installed, its
+  /// oracle (DESIGN.md §15) is appended after the static per-pruner oracles;
+  /// a pipeline with no static pruners but a live dynamic oracle still gets
+  /// a chain.
+  std::unique_ptr<OracleChain> make_oracle_chain(const OracleDomain& domain,
+                                                 bool include_dynamic = true);
+
+  /// Factory for the dynamic-independence oracle (DESIGN.md §15), consulted
+  /// by make_oracle_chain after the static oracles are built. May return
+  /// nullptr (e.g. the learner is untrained) — the chain then carries the
+  /// static oracles only. Installing or clearing the factory bumps version()
+  /// so an already-attached chain detaches rather than cut with a stale
+  /// relation.
+  using DynamicOracleFactory =
+      std::function<std::unique_ptr<PrefixOracle>(const OracleDomain&)>;
+  void set_dynamic_oracle_factory(DynamicOracleFactory factory);
+  bool has_dynamic_oracle_factory() const noexcept {
+    return static_cast<bool>(dynamic_factory_);
+  }
 
   /// Cut-subtree accounting (called by OracleChain): `subtree` completions
   /// skipped wholesale, `changed[i]` of them would have been rewritten by
   /// pruner i. Charges stats_ exactly as admit() would have, one candidate
-  /// at a time.
+  /// at a time. `changed` may carry one slot beyond the static pruners: that
+  /// slot belongs to the appended dynamic-independence oracle and is
+  /// attributed under its name (kDporOracleName).
   void account_subtree(uint64_t subtree, const std::vector<uint64_t>& changed);
 
   /// Bumped by add(); lets an attached oracle chain detect mid-run pipeline
@@ -201,6 +222,7 @@ class PruningPipeline {
 
  private:
   std::vector<std::unique_ptr<Pruner>> pruners_;
+  DynamicOracleFactory dynamic_factory_;
   std::unordered_set<std::string> seen_;
   Stats stats_;
   uint64_t version_ = 0;
@@ -233,6 +255,12 @@ class PrunedEnumerator : public Enumerator {
   /// Toggle generation-time cuts (default on; takes effect before the first
   /// next() after construction or reset()).
   void set_generation_pruning(bool enabled) noexcept { generation_pruning_ = enabled; }
+  /// Toggle the dynamic-independence oracle (DESIGN.md §15) independently of
+  /// the static chain (default on; consulted when the oracle chain is built
+  /// at the first next()). The fault explorer clears it for non-trivial
+  /// fault plans, whose perturbed executions the learned relation does not
+  /// model.
+  void set_dynamic_pruning(bool enabled) noexcept { dynamic_pruning_ = enabled; }
   /// The live oracle chain, if one is attached (telemetry/testing).
   const OracleChain* oracle_chain() const noexcept { return oracle_.get(); }
 
@@ -243,6 +271,7 @@ class PrunedEnumerator : public Enumerator {
   PruningPipeline pipeline_;
   std::optional<size_t> last_common_prefix_;
   bool generation_pruning_ = true;
+  bool dynamic_pruning_ = true;
   bool oracle_setup_done_ = false;
   std::unique_ptr<OracleChain> oracle_;
   uint64_t pipeline_version_at_attach_ = 0;

@@ -994,17 +994,32 @@ bool composition_ok(const std::vector<std::unique_ptr<Pruner>>& pruners,
 
 }  // namespace
 
-std::unique_ptr<OracleChain> PruningPipeline::make_oracle_chain(const OracleDomain& domain) {
-  if (pruners_.empty() || domain.slot_count == 0 || domain.event_count == 0) {
-    return nullptr;
-  }
-  if (!composition_ok(pruners_, domain)) return nullptr;
+std::unique_ptr<OracleChain> PruningPipeline::make_oracle_chain(const OracleDomain& domain,
+                                                                bool include_dynamic) {
+  if (domain.slot_count == 0 || domain.event_count == 0) return nullptr;
+  const bool want_dynamic = include_dynamic && static_cast<bool>(dynamic_factory_);
+  if (pruners_.empty() && !want_dynamic) return nullptr;
+  // The composition guards reason about static pruner interference only; the
+  // dynamic oracle cuts by observed commutation, which is outcome-preserving
+  // under any static rewrite (DESIGN.md §15.4), so it rides along freely.
+  if (!pruners_.empty() && !composition_ok(pruners_, domain)) return nullptr;
   std::vector<std::unique_ptr<PrefixOracle>> oracles;
-  oracles.reserve(pruners_.size());
+  oracles.reserve(pruners_.size() + (want_dynamic ? 1 : 0));
   for (const auto& pruner : pruners_) {
     auto oracle = pruner->make_prefix_oracle(domain);
     if (oracle == nullptr) return nullptr;
     oracles.push_back(std::move(oracle));
+  }
+  if (want_dynamic) {
+    auto oracle = dynamic_factory_(domain);
+    // A null dynamic oracle (untrained learner, degenerate domain) is not an
+    // error: the static chain still cuts. With no static oracles either,
+    // there is nothing left to chain.
+    if (oracle != nullptr) {
+      oracles.push_back(std::move(oracle));
+    } else if (oracles.empty()) {
+      return nullptr;
+    }
   }
   return std::make_unique<OracleChain>(this, domain, std::move(oracles));
 }
@@ -1018,6 +1033,11 @@ OracleChain::OracleChain(PruningPipeline* pipeline, OracleDomain domain,
     : pipeline_(pipeline), domain_(std::move(domain)), oracles_(std::move(oracles)) {
   violation_depth_.assign(oracles_.size(), 0);
   violation_log_.resize(oracles_.size());
+  // Pre-size the hot-path buffers: push/pop runs once per generated prefix
+  // event, and try_cut runs at every latched extension — neither should
+  // allocate in steady state (the allocation-regression tests pin this).
+  for (auto& log : violation_log_) log.reserve(domain_.event_count);
+  changed_scratch_.reserve(oracles_.size());
 }
 
 OracleChain::~OracleChain() = default;

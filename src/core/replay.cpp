@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/dpor.hpp"
 #include "kvstore/lock.hpp"
 #include "util/log.hpp"
 
@@ -139,6 +140,18 @@ ReplayEngine::ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options)
     cache_ = std::make_unique<PrefixCache>(options_.max_snapshot_depth, &prefix_stats_);
   }
   if (options_.observer_factory) observer_ = options_.observer_factory(proxy.target());
+  if (options_.footprint_learner != nullptr) {
+    recorder_ = std::make_unique<FootprintRecorder>(
+        [learner = options_.footprint_learner, context = options_.footprint_context](
+            int event_id, Footprint&& fp) {
+          learner->observe(context, event_id, std::move(fp));
+        });
+    proxy_->target().set_footprint_recorder(recorder_.get());
+  }
+}
+
+ReplayEngine::~ReplayEngine() {
+  if (recorder_ != nullptr) proxy_->target().set_footprint_recorder(nullptr);
 }
 
 void ReplayEngine::reset_prefix_state() {
@@ -152,7 +165,9 @@ void ReplayEngine::execute_fast(const Interleaving& il, const EventSet& events, 
     if (cancel_requested_.load(std::memory_order_relaxed)) return;
     if (observer_) observer_->before_event(proxy_->target(), il, pos);
     const Event& event = events.at(static_cast<size_t>(il.order[pos]));
+    if (recorder_) recorder_->begin_event(event.id);
     results.emplace_back(proxy_->invoke(event));
+    if (recorder_) recorder_->end_event();
     if (cache_) cache_->note_executed(proxy_->target(), il, pos);
   }
 }
@@ -202,7 +217,11 @@ void ReplayEngine::execute_threaded(const Interleaving& il, const EventSet& even
           if (ours) {
             if (observer_) observer_->before_event(proxy_->target(), il, pos);
             const Event& event = events.at(static_cast<size_t>(il.order[pos]));
+            // Turn ownership serializes workers, so the shared recorder sees
+            // begin/end pairs in execution order despite the thread handoff.
+            if (recorder_) recorder_->begin_event(event.id);
             results[pos] = proxy_->invoke(event);
+            if (recorder_) recorder_->end_event();
             // Snapshot under the same turn-ownership discipline the
             // results[pos] write relies on: only the turn owner touches the
             // subject or the cache, so note_executed is serialized.

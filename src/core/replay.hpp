@@ -40,6 +40,9 @@
 
 namespace erpi::core {
 
+class IndependenceLearner;  // core/dpor.hpp — dynamic-pruning relation
+class FootprintRecorder;    // core/dpor.hpp — per-event footprint hook
+
 /// Thread-safe ledger for the Fig. 10 resource budget. One account may be
 /// shared by several engines (the parallel scheduler's workers): charges are
 /// atomic and the crash verdict latches exactly once, so concurrent callers
@@ -357,6 +360,16 @@ struct ReplayOptions {
   /// replays. Parallel workers each construct their own observer instance, so
   /// observers may keep per-fixture mutable state without locking.
   std::function<std::shared_ptr<ReplayObserver>(proxy::Rdl& subject)> observer_factory;
+  /// Dynamic-pruning footprint learning (DESIGN.md §15). When set, the engine
+  /// installs a FootprintRecorder on its subject for the engine's lifetime
+  /// and streams each executed event's read/write footprint into the learner
+  /// under `footprint_context`. Null (the default) records nothing and adds
+  /// zero per-event overhead.
+  std::shared_ptr<IndependenceLearner> footprint_learner;
+  /// Context key footprints are observed under — the fault-plan kind for
+  /// fault sweeps, "none" otherwise. Independence queries union conflicts
+  /// over all contexts, so a new context only ever widens the relation.
+  std::string footprint_context = "none";
   /// Replay watchdog: when > 0, sched::ParallelExplorer bounds every replay
   /// to this many milliseconds. A replay that exceeds the deadline is
   /// recorded as a structured `timed_out` outcome (not a crash), its key is
@@ -552,6 +565,8 @@ inline void count_recovery(ReplayReport& report, const InterleavingOutcome& outc
 class ReplayEngine {
  public:
   ReplayEngine(proxy::RdlProxy& proxy, ReplayOptions options);
+  /// Uninstalls the footprint recorder from the subject (if one was wired).
+  ~ReplayEngine();
 
   ReplayReport run(Enumerator& enumerator, const EventSet& events,
                    const AssertionList& assertions);
@@ -606,6 +621,9 @@ class ReplayEngine {
   PrefixReplayStats prefix_stats_;
   std::unique_ptr<PrefixCache> cache_;  // null when max_snapshot_depth == 0
   std::shared_ptr<ReplayObserver> observer_;  // from options_.observer_factory
+  /// Owned footprint hook (null unless options_.footprint_learner is set);
+  /// installed on the subject in the constructor, uninstalled in ~ReplayEngine.
+  std::unique_ptr<FootprintRecorder> recorder_;
   std::atomic<bool> cancel_requested_{false};
 };
 

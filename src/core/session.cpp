@@ -33,6 +33,7 @@ Session::Session(proxy::RdlProxy& proxy, Config config)
 
 void Session::start() {
   captured_ = false;
+  dpor_learner_.reset();  // footprints are per-capture: new events, new ids
   proxy_->start_capture();
 }
 
@@ -53,10 +54,17 @@ PruningPipeline Session::build_pipeline() const {
   for (const auto& spec : config_.failed_ops) {
     pipeline.add(std::make_unique<FailedOpsPruner>(spec));
   }
+  if (dpor_learner_ != nullptr) {
+    pipeline.set_dynamic_oracle_factory(
+        [learner = dpor_learner_](const OracleDomain& domain) {
+          return make_dpor_oracle(domain, learner);
+        });
+  }
   return pipeline;
 }
 
 std::unique_ptr<Enumerator> Session::make_enumerator() {
+  prepare_dynamic_pruning();
   switch (config_.mode) {
     case ExplorationMode::ErPi: {
       auto inner = std::make_unique<GroupedEnumerator>(units_, config_.generation_order,
@@ -69,7 +77,18 @@ std::unique_ptr<Enumerator> Session::make_enumerator() {
     case ExplorationMode::Dfs: {
       std::vector<int> ids(events_.size());
       std::iota(ids.begin(), ids.end(), 0);
-      return std::make_unique<DfsEnumerator>(std::move(ids), config_.dfs_branch_seed);
+      auto dfs = std::make_unique<DfsEnumerator>(std::move(ids), config_.dfs_branch_seed);
+      if (dpor_learner_ == nullptr) return dfs;
+      // Dynamic pruning only: DFS has no static pruners, so the wrapping
+      // pipeline carries just the learned-independence oracle factory.
+      PruningPipeline pipeline;
+      pipeline.set_dynamic_oracle_factory(
+          [learner = dpor_learner_](const OracleDomain& domain) {
+            return make_dpor_oracle(domain, learner);
+          });
+      auto pruned = std::make_unique<PrunedEnumerator>(std::move(dfs), std::move(pipeline));
+      pruned->set_generation_pruning(config_.generation_pruning);
+      return pruned;
     }
     case ExplorationMode::Rand: {
       std::vector<int> ids(events_.size());
@@ -119,6 +138,11 @@ Session::PreparedRun Session::prepare_run() {
   if (config_.max_snapshot_depth) {
     prepared.replay.max_snapshot_depth = *config_.max_snapshot_depth;
   }
+  if (dpor_learner_ != nullptr && prepared.replay.footprint_learner == nullptr) {
+    // Keep observing during enumeration: late widenings are telemetry for
+    // this run and training data for the next one (corpus export).
+    prepared.replay.footprint_learner = dpor_learner_;
+  }
   if (config_.isolation != Isolation::None) {
     prepared.replay.isolation = config_.isolation;
   }
@@ -153,6 +177,39 @@ Session::PreparedRun Session::prepare_run() {
     }
   }
   return prepared;
+}
+
+void Session::prepare_dynamic_pruning(
+    const std::function<void(IndependenceLearner&)>& seed) {
+  if (!config_.dynamic_pruning.enabled || dpor_learner_ != nullptr) return;
+  finish_capture();
+  dpor_learner_ = std::make_shared<IndependenceLearner>(config_.dynamic_pruning);
+  dpor_learner_->set_events(events_);
+  if (seed) seed(*dpor_learner_);
+
+  // Priming replay: one deterministic capture-order execution on the live
+  // fixture, so footprints exist before the relation freezes at the first
+  // enumerator build and even a cold run can cut non-sync pairs. The fixture
+  // is reset afterwards, and replay engines reset again before every
+  // interleaving — priming leaves no trace in reports.
+  FootprintRecorder recorder([this](int event_id, Footprint&& fp) {
+    dpor_learner_->observe("none", event_id, std::move(fp));
+  });
+  proxy::Rdl& subject = proxy_->target();
+  subject.reset();
+  subject.set_footprint_recorder(&recorder);
+  for (const proxy::Event& event : events_) {
+    recorder.begin_event(event.id);
+    (void)proxy_->invoke(event);
+    recorder.end_event();
+  }
+  subject.set_footprint_recorder(nullptr);
+  subject.reset();
+  dpor_learner_->note_training_run();
+
+  if (config_.dynamic_pruning.paranoid && config_.subject_factory) {
+    verify_candidate_pairs(*dpor_learner_, events_, config_.subject_factory);
+  }
 }
 
 void Session::finish_run(const PreparedRun& prepared) {

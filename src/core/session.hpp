@@ -35,6 +35,7 @@
 #include <type_traits>
 
 #include "core/constraints.hpp"
+#include "core/dpor.hpp"
 #include "core/persist.hpp"
 #include "core/pruning.hpp"
 #include "core/replay.hpp"
@@ -143,6 +144,12 @@ class Session {
     /// Off by default: the timing fields are wall-clock noise and would
     /// perturb otherwise byte-stable reports.
     bool collect_explorer_stats = false;
+    /// Dynamic partial-order reduction (DESIGN.md §15): learn per-event state
+    /// footprints from replays and cut commuting subtrees at generation time
+    /// via a sleep-set oracle appended to the static chain. Default off — an
+    /// A/B toggle; commuting-free workloads report byte-identically either
+    /// way.
+    DporOptions dynamic_pruning;
   };
 
   Session(proxy::RdlProxy& proxy, Config config);
@@ -206,6 +213,24 @@ class Session {
   /// events — exposed so benchmarks can drive exploration directly.
   std::unique_ptr<Enumerator> make_enumerator();
 
+  /// Idempotent per capture; a no-op unless Config::dynamic_pruning.enabled.
+  /// Creates the independence learner, runs `seed` (the corpus warm start —
+  /// corpus::FootprintBank lives above core in the layering, so drivers
+  /// inject it rather than core linking it), trains the learner with one
+  /// deterministic capture-order priming replay, and in paranoid mode
+  /// verifies candidate pairs on fresh fixtures. make_enumerator() calls
+  /// this automatically; drivers that want a warm start must call it with
+  /// their seed before the relation freezes at the first enumerator build.
+  void prepare_dynamic_pruning(
+      const std::function<void(IndependenceLearner&)>& seed = {});
+
+  /// The dynamic-pruning learner (null until prepare_dynamic_pruning() ran
+  /// with dynamic pruning enabled). Drivers read it for journal digests
+  /// (IndependenceLearner::relation_digest) and corpus export.
+  const std::shared_ptr<IndependenceLearner>& dpor_learner() const noexcept {
+    return dpor_learner_;
+  }
+
  private:
   struct PreparedRun {
     std::unique_ptr<Enumerator> enumerator;
@@ -224,6 +249,7 @@ class Session {
   InterleavingStore store_;
   ConstraintWatcher watcher_;
   PrunedEnumerator* active_pruned_ = nullptr;  // live during end()
+  std::shared_ptr<IndependenceLearner> dpor_learner_;
   PruningPipeline::Stats last_stats_;
   std::vector<AssertionList> worker_assertions_;
   bool captured_ = false;  // finish_capture() ran since the last start()

@@ -1,0 +1,74 @@
+// Cross-run footprint persistence for dynamic pruning (DESIGN.md §15.5).
+//
+// A FootprintBank is a `footprints.jsonl` sidecar living in the outcome
+// corpus directory. Where the Store remembers *outcomes* per (fingerprint,
+// plan, interleaving) class, the bank remembers what each event *touched* —
+// the learned read/write footprints plus paranoid pair verdicts — keyed by
+// core::dpor_context_fingerprint(events, schema). A warm run seeds its
+// IndependenceLearner from the bank before enumeration, so the sync-trust
+// gate (core::kSyncTrustRuns) opens and the dynamic oracle cuts the full
+// relation instead of the cold, conservative one.
+//
+// File layout: line 1 is a header {"erpi_footprints":1}; every further line
+// is either a footprint entry ({"fp","ctx","ev","runs","r","w"[,"sync"]}) or
+// a pair verdict ({"fp","a","b","indep"}). The whole bank is rewritten
+// atomically (temp file + rename) at save() — banks are small (events ×
+// contexts lines), so segment rolling is not worth its complexity here.
+// Malformed lines are skipped at load (same torn-tail tolerance as the
+// store's segments).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/dpor.hpp"
+
+namespace erpi::corpus {
+
+class FootprintBank {
+ public:
+  struct Entry {
+    std::string context;  // fault-plan kind the footprint was observed under
+    int event = -1;
+    uint32_t runs = 0;  // distinct training runs that confirmed it
+    core::Footprint fp;
+  };
+
+  /// Read the bank at `dir` (missing file = empty bank; malformed lines are
+  /// counted in torn_lines and skipped).
+  static FootprintBank load(const std::string& dir);
+
+  /// Seed `learner` with every footprint and verdict recorded under
+  /// `fingerprint`. Returns the number of footprints seeded.
+  size_t seed_learner(core::IndependenceLearner& learner, uint64_t fingerprint) const;
+
+  /// Merge the learner's exported state into the bank under `fingerprint`:
+  /// footprints union-widen, run counts keep the maximum (the export already
+  /// includes the seeded baseline), verdicts overwrite last-wins. Returns
+  /// true when anything changed (save() can be skipped otherwise).
+  bool absorb(const core::IndependenceLearner& learner, uint64_t fingerprint);
+
+  /// Atomically rewrite `dir`/footprints.jsonl (temp + rename), creating the
+  /// directory if needed. Returns false on any write failure — callers treat
+  /// that like a degraded corpus store: the run's results stand, persistence
+  /// is lost.
+  bool save(const std::string& dir) const;
+
+  size_t entry_count() const noexcept { return entries_.size(); }
+  size_t verdict_count() const noexcept { return verdicts_.size(); }
+  uint64_t torn_lines() const noexcept { return torn_lines_; }
+
+  static std::string path_in(const std::string& dir);
+
+ private:
+  // (fingerprint, context, event) -> entry; deterministic iteration order is
+  // also the on-disk order, so saves are byte-stable.
+  std::map<std::tuple<uint64_t, std::string, int>, Entry> entries_;
+  // (fingerprint, a, b) with a < b -> independent.
+  std::map<std::tuple<uint64_t, int, int>, bool> verdicts_;
+  uint64_t torn_lines_ = 0;
+};
+
+}  // namespace erpi::corpus

@@ -5,7 +5,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/dpor.hpp"
 #include "core/persist.hpp"
+#include "corpus/footprints.hpp"
 #include "faults/runtime.hpp"
 #include "sched/explorer.hpp"
 #include "util/hash.hpp"
@@ -13,6 +15,19 @@
 #include "util/stopwatch.hpp"
 
 namespace erpi::faults {
+
+namespace {
+
+/// Footprints are keyed per plan *kind* ("none", "drop", ...), not per plan
+/// instance — "drop:3" and "drop:5" perturb events in the same way, and
+/// per-instance contexts would never accumulate kSyncTrustRuns confirmations.
+std::string plan_kind_context(const FaultPlan& plan) {
+  const std::string key = plan.key();
+  const auto colon = key.find(':');
+  return colon == std::string::npos ? key : key.substr(0, colon);
+}
+
+}  // namespace
 
 uint64_t run_fingerprint(const core::Session& session,
                          const std::vector<FaultPlan>& plans,
@@ -57,6 +72,16 @@ uint64_t run_fingerprint(const core::Session& session,
   hasher.u64(catalog.max_stale_snapshot_recoveries);
   hasher.u64(catalog.stale_suffix_keep);
   hasher.u64(catalog.max_plans);
+  // Dynamic pruning reshapes which interleavings are generated at all, so
+  // both namespaces hash its options; the journal additionally pins the
+  // learned relation itself — a resumed run must regenerate the exact same
+  // stream to merge the journaled prefix soundly.
+  hasher.u64(config.dynamic_pruning.enabled ? 1 : 0);
+  hasher.u64(config.dynamic_pruning.paranoid ? 1 : 0);
+  hasher.u64(config.dynamic_pruning.footprint_schema);
+  if (purpose == FingerprintPurpose::Journal && session.dpor_learner() != nullptr) {
+    hasher.u64(session.dpor_learner()->relation_digest());
+  }
   return hasher.digest();
 }
 
@@ -95,6 +120,23 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   }
   plans_ = build_catalog(session_->events(), replica_count, catalog_options_);
   worker_assertions_.clear();
+
+  // ---- dynamic pruning: warm-start and prime before fingerprinting --------
+  // The journal fingerprint pins the learned relation (see run_fingerprint),
+  // so the learner must reach its frozen-input state — corpus seed plus the
+  // priming replay — before fingerprints are computed.
+  std::optional<corpus::FootprintBank> footprint_bank;
+  uint64_t footprint_fp = 0;
+  if (config.dynamic_pruning.enabled && !config.corpus_path.empty()) {
+    footprint_bank.emplace(corpus::FootprintBank::load(config.corpus_path));
+    footprint_fp = core::dpor_context_fingerprint(session_->events(),
+                                                  config.dynamic_pruning.footprint_schema);
+    session_->prepare_dynamic_pruning([&](core::IndependenceLearner& learner) {
+      footprint_bank->seed_learner(learner, footprint_fp);
+    });
+  } else {
+    session_->prepare_dynamic_pruning();  // no-op unless enabled
+  }
 
   util::Stopwatch watch;
   core::ReplayReport report;
@@ -310,6 +352,15 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
     // charging the explored-interleaving budget exactly as the dispatcher
     // would have — so a resumed run's budget trajectory matches.
     auto enumerator = session_->make_enumerator();
+    if (plan.kind != FaultPlan::Kind::None) {
+      // Footprints were learned under the unfaulted ("none") context; a fault
+      // plan changes what events touch, so dynamic cuts stay off for faulted
+      // plans and their replays instead train the plan kind's context for
+      // future (union-across-contexts, conservative) queries.
+      if (auto* pruned = dynamic_cast<core::PrunedEnumerator*>(enumerator.get())) {
+        pruned->set_dynamic_pruning(false);
+      }
+    }
     bool drained_dry = false;
     for (uint64_t i = 0; i < skip; ++i) {
       const auto il = enumerator->next();
@@ -329,6 +380,10 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
     options.replay.max_interleavings = cap > skip ? cap - skip : 0;
     options.replay.extra_cache_bytes = nullptr;
     options.replay.on_interleaving_done = nullptr;
+    if (session_->dpor_learner() != nullptr) {
+      options.replay.footprint_learner = session_->dpor_learner();
+      options.replay.footprint_context = plan_kind_context(plan);
+    }
     options.replay.observer_factory = [plan](proxy::Rdl& subject) {
       return std::make_shared<PlanRuntime>(plan, subject);
     };
@@ -407,6 +462,13 @@ core::ReplayReport FaultExplorer::run(const core::AssertionFactory& assertion_fa
   // Fold this run's segments into the sorted index when they have piled up
   // (persisting recency refreshes along the way); cheap runs skip the rewrite.
   if (store) store->maybe_compact();
+  // Persist what this run learned about event footprints so the next run
+  // starts warm (and the kSyncTrustRuns gate can open).
+  if (footprint_bank && session_->dpor_learner() != nullptr &&
+      footprint_bank->absorb(*session_->dpor_learner(), footprint_fp) &&
+      !footprint_bank->save(config.corpus_path)) {
+    report.corpus_degraded = true;
+  }
 
   // Mid-run write failures degrade instead of throwing (satellite: graceful
   // ENOSPC/EIO): the sweep completed, the flags tell the caller that resume /

@@ -16,6 +16,10 @@
 #include "util/json.hpp"
 #include "util/result.hpp"
 
+namespace erpi::core {
+class FootprintRecorder;  // core/dpor.hpp — per-event state footprints
+}  // namespace erpi::core
+
 namespace erpi::proxy {
 
 /// Opaque checkpoint of a subject system's full state: every replica plus any
@@ -67,6 +71,13 @@ class Rdl {
     (void)snap;
     return false;
   }
+
+  /// Install (or clear, with nullptr) the dynamic-pruning footprint recorder
+  /// (DESIGN.md §15). The recorder is owned by the replay engine and is
+  /// *wiring*, not state: snapshot()/restore() must leave it untouched.
+  /// Default: footprints unsupported — dynamic pruning then learns nothing
+  /// from this subject and never cuts.
+  virtual void set_footprint_recorder(core::FootprintRecorder* recorder) { (void)recorder; }
 };
 
 /// Reserved op names for synchronization traffic.

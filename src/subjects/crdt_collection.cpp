@@ -230,14 +230,38 @@ util::Result<util::Json> CrdtCollection::do_invoke(net::ReplicaId replica,
                                                    const util::Json& args) {
   auto& ctx = replicas_[static_cast<size_t>(replica)];
   if (op == "todo_ids") {
+    note_read(replica, "todos");
     util::Json ids = util::Json::array();
     for (const auto& [id, text] : ctx.todos) ids.push_back(id);
     return ids;
   }
   if (op == "list_values") {
+    note_read(replica, "list");
     util::Json values = util::Json::array();
     for (const auto& v : ctx.list.values()) values.push_back(v);
     return values;
+  }
+  // Each mutating op touches exactly one CRDT structure plus the op-log that
+  // record() appends to; unknown ops record nothing and fall back to the
+  // conservative whole-replica footprint in SubjectBase::invoke.
+  const auto structure_of = [](const std::string& o) -> std::string_view {
+    if (o == "set_add" || o == "set_remove") return "set";
+    if (o == "twopset_add" || o == "twopset_remove") return "twopset";
+    if (o == "counter_inc" || o == "counter_dec") return "counter";
+    if (o == "list_insert" || o == "list_remove" || o == "list_move" ||
+        o == "list_naive_move") {
+      return "list";
+    }
+    if (o == "naive_append") return "naive_list";
+    if (o == "reg_set") return "reg";
+    if (o == "mv_set") return "mvreg";
+    if (o == "todo_create") return "todos";
+    return {};
+  };
+  if (const auto structure = structure_of(op); !structure.empty()) {
+    note_read(replica, structure);
+    note_write(replica, structure);
+    note_write(replica, "oplog");
   }
   auto produced = apply_op(ctx, replica, op, args, /*remote=*/false);
   if (!produced) return produced;

@@ -72,6 +72,8 @@ util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::s
                                             const util::Json& args) {
   auto& ctx = replicas_[static_cast<size_t>(replica)];
   if (op == "add") {
+    note_read(replica, "oplog");
+    note_write(replica, "oplog");
     auto entry = ctx.log->append(args["payload"].dump());
     if (!entry) return util::Error{entry.error()};
     ctx.seen_hashes.insert(entry.value().hash);
@@ -79,12 +81,16 @@ util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::s
   }
   if (op == "add_with_clock") {
     // poisoned-clock write used to seed issue #512
+    note_read(replica, "oplog");
+    note_write(replica, "oplog");
     auto entry = ctx.log->append_with_clock(args["payload"].dump(), args["clock"].as_int());
     if (!entry) return util::Error{entry.error()};
     ctx.seen_hashes.insert(entry.value().hash);
     return util::Json(entry.value().hash);
   }
   if (op == "put") {
+    note_read(replica, "oplog");
+    note_write(replica, "oplog");
     util::Json record = util::Json::object();
     record["k"] = args["key"].as_string();
     record["v"] = args["value"];
@@ -95,6 +101,7 @@ util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::s
   }
   if (op == "get") {
     // key-value view: the latest put (in the log's total order) wins
+    note_read(replica, "oplog");
     const auto& key = args["key"].as_string();
     util::Json value;
     for (const auto& entry : ctx.log->traverse()) {
@@ -107,11 +114,16 @@ util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::s
     return value;
   }
   if (op == "grant") {
+    note_read(replica, "oplog");
+    note_write(replica, "oplog");
+    note_write(replica, "acl");
     ctx.log->grant(args["identity"].as_string());
     retry_pending(ctx);
     return util::Json(true);
   }
   if (op == "open") {
+    note_read(replica, "repo");
+    note_write(replica, "repo");
     if (ctx.is_open) return util::Json(false);  // benign re-open while open
     if (ctx.repo_locked) {
       // stale lock file left behind by a leaked close — issue #557 symptom
@@ -123,6 +135,8 @@ util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::s
     return util::Json(true);
   }
   if (op == "close") {
+    note_read(replica, "repo");
+    note_write(replica, "repo");
     if (!ctx.is_open) return util::Json(false);  // benign double close
     ctx.is_open = false;
     if (!flags_.release_lock_on_sync_fixed && ctx.synced_while_open_count >= 2) {
@@ -134,12 +148,15 @@ util::Result<util::Json> OrbitDb::do_invoke(net::ReplicaId replica, const std::s
     return util::Json(true);
   }
   if (op == "verify") {
+    note_read(replica, "oplog");
     return util::Json(ctx.log->verify());
   }
   if (op == "check_head") {
     // Resolve every head a peer has announced against the local entry set;
     // an unresolvable head is the "Head hash didn't match the contents"
     // failure of issue #583.
+    note_read(replica, "oplog");
+    note_read(replica, "heads");
     const auto peer = static_cast<net::ReplicaId>(args["peer"].as_int());
     const auto it = ctx.announced_heads.find(peer);
     if (it == ctx.announced_heads.end()) return util::Json(true);  // nothing announced

@@ -94,6 +94,9 @@ util::Result<util::Json> ReplicaDb::do_invoke(net::ReplicaId replica, const std:
                                               const util::Json& args) {
   auto& ctx = replicas_[static_cast<size_t>(replica)];
   if (op == "insert_source" || op == "update_source") {
+    note_read(replica, "source/" + args["id"].as_string());
+    note_write(replica, "source/" + args["id"].as_string());
+    note_write(replica, "history");
     Row row;
     row.value = args["value"].dump();
     row.version = args["ts"].as_int();
@@ -102,6 +105,9 @@ util::Result<util::Json> ReplicaDb::do_invoke(net::ReplicaId replica, const std:
     return util::Json(true);
   }
   if (op == "delete_source") {
+    note_read(replica, "source/" + args["id"].as_string());
+    note_write(replica, "source/" + args["id"].as_string());
+    note_write(replica, "history");
     Row row;
     row.version = args["ts"].as_int();
     row.deleted = true;
@@ -110,12 +116,17 @@ util::Result<util::Json> ReplicaDb::do_invoke(net::ReplicaId replica, const std:
     return util::Json(true);
   }
   if (op == "transfer") {
+    note_read(replica, "source/*");
+    note_read(replica, "last_transfer");
+    note_write(replica, "last_transfer");
+    note_write(replica, "sink");
     const std::string mode =
         args.contains("mode") ? args["mode"].as_string() : std::string("complete");
     const int64_t fetch_size = args.contains("fetch_size") ? args["fetch_size"].as_int() : 100;
     return transfer(ctx, mode, fetch_size);
   }
   if (op == "sink_count") {
+    note_read(replica, "sink");
     return util::Json(static_cast<int64_t>(ctx.sink.size()));
   }
   return util::Error{"replicadb: unknown op " + op};

@@ -151,6 +151,12 @@ util::Result<util::Json> Roshi::do_invoke(net::ReplicaId replica, const std::str
     const auto& key = args["key"].as_string();
     const auto& member = args["member"].as_string();
     const double ts = args["ts"].as_double();
+    // Writes touch the per-key stream plus the replica-wide arrival history
+    // (key_arrival / flagged_keys feed the issue-#40 response order).
+    note_read(replica, "stream/" + key);
+    note_write(replica, "stream/" + key);
+    note_read(replica, "arrival");
+    note_write(replica, "arrival");
     const bool won = lww_write(ctx, key, member, ts, op == "delete", false);
     return util::Json(won);
   }
@@ -158,9 +164,11 @@ util::Result<util::Json> Roshi::do_invoke(net::ReplicaId replica, const std::str
     const auto& key = args["key"].as_string();
     const int64_t offset = args.contains("offset") ? args["offset"].as_int() : 0;
     const int64_t limit = args.contains("limit") ? args["limit"].as_int() : -1;
+    note_read(replica, "stream/" + key);
     return select(ctx, key, offset, limit);
   }
   if (op == "select_all") {
+    note_read(replica, "*");
     util::Json out = util::Json::array();
     for (const auto& key : ordered_keys(ctx)) {
       util::Json entry = util::Json::object();

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/dpor.hpp"
+
 namespace erpi::subjects {
 
 SubjectBase::SubjectBase(std::string name, int replica_count)
@@ -25,6 +27,14 @@ util::Result<util::Json> SubjectBase::invoke(net::ReplicaId replica, const std::
   if (op == proxy::kSyncReqOp) {
     const auto to = static_cast<net::ReplicaId>(args["peer"].as_int());
     check_replica(to);
+    if (recorder_ != nullptr) {
+      // The payload is composed from the sender's full state and serialized
+      // onto the from->to channel; the channel key also carries FIFO
+      // happens-before (two ops on one channel never commute).
+      recorder_->note_sync();
+      recorder_->note_read(static_cast<int>(replica), "*");
+      recorder_->note_channel_write(static_cast<int>(replica), static_cast<int>(to));
+    }
     auto payload = make_sync_payload(replica, to, args);
     if (!payload) return util::Error{payload.error()};
     if (!network_->send(replica, to, "sync", std::move(payload).take())) {
@@ -35,6 +45,15 @@ util::Result<util::Json> SubjectBase::invoke(net::ReplicaId replica, const std::
   if (op == proxy::kExecSyncOp) {
     const auto from = static_cast<net::ReplicaId>(args["peer"].as_int());
     check_replica(from);
+    if (recorder_ != nullptr) {
+      // Pops the channel (read + write) and merges the payload into the
+      // receiver, conservatively the whole replica.
+      recorder_->note_sync();
+      recorder_->note_channel_read(static_cast<int>(from), static_cast<int>(replica));
+      recorder_->note_channel_write(static_cast<int>(from), static_cast<int>(replica));
+      recorder_->note_read(static_cast<int>(replica), "*");
+      recorder_->note_write(static_cast<int>(replica), "*");
+    }
     const auto message = network_->deliver_next(from, replica);
     if (!message) {
       return util::Error{"no pending sync request from replica " + std::to_string(from)};
@@ -49,19 +68,41 @@ util::Result<util::Json> SubjectBase::invoke(net::ReplicaId replica, const std::
       record["f"] = static_cast<int64_t>(from);
       record["p"] = message->payload;
       append_log(replica, util::Json(std::move(record)).dump());
+      note_write(replica, "log");
     }
     if (!st) return util::Error{st.error()};
     return util::Json(true);
   }
+  const size_t notes_before = recorder_ != nullptr ? recorder_->note_count() : 0;
   auto result = do_invoke(replica, op, args);
+  if (recorder_ != nullptr && recorder_->recording() &&
+      recorder_->note_count() == notes_before) {
+    // Uninstrumented op: conservative whole-replica footprint so it conflicts
+    // with every other op on this replica (sound, never cuts too much).
+    recorder_->note_read(static_cast<int>(replica), "*");
+    if (!is_readonly_op(op)) recorder_->note_write(static_cast<int>(replica), "*");
+  }
   if (durable_logging_ && result && !is_readonly_op(op)) {
     util::Json::Object record;
     record["t"] = "op";
     record["op"] = op;
     record["a"] = args;
     append_log(replica, util::Json(std::move(record)).dump());
+    note_write(replica, "log");
   }
   return result;
+}
+
+void SubjectBase::set_footprint_recorder(core::FootprintRecorder* recorder) {
+  recorder_ = recorder;
+}
+
+void SubjectBase::note_read(net::ReplicaId replica, std::string_view field) {
+  if (recorder_ != nullptr) recorder_->note_read(static_cast<int>(replica), field);
+}
+
+void SubjectBase::note_write(net::ReplicaId replica, std::string_view field) {
+  if (recorder_ != nullptr) recorder_->note_write(static_cast<int>(replica), field);
 }
 
 void SubjectBase::reset() {

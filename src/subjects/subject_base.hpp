@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/network.hpp"
@@ -43,6 +44,12 @@ class SubjectBase : public proxy::Rdl {
   bool restore(const proxy::Snapshot& snap) final;
 
   net::SimNetwork& network() noexcept { return *network_; }
+
+  /// Dynamic-pruning wiring (DESIGN.md §15). The recorder is owned by the
+  /// replay engine; it is deliberately *not* part of SnapshotState, so
+  /// snapshot()/restore() round-trips leave the installed recorder intact
+  /// and recording continues seamlessly after a prefix-cache resume.
+  void set_footprint_recorder(core::FootprintRecorder* recorder) final;
 
   // ---- crash-fault support (faults:: CrashRestart plans) ------------------
 
@@ -250,6 +257,20 @@ class SubjectBase : public proxy::Rdl {
   };
   virtual RecoveryPolicy recovery_policy() const { return {}; }
 
+  // ---- footprint hooks (core/dpor.hpp) ------------------------------------
+  //
+  // invoke() records sync traffic at the base (channel keys + conservative
+  // whole-replica payload effects); subjects refine do_invoke coverage with
+  // these helpers. When a do_invoke records nothing, invoke() falls back to
+  // a conservative whole-replica footprint ("rN/*"), so uninstrumented ops
+  // conflict with everything on their replica and stay sound.
+
+  core::FootprintRecorder* footprint_recorder() const noexcept { return recorder_; }
+  /// Record "r<replica>/<field>" into the current event's read/write set.
+  /// No-ops when no recorder is installed or no event is being replayed.
+  void note_read(net::ReplicaId replica, std::string_view field);
+  void note_write(net::ReplicaId replica, std::string_view field);
+
   /// True while recover_from_log() is replaying entries.
   bool recovering() const noexcept { return recovering_; }
   /// True while the entry being replayed is a duplicate the policy chose not
@@ -278,6 +299,7 @@ class SubjectBase : public proxy::Rdl {
   std::string name_;
   int replica_count_;
   std::unique_ptr<net::SimNetwork> network_;
+  core::FootprintRecorder* recorder_ = nullptr;  // wiring, not state (see above)
   bool durable_logging_ = false;
   bool recovering_ = false;
   bool replaying_duplicate_ = false;

@@ -45,6 +45,8 @@ util::Result<util::Json> TownApp::do_invoke(net::ReplicaId replica, const std::s
                                             const util::Json& args) {
   auto& ctx = replicas_[static_cast<size_t>(replica)];
   if (op == "report") {
+    note_write(replica, "problems");
+    note_write(replica, "oplog");
     const auto produced =
         ctx.problems.add(static_cast<crdt::ReplicaId>(replica), args["problem"].as_string());
     util::Json op_json = util::Json::object();
@@ -56,6 +58,9 @@ util::Result<util::Json> TownApp::do_invoke(net::ReplicaId replica, const std::s
     return util::Json(true);
   }
   if (op == "resolve") {
+    note_read(replica, "problems");
+    note_write(replica, "problems");
+    note_write(replica, "oplog");
     const auto produced = ctx.problems.remove(args["problem"].as_string());
     if (!produced) {
       // resolving an issue this replica has not (yet) seen is a no-op
@@ -73,6 +78,7 @@ util::Result<util::Json> TownApp::do_invoke(net::ReplicaId replica, const std::s
   }
   if (op == "transmit") {
     // the Query event: the set of problems handed to the municipality
+    note_read(replica, "problems");
     util::Json out = util::Json::array();
     for (const auto& problem : ctx.problems.elements()) out.push_back(problem);
     return out;

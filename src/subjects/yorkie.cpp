@@ -100,6 +100,17 @@ util::Result<util::Json> Yorkie::do_invoke(net::ReplicaId replica, const std::st
   auto& ctx = replicas_[static_cast<size_t>(replica)];
   const crdt::DocPath path = parse_path(args);
 
+  // Mutating doc ops read the document (path resolution, index checks) and
+  // write both the document and the op-log record_local() appends to.
+  if (op == "set" || op == "delete" || op == "list_push" || op == "list_insert" ||
+      op == "list_remove" || op == "move_after") {
+    note_read(replica, "doc");
+    note_write(replica, "doc");
+    note_write(replica, "oplog");
+  } else if (op == "get" || op == "snapshot") {
+    note_read(replica, "doc");
+  }
+
   if (op == "set") {
     const auto produced = ctx.doc->set(path, args["key"].as_string(), args["value"]);
     record_local(ctx, replica, produced);

@@ -1,0 +1,208 @@
+// Footprint-recording coverage across all six subjects (DESIGN.md §15.1):
+// each instrumented op reports exactly the replica keys it reads and writes,
+// sync traffic carries the channel keys and the sync flag, uninstrumented ops
+// fall back to the conservative whole-replica wildcard, durable logging adds
+// the log key, and snapshot/restore round-trips leave the installed recorder
+// intact (it is wiring, not state).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dpor.hpp"
+#include "subjects/crdt_collection.hpp"
+#include "subjects/orbitdb.hpp"
+#include "subjects/replicadb.hpp"
+#include "subjects/roshi.hpp"
+#include "subjects/town.hpp"
+#include "subjects/yorkie.hpp"
+
+namespace erpi::subjects {
+namespace {
+
+using core::Footprint;
+using core::FootprintRecorder;
+
+util::Json jobj(std::initializer_list<std::pair<const char*, util::Json>> kv) {
+  util::Json j = util::Json::object();
+  for (const auto& [key, value] : kv) j[key] = value;
+  return j;
+}
+
+using Keys = std::vector<std::string>;
+
+/// Runs ops against one subject and returns the footprint recorded per call.
+class Probe {
+ public:
+  explicit Probe(proxy::Rdl& subject)
+      : subject_(&subject), recorder_([this](int id, Footprint&& fp) {
+          captured_[id] = std::move(fp);
+        }) {
+    subject_->set_footprint_recorder(&recorder_);
+  }
+  ~Probe() { subject_->set_footprint_recorder(nullptr); }
+
+  Footprint invoke(int event_id, int replica, const std::string& op,
+                   const util::Json& args = util::Json::object()) {
+    recorder_.begin_event(event_id);
+    (void)subject_->invoke(replica, op, args);
+    recorder_.end_event();
+    return captured_[event_id];
+  }
+
+ private:
+  proxy::Rdl* subject_;
+  std::map<int, Footprint> captured_;
+  FootprintRecorder recorder_;
+};
+
+TEST(DporFootprints, TownReadWriteSetsPerOpKind) {
+  TownApp town(2);
+  Probe probe(town);
+  const Footprint report = probe.invoke(0, 0, "report", jobj({{"problem", "otb"}}));
+  EXPECT_EQ(report.reads, Keys{});
+  EXPECT_EQ(report.writes, (Keys{"r0/oplog", "r0/problems"}));
+  EXPECT_FALSE(report.sync);
+  const Footprint resolve = probe.invoke(1, 0, "resolve", jobj({{"problem", "otb"}}));
+  EXPECT_EQ(resolve.reads, (Keys{"r0/problems"}));
+  EXPECT_EQ(resolve.writes, (Keys{"r0/oplog", "r0/problems"}));
+  const Footprint transmit = probe.invoke(2, 1, "transmit");
+  EXPECT_EQ(transmit.reads, (Keys{"r1/problems"}));
+  EXPECT_EQ(transmit.writes, Keys{});
+}
+
+TEST(DporFootprints, SyncTrafficCarriesChannelKeysAndSyncFlag) {
+  TownApp town(2);
+  Probe probe(town);
+  (void)probe.invoke(0, 0, "report", jobj({{"problem", "x"}}));
+  const Footprint req = probe.invoke(1, 0, proxy::kSyncReqOp, jobj({{"peer", 1}}));
+  EXPECT_TRUE(req.sync);
+  EXPECT_EQ(req.reads, (Keys{"r0/*"}));
+  EXPECT_EQ(req.writes, (Keys{"chan/0->1"}));
+  const Footprint exec = probe.invoke(2, 1, proxy::kExecSyncOp, jobj({{"peer", 0}}));
+  EXPECT_TRUE(exec.sync);
+  EXPECT_EQ(exec.reads, (Keys{"chan/0->1", "r1/*"}));
+  EXPECT_EQ(exec.writes, (Keys{"chan/0->1", "r1/*"}));
+}
+
+TEST(DporFootprints, RoshiPerKeyStreamsAndWildcardScan) {
+  Roshi roshi(2);
+  Probe probe(roshi);
+  const Footprint insert = probe.invoke(
+      0, 0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.0}}));
+  EXPECT_EQ(insert.reads, (Keys{"r0/arrival", "r0/stream/s"}));
+  EXPECT_EQ(insert.writes, (Keys{"r0/arrival", "r0/stream/s"}));
+  const Footprint select = probe.invoke(1, 0, "select", jobj({{"key", "s"}}));
+  EXPECT_EQ(select.reads, (Keys{"r0/stream/s"}));
+  EXPECT_EQ(select.writes, Keys{});
+  const Footprint select_all = probe.invoke(2, 0, "select_all");
+  EXPECT_EQ(select_all.reads, (Keys{"r0/*"}));
+  // Wildcard conflicts with the per-key stream but not with another replica.
+  EXPECT_TRUE(core::footprint_keys_conflict("r0/*", "r0/stream/s"));
+  EXPECT_FALSE(core::footprint_keys_conflict("r0/*", "r1/stream/s"));
+}
+
+TEST(DporFootprints, OrbitDbOplogAclAndHeads) {
+  OrbitDb db(2);
+  Probe probe(db);
+  const Footprint add = probe.invoke(0, 1, "add", jobj({{"payload", "a1"}}));
+  EXPECT_EQ(add.reads, (Keys{"r1/oplog"}));
+  EXPECT_EQ(add.writes, (Keys{"r1/oplog"}));
+  const Footprint grant =
+      probe.invoke(1, 1, "grant", jobj({{"identity", OrbitDb::identity_of(0)}}));
+  EXPECT_EQ(grant.reads, (Keys{"r1/oplog"}));
+  EXPECT_EQ(grant.writes, (Keys{"r1/acl", "r1/oplog"}));
+  const Footprint check = probe.invoke(2, 1, "check_head", jobj({{"peer", 0}}));
+  EXPECT_EQ(check.reads, (Keys{"r1/heads", "r1/oplog"}));
+  EXPECT_EQ(check.writes, Keys{});
+}
+
+TEST(DporFootprints, ReplicaDbSourceRowsAndTransferRegisters) {
+  ReplicaDb db(1);
+  Probe probe(db);
+  const Footprint insert = probe.invoke(
+      0, 0, "insert_source", jobj({{"id", "r1"}, {"value", "v"}, {"ts", 1}}));
+  EXPECT_EQ(insert.reads, (Keys{"r0/source/r1"}));
+  EXPECT_EQ(insert.writes, (Keys{"r0/history", "r0/source/r1"}));
+  const Footprint transfer = probe.invoke(1, 0, "transfer", jobj({{"mode", "complete"}}));
+  EXPECT_EQ(transfer.reads, (Keys{"r0/last_transfer", "r0/source/*"}));
+  EXPECT_EQ(transfer.writes, (Keys{"r0/last_transfer", "r0/sink"}));
+  const Footprint count = probe.invoke(2, 0, "sink_count");
+  EXPECT_EQ(count.reads, (Keys{"r0/sink"}));
+  EXPECT_EQ(count.writes, Keys{});
+}
+
+TEST(DporFootprints, YorkieDocAndOplog) {
+  Yorkie yorkie(1);
+  Probe probe(yorkie);
+  const Footprint set =
+      probe.invoke(0, 0, "set", jobj({{"key", "title"}, {"value", "doc"}}));
+  EXPECT_EQ(set.reads, (Keys{"r0/doc"}));
+  EXPECT_EQ(set.writes, (Keys{"r0/doc", "r0/oplog"}));
+  const Footprint push =
+      probe.invoke(1, 0, "list_push", jobj({{"key", "items"}, {"value", "a"}}));
+  EXPECT_EQ(push.writes, (Keys{"r0/doc", "r0/oplog"}));
+  const Footprint snapshot = probe.invoke(2, 0, "snapshot");
+  EXPECT_EQ(snapshot.reads, (Keys{"r0/doc"}));
+  EXPECT_EQ(snapshot.writes, Keys{});
+}
+
+TEST(DporFootprints, CrdtCollectionPerStructureKeys) {
+  CrdtCollection app(1);
+  Probe probe(app);
+  const Footprint set_add = probe.invoke(0, 0, "set_add", jobj({{"element", "s1"}}));
+  EXPECT_EQ(set_add.reads, (Keys{"r0/set"}));
+  EXPECT_EQ(set_add.writes, (Keys{"r0/oplog", "r0/set"}));
+  const Footprint inc = probe.invoke(1, 0, "counter_inc", jobj({{"by", 5}}));
+  EXPECT_EQ(inc.reads, (Keys{"r0/counter"}));
+  EXPECT_EQ(inc.writes, (Keys{"r0/counter", "r0/oplog"}));
+  const Footprint todo = probe.invoke(2, 0, "todo_create", jobj({{"text", "task"}}));
+  EXPECT_EQ(todo.reads, (Keys{"r0/todos"}));
+  EXPECT_EQ(todo.writes, (Keys{"r0/oplog", "r0/todos"}));
+  const Footprint ids = probe.invoke(3, 0, "todo_ids");
+  EXPECT_EQ(ids.reads, (Keys{"r0/todos"}));
+  EXPECT_EQ(ids.writes, Keys{});
+}
+
+TEST(DporFootprints, UnknownOpFallsBackToWholeReplicaWildcard) {
+  CrdtCollection app(1);
+  Probe probe(app);
+  // The op fails, but the conservative footprint is still recorded — an
+  // uninstrumented or unknown op must conflict with everything on its replica.
+  const Footprint bogus = probe.invoke(0, 0, "no_such_op");
+  EXPECT_EQ(bogus.reads, (Keys{"r0/*"}));
+  EXPECT_EQ(bogus.writes, (Keys{"r0/*"}));
+}
+
+TEST(DporFootprints, DurableLoggingAddsTheLogKey) {
+  Roshi plain(1);
+  Probe plain_probe(plain);
+  const Footprint without = plain_probe.invoke(
+      0, 0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.0}}));
+  EXPECT_EQ(without.writes, (Keys{"r0/arrival", "r0/stream/s"}));
+
+  Roshi durable(1);
+  durable.set_durable_logging(true);
+  ASSERT_TRUE(durable.durable_logging());
+  Probe durable_probe(durable);
+  const Footprint with = durable_probe.invoke(
+      0, 0, "insert", jobj({{"key", "s"}, {"member", "m"}, {"ts", 1.0}}));
+  EXPECT_EQ(with.writes, (Keys{"r0/arrival", "r0/log", "r0/stream/s"}));
+}
+
+TEST(DporFootprints, SnapshotRestoreLeavesTheRecorderInstalled) {
+  TownApp town(1);
+  Probe probe(town);
+  (void)probe.invoke(0, 0, "report", jobj({{"problem", "a"}}));
+  const proxy::Snapshot snap = town.snapshot();
+  ASSERT_TRUE(snap.valid());
+  (void)probe.invoke(1, 0, "report", jobj({{"problem", "b"}}));
+  ASSERT_TRUE(town.restore(snap));
+  // The recorder is wiring, not state: an invoke after restore still records.
+  const Footprint after = probe.invoke(2, 0, "report", jobj({{"problem", "c"}}));
+  EXPECT_EQ(after.writes, (Keys{"r0/oplog", "r0/problems"}));
+}
+
+}  // namespace
+}  // namespace erpi::subjects
